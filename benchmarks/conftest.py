@@ -1,0 +1,44 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one paper artifact (figure or worked example,
+DESIGN.md E1–E8) or one of our scalability/ablation studies (E9–E12).
+``report`` prints the same rows/series the paper reports so a run of
+``pytest benchmarks/ --benchmark-only -s`` doubles as the reproduction
+log recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import pytest
+
+
+def report(title: str, rows: Iterable[Sequence], headers: Sequence[str]):
+    """Print a small fixed-width table under a title."""
+    rows = [tuple(str(cell) for cell in row) for row in rows]
+    headers = [str(h) for h in headers]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in rows)) if rows else len(headers[i])
+        for i in range(len(headers))
+    ]
+    line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    print(f"\n== {title} ==")
+    print(line)
+    print("  ".join("-" * w for w in widths))
+    for row in rows:
+        print("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+
+
+@pytest.fixture
+def weighted():
+    from repro.semirings import WeightedSemiring
+
+    return WeightedSemiring()
+
+
+@pytest.fixture
+def fuzzy():
+    from repro.semirings import FuzzySemiring
+
+    return FuzzySemiring()

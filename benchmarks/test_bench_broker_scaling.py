@@ -1,0 +1,182 @@
+"""E10 — broker scalability (ours).
+
+Series: negotiation latency vs number of competing providers, and
+composite QoS vs pipeline length.  Shape expectations: per-candidate
+solving is linear in the provider count; composite reliability decays
+geometrically with chain length (the Probabilistic ⊗), which is exactly
+why the paper wants the broker to optimize the composition.
+"""
+
+import pytest
+from conftest import report
+
+from repro.constraints import Polynomial, integer_variable, polynomial_constraint
+from repro.sccp import interval
+from repro.semirings import WeightedSemiring
+from repro.soa import (
+    Broker,
+    ClientRequest,
+    QoSDocument,
+    QoSPolicy,
+    ServiceDescription,
+    ServiceInterface,
+    ServiceRegistry,
+)
+
+
+def market(n_providers: int, operation: str = "filter") -> ServiceRegistry:
+    """``n`` providers with base costs decreasing in the provider index,
+    so a deeper market genuinely contains better offers."""
+    registry = ServiceRegistry()
+    for index in range(n_providers):
+        base_cost = max(2.0, 18.0 - index)
+        document = QoSDocument(
+            service_name=operation,
+            provider=f"P{index}",
+            policies=[
+                QoSPolicy(
+                    attribute="cost",
+                    variables={"x": range(0, 11)},
+                    polynomial=Polynomial.linear(
+                        {"x": 1.0 + (index % 3)}, base_cost
+                    ),
+                ),
+                QoSPolicy(
+                    attribute="reliability",
+                    constant=0.90 + 0.09 * ((index * 7) % 10) / 10,
+                ),
+            ],
+        )
+        registry.publish(
+            ServiceDescription(
+                service_id=f"{operation}-P{index}",
+                name=operation,
+                provider=f"P{index}",
+                interface=ServiceInterface(operation=operation),
+                qos=document,
+            )
+        )
+    return registry
+
+
+def client_request(weighted) -> ClientRequest:
+    x = integer_variable("x", 10)
+    return ClientRequest(
+        client="C",
+        operation="filter",
+        attribute="cost",
+        requirements=[
+            polynomial_constraint(weighted, [x], Polynomial.linear({"x": 1.0}))
+        ],
+        acceptance=interval(weighted, lower=50.0, upper=0.0),
+    )
+
+
+@pytest.mark.parametrize("n_providers", (2, 8, 32))
+def test_negotiation_vs_provider_count(benchmark, n_providers, weighted):
+    broker = Broker(market(n_providers))
+    request = client_request(weighted)
+    result = benchmark(lambda: broker.negotiate(request))
+    assert result.success
+    assert len(result.evaluations) == n_providers
+    # the semiring-best candidate always wins: the highest index has the
+    # lowest base cost (down to the 2.0 floor)
+    best = min(e.blevel for e in result.evaluations)
+    assert result.sla.agreed_level == best
+
+
+def test_best_offer_always_selected(benchmark, weighted):
+    """Who-wins shape: more candidates never worsen the agreed level."""
+
+    def sweep():
+        levels = []
+        for n_providers in (1, 4, 16):
+            broker = Broker(market(n_providers))
+            outcome = broker.negotiate(client_request(weighted))
+            levels.append((n_providers, outcome.sla.agreed_level))
+        return levels
+
+    levels = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    report(
+        "E10 — agreed cost level vs market size",
+        [(n, f"{level:g}") for n, level in levels],
+        ["#providers", "agreed cost"],
+    )
+    costs = [level for _, level in levels]
+    # deeper markets can only improve (numerically lower) the agreed cost
+    assert costs == sorted(costs, reverse=True)
+    assert costs[-1] < costs[0]
+
+
+@pytest.mark.parametrize("chain_length", (2, 4, 8))
+def test_composition_vs_chain_length(benchmark, chain_length):
+    registry = ServiceRegistry()
+    operations = [f"stage{i}" for i in range(chain_length)]
+    for operation in operations:
+        for provider, level in (("good", 0.99), ("cheap", 0.93)):
+            document = QoSDocument(
+                service_name=operation,
+                provider=f"{provider}-{operation}",
+                policies=[QoSPolicy(attribute="reliability", constant=level)],
+            )
+            registry.publish(
+                ServiceDescription(
+                    service_id=f"{operation}-{provider}",
+                    name=operation,
+                    provider=f"{provider}-{operation}",
+                    interface=ServiceInterface(operation=operation),
+                    qos=document,
+                )
+            )
+    broker = Broker(registry)
+    sla, plan, _ = benchmark(
+        lambda: broker.negotiate_composition(
+            "client", operations, "reliability"
+        )
+    )
+    assert sla is not None
+    # the optimum picks the good provider at every slot
+    assert sla.agreed_level == pytest.approx(0.99**chain_length)
+
+
+def test_reliability_decay_series(benchmark):
+    """The figure's series: composite reliability vs pipeline length."""
+
+    def sweep():
+        rows = []
+        for chain_length in (1, 2, 4, 8):
+            registry = ServiceRegistry()
+            operations = [f"s{i}" for i in range(chain_length)]
+            for operation in operations:
+                registry.publish(
+                    ServiceDescription(
+                        service_id=f"{operation}-only",
+                        name=operation,
+                        provider=f"prov-{operation}",
+                        interface=ServiceInterface(operation=operation),
+                        qos=QoSDocument(
+                            service_name=operation,
+                            provider=f"prov-{operation}",
+                            policies=[
+                                QoSPolicy(
+                                    attribute="reliability", constant=0.97
+                                )
+                            ],
+                        ),
+                    )
+                )
+            sla, _, _ = Broker(registry).negotiate_composition(
+                "client", operations, "reliability"
+            )
+            rows.append((chain_length, sla.agreed_level))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    report(
+        "E10 — composite reliability vs pipeline length (r=0.97/stage)",
+        [(n, f"{level:.4f}") for n, level in rows],
+        ["stages", "reliability"],
+    )
+    levels = [level for _, level in rows]
+    assert levels == sorted(levels, reverse=True)  # geometric decay
+    assert levels[-1] == pytest.approx(0.97**8)

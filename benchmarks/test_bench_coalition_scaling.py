@@ -1,0 +1,148 @@
+"""E11 — coalition-structure generation: exact vs greedy vs local search.
+
+Series: solution quality and work vs number of agents, plus the ◦-operator
+ablation.  Shape expectations: exact explores Bell(n) partitions and wins
+on quality; greedy is constant-round but can be unstable or suboptimal;
+seeded local search tracks the exact optimum at a fraction of the work.
+"""
+
+import pytest
+from conftest import report
+
+from repro.coalitions import (
+    bell_number,
+    figure9_network,
+    individually_oriented,
+    is_stable,
+    partition_trust,
+    random_trust_network,
+    socially_oriented,
+    solve_exact,
+    solve_local_search,
+)
+
+
+@pytest.mark.parametrize("n_agents", (5, 7, 9))
+def test_exact_scaling(benchmark, n_agents):
+    network = random_trust_network(n_agents, seed=n_agents)
+    solution = benchmark(
+        lambda: solve_exact(network, op="avg", aggregate="min")
+    )
+    assert solution.partitions_examined == bell_number(n_agents)
+
+
+@pytest.mark.parametrize("n_agents", (7, 12, 16))
+def test_local_search_scaling(benchmark, n_agents):
+    network = random_trust_network(n_agents, seed=n_agents)
+    solution = benchmark(
+        lambda: solve_local_search(
+            network, op="avg", seed=1, restarts=2, max_iterations=25
+        )
+    )
+    assert solution.found
+
+
+@pytest.mark.parametrize("n_agents", (7, 12, 16))
+def test_greedy_scaling(benchmark, n_agents):
+    network = random_trust_network(n_agents, seed=n_agents)
+    solution = benchmark(lambda: socially_oriented(network, "avg"))
+    assert solution.found
+
+
+def test_quality_comparison_series(benchmark):
+    """The quality table: trust achieved by each solver on Fig. 9 plus
+    random instances; exact must dominate everything stable."""
+
+    def sweep():
+        rows = []
+        networks = [("fig9", figure9_network())] + [
+            (f"rand{n}", random_trust_network(n, seed=n)) for n in (5, 7)
+        ]
+        for name, network in networks:
+            exact = solve_exact(network, op="avg", aggregate="min")
+            individual = individually_oriented(network, "avg")
+            social = socially_oriented(network, "avg")
+            local = solve_local_search(
+                network, op="avg", seed=3, restarts=3, max_iterations=50
+            )
+            rows.append(
+                (
+                    name,
+                    f"{exact.trust:.4f}",
+                    f"{individual.trust:.4f}{'' if individual.stable else '*'}",
+                    f"{social.trust:.4f}{'' if social.stable else '*'}",
+                    f"{local.trust:.4f}{'' if local.stable else '*'}",
+                )
+            )
+            for solution in (individual, social, local):
+                if solution.stable:
+                    assert exact.trust >= solution.trust - 1e-12
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    report(
+        "E11 — partition trust by solver (* = unstable result)",
+        rows,
+        ["instance", "exact", "indiv", "social", "local"],
+    )
+
+
+def test_composition_operator_ablation(benchmark):
+    """◦ ∈ {min, avg, max} changes both the optimum and which partitions
+    are stable (DESIGN.md ablation)."""
+
+    def sweep():
+        network = figure9_network()
+        rows = []
+        for op in ("min", "avg", "max"):
+            solution = solve_exact(network, op=op, aggregate="min")
+            rows.append(
+                (
+                    op,
+                    f"{solution.trust:.4f}",
+                    solution.stable_partitions,
+                    len(solution.partition or ()),
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    report(
+        "E11 — ◦-operator ablation on Fig. 9 (877 partitions)",
+        rows,
+        ["◦", "best trust", "stable partitions", "#coalitions"],
+    )
+    by_op = {row[0]: row for row in rows}
+    # under min every partition is trivially stable (documented degeneracy)
+    assert by_op["min"][2] == bell_number(7)
+    # avg/max genuinely prune
+    assert by_op["avg"][2] < bell_number(7)
+
+
+def test_stability_pruning_series(benchmark):
+    """Share of stable partitions shrinks as n grows (avg composition)."""
+
+    def sweep():
+        rows = []
+        for n_agents in (4, 5, 6, 7):
+            network = random_trust_network(n_agents, seed=17 + n_agents)
+            solution = solve_exact(network, op="avg", aggregate="min")
+            total = solution.partitions_examined
+            rows.append(
+                (
+                    n_agents,
+                    total,
+                    solution.stable_partitions,
+                    f"{solution.stable_partitions / total:.3f}",
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    report(
+        "E11 — stability pruning vs #agents",
+        rows,
+        ["n", "partitions", "stable", "stable share"],
+    )
+    shares = [float(row[3]) for row in rows]
+    assert shares[-1] < shares[0]  # the filter bites harder as n grows

@@ -1,0 +1,91 @@
+"""E3 — Example 1: tell + negotiation that must fail.
+
+Paper: σ = c4 ⊗ c3 ≡ 3x+5, σ⇓∅ = 5; P2's interval [1, 4] excludes 5, so
+P2 cannot succeed and no SLA is signed — under *any* interleaving.
+"""
+
+from conftest import report
+
+from repro.constraints import (
+    Polynomial,
+    TableConstraint,
+    constraints_equal,
+    integer_variable,
+    polynomial_constraint,
+    variable,
+)
+from repro.sccp import (
+    SUCCESS,
+    Status,
+    ask,
+    explore,
+    interval,
+    parallel,
+    run,
+    sequence,
+    tell,
+)
+from repro.semirings import WeightedSemiring
+
+MAX_FAILURES = 20
+
+
+def build_agents():
+    weighted = WeightedSemiring()
+    x = integer_variable("x", MAX_FAILURES)
+    c3 = polynomial_constraint(weighted, [x], Polynomial.linear({"x": 2}))
+    c4 = polynomial_constraint(weighted, [x], Polynomial.linear({"x": 1}, 5))
+    inf = weighted.zero
+    sp1 = TableConstraint(
+        weighted, [variable("sp1", [0, 1])], {(1,): 0.0, (0,): inf}
+    )
+    sp2 = TableConstraint(
+        weighted, [variable("sp2", [0, 1])], {(1,): 0.0, (0,): inf}
+    )
+    p1 = sequence(
+        tell(c4),
+        tell(sp2),
+        ask(sp1, interval(weighted, lower=10.0, upper=2.0)),
+        SUCCESS,
+    )
+    p2 = sequence(
+        tell(c3),
+        tell(sp1),
+        ask(sp2, interval(weighted, lower=4.0, upper=1.0)),
+        SUCCESS,
+    )
+    return weighted, x, parallel(p1, p2)
+
+
+def test_example1_reproduction(benchmark):
+    weighted, x, agents = build_agents()
+    result = benchmark(lambda: run(agents, semiring=weighted))
+
+    report(
+        "Example 1 — negotiation outcome",
+        [
+            ("final status", result.status.value),
+            ("σ ⇓∅ (hours)", f"{result.consistency():g}"),
+            ("P2's interval", "[1, 4]"),
+            ("agreement", "NO (paper: no shared agreement)"),
+        ],
+        ["quantity", "value"],
+    )
+
+    assert result.status is Status.DEADLOCK
+    assert result.consistency() == 5.0
+    target = polynomial_constraint(
+        weighted, [x], Polynomial.linear({"x": 3}, 5)
+    )
+    assert constraints_equal(result.store.project(["x"]), target)
+
+
+def test_example1_scheduler_independence(benchmark):
+    weighted, _, agents = build_agents()
+    exploration = benchmark(lambda: explore(agents, semiring=weighted))
+    print(
+        f"\nexplored {exploration.configurations_visited} configurations: "
+        f"{len(exploration.successes)} successes, "
+        f"{len(exploration.deadlocks)} deadlocks"
+    )
+    assert exploration.never_succeeds

@@ -1,0 +1,88 @@
+"""E4 — Example 2: retract as policy relaxation.
+
+Paper: after P1 retracts c1 (≡ x+3), the store becomes (c4 ⊗ c3) ÷ c1 ≡
+2x+2 with σ⇓∅ = 2 ∈ [1,4] ∩ [2,10] — both agents succeed.
+"""
+
+from conftest import report
+
+from repro.constraints import (
+    Polynomial,
+    TableConstraint,
+    constraints_equal,
+    integer_variable,
+    polynomial_constraint,
+    variable,
+)
+from repro.sccp import (
+    SUCCESS,
+    Status,
+    ask,
+    explore,
+    interval,
+    parallel,
+    retract,
+    run,
+    sequence,
+    tell,
+)
+from repro.semirings import WeightedSemiring
+
+MAX_FAILURES = 20
+
+
+def build_agents():
+    weighted = WeightedSemiring()
+    x = integer_variable("x", MAX_FAILURES)
+    c1 = polynomial_constraint(weighted, [x], Polynomial.linear({"x": 1}, 3))
+    c3 = polynomial_constraint(weighted, [x], Polynomial.linear({"x": 2}))
+    c4 = polynomial_constraint(weighted, [x], Polynomial.linear({"x": 1}, 5))
+    inf = weighted.zero
+    sp1 = TableConstraint(
+        weighted, [variable("sp1", [0, 1])], {(1,): 0.0, (0,): inf}
+    )
+    sp2 = TableConstraint(
+        weighted, [variable("sp2", [0, 1])], {(1,): 0.0, (0,): inf}
+    )
+    p1 = sequence(
+        tell(c4),
+        tell(sp2),
+        ask(sp1, interval(weighted, lower=10.0, upper=2.0)),
+        retract(c1, interval(weighted, lower=10.0, upper=2.0)),
+        SUCCESS,
+    )
+    p2 = sequence(
+        tell(c3),
+        tell(sp1),
+        ask(sp2, interval(weighted, lower=4.0, upper=1.0)),
+        SUCCESS,
+    )
+    return weighted, x, parallel(p1, p2)
+
+
+def test_example2_reproduction(benchmark):
+    weighted, x, agents = build_agents()
+    result = benchmark(lambda: run(agents, semiring=weighted))
+
+    store_on_x = result.store.project(["x"]).materialize()
+    samples = [(v, f"{store_on_x.value({'x': v}):g}") for v in range(5)]
+    report(
+        "Example 2 — final store σ = (c4 ⊗ c3) ÷ c1 (paper: 2x+2)",
+        samples,
+        ["x", "σ(x)"],
+    )
+    print(f"σ ⇓∅ = {result.consistency():g} (paper: 2) — both succeed")
+
+    assert result.status is Status.SUCCESS
+    assert result.consistency() == 2.0
+    target = polynomial_constraint(
+        weighted, [x], Polynomial.linear({"x": 2}, 2)
+    )
+    assert constraints_equal(result.store.project(["x"]), target)
+
+
+def test_example2_scheduler_independence(benchmark):
+    weighted, _, agents = build_agents()
+    exploration = benchmark(lambda: explore(agents, semiring=weighted))
+    assert exploration.always_succeeds
+    assert set(exploration.success_consistencies()) == {2.0}

@@ -1,0 +1,54 @@
+"""E5 — Example 3: update as transactional policy replacement.
+
+Paper: ⟨tell(c1) → update_{x}(c2) → success, 0̄⟩ succeeds in the store
+(c1 ⇓_{V∖{x}}) ⊗ c2 ≡ y + 4: the old x-based policy is refreshed, its
+fixed 3-hour management delay survives, and consistency now depends only
+on the number of reboots y.
+"""
+
+from conftest import report
+
+from repro.constraints import (
+    Polynomial,
+    constraints_equal,
+    integer_variable,
+    polynomial_constraint,
+)
+from repro.sccp import SUCCESS, Status, run, sequence, tell, update
+from repro.semirings import WeightedSemiring
+
+MAX_EVENTS = 20
+
+
+def build_agent():
+    weighted = WeightedSemiring()
+    x = integer_variable("x", MAX_EVENTS)
+    y = integer_variable("y", MAX_EVENTS)
+    c1 = polynomial_constraint(weighted, [x], Polynomial.linear({"x": 1}, 3))
+    c2 = polynomial_constraint(weighted, [y], Polynomial.linear({"y": 1}, 1))
+    agent = sequence(tell(c1), update(["x"], c2), SUCCESS)
+    return weighted, y, agent
+
+
+def test_example3_reproduction(benchmark):
+    weighted, y, agent = build_agent()
+    result = benchmark(lambda: run(agent, semiring=weighted))
+
+    samples = [
+        (v, f"{result.store.value({'y': v}):g}") for v in range(5)
+    ]
+    report(
+        "Example 3 — final store (c1 ⇓_V∖{x}) ⊗ c2 (paper: y+4)",
+        samples,
+        ["y", "σ(y)"],
+    )
+    print(f"support after update: {result.store.support} (paper: only y)")
+
+    assert result.status is Status.SUCCESS
+    target = polynomial_constraint(
+        weighted, [y], Polynomial.linear({"y": 1}, 4)
+    )
+    assert constraints_equal(result.store.constraint, target)
+    assert result.store.support == ("y",)
+    # the constant 3 of the replaced policy survives: σ(y=0) = 4 = 3 + 1
+    assert result.store.value({"y": 0}) == 4.0

@@ -1,0 +1,54 @@
+"""E1 — Fig. 1: the weighted SCSP of Sec. 2.
+
+Paper values: combined tuples ⟨a,a⟩→11, ⟨a,b⟩→7, ⟨b,a⟩→16, ⟨b,b⟩→16;
+projection onto X: ⟨a⟩→7, ⟨b⟩→16; blevel = 7 at (X=a, Y=b).
+"""
+
+from conftest import report
+
+from repro.constraints import TableConstraint, variable
+from repro.semirings import WeightedSemiring
+from repro.solver import SCSP, solve
+
+
+def build_problem():
+    weighted = WeightedSemiring()
+    x = variable("X", ["a", "b"])
+    y = variable("Y", ["a", "b"])
+    c1 = TableConstraint(weighted, [x], {("a",): 1, ("b",): 9})
+    c2 = TableConstraint(
+        weighted,
+        [x, y],
+        {("a", "a"): 5, ("a", "b"): 1, ("b", "a"): 2, ("b", "b"): 2},
+    )
+    c3 = TableConstraint(weighted, [y], {("a",): 5, ("b",): 5})
+    return SCSP([c1, c2, c3], con=["X"], name="fig1")
+
+
+def test_fig1_reproduction(benchmark):
+    problem = build_problem()
+    result = benchmark(lambda: solve(problem))
+
+    combined = problem.combined().materialize()
+    report(
+        "Fig. 1 — combined tuples (paper: 11, 7, 16, 16)",
+        [(f"⟨{k[0]},{k[1]}⟩", f"{v:g}") for k, v in combined.items()],
+        ["tuple", "cost"],
+    )
+    projected = problem.solution().materialize()
+    report(
+        "Fig. 1 — projection onto X (paper: a→7, b→16)",
+        [(f"⟨{k[0]}⟩", f"{v:g}") for k, v in projected.items()],
+        ["tuple", "cost"],
+    )
+    print(f"blevel = {result.blevel:g} (paper: 7)")
+
+    assert dict(combined.items()) == {
+        ("a", "a"): 11.0,
+        ("a", "b"): 7.0,
+        ("b", "a"): 16.0,
+        ("b", "b"): 16.0,
+    }
+    assert dict(projected.items()) == {("a",): 7.0, ("b",): 16.0}
+    assert result.blevel == 7.0
+    assert result.best_assignment == {"X": "a"}

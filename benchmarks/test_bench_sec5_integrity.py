@@ -1,0 +1,74 @@
+"""E6 — Sec. 5: crisp integrity of the federated photo-editing system.
+
+Paper: Imp1 = RedFilter ⊗ BWFilter ⊗ Compression refines Memory at
+{incomp, outcomp} (integrity holds); assuming REDF unreliable, Imp2 does
+not (the design is not robust to that internal failure).
+"""
+
+from conftest import report
+
+from repro.constraints import FunctionConstraint, variable
+from repro.dependability import assume_unreliable, integrate, locally_refines
+from repro.semirings import BooleanSemiring
+
+SIZES = (256, 512, 666, 1024, 2048, 4096, 8192)
+
+
+def build_policies():
+    boolean = BooleanSemiring()
+    outcomp = variable("outcomp", SIZES)
+    incomp = variable("incomp", SIZES)
+    redbyte = variable("redbyte", SIZES)
+    bwbyte = variable("bwbyte", SIZES)
+    memory = FunctionConstraint(
+        boolean, (incomp, outcomp), lambda i, o: i <= o, name="Memory"
+    )
+    red = FunctionConstraint(
+        boolean, (redbyte, bwbyte), lambda r, b: r <= b, name="RedFilter"
+    )
+    bw = FunctionConstraint(
+        boolean, (bwbyte, outcomp), lambda b, o: b <= o, name="BWFilter"
+    )
+    comp = FunctionConstraint(
+        boolean, (incomp, redbyte), lambda i, r: i <= r, name="Compression"
+    )
+    return boolean, memory, red, bw, comp
+
+
+def test_imp1_upholds_memory(benchmark):
+    boolean, memory, red, bw, comp = build_policies()
+    imp1 = integrate([red, bw, comp])
+    result = benchmark(
+        lambda: locally_refines(imp1, memory, ["incomp", "outcomp"])
+    )
+    report(
+        "Sec. 5 — crisp integrity",
+        [
+            ("Imp1 ⇓ ⊑ Memory", result.holds, "paper: holds"),
+            ("assignments checked", result.checked_assignments, ""),
+        ],
+        ["check", "value", "expectation"],
+    )
+    assert result.holds
+
+
+def test_imp2_fails_memory(benchmark):
+    boolean, memory, red, bw, comp = build_policies()
+    imp2 = integrate([assume_unreliable(red), bw, comp], semiring=boolean)
+    result = benchmark(
+        lambda: locally_refines(imp2, memory, ["incomp", "outcomp"])
+    )
+    rows = [
+        ("Imp2 ⇓ ⊑ Memory", result.holds, "paper: fails"),
+    ]
+    for witness in result.witnesses[:3]:
+        rows.append(
+            (
+                "counterexample",
+                f"incomp={witness['incomp']}Kb > outcomp={witness['outcomp']}Kb",
+                "",
+            )
+        )
+    report("Sec. 5 — unreliable REDF breaks integrity", rows, ["check", "value", "expectation"])
+    assert not result.holds
+    assert result.witnesses

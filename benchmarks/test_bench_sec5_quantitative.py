@@ -1,0 +1,101 @@
+"""E7 — Sec. 5: quantitative reliability over the Probabilistic semiring.
+
+Paper: c1(outcomp=4096Kb, bwbyte=1024Kb) = 0.96; Imp3 = c1 ⊗ c2 ⊗ c3 is
+the system reliability; MemoryProb ⊑ Imp3 certifies the requirement; the
+blevel finds the most reliable implementation among candidates.
+"""
+
+from conftest import report
+
+from repro.constraints import FunctionConstraint, variable
+from repro.dependability import (
+    best_implementation,
+    compression_reliability,
+    meets_requirement,
+    system_reliability,
+)
+from repro.semirings import ProbabilisticSemiring
+
+SIZES = (512, 1024, 2048, 4096, 8192)
+
+
+def build_modules():
+    probabilistic = ProbabilisticSemiring()
+    outcomp = variable("outcomp", SIZES)
+    bwbyte = variable("bwbyte", SIZES)
+    redbyte = variable("redbyte", SIZES)
+    c1 = compression_reliability(outcomp, bwbyte)
+    c2 = FunctionConstraint(
+        probabilistic,
+        (redbyte, bwbyte),
+        lambda r, b: 0.99 if r <= b else 0.90,
+        name="red-filter",
+    )
+    c3 = FunctionConstraint(
+        probabilistic,
+        (outcomp,),
+        lambda o: 1.0 if o <= 2048 else 0.95,
+        name="compf",
+    )
+    return probabilistic, outcomp, bwbyte, redbyte, c1, c2, c3
+
+
+def test_c1_spot_values(benchmark):
+    _, outcomp, bwbyte, _, c1, _, _ = build_modules()
+    value = benchmark(
+        lambda: c1({"outcomp": 4096, "bwbyte": 1024})
+    )
+    rows = [
+        ("c1(4096, 1024)", f"{value:.4f}", "paper: 0.96"),
+        ("c1(512, 512)", f"{c1({'outcomp': 512, 'bwbyte': 512}):.4f}", "≤1Mb → 1.0"),
+        ("c1(8192, 1024)", f"{c1({'outcomp': 8192, 'bwbyte': 1024}):.4f}", ">4Mb → 0.0"),
+    ]
+    report("Sec. 5 — compression reliability c1", rows, ["point", "value", "expectation"])
+    assert abs(value - 0.96) < 1e-12
+
+
+def test_imp3_requirement_and_ranking(benchmark):
+    (
+        probabilistic,
+        outcomp,
+        bwbyte,
+        redbyte,
+        c1,
+        c2,
+        c3,
+    ) = build_modules()
+    imp3 = system_reliability([c1, c2, c3])
+    # The client demands 10% minimum reliability for images the system
+    # claims to handle (≤ 4Mb inputs are unsupported per c1, so the
+    # requirement is vacuous there).
+    requirement = FunctionConstraint(
+        probabilistic,
+        (outcomp,),
+        lambda o: 0.10 if o <= 4096 else 0.0,
+        name="MemoryProb",
+    )
+    entailed = benchmark(lambda: meets_requirement(requirement, imp3))
+    premium = FunctionConstraint(
+        probabilistic, (redbyte, bwbyte), lambda r, b: 0.999
+    )
+    budget = FunctionConstraint(
+        probabilistic,
+        (redbyte, bwbyte),
+        lambda r, b: 0.93 if r <= b else 0.70,
+    )
+    ranking = best_implementation(
+        {
+            "premium": system_reliability([c1, premium, c3]),
+            "standard": imp3,
+            "budget": system_reliability([c1, budget, c3]),
+        }
+    )
+    report(
+        "Sec. 5 — implementations ranked by blevel (most reliable first)",
+        [(name, f"{level:.4f}") for name, level in ranking.ranked],
+        ["implementation", "blevel"],
+    )
+    print(f"MemoryProb ⊑ Imp3: {entailed}")
+    assert entailed
+    assert ranking.best[0] == "premium"
+    assert [n for n, _ in ranking.ranked] == ["premium", "standard", "budget"]

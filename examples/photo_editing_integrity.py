@@ -1,0 +1,155 @@
+#!/usr/bin/env python3
+"""Integrity analysis of the federated photo-editing system (paper Sec. 5).
+
+A photo shop compresses images client-side (COMPF) and sends them through
+a provider-side pipeline (REDF red filter, then BWF black-and-white
+filter).  The client's high-level requirement: processed images must not
+occupy more memory than the originals.
+
+Part 1 — crisp analysis (Classical semiring):
+  * Imp1 = RedFilter ⊗ BWFilter ⊗ Compression refines Memory at the
+    interface {incomp, outcomp}: integrity holds.
+  * Assume REDF unreliable (its policy becomes ``true``): Imp2 no longer
+    refines Memory — the design is not robust to that internal failure.
+
+Part 2 — quantitative analysis (Probabilistic semiring):
+  * module reliabilities combine by ⊗ into the system reliability Imp3;
+  * the client's MemoryProb bound is checked via ⊑;
+  * blevel ranks alternative implementations, most reliable first.
+
+Run:  python examples/photo_editing_integrity.py
+"""
+
+from repro.constraints import FunctionConstraint, variable
+from repro.dependability import (
+    assume_unreliable,
+    best_implementation,
+    compression_reliability,
+    integrate,
+    locally_refines,
+    meets_requirement,
+    system_reliability,
+)
+from repro.semirings import BooleanSemiring, ProbabilisticSemiring
+
+#: Image sizes (Kb) used as finite domains — coarse, but the refinement
+#: checks quantify over every combination, so the verdicts are exact for
+#: the modelled sizes.
+SIZES = (256, 512, 666, 1024, 2048, 4096, 8192)
+
+
+def crisp_analysis() -> None:
+    print("— Part 1: crisp integrity (Classical semiring) —")
+    boolean = BooleanSemiring()
+    outcomp = variable("outcomp", SIZES)
+    incomp = variable("incomp", SIZES)
+    redbyte = variable("redbyte", SIZES)
+    bwbyte = variable("bwbyte", SIZES)
+
+    # The client's high-level requirement.
+    memory = FunctionConstraint(
+        boolean, (incomp, outcomp), lambda i, o: i <= o, name="Memory"
+    )
+    # The three staff policies.
+    red_filter = FunctionConstraint(
+        boolean, (redbyte, bwbyte), lambda r, b: r <= b, name="RedFilter"
+    )
+    bw_filter = FunctionConstraint(
+        boolean, (bwbyte, outcomp), lambda b, o: b <= o, name="BWFilter"
+    )
+    compression = FunctionConstraint(
+        boolean, (incomp, redbyte), lambda i, r: i <= r, name="Compression"
+    )
+
+    imp1 = integrate([red_filter, bw_filter, compression])
+    report1 = locally_refines(imp1, memory, ["incomp", "outcomp"])
+    print(f"  Imp1 ⇓ {{incomp,outcomp}} ⊑ Memory: {report1.holds}")
+    assert report1.holds
+
+    # REDF has a bug (paper: when the photo is 666 Kb) — assume it can
+    # take on any behaviour at all.
+    imp2 = integrate(
+        [assume_unreliable(red_filter), bw_filter, compression],
+        semiring=boolean,
+    )
+    report2 = locally_refines(imp2, memory, ["incomp", "outcomp"])
+    print(f"  Imp2 ⇓ {{incomp,outcomp}} ⊑ Memory: {report2.holds}")
+    if report2.witnesses:
+        witness = report2.witnesses[0]
+        print(
+            f"  counterexample: incomp={witness['incomp']}Kb ends up larger "
+            f"than outcomp={witness['outcomp']}Kb"
+        )
+    assert not report2.holds
+    print("  ✓ matches the paper: Imp1 upholds Memory, Imp2 does not")
+
+
+def quantitative_analysis() -> None:
+    print("— Part 2: quantitative reliability (Probabilistic semiring) —")
+    probabilistic = ProbabilisticSemiring()
+    outcomp = variable("outcomp", SIZES)
+    bwbyte = variable("bwbyte", SIZES)
+    redbyte = variable("redbyte", SIZES)
+
+    # The paper's c1: compression reliability of the BWF stage.
+    c1 = compression_reliability(outcomp, bwbyte)
+    spot = c1.value({"outcomp": 4096, "bwbyte": 1024})
+    print(f"  c1(outcomp=4096Kb, bwbyte=1024Kb) = {spot} (paper: 0.96)")
+    assert abs(spot - 0.96) < 1e-12
+
+    # c2, c3: reliabilities of the red filter and the client compressor.
+    c2 = FunctionConstraint(
+        probabilistic,
+        (redbyte, bwbyte),
+        lambda r, b: 0.99 if r <= b else 0.90,
+        name="red-filter-reliability",
+    )
+    c3 = FunctionConstraint(
+        probabilistic,
+        (outcomp,),
+        lambda o: 1.0 if o <= 2048 else 0.95,
+        name="compf-reliability",
+    )
+    imp3 = system_reliability([c1, c2, c3])
+
+    # The client's minimum acceptable reliability.
+    memory_prob = FunctionConstraint(
+        probabilistic,
+        (outcomp,),
+        lambda o: 0.15 if o <= 4096 else 0.0,
+        name="MemoryProb",
+    )
+    ok = meets_requirement(memory_prob, imp3)
+    print(f"  MemoryProb ⊑ Imp3 (reliability requirement entailed): {ok}")
+
+    # Rank alternative red-filter implementations by blevel.
+    premium = FunctionConstraint(
+        probabilistic, (redbyte, bwbyte), lambda r, b: 0.999, name="premium"
+    )
+    budget = FunctionConstraint(
+        probabilistic,
+        (redbyte, bwbyte),
+        lambda r, b: 0.93 if r <= b else 0.70,
+        name="budget",
+    )
+    ranking = best_implementation(
+        {
+            "premium-red-filter": system_reliability([c1, premium, c3]),
+            "standard-red-filter": imp3,
+            "budget-red-filter": system_reliability([c1, budget, c3]),
+        }
+    )
+    print("  implementations ranked by best level of consistency:")
+    for name, level in ranking.ranked:
+        print(f"    {name:<22} blevel = {level:.4f}")
+    assert ranking.best[0] == "premium-red-filter"
+    print("  ✓ blevel finds the most reliable implementation")
+
+
+def main() -> None:
+    crisp_analysis()
+    quantitative_analysis()
+
+
+if __name__ == "__main__":
+    main()

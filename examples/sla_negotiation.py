@@ -1,0 +1,148 @@
+#!/usr/bin/env python3
+"""SLA negotiation between two providers merging a pipelined service.
+
+Reproduces the paper's Sec. 4.1 scenario: providers P1 and P2 run as
+nmsccp agents on the broker's store over the Weighted semiring.  The
+variable ``x`` is the number of failures tolerated during provision; the
+preference level is the hours needed to manage them.  Both providers
+carry checked arrows ("spend some time on failures, but not too much").
+
+Walks through the paper's three worked examples:
+
+* Example 1 — policies c4 (x+5) and c3 (2x) merge to 3x+5; consistency 5
+  falls outside P2's interval [1, 4], so no SLA is signed — verified for
+  *every* interleaving with the exhaustive explorer.
+* Example 2 — P1 relaxes its policy by retracting c1 (x+3): the store
+  becomes 2x+2 with consistency 2 and both parties succeed.
+* Example 3 — ``update`` refreshes x wholesale: the store becomes y+4.
+
+Run:  python examples/sla_negotiation.py
+"""
+
+from repro.constraints import (
+    Polynomial,
+    TableConstraint,
+    constraints_equal,
+    integer_variable,
+    polynomial_constraint,
+    variable,
+)
+from repro.sccp import (
+    SUCCESS,
+    Status,
+    ask,
+    explore,
+    interval,
+    parallel,
+    retract,
+    run,
+    sequence,
+    tell,
+    update,
+)
+from repro.semirings import WeightedSemiring
+
+# Resource domain: 0–20 tolerated failures (documented in EXPERIMENTS.md).
+MAX_FAILURES = 20
+
+
+def build_constraints(weighted):
+    """The four Weighted soft constraints of the paper's Fig. 7."""
+    x = integer_variable("x", MAX_FAILURES)
+    y = integer_variable("y", MAX_FAILURES)
+    c1 = polynomial_constraint(weighted, [x], Polynomial.linear({"x": 1}, 3))
+    c2 = polynomial_constraint(weighted, [y], Polynomial.linear({"y": 1}, 1))
+    c3 = polynomial_constraint(weighted, [x], Polynomial.linear({"x": 2}))
+    c4 = polynomial_constraint(weighted, [x], Polynomial.linear({"x": 1}, 5))
+    return x, y, c1, c2, c3, c4
+
+
+def sync_constraints(weighted):
+    """Synchronization flags sp1/sp2 (crisp in the Weighted semiring)."""
+    sp1_var = variable("sp1", [0, 1])
+    sp2_var = variable("sp2", [0, 1])
+    inf = weighted.zero
+    sp1 = TableConstraint(weighted, [sp1_var], {(1,): 0.0, (0,): inf})
+    sp2 = TableConstraint(weighted, [sp2_var], {(1,): 0.0, (0,): inf})
+    return sp1, sp2
+
+
+def example1(weighted, c3, c4):
+    print("— Example 1 (tell + negotiation) —")
+    sp1, sp2 = sync_constraints(weighted)
+    # →^2_10 : at least 2 and at most 10 hours; →^1_4 : in [1, 4] hours.
+    p1 = sequence(
+        tell(c4), tell(sp2), ask(sp1, interval(weighted, lower=10, upper=2)), SUCCESS
+    )
+    p2 = sequence(
+        tell(c3), tell(sp1), ask(sp2, interval(weighted, lower=4, upper=1)), SUCCESS
+    )
+    result = run(parallel(p1, p2), semiring=weighted)
+    print(f"  status: {result.status.value}, σ⇓∅ = {result.consistency():g}")
+    exploration = explore(parallel(p1, p2), semiring=weighted)
+    print(
+        f"  exhaustive exploration: {len(exploration.successes)} successful "
+        f"interleavings, {len(exploration.deadlocks)} deadlocks "
+        f"→ agreement impossible under every schedule: "
+        f"{exploration.never_succeeds}"
+    )
+    assert result.status is Status.DEADLOCK
+    assert result.consistency() == 5.0
+    assert exploration.never_succeeds
+    print("  ✓ matches the paper: σ⇓∅ = 5 ∉ [1, 4], P2 cannot succeed")
+
+
+def example2(weighted, x, c1, c3, c4):
+    print("— Example 2 (retract as relaxation) —")
+    sp1, sp2 = sync_constraints(weighted)
+    p1 = sequence(
+        tell(c4),
+        tell(sp2),
+        ask(sp1, interval(weighted, lower=10, upper=2)),
+        retract(c1, interval(weighted, lower=10, upper=2)),
+        SUCCESS,
+    )
+    p2 = sequence(
+        tell(c3), tell(sp1), ask(sp2, interval(weighted, lower=4, upper=1)), SUCCESS
+    )
+    result = run(parallel(p1, p2), semiring=weighted)
+    print(f"  status: {result.status.value}, σ⇓∅ = {result.consistency():g}")
+    target = polynomial_constraint(
+        weighted, [x], Polynomial.linear({"x": 2}, 2)
+    )
+    final_on_x = result.store.project(["x"])
+    print(
+        "  final store restricted to x equals 2x+2: "
+        f"{constraints_equal(final_on_x, target)}"
+    )
+    assert result.status is Status.SUCCESS
+    assert result.consistency() == 2.0
+    print("  ✓ matches the paper: σ = (c4 ⊗ c3) ÷ c1 ≡ 2x+2, both succeed")
+
+
+def example3(weighted, y, c1, c2):
+    print("— Example 3 (update as policy replacement) —")
+    agent = sequence(tell(c1), update(["x"], c2), SUCCESS)
+    result = run(agent, semiring=weighted)
+    target = polynomial_constraint(
+        weighted, [y], Polynomial.linear({"y": 1}, 4)
+    )
+    print(
+        f"  status: {result.status.value}, final store equals y+4: "
+        f"{constraints_equal(result.store.constraint, target)}"
+    )
+    assert result.status is Status.SUCCESS
+    assert constraints_equal(result.store.constraint, target)
+    print("  ✓ matches the paper: store = (c1 ⇓_V∖{x}) ⊗ c2 ≡ y + 4")
+
+
+def main() -> None:
+    weighted = WeightedSemiring()
+    x, y, c1, c2, c3, c4 = build_constraints(weighted)
+    example1(weighted, c3, c4)
+    example2(weighted, x, c1, c3, c4)
+    example3(weighted, y, c1, c2)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,261 @@
+"""Command-line interface: ``python -m repro.cli <command> …``.
+
+Exposes the library's main flows over JSON files (the wire format of
+:mod:`repro.serialization`):
+
+* ``solve PROBLEM.json``        — solve an SCSP, print blevel + optima;
+* ``coalitions NETWORK.json``   — best (stable) partition of a trust net;
+* ``negotiate MARKET.json``     — run the broker over a market spec;
+* ``validate-semiring NAME``    — check the semiring laws on a sample.
+
+Each command reads JSON and prints a JSON result on stdout, so the tools
+compose in shell pipelines.  Exit status 0 = the engine ran and found an
+answer; 1 = well-formed input but no solution (inconsistent problem,
+failed negotiation); 2 = bad input.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Any, Dict
+
+from . import serialization
+from .coalitions import solve_exact, solve_local_search
+from .sccp.check import CheckSpec
+from .semirings.properties import validate_semiring
+from .semirings.registry import get_semiring
+from .soa.broker import Broker, ClientRequest
+from .soa.registry import ServiceRegistry
+from .soa.service import ServiceDescription, ServiceInterface
+from .solver import solve
+
+
+def _read_json(path: str) -> Any:
+    try:
+        return json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise SystemExit(f"error: cannot read {path}: {exc}")
+
+
+def _emit(payload: Dict[str, Any]) -> None:
+    json.dump(payload, sys.stdout, indent=2, default=str)
+    sys.stdout.write("\n")
+
+
+# ----------------------------------------------------------------------
+# Commands
+# ----------------------------------------------------------------------
+
+
+def cmd_solve(args: argparse.Namespace) -> int:
+    problem = serialization.problem_from_dict(_read_json(args.problem))
+    result = solve(problem, method=args.method)
+    _emit(
+        {
+            "problem": problem.name,
+            "method": result.method,
+            "blevel": serialization.value_to_json(result.blevel),
+            "consistent": result.is_consistent,
+            "optima": [
+                [
+                    {
+                        name: serialization.value_to_json(value)
+                        for name, value in assignment.items()
+                    }
+                    for assignment in group
+                ]
+                for group in result.optima
+            ],
+            "stats": {
+                "leaves_evaluated": result.stats.leaves_evaluated,
+                "nodes_expanded": result.stats.nodes_expanded,
+                "prunes": result.stats.prunes,
+            },
+        }
+    )
+    return 0 if result.is_consistent else 1
+
+
+def cmd_coalitions(args: argparse.Namespace) -> int:
+    network = serialization.trust_network_from_dict(
+        _read_json(args.network)
+    )
+    if args.method == "exact":
+        solution = solve_exact(
+            network, op=args.op, aggregate=args.aggregate
+        )
+    else:
+        solution = solve_local_search(
+            network, op=args.op, aggregate=args.aggregate, seed=args.seed
+        )
+    _emit(
+        {
+            "method": solution.method,
+            "found": solution.found,
+            "stable": solution.stable,
+            "trust": solution.trust,
+            "partition": [
+                sorted(group) for group in (solution.partition or ())
+            ],
+            "partitions_examined": solution.partitions_examined,
+        }
+    )
+    return 0 if solution.found else 1
+
+
+def cmd_negotiate(args: argparse.Namespace) -> int:
+    market = _read_json(args.market)
+    if market.get("kind") != "market":
+        raise SystemExit("error: payload is not a market spec")
+
+    registry = ServiceRegistry()
+    for entry in market.get("services", []):
+        document = serialization.qos_document_from_dict(entry["qos"])
+        registry.publish(
+            ServiceDescription(
+                service_id=entry["service_id"],
+                name=entry.get("name", document.service_name),
+                provider=document.provider,
+                interface=ServiceInterface(operation=entry["operation"]),
+                qos=document,
+                tags=tuple(entry.get("tags", ())),
+            )
+        )
+
+    spec = market["request"]
+    from .soa.qos import resolve_attribute
+
+    semiring = resolve_attribute(spec["attribute"]).semiring()
+    acceptance = None
+    if "acceptance" in spec:
+        acceptance = CheckSpec(
+            semiring,
+            lower=serialization.value_from_json(
+                spec["acceptance"].get("lower")
+            ),
+            upper=serialization.value_from_json(
+                spec["acceptance"].get("upper")
+            ),
+        )
+    request = ClientRequest(
+        client=spec.get("client", "cli"),
+        operation=spec["operation"],
+        attribute=spec["attribute"],
+        acceptance=acceptance,
+    )
+    broker = Broker(registry)
+    result = broker.negotiate(request)
+    _emit(
+        {
+            "success": result.success,
+            "detail": result.detail,
+            "sla": None
+            if result.sla is None
+            else {
+                "sla_id": result.sla.sla_id,
+                "providers": list(result.sla.providers),
+                "service_ids": list(result.sla.service_ids),
+                "agreed_level": serialization.value_to_json(
+                    result.sla.agreed_level
+                ),
+            },
+            "evaluations": [
+                {
+                    "provider": evaluation.provider,
+                    "service_id": evaluation.description.service_id,
+                    "blevel": serialization.value_to_json(evaluation.blevel),
+                    "accepted": evaluation.accepted,
+                }
+                for evaluation in result.evaluations
+            ],
+        }
+    )
+    return 0 if result.success else 1
+
+
+def cmd_validate_semiring(args: argparse.Namespace) -> int:
+    kwargs: Dict[str, Any] = {}
+    if args.universe:
+        kwargs["universe"] = args.universe.split(",")
+    if args.cap is not None:
+        kwargs["cap"] = args.cap
+    semiring = get_semiring(args.name, **kwargs)
+    report = validate_semiring(semiring)
+    _emit(
+        {
+            "semiring": semiring.name,
+            "ok": report.ok,
+            "violations": [str(v) for v in report.violations],
+        }
+    )
+    return 0 if report.ok else 1
+
+
+# ----------------------------------------------------------------------
+# Entry point
+# ----------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Soft constraints for dependable SOAs — CLI",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_solve = sub.add_parser("solve", help="solve a JSON SCSP")
+    p_solve.add_argument("problem", help="path to an scsp JSON file")
+    p_solve.add_argument(
+        "--method",
+        default="auto",
+        choices=("auto", "exhaustive", "branch-bound", "elimination"),
+    )
+    p_solve.set_defaults(fn=cmd_solve)
+
+    p_coal = sub.add_parser(
+        "coalitions", help="partition a JSON trust network"
+    )
+    p_coal.add_argument("network", help="path to a trust-network JSON file")
+    p_coal.add_argument(
+        "--method", default="exact", choices=("exact", "local-search")
+    )
+    p_coal.add_argument("--op", default="avg", choices=("min", "avg", "max"))
+    p_coal.add_argument(
+        "--aggregate", default="min", choices=("min", "avg", "max")
+    )
+    p_coal.add_argument("--seed", type=int, default=0)
+    p_coal.set_defaults(fn=cmd_coalitions)
+
+    p_neg = sub.add_parser(
+        "negotiate", help="run the broker over a JSON market"
+    )
+    p_neg.add_argument("market", help="path to a market JSON file")
+    p_neg.set_defaults(fn=cmd_negotiate)
+
+    p_val = sub.add_parser(
+        "validate-semiring", help="check semiring laws on a sample"
+    )
+    p_val.add_argument("name", help="registered semiring name")
+    p_val.add_argument(
+        "--universe", default="", help="comma-separated set universe"
+    )
+    p_val.add_argument("--cap", type=float, default=None)
+    p_val.set_defaults(fn=cmd_validate_semiring)
+    return parser
+
+
+def main(argv=None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.fn(args)
+    except serialization.SerializationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

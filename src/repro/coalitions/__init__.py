@@ -1,0 +1,100 @@
+"""Trustworthy coalitions of services (paper Sec. 6).
+
+Trust networks, coalition trustworthiness (Def. 3), blocking-coalition
+stability (Def. 4), the Sec. 6.1 SCSP encoding, an exact
+partition-enumeration solver, greedy individually/socially oriented
+baselines, and a seeded local search for larger agent counts.
+"""
+
+from .coalition import (
+    Coalition,
+    Partition,
+    coalition,
+    coalition_of,
+    coalition_trust,
+    member_view,
+    normalize_partition,
+    partition_trust,
+    validate_partition,
+)
+from .encoding import (
+    build_coalition_scsp,
+    coalition_variables,
+    decode,
+)
+from .exact import (
+    CoalitionSolution,
+    bell_number,
+    enumerate_partitions,
+    grand_coalition,
+    singletons,
+    solve_exact,
+)
+from .greedy import individually_oriented, socially_oriented
+from .local_search import solve_local_search
+from .propagation import (
+    coverage,
+    propagate_trust,
+    propagation_closure,
+    trust_between,
+)
+from .stability import (
+    BlockingWitness,
+    blocking_pairs,
+    blocking_witness,
+    is_stable,
+    repair_step,
+    stabilize,
+)
+from .trust import (
+    COMPOSITION_OPS,
+    CompositionOp,
+    TrustError,
+    TrustNetwork,
+    average,
+    figure9_network,
+    random_trust_network,
+    resolve_op,
+)
+
+__all__ = [
+    "TrustNetwork",
+    "TrustError",
+    "CompositionOp",
+    "COMPOSITION_OPS",
+    "average",
+    "resolve_op",
+    "random_trust_network",
+    "figure9_network",
+    "Coalition",
+    "Partition",
+    "coalition",
+    "coalition_trust",
+    "member_view",
+    "partition_trust",
+    "normalize_partition",
+    "validate_partition",
+    "coalition_of",
+    "BlockingWitness",
+    "blocking_witness",
+    "blocking_pairs",
+    "is_stable",
+    "repair_step",
+    "stabilize",
+    "build_coalition_scsp",
+    "coalition_variables",
+    "decode",
+    "CoalitionSolution",
+    "enumerate_partitions",
+    "bell_number",
+    "solve_exact",
+    "grand_coalition",
+    "singletons",
+    "individually_oriented",
+    "socially_oriented",
+    "solve_local_search",
+    "propagate_trust",
+    "propagation_closure",
+    "trust_between",
+    "coverage",
+]

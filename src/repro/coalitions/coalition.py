@@ -1,0 +1,136 @@
+"""Coalitions and their trustworthiness (paper Sec. 6, Def. 3).
+
+``T(C) = ◦ t(xi, xj)`` over every ordered pair of members with a stated
+judgement (``i = j`` allowed — trust in oneself).  The partition-level
+objective composes the coalition scores again; the paper's Sec. 6.1
+choice — the Fuzzy semiring — "maximizes the minimum trustworthiness of
+all the obtained coalitions".
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+from .trust import CompositionOp, TrustError, TrustNetwork, resolve_op
+
+Coalition = FrozenSet[str]
+Partition = Tuple[Coalition, ...]
+
+
+def coalition(*members: str) -> Coalition:
+    return frozenset(members)
+
+
+def coalition_trust(
+    members: Iterable[str],
+    network: TrustNetwork,
+    op: str | CompositionOp = "min",
+    include_self: bool = True,
+    empty_value: float = 1.0,
+) -> float:
+    """Def. 3: compose every in-coalition judgement with ``◦``.
+
+    ``empty_value`` is returned when no judgement exists inside the
+    coalition (e.g. a singleton without self-trust): 1.0, the neutral
+    "nothing speaks against it".
+    """
+    fold = resolve_op(op)
+    group = list(members)
+    levels: List[float] = []
+    for source in group:
+        for target in group:
+            if source == target and not include_self:
+                continue
+            value = network.trust(source, target)
+            if value is not None:
+                levels.append(value)
+    if not levels:
+        return empty_value
+    return fold(levels)
+
+
+def member_view(
+    agent: str,
+    others: Iterable[str],
+    network: TrustNetwork,
+    op: str | CompositionOp = "min",
+    empty_value: float = 0.0,
+) -> float:
+    """``◦_{xi ∈ others} t(agent, xi)`` — how ``agent`` rates a group.
+
+    Used by the blocking condition (Def. 4); the empty composition
+    defaults to 0 — an agent with nobody to judge has nothing keeping it.
+    """
+    fold = resolve_op(op)
+    levels = [
+        value
+        for other in others
+        if (value := network.trust(agent, other)) is not None
+    ]
+    if not levels:
+        return empty_value
+    return fold(levels)
+
+
+def normalize_partition(partition: Iterable[Iterable[str]]) -> Partition:
+    """Canonical form: frozensets, sorted by their sorted members."""
+    coalitions = tuple(
+        sorted(
+            (frozenset(group) for group in partition),
+            key=lambda c: sorted(c),
+        )
+    )
+    return coalitions
+
+
+def validate_partition(
+    partition: Iterable[Iterable[str]], network: TrustNetwork
+) -> Partition:
+    """Check the Sec. 6.1 partition constraints: disjoint, non-empty,
+    jointly covering every agent."""
+    normalized = normalize_partition(partition)
+    seen: set = set()
+    for group in normalized:
+        if not group:
+            raise TrustError("empty coalition in partition")
+        overlap = seen & group
+        if overlap:
+            raise TrustError(
+                f"agents {sorted(overlap)} appear in two coalitions"
+            )
+        seen |= group
+    missing = set(network.agents) - seen
+    if missing:
+        raise TrustError(f"agents {sorted(missing)} not assigned")
+    extra = seen - set(network.agents)
+    if extra:
+        raise TrustError(f"unknown agents {sorted(extra)} in partition")
+    return normalized
+
+
+def partition_trust(
+    partition: Iterable[Iterable[str]],
+    network: TrustNetwork,
+    op: str | CompositionOp = "min",
+    aggregate: str | CompositionOp = "min",
+) -> float:
+    """The partition objective: aggregate the per-coalition ``T(C)``.
+
+    The default double-``min`` is the paper's fuzzy max-min criterion
+    (the solver then *maximizes* this value).
+    """
+    fold = resolve_op(aggregate)
+    scores = [
+        coalition_trust(group, network, op) for group in partition
+    ]
+    if not scores:
+        raise TrustError("cannot score an empty partition")
+    return fold(scores)
+
+
+def coalition_of(agent: str, partition: Sequence[Coalition]) -> Optional[Coalition]:
+    """The coalition containing ``agent`` (None when unassigned)."""
+    for group in partition:
+        if agent in group:
+            return group
+    return None

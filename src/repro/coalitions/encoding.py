@@ -1,0 +1,149 @@
+"""The Sec. 6.1 SCSP encoding of coalition formation.
+
+Variables ``co1 … con`` (one per potential coalition) range over the
+powerset of agent identifiers; the Fuzzy semiring ``⟨[0,1], max, min⟩``
+maximizes the minimum coalition trustworthiness.  Three constraint
+classes, exactly as in the paper:
+
+1. *Trust constraints* — unary: ``ct(coi = {…}) = T({…})`` via ``◦``;
+2. *Partition constraints* — crisp: pairwise disjointness plus the
+   global cardinality check ``|η(co1) ∪ … ∪ η(con)| = n``;
+3. *Stability constraints* — crisp, one per ordered coalition-variable
+   pair and agent ``xk``, ruling out blocking configurations (Def. 4).
+
+The encoding is exponential by construction (domains are powersets) — it
+demonstrates the *formalization*; the practical solver for larger n is
+:mod:`repro.coalitions.exact` et al.  ``decode`` maps a solver assignment
+back to a partition.
+"""
+
+from __future__ import annotations
+
+from typing import Any, FrozenSet, List, Mapping, Tuple
+
+from ..constraints.constraint import FunctionConstraint
+from ..constraints.variables import Variable
+from ..semirings.fuzzy import FuzzySemiring
+from ..solver.problem import SCSP
+from .coalition import coalition_trust, member_view, normalize_partition
+from .trust import CompositionOp, TrustNetwork, resolve_op
+
+_FUZZY = FuzzySemiring()
+
+
+def _powerset(agents: Tuple[str, ...]) -> Tuple[FrozenSet[str], ...]:
+    subsets: List[FrozenSet[str]] = [frozenset()]
+    for agent in agents:
+        subsets.extend(frozenset(s | {agent}) for s in list(subsets))
+    return tuple(subsets)
+
+
+def coalition_variables(network: TrustNetwork) -> List[Variable]:
+    """``co1 … con`` over the powerset domain (η(coi) = ∅ allowed:
+    'the framework finds less than n coalitions')."""
+    domain = _powerset(network.agents)
+    return [
+        Variable(f"co{i + 1}", domain) for i in range(len(network.agents))
+    ]
+
+
+def build_coalition_scsp(
+    network: TrustNetwork,
+    op: str | CompositionOp = "min",
+) -> Tuple[SCSP, List[Variable]]:
+    """The full Sec. 6.1 problem: trust ⊗ partition ⊗ stability."""
+    variables = coalition_variables(network)
+    fold = resolve_op(op)
+    constraints = []
+
+    # 1. Trust constraints (unary, genuinely soft).
+    def trust_level(group: FrozenSet[str]) -> float:
+        if not group:
+            return 1.0  # an unused coalition slot does not hurt the min
+        return coalition_trust(group, network, fold)
+
+    for variable in variables:
+        constraints.append(
+            FunctionConstraint(
+                _FUZZY, (variable,), trust_level, name=f"ct({variable.name})"
+            )
+        )
+
+    # 2. Partition constraints (crisp).
+    def disjoint(a: FrozenSet[str], b: FrozenSet[str]) -> float:
+        return 0.0 if a & b else 1.0
+
+    for i in range(len(variables)):
+        for j in range(i + 1, len(variables)):
+            constraints.append(
+                FunctionConstraint(
+                    _FUZZY,
+                    (variables[i], variables[j]),
+                    disjoint,
+                    name=f"cp({variables[i].name},{variables[j].name})",
+                )
+            )
+
+    total = len(network.agents)
+
+    def covers(*groups: FrozenSet[str]) -> float:
+        union: set = set()
+        for group in groups:
+            union |= group
+        return 1.0 if len(union) == total else 0.0
+
+    constraints.append(
+        FunctionConstraint(
+            _FUZZY, tuple(variables), covers, name="cp(coverage)"
+        )
+    )
+
+    # 3. Stability constraints (crisp), one per ordered pair and agent.
+    def stability_for(agent: str):
+        def level(target: FrozenSet[str], source: FrozenSet[str]) -> float:
+            if agent not in source:
+                return 1.0
+            if not target or target & source:
+                return 1.0
+            own_fellows = [a for a in source if a != agent]
+            rating_target = member_view(agent, target, network, fold)
+            rating_own = member_view(agent, own_fellows, network, fold)
+            if rating_target <= rating_own:
+                return 1.0
+            before = coalition_trust(target, network, fold)
+            after = coalition_trust(target | {agent}, network, fold)
+            return 0.0 if after > before else 1.0
+
+        return level
+
+    for agent in network.agents:
+        level_fn = stability_for(agent)
+        for target_var in variables:
+            for source_var in variables:
+                if target_var is source_var:
+                    continue
+                constraints.append(
+                    FunctionConstraint(
+                        _FUZZY,
+                        (target_var, source_var),
+                        level_fn,
+                        name=(
+                            f"cs({target_var.name},{source_var.name},{agent})"
+                        ),
+                    )
+                )
+
+    problem = SCSP(constraints, name="coalition-formation")
+    return problem, variables
+
+
+def decode(
+    assignment: Mapping[str, Any], variables: List[Variable]
+) -> Tuple[FrozenSet[str], ...]:
+    """Solver assignment → canonical partition (empty slots dropped)."""
+    groups = [
+        assignment[variable.name]
+        for variable in variables
+        if assignment[variable.name]
+    ]
+    return normalize_partition(groups)

@@ -1,0 +1,125 @@
+"""Greedy coalition-formation baselines (paper Sec. 6, after Breban &
+Vassileva, AAMAS 2002).
+
+* *Individually oriented*: "an agent prefers to be in the same coalition
+  with the agent with whom it has the best relationship" — each agent
+  picks its most-trusted peer and the chosen links are closed
+  transitively into clusters.
+* *Socially oriented*: "the agent prefers the coalition in which it has
+  most summative trust" — realized as agglomerative merging: repeatedly
+  merge the two coalitions whose union scores best, while it improves
+  the objective.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from .coalition import (
+    Partition,
+    coalition_trust,
+    normalize_partition,
+    partition_trust,
+)
+from .exact import CoalitionSolution, singletons
+from .stability import is_stable
+from .trust import CompositionOp, TrustNetwork
+
+
+def individually_oriented(
+    network: TrustNetwork,
+    op: str | CompositionOp = "min",
+) -> CoalitionSolution:
+    """Union-find over each agent's single best outgoing relationship.
+
+    Agents with no outgoing judgement (besides themselves) stay alone.
+    """
+    parent: Dict[str, str] = {agent: agent for agent in network.agents}
+
+    def find(agent: str) -> str:
+        while parent[agent] != agent:
+            parent[agent] = parent[parent[agent]]
+            agent = parent[agent]
+        return agent
+
+    def union(a: str, b: str) -> None:
+        root_a, root_b = find(a), find(b)
+        if root_a != root_b:
+            parent[root_b] = root_a
+
+    for agent in network.agents:
+        ratings = {
+            target: value
+            for target, value in network.outgoing(agent).items()
+            if target != agent
+        }
+        if not ratings:
+            continue
+        best_peer = max(sorted(ratings), key=lambda t: ratings[t])
+        union(agent, best_peer)
+
+    clusters: Dict[str, set] = {}
+    for agent in network.agents:
+        clusters.setdefault(find(agent), set()).add(agent)
+    partition = normalize_partition(clusters.values())
+    return CoalitionSolution(
+        partition=partition,
+        trust=partition_trust(partition, network, op),
+        stable=is_stable(partition, network, op),
+        partitions_examined=1,
+        method="individually-oriented",
+    )
+
+
+def socially_oriented(
+    network: TrustNetwork,
+    op: str | CompositionOp = "min",
+    aggregate: str | CompositionOp = "min",
+) -> CoalitionSolution:
+    """Agglomerative merging while the partition objective improves.
+
+    Starts from singletons; each round evaluates every pairwise merge and
+    applies the best strictly improving one (ties broken towards the
+    merge whose own coalition trust is higher, then lexicographically).
+    """
+    current: Partition = singletons(network)
+    current_score = partition_trust(current, network, op, aggregate)
+    examined = 1
+
+    improved = True
+    while improved and len(current) > 1:
+        improved = False
+        best_merge: Optional[Partition] = None
+        best_score = current_score
+        best_tiebreak = -1.0
+        groups: List[frozenset] = list(current)
+        for i in range(len(groups)):
+            for j in range(i + 1, len(groups)):
+                merged = groups[i] | groups[j]
+                candidate = normalize_partition(
+                    [g for k, g in enumerate(groups) if k not in (i, j)]
+                    + [merged]
+                )
+                examined += 1
+                score = partition_trust(candidate, network, op, aggregate)
+                tiebreak = coalition_trust(merged, network, op)
+                if score > best_score or (
+                    score == best_score
+                    and best_merge is not None
+                    and tiebreak > best_tiebreak
+                ):
+                    best_merge = candidate
+                    best_score = score
+                    best_tiebreak = tiebreak
+        if best_merge is not None and best_score > current_score:
+            current = best_merge
+            current_score = best_score
+            improved = True
+
+    return CoalitionSolution(
+        partition=current,
+        trust=current_score,
+        stable=is_stable(current, network, op),
+        partitions_examined=examined,
+        method="socially-oriented",
+    )

@@ -1,0 +1,146 @@
+"""Stochastic local search for coalition structures.
+
+For agent counts beyond exact enumeration (Bell numbers explode past
+n ≈ 12) a seeded hill-climber explores the move/merge/split neighbourhood.
+The objective is lexicographic: *first* minimize the number of blocking
+witnesses (stability is mandatory in the paper), *then* maximize the
+fuzzy partition trust — so the search walks unstable structures but
+always prefers repairing them.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Tuple
+
+from .coalition import Partition, normalize_partition, partition_trust
+from .exact import CoalitionSolution, singletons
+from .stability import blocking_pairs
+from .trust import CompositionOp, TrustNetwork
+
+Score = Tuple[int, float]  # (-blocking count is encoded as minimization)
+
+
+def _score(
+    partition: Partition,
+    network: TrustNetwork,
+    op: str | CompositionOp,
+    aggregate: str | CompositionOp,
+) -> Score:
+    blocking = len(blocking_pairs(partition, network, op))
+    trust = partition_trust(partition, network, op, aggregate)
+    return (-blocking, trust)
+
+
+def _neighbours(
+    partition: Partition, rng: random.Random, sample: int
+) -> List[Partition]:
+    """A sample of move/merge/split neighbours of ``partition``."""
+    groups = [set(g) for g in partition]
+    agents = sorted(a for g in groups for a in g)
+    neighbours: List[Partition] = []
+
+    def push(candidate_groups) -> None:
+        cleaned = [g for g in candidate_groups if g]
+        if cleaned:
+            neighbours.append(normalize_partition(cleaned))
+
+    # Moves: one agent to another coalition or to a new singleton.
+    for agent in agents:
+        source_index = next(
+            i for i, g in enumerate(groups) if agent in g
+        )
+        for target_index in range(len(groups) + 1):
+            if target_index == source_index:
+                continue
+            new_groups = [set(g) for g in groups]
+            new_groups[source_index].discard(agent)
+            if target_index == len(groups):
+                new_groups.append({agent})
+            else:
+                new_groups[target_index].add(agent)
+            push(new_groups)
+
+    # Merges of two coalitions.
+    for i in range(len(groups)):
+        for j in range(i + 1, len(groups)):
+            new_groups = [
+                set(g) for k, g in enumerate(groups) if k not in (i, j)
+            ]
+            new_groups.append(groups[i] | groups[j])
+            push(new_groups)
+
+    # Random binary splits of larger coalitions.
+    for i, group in enumerate(groups):
+        if len(group) >= 2:
+            members = sorted(group)
+            rng.shuffle(members)
+            cut = rng.randint(1, len(members) - 1)
+            new_groups = [set(g) for k, g in enumerate(groups) if k != i]
+            new_groups.append(set(members[:cut]))
+            new_groups.append(set(members[cut:]))
+            push(new_groups)
+
+    unique = list(dict.fromkeys(neighbours))
+    if len(unique) > sample:
+        unique = rng.sample(unique, sample)
+    return unique
+
+
+def solve_local_search(
+    network: TrustNetwork,
+    op: str | CompositionOp = "min",
+    aggregate: str | CompositionOp = "min",
+    seed: Optional[int] = None,
+    restarts: int = 3,
+    max_iterations: int = 200,
+    neighbour_sample: int = 64,
+    initial: Optional[Partition] = None,
+) -> CoalitionSolution:
+    """Hill-climb with restarts; deterministic under a fixed seed."""
+    rng = random.Random(seed)
+    agents = list(network.agents)
+
+    best_partition: Optional[Partition] = None
+    best_score: Optional[Score] = None
+    examined = 0
+
+    for restart in range(max(1, restarts)):
+        if initial is not None and restart == 0:
+            current = normalize_partition(initial)
+        elif restart % 2 == 0:
+            current = singletons(network)
+        else:
+            shuffled = agents[:]
+            rng.shuffle(shuffled)
+            k = rng.randint(1, len(agents))
+            buckets: List[set] = [set() for _ in range(k)]
+            for index, agent in enumerate(shuffled):
+                buckets[index % k].add(agent)
+            current = normalize_partition(b for b in buckets if b)
+        current_score = _score(current, network, op, aggregate)
+        examined += 1
+
+        for _ in range(max_iterations):
+            candidates = _neighbours(current, rng, neighbour_sample)
+            examined += len(candidates)
+            improved = False
+            for candidate in candidates:
+                score = _score(candidate, network, op, aggregate)
+                if score > current_score:
+                    current, current_score = candidate, score
+                    improved = True
+            if not improved:
+                break
+
+        if best_score is None or current_score > best_score:
+            best_partition, best_score = current, current_score
+
+    assert best_partition is not None and best_score is not None
+    return CoalitionSolution(
+        partition=best_partition,
+        trust=best_score[1],
+        stable=best_score[0] == 0,
+        partitions_examined=examined,
+        method="local-search",
+    )

@@ -1,0 +1,122 @@
+"""Semiring-based trust propagation (paper Sec. 6: "by changing the
+semiring structure we can represent different trust metrics", citing
+Bistarelli & Santini, *Propagating multitrust within trust networks*,
+SAC 2008, and Theodorakopoulos & Baras, WiSe 2004).
+
+Direct judgements cover only some ordered pairs; the trust an agent
+places in a stranger is derived from *paths* of judgements: ``×``
+composes trust along a path, ``+`` aggregates across alternative paths.
+Instantiations:
+
+* Fuzzy ``⟨[0,1], max, min⟩`` — the best *bottleneck* path ("a chain is
+  as trustworthy as its weakest recommendation");
+* Probabilistic ``⟨[0,1], max, ×⟩`` — the best *multiplicative* path
+  (each hop independently dilutes trust).
+
+The algebraic closure is computed Floyd–Warshall style, exact for any
+absorptive semiring because ``+`` is idempotent and ``×`` monotone
+(longer paths never beat their own prefixes, so cycles cannot inflate
+trust).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ..semirings.base import Semiring
+from ..semirings.fuzzy import FuzzySemiring
+from .trust import TrustError, TrustNetwork
+
+
+def propagation_closure(
+    network: TrustNetwork,
+    semiring: Optional[Semiring] = None,
+) -> Dict[Tuple[str, str], float]:
+    """All-pairs indirect trust: ``t*(a,b) = ⊕_paths ⊗_hops t(hop)``.
+
+    Only *explicit* scores seed the closure (the network's ``default`` is
+    deliberately ignored — propagation exists to replace that fallback).
+    Diagonal entries are seeded with the semiring ``1`` so a path may
+    start at its owner, but self-trust stated explicitly is preserved.
+    """
+    semiring = semiring or FuzzySemiring()
+    agents = list(network.agents)
+    scores = network.known_scores()
+
+    closure: Dict[Tuple[str, str], float] = {}
+    for a in agents:
+        for b in agents:
+            if (a, b) in scores:
+                closure[(a, b)] = scores[(a, b)]
+            elif a == b:
+                closure[(a, b)] = semiring.one
+            else:
+                closure[(a, b)] = semiring.zero
+
+    for via in agents:
+        for a in agents:
+            through_a = closure[(a, via)]
+            if through_a == semiring.zero:
+                continue
+            for b in agents:
+                candidate = semiring.times(through_a, closure[(via, b)])
+                closure[(a, b)] = semiring.plus(closure[(a, b)], candidate)
+    return closure
+
+
+def propagate_trust(
+    network: TrustNetwork,
+    semiring: Optional[Semiring] = None,
+    keep_direct: bool = True,
+) -> TrustNetwork:
+    """A completed network whose missing judgements are path-derived.
+
+    ``keep_direct`` preserves every explicitly stated score verbatim
+    (first-hand experience beats hearsay even when a path scores higher);
+    switch it off to let strong paths override weak direct judgements.
+    """
+    semiring = semiring or FuzzySemiring()
+    if not semiring.is_total_order():
+        raise TrustError(
+            "trust propagation needs a totally ordered semiring "
+            f"({semiring.name} is partial)"
+        )
+    closure = propagation_closure(network, semiring)
+    direct = network.known_scores()
+
+    completed = TrustNetwork(network.agents, default=None)
+    for pair, value in closure.items():
+        if keep_direct and pair in direct:
+            completed.set_trust(*pair, direct[pair])
+        elif value != semiring.zero:
+            completed.set_trust(*pair, float(value))
+    return completed
+
+
+def trust_between(
+    network: TrustNetwork,
+    source: str,
+    target: str,
+    semiring: Optional[Semiring] = None,
+) -> float:
+    """Indirect trust for one pair (full closure; convenience wrapper)."""
+    semiring = semiring or FuzzySemiring()
+    closure = propagation_closure(network, semiring)
+    try:
+        return closure[(source, target)]
+    except KeyError:
+        raise TrustError(
+            f"unknown agents in pair ({source!r}, {target!r})"
+        ) from None
+
+
+def coverage(network: TrustNetwork) -> float:
+    """Fraction of ordered pairs (source ≠ target) with explicit scores —
+    how sparse the first-hand knowledge is before propagation."""
+    n = len(network.agents)
+    if n < 2:
+        return 1.0
+    explicit = sum(
+        1 for (a, b) in network.known_scores() if a != b
+    )
+    return explicit / (n * (n - 1))

@@ -1,0 +1,158 @@
+"""Blocking coalitions and partition stability (paper Sec. 6, Def. 4).
+
+``Cu`` and ``Cv`` are *blocking* when some ``xk ∈ Cv`` (i) rates ``Cu``'s
+members strictly higher than its own coalition fellows and (ii) would
+strictly raise ``T(Cu)`` by joining.  "A set of coalitions is stable,
+i.e. is a valid solution, if no blocking coalitions exist in the
+partitioning of the agents."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from .coalition import (
+    Coalition,
+    coalition_trust,
+    member_view,
+    normalize_partition,
+)
+from .trust import CompositionOp, TrustNetwork
+
+
+@dataclass(frozen=True)
+class BlockingWitness:
+    """Why a partition is unstable: the defector and the two coalitions."""
+
+    defector: str
+    from_coalition: Coalition
+    to_coalition: Coalition
+    preference_for_target: float
+    preference_for_own: float
+    target_trust_before: float
+    target_trust_after: float
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{self.defector} prefers {sorted(self.to_coalition)} "
+            f"({self.preference_for_target:.3f} > "
+            f"{self.preference_for_own:.3f}) and raises its T "
+            f"({self.target_trust_before:.3f} → "
+            f"{self.target_trust_after:.3f})"
+        )
+
+
+def blocking_witness(
+    target: Coalition,
+    source: Coalition,
+    network: TrustNetwork,
+    op: str | CompositionOp = "min",
+) -> Optional[BlockingWitness]:
+    """Def. 4 for an ordered pair ``(Cu=target, Cv=source)``: the first
+    ``xk ∈ source`` making them blocking, or ``None``."""
+    target_trust = coalition_trust(target, network, op)
+    for candidate in sorted(source):
+        own_fellows = [a for a in source if a != candidate]
+        rating_target = member_view(candidate, target, network, op)
+        rating_own = member_view(candidate, own_fellows, network, op)
+        if rating_target <= rating_own:
+            continue
+        joined = coalition_trust(target | {candidate}, network, op)
+        if joined > target_trust:
+            return BlockingWitness(
+                defector=candidate,
+                from_coalition=source,
+                to_coalition=target,
+                preference_for_target=rating_target,
+                preference_for_own=rating_own,
+                target_trust_before=target_trust,
+                target_trust_after=joined,
+            )
+    return None
+
+
+def blocking_pairs(
+    partition: Iterable[Iterable[str]],
+    network: TrustNetwork,
+    op: str | CompositionOp = "min",
+) -> List[BlockingWitness]:
+    """Every blocking witness over all ordered coalition pairs."""
+    normalized = normalize_partition(partition)
+    witnesses: List[BlockingWitness] = []
+    for target in normalized:
+        for source in normalized:
+            if target == source:
+                continue
+            witness = blocking_witness(target, source, network, op)
+            if witness is not None:
+                witnesses.append(witness)
+    return witnesses
+
+
+def is_stable(
+    partition: Iterable[Iterable[str]],
+    network: TrustNetwork,
+    op: str | CompositionOp = "min",
+) -> bool:
+    """Whether no blocking coalitions exist (Def. 4's feasibility)."""
+    normalized = normalize_partition(partition)
+    for target in normalized:
+        for source in normalized:
+            if target != source and blocking_witness(
+                target, source, network, op
+            ):
+                return False
+    return True
+
+
+def repair_step(
+    partition: Sequence[Coalition],
+    network: TrustNetwork,
+    op: str | CompositionOp = "min",
+) -> Optional[Tuple[Tuple[Coalition, ...], BlockingWitness]]:
+    """Execute one defection: move the first blocking witness's defector
+    into the coalition it prefers.
+
+    Returns the new partition and the witness, or ``None`` when the
+    partition is already stable.  Iterating this is the natural
+    better-response dynamics over Def. 4.
+    """
+    normalized = normalize_partition(partition)
+    witnesses = blocking_pairs(normalized, network, op)
+    if not witnesses:
+        return None
+    witness = witnesses[0]
+    moved: List[Coalition] = []
+    for group in normalized:
+        if group == witness.from_coalition:
+            remainder = group - {witness.defector}
+            if remainder:
+                moved.append(remainder)
+        elif group == witness.to_coalition:
+            moved.append(group | {witness.defector})
+        else:
+            moved.append(group)
+    return normalize_partition(moved), witness
+
+
+def stabilize(
+    partition: Iterable[Iterable[str]],
+    network: TrustNetwork,
+    op: str | CompositionOp = "min",
+    max_steps: int = 1000,
+) -> Tuple[Tuple[Coalition, ...], List[BlockingWitness], bool]:
+    """Run better-response dynamics until stable or ``max_steps``.
+
+    Returns ``(partition, defection_history, converged)``.  Convergence
+    is not guaranteed in general hedonic games — the flag reports it.
+    """
+    current = normalize_partition(partition)
+    history: List[BlockingWitness] = []
+    for _ in range(max_steps):
+        step = repair_step(current, network, op)
+        if step is None:
+            return current, history, True
+        current, witness = step
+        history.append(witness)
+    return current, history, False

@@ -1,0 +1,205 @@
+"""Trust networks among service components (paper Sec. 6, Fig. 9).
+
+"Each component has an estimation, based on given dependability metrics,
+of the trust level of the other components, and thus they all can be
+logically organized in a network"; arcs are directed (trust is
+subjective: ``t(x1, x2)`` is x1's judgement of x2).  Trust levels live in
+``[0, 1]`` — the Fuzzy semiring carrier used by the Sec. 6.1 encoding.
+
+The composition operator ``◦`` aggregating 1-to-1 relationships is
+deliberately *not* a semiring operation (paper: "the ◦ operator has no
+relation with the operators of the semirings"); ``min``, ``avg`` and
+``max`` instantiations ship here.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, Iterable, Mapping, Optional, Sequence, Tuple
+
+import networkx as nx
+
+
+class TrustError(Exception):
+    """Raised on malformed trust data."""
+
+
+#: A ``◦`` instantiation folds a non-empty list of trust levels.
+CompositionOp = Callable[[Sequence[float]], float]
+
+
+def average(values: Sequence[float]) -> float:
+    return sum(values) / len(values)
+
+
+COMPOSITION_OPS: Dict[str, CompositionOp] = {
+    "min": min,
+    "max": max,
+    "avg": average,
+}
+
+
+def resolve_op(op: str | CompositionOp) -> CompositionOp:
+    if callable(op):
+        return op
+    try:
+        return COMPOSITION_OPS[op]
+    except KeyError:
+        known = ", ".join(sorted(COMPOSITION_OPS))
+        raise TrustError(f"unknown ◦ operator {op!r}; known: {known}") from None
+
+
+class TrustNetwork:
+    """A directed graph of subjective trust scores in ``[0, 1]``."""
+
+    def __init__(
+        self,
+        agents: Iterable[str],
+        scores: Optional[Mapping[Tuple[str, str], float]] = None,
+        default: Optional[float] = None,
+    ) -> None:
+        self.agents: Tuple[str, ...] = tuple(agents)
+        if len(set(self.agents)) != len(self.agents):
+            raise TrustError("duplicate agent names")
+        if not self.agents:
+            raise TrustError("a trust network needs at least one agent")
+        self.default = default
+        self._scores: Dict[Tuple[str, str], float] = {}
+        for (source, target), value in (scores or {}).items():
+            self.set_trust(source, target, value)
+
+    # ------------------------------------------------------------------
+    # Mutation / access
+    # ------------------------------------------------------------------
+
+    def set_trust(self, source: str, target: str, value: float) -> None:
+        if source not in self.agents or target not in self.agents:
+            raise TrustError(f"unknown agent in ({source!r}, {target!r})")
+        if not 0.0 <= value <= 1.0:
+            raise TrustError(f"trust {value!r} outside [0, 1]")
+        self._scores[(source, target)] = value
+
+    def trust(self, source: str, target: str) -> Optional[float]:
+        """``t(source, target)`` — None when unstated and no default."""
+        value = self._scores.get((source, target))
+        if value is None:
+            return self.default
+        return value
+
+    def known_scores(self) -> Dict[Tuple[str, str], float]:
+        return dict(self._scores)
+
+    def outgoing(self, source: str) -> Dict[str, float]:
+        """Every target ``source`` has judged (explicit scores only)."""
+        return {
+            target: value
+            for (s, target), value in self._scores.items()
+            if s == source
+        }
+
+    def __len__(self) -> int:
+        return len(self.agents)
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+
+    def to_networkx(self) -> nx.DiGraph:
+        """Export as a networkx digraph (edge attribute ``trust``)."""
+        graph = nx.DiGraph()
+        graph.add_nodes_from(self.agents)
+        for (source, target), value in self._scores.items():
+            graph.add_edge(source, target, trust=value)
+        return graph
+
+    def subjectivity_gap(self) -> float:
+        """Largest ``|t(a,b) − t(b,a)|`` — how asymmetric judgements are."""
+        gap = 0.0
+        for (source, target), value in self._scores.items():
+            reverse = self._scores.get((target, source))
+            if reverse is not None:
+                gap = max(gap, abs(value - reverse))
+        return gap
+
+
+def random_trust_network(
+    n_agents: int,
+    seed: Optional[int] = None,
+    density: float = 1.0,
+    self_trust: float = 1.0,
+) -> TrustNetwork:
+    """A seeded random network for scalability experiments.
+
+    ``density`` is the probability that any ordered pair carries an
+    explicit score; pairs without one fall back to a 0.5 default so every
+    coalition remains evaluable.
+    """
+    if n_agents <= 0:
+        raise TrustError("need at least one agent")
+    if not 0.0 < density <= 1.0:
+        raise TrustError("density must be in (0, 1]")
+    rng = random.Random(seed)
+    agents = [f"x{i}" for i in range(1, n_agents + 1)]
+    network = TrustNetwork(agents, default=0.5)
+    for source in agents:
+        network.set_trust(source, source, self_trust)
+        for target in agents:
+            if source != target and rng.random() < density:
+                network.set_trust(source, target, round(rng.random(), 3))
+    return network
+
+
+def figure9_network() -> TrustNetwork:
+    """A concrete 7-component network in the shape of the paper's Fig. 9.
+
+    The figure shows seven components ``x1 … x7`` with directed
+    judgements but prints no numeric levels; these values are chosen so
+    that, under the ``avg`` composition ``◦`` (one of the paper's two
+    named instantiations), the Fig. 10 scenario materializes: ``x4``
+    trusts the members of ``C1 = {x1, x2, x3}`` more than its own
+    coalition ``C2 = {x4, x5, x6, x7}``, and joining ``x4`` strictly
+    raises ``T(C1)`` — i.e. ``{C1, C2}`` is *blocked* exactly as the
+    paper sketches.  Self-trust is 0.6, so non-singleton coalitions of
+    mutually trusting components genuinely beat staying alone.
+
+    (Under ``◦ = min`` the second blocking condition ``T(Cu ∪ xk) >
+    T(Cu)`` can never hold — adding pairs cannot raise a minimum — so
+    every partition is trivially stable; the ``avg`` instantiation is
+    the interesting one for stability analysis.)
+    """
+    agents = [f"x{i}" for i in range(1, 8)]
+    network = TrustNetwork(agents, default=0.5)
+    scores = {
+        # x4's view: high opinion of C1, low of its C2 fellows.
+        ("x4", "x1"): 0.9,
+        ("x4", "x2"): 0.85,
+        ("x4", "x3"): 0.8,
+        ("x4", "x5"): 0.3,
+        ("x4", "x6"): 0.35,
+        ("x4", "x7"): 0.25,
+        # C1 members trust each other strongly — and would welcome x4.
+        ("x1", "x2"): 0.9,
+        ("x2", "x1"): 0.85,
+        ("x1", "x3"): 0.8,
+        ("x3", "x1"): 0.9,
+        ("x2", "x3"): 0.85,
+        ("x3", "x2"): 0.8,
+        ("x1", "x4"): 0.95,
+        ("x2", "x4"): 0.95,
+        ("x3", "x4"): 0.95,
+        # The remaining C2 members mostly like each other, less so x4.
+        ("x5", "x6"): 0.7,
+        ("x6", "x5"): 0.75,
+        ("x5", "x7"): 0.65,
+        ("x7", "x5"): 0.7,
+        ("x6", "x7"): 0.6,
+        ("x7", "x6"): 0.65,
+        ("x5", "x4"): 0.4,
+        ("x6", "x4"): 0.45,
+        ("x7", "x4"): 0.4,
+    }
+    for i in range(1, 8):
+        scores[(f"x{i}", f"x{i}")] = 0.6
+    for (source, target), value in scores.items():
+        network.set_trust(source, target, value)
+    return network

@@ -1,0 +1,68 @@
+"""Cylindric-algebra operators: hiding and diagonal constraints.
+
+The paper (Sec. 2) closes the constraint system "à la Saraswat" with an
+existential quantifier ``∃x`` (implemented as projection, see
+``SoftConstraint.hide``) and *diagonal constraints* ``d_xy`` used to model
+parameter passing in procedure calls: ``d_xy η = 1`` when ``η(x) = η(y)``
+and ``0`` otherwise.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from ..semirings.base import Semiring
+from .constraint import ConstraintError, SoftConstraint
+from .variables import Variable
+
+
+class DiagonalConstraint(SoftConstraint):
+    """``d_xy``: full preference when ``x = y``, none otherwise."""
+
+    def __init__(self, semiring: Semiring, x: Variable, y: Variable) -> None:
+        if x.name == y.name:
+            raise ConstraintError(
+                f"diagonal constraint needs two distinct variables, got "
+                f"{x.name!r} twice"
+            )
+        super().__init__(semiring, (x, y))
+        self.x = x
+        self.y = y
+
+    def value(self, assignment: Mapping[str, Any]) -> Any:
+        try:
+            equal = assignment[self.x.name] == assignment[self.y.name]
+        except KeyError as exc:
+            raise ConstraintError(
+                f"assignment missing variable {exc.args[0]!r} required by "
+                f"d_{self.x.name},{self.y.name}"
+            ) from None
+        return self.semiring.one if equal else self.semiring.zero
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"d_{self.x.name},{self.y.name}"
+
+
+def diagonal(semiring: Semiring, x: Variable, y: Variable) -> DiagonalConstraint:
+    """Convenience constructor for ``d_xy``."""
+    return DiagonalConstraint(semiring, x, y)
+
+
+def parameter_passing(
+    semiring: Semiring,
+    body_constraint: SoftConstraint,
+    formal: Variable,
+    actual: Variable,
+) -> SoftConstraint:
+    """Model ``p(actual)`` for a body over ``formal`` (paper rule R10).
+
+    Returns ``∃formal.(body ⊗ d_{formal,actual})`` — the standard cylindric
+    encoding: link the formal parameter to the actual one with a diagonal
+    constraint, then hide the formal.
+    """
+    if formal.name == actual.name:
+        return body_constraint
+    linked = body_constraint.combine(
+        DiagonalConstraint(semiring, formal, actual)
+    )
+    return linked.hide(formal.name)

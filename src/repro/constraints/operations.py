@@ -1,0 +1,117 @@
+"""Module-level constraint operations: ⊗, ÷, ⇓, ⊑, ⊢ and equality.
+
+These mirror the paper's Sec. 2 definitions as free functions over any
+:class:`~repro.constraints.constraint.SoftConstraint`.  Relational checks
+(``⊑``, entailment, equality) enumerate the merged scope, which is exact
+for finite domains — the setting of the paper.
+"""
+
+from __future__ import annotations
+
+from functools import reduce
+from typing import Any, Iterable, Sequence
+
+from ..semirings.base import Semiring
+from .constraint import (
+    ConstantConstraint,
+    ConstraintError,
+    SoftConstraint,
+)
+from .variables import iter_assignments, merge_scopes
+
+
+def combine(
+    constraints: Iterable[SoftConstraint], semiring: Semiring | None = None
+) -> SoftConstraint:
+    """``⊗ C`` — combine a collection of constraints.
+
+    An empty collection yields ``1̄`` (requires ``semiring``); this is the
+    neutral store the nmsccp interpreter starts from.
+    """
+    items = list(constraints)
+    if not items:
+        if semiring is None:
+            raise ConstraintError(
+                "combining an empty collection needs an explicit semiring"
+            )
+        return ConstantConstraint(semiring, semiring.one)
+    return reduce(lambda acc, c: acc.combine(c), items)
+
+
+def divide(numerator: SoftConstraint, denominator: SoftConstraint) -> SoftConstraint:
+    """``c1 ÷ c2`` — pointwise residuated division."""
+    return numerator.divide(denominator)
+
+
+def project(
+    constraint: SoftConstraint, keep: Sequence[str]
+) -> SoftConstraint:
+    """``c ⇓ keep`` — see :meth:`SoftConstraint.project`."""
+    return constraint.project(keep)
+
+
+def constraint_leq(left: SoftConstraint, right: SoftConstraint) -> bool:
+    """``left ⊑ right`` — pointwise semiring order over the merged scope.
+
+    ``c1 ⊑ c2  ⇔  ∀η. c1η ≤S c2η`` (the constraint order of Sec. 2; the
+    *smaller* constraint is the more restrictive one).
+    """
+    if left.semiring != right.semiring:
+        raise ConstraintError(
+            f"cannot compare constraints over {left.semiring.name} "
+            f"and {right.semiring.name}"
+        )
+    semiring = left.semiring
+    scope = merge_scopes(left.scope, right.scope)
+    return all(
+        semiring.leq(left.value(assignment), right.value(assignment))
+        for assignment in iter_assignments(scope)
+    )
+
+
+def constraints_equal(left: SoftConstraint, right: SoftConstraint) -> bool:
+    """Extensional equality: same value on every merged-scope assignment."""
+    if left.semiring != right.semiring:
+        return False
+    semiring = left.semiring
+    scope = merge_scopes(left.scope, right.scope)
+    return all(
+        semiring.equiv(left.value(assignment), right.value(assignment))
+        for assignment in iter_assignments(scope)
+    )
+
+
+def entails(
+    store: Iterable[SoftConstraint] | SoftConstraint, constraint: SoftConstraint
+) -> bool:
+    """``C ⊢ c  ⇔  ⊗C ⊑ c`` — the entailment relation of Sec. 2.
+
+    ``store`` may be a single (already combined) constraint or an iterable
+    of constraints.
+    """
+    if isinstance(store, SoftConstraint):
+        combined = store
+    else:
+        combined = combine(store, semiring=constraint.semiring)
+    return constraint_leq(combined, constraint)
+
+
+def blevel(constraint: SoftConstraint) -> Any:
+    """``c ⇓∅`` — the best level of consistency of a combined constraint."""
+    return constraint.consistency()
+
+
+def best_assignments(constraint: SoftConstraint):
+    """All complete scope assignments achieving a ≤S-maximal value.
+
+    Returns ``(frontier_values, assignments)`` where ``assignments`` maps
+    each frontier value (by index) to the list of dicts achieving it.
+    For totally ordered semirings the frontier is a singleton.
+    """
+    semiring = constraint.semiring
+    entries = list(constraint.enumerate_values())
+    frontier = semiring.max_elements(value for _, value in entries)
+    grouped = [
+        [dict(a) for a, v in entries if v == fv] for fv in frontier
+    ]
+    return frontier, grouped

@@ -1,0 +1,153 @@
+"""The shared constraint store σ manipulated by nmsccp agents.
+
+The store of the paper's language is a single soft constraint (Sec. 2.1):
+``tell`` combines, ``retract`` divides, ``update`` projects-then-combines,
+and the checked transitions compare ``σ ⇓∅`` against threshold intervals.
+Stores are *immutable*: every operation returns a new store, which lets
+the interpreter explore nondeterministic branches without copying state
+by hand and makes traces trivially replayable.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Tuple
+
+from ..semirings.base import Semiring
+from .constraint import ConstantConstraint, SoftConstraint
+from .operations import constraint_leq
+from .table import to_table
+from .variables import Variable, assignment_space_size
+
+#: Materialize the store into a table while its assignment space stays
+#: below this bound; beyond it evaluation stays lazy.
+_MATERIALIZE_LIMIT = 200_000
+
+#: Sentinel marking a not-yet-computed cached consistency.
+_UNSET = object()
+
+
+class StoreError(Exception):
+    """Raised on invalid store operations (e.g. retracting a constraint
+    the store does not entail)."""
+
+
+class ConstraintStore:
+    """An immutable wrapper around the store constraint σ."""
+
+    __slots__ = ("semiring", "constraint", "_consistency")
+
+    def __init__(
+        self, semiring: Semiring, constraint: SoftConstraint | None = None
+    ) -> None:
+        self.semiring = semiring
+        if constraint is None:
+            constraint = ConstantConstraint(semiring, semiring.one)
+        if constraint.semiring != semiring:
+            raise StoreError(
+                f"constraint over {constraint.semiring.name} cannot live in "
+                f"a {semiring.name} store"
+            )
+        self.constraint = self._compact(constraint)
+        self._consistency = _UNSET
+
+    @staticmethod
+    def _compact(constraint: SoftConstraint) -> SoftConstraint:
+        if assignment_space_size(constraint.scope) <= _MATERIALIZE_LIMIT:
+            return to_table(constraint)
+        return constraint
+
+    # ------------------------------------------------------------------
+    # Store operations (paper rules R1, R7, R8)
+    # ------------------------------------------------------------------
+
+    def _check_semiring(self, constraint: SoftConstraint) -> None:
+        if constraint.semiring != self.semiring:
+            raise StoreError(
+                f"constraint over {constraint.semiring.name} cannot be used "
+                f"in a {self.semiring.name} store"
+            )
+
+    def tell(self, constraint: SoftConstraint) -> "ConstraintStore":
+        """``σ ⊗ c`` — add ``c`` to the store."""
+        self._check_semiring(constraint)
+        return ConstraintStore(
+            self.semiring, self.constraint.combine(constraint)
+        )
+
+    def retract(self, constraint: SoftConstraint) -> "ConstraintStore":
+        """``σ ÷ c`` — remove ``c``; requires ``σ ⊑ c`` (rule R7).
+
+        The entailment premise of R7 guarantees the division is a genuine
+        relaxation; violating it raises :class:`StoreError`.
+        """
+        self._check_semiring(constraint)
+        if not self.entails(constraint):
+            raise StoreError(
+                "retract requires the store to entail the constraint "
+                "(σ ⊑ c); rule R7 premise violated"
+            )
+        return ConstraintStore(
+            self.semiring, self.constraint.divide(constraint)
+        )
+
+    def update(
+        self, variables: Iterable[str | Variable], constraint: SoftConstraint
+    ) -> "ConstraintStore":
+        """``(σ ⇓_{V∖X}) ⊗ c`` — transactional assignment (rule R8).
+
+        Removes the influence of every variable in ``X`` from the store,
+        then adds ``c``.  Projection and combination happen in one step,
+        mirroring the transactional semantics of the paper.
+        """
+        names = {
+            item.name if isinstance(item, Variable) else item
+            for item in variables
+        }
+        keep = [var for var in self.constraint.scope if var.name not in names]
+        refreshed = self.constraint.project(keep)
+        return ConstraintStore(self.semiring, refreshed.combine(constraint))
+
+    # ------------------------------------------------------------------
+    # Queries (rules R2, R6 and the check function)
+    # ------------------------------------------------------------------
+
+    def entails(self, constraint: SoftConstraint) -> bool:
+        """``σ ⊢ c  ⇔  σ ⊑ c`` — the ask premise (rule R2)."""
+        return constraint_leq(self.constraint, constraint)
+
+    def consistency(self) -> Any:
+        """``σ ⇓∅`` — the α-consistency level checked by C1–C4.
+
+        Cached: the store is immutable, and the checked transitions of
+        the nmsccp interpreter query this repeatedly.
+        """
+        if self._consistency is _UNSET:
+            self._consistency = self.constraint.consistency()
+        return self._consistency
+
+    def project(self, keep: Iterable[str | Variable]) -> SoftConstraint:
+        """Expose the store's interface over ``keep`` (paper Sec. 5)."""
+        return self.constraint.project(
+            [
+                item.name if isinstance(item, Variable) else item
+                for item in keep
+            ]
+        )
+
+    @property
+    def support(self) -> Tuple[str, ...]:
+        return self.constraint.support
+
+    def value(self, assignment) -> Any:
+        """Evaluate σ under an assignment (delegates to the constraint)."""
+        return self.constraint.value(assignment)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ConstraintStore({self.semiring.name}, support={self.support!r})"
+        )
+
+
+def empty_store(semiring: Semiring) -> ConstraintStore:
+    """The store ``1̄`` with empty support — the paper's initial store 0̸."""
+    return ConstraintStore(semiring)

@@ -1,0 +1,105 @@
+"""Extensional (table) constraints and materialization.
+
+A table constraint stores an explicit semiring value per tuple of scope
+values, exactly like the arcs of the paper's Fig. 1 (e.g. ``⟨a,a⟩ → 5``).
+``to_table`` flattens any lazy constraint tree into a table, which makes
+repeated evaluation O(1) and is the representation the bucket-elimination
+solver manipulates.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence, Tuple
+
+from ..semirings.base import Semiring
+from .assignments import assignment_key
+from .constraint import ConstraintError, SoftConstraint
+from .variables import Variable, iter_assignments
+
+
+class TableConstraint(SoftConstraint):
+    """A constraint defined by an explicit tuple → value table.
+
+    Tuples follow scope order.  Missing tuples take ``default`` (the
+    semiring ``zero`` unless stated otherwise), so sparse tables model
+    "forbidden unless listed" naturally.
+    """
+
+    def __init__(
+        self,
+        semiring: Semiring,
+        scope: Sequence[Variable],
+        table: Mapping[Tuple[Any, ...], Any],
+        default: Any = None,
+        name: str = "",
+    ) -> None:
+        super().__init__(semiring, scope)
+        self.default = (
+            semiring.zero if default is None else semiring.check_element(default)
+        )
+        self.name = name
+        normalized: dict[Tuple[Any, ...], Any] = {}
+        arity = len(self.scope)
+        for raw_key, raw_value in table.items():
+            key = raw_key if isinstance(raw_key, tuple) else (raw_key,)
+            if len(key) != arity:
+                raise ConstraintError(
+                    f"table key {key!r} has arity {len(key)}, "
+                    f"scope expects {arity}"
+                )
+            for value, var in zip(key, self.scope):
+                if value not in var.domain:
+                    raise ConstraintError(
+                        f"value {value!r} not in domain of {var.name!r}"
+                    )
+            normalized[key] = semiring.check_element(raw_value)
+        self.table = normalized
+
+    def value(self, assignment: Mapping[str, Any]) -> Any:
+        try:
+            key = assignment_key(assignment, self.scope)
+        except KeyError as exc:
+            raise ConstraintError(
+                f"assignment missing variable {exc.args[0]!r} "
+                f"required by table constraint {self.name!r}"
+            ) from None
+        return self.table.get(key, self.default)
+
+    def materialize(self) -> "TableConstraint":
+        return self
+
+    def items(self):
+        """Yield every ``(tuple, value)`` over the full assignment space
+        (including defaulted tuples)."""
+        for assignment in iter_assignments(self.scope):
+            key = assignment_key(assignment, self.scope)
+            yield key, self.table.get(key, self.default)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        label = f" {self.name!r}" if self.name else ""
+        return (
+            f"TableConstraint{label}(scope={self.support!r}, "
+            f"{len(self.table)} explicit tuples)"
+        )
+
+
+def to_table(constraint: SoftConstraint, name: str = "") -> TableConstraint:
+    """Materialize any constraint into an extensionally equal table.
+
+    Enumerates the full assignment space of the constraint's scope —
+    exponential in scope size, which is exactly the price the paper's
+    projection operator pays; callers control scope growth.
+    """
+    if isinstance(constraint, TableConstraint):
+        return constraint
+    table: dict[Tuple[Any, ...], Any] = {}
+    for assignment in iter_assignments(constraint.scope):
+        key = assignment_key(assignment, constraint.scope)
+        table[key] = constraint.value(assignment)
+    return TableConstraint(
+        constraint.semiring,
+        constraint.scope,
+        table,
+        default=constraint.semiring.zero,
+        name=name,
+    )

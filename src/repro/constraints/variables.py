@@ -1,0 +1,132 @@
+"""Decision variables with finite domains.
+
+In the paper (Sec. 2) a soft constraint is a function from assignments of
+an ordered set of variables ``V`` over a finite domain ``D`` to semiring
+values.  We attach a finite domain to each variable: projection and
+``blevel`` computations must enumerate the extensions of a tuple over the
+eliminated variables, which requires knowing their domains.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Hashable, Iterable, Iterator, Mapping, Sequence, Tuple
+
+
+class VariableError(Exception):
+    """Raised on malformed variables or inconsistent scopes."""
+
+
+@dataclass(frozen=True)
+class Variable:
+    """A named decision variable over a finite, ordered domain.
+
+    Two variables are the same iff they share name *and* domain; mixing
+    two same-named variables with different domains in one scope is a
+    modelling error detected by :func:`merge_scopes`.
+    """
+
+    name: str
+    domain: Tuple[Hashable, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise VariableError("variable name must be non-empty")
+        if not isinstance(self.domain, tuple):
+            object.__setattr__(self, "domain", tuple(self.domain))
+        if not self.domain:
+            raise VariableError(f"variable {self.name!r} has an empty domain")
+        if len(set(self.domain)) != len(self.domain):
+            raise VariableError(
+                f"variable {self.name!r} has duplicate domain values"
+            )
+
+    @property
+    def size(self) -> int:
+        return len(self.domain)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        if len(self.domain) <= 4:
+            return f"Variable({self.name!r}, {self.domain!r})"
+        return (
+            f"Variable({self.name!r}, "
+            f"⟨{self.domain[0]!r}…{self.domain[-1]!r}⟩×{len(self.domain)})"
+        )
+
+
+def variable(name: str, domain: Iterable[Hashable]) -> Variable:
+    """Convenience constructor: ``variable("x", range(10))``."""
+    return Variable(name, tuple(domain))
+
+
+def integer_variable(name: str, upper: int, lower: int = 0) -> Variable:
+    """A variable ranging over the integers ``lower … upper`` inclusive.
+
+    The paper's negotiation examples use natural-number variables (e.g.
+    the number of failures ``x``); a finite upper bound makes projection
+    computable and is documented per-experiment in EXPERIMENTS.md.
+    """
+    if upper < lower:
+        raise VariableError(f"empty integer range [{lower}, {upper}]")
+    return Variable(name, tuple(range(lower, upper + 1)))
+
+
+def merge_scopes(*scopes: Sequence[Variable]) -> Tuple[Variable, ...]:
+    """Union of scopes, preserving first-occurrence order.
+
+    Raises :class:`VariableError` when two scopes disagree on the domain
+    of a same-named variable.
+    """
+    seen: dict[str, Variable] = {}
+    ordered: list[Variable] = []
+    for scope in scopes:
+        for var in scope:
+            existing = seen.get(var.name)
+            if existing is None:
+                seen[var.name] = var
+                ordered.append(var)
+            elif existing.domain != var.domain:
+                raise VariableError(
+                    f"variable {var.name!r} appears with two different "
+                    f"domains ({existing.domain!r} vs {var.domain!r})"
+                )
+    return tuple(ordered)
+
+
+def scope_names(scope: Sequence[Variable]) -> Tuple[str, ...]:
+    """The names of a scope, in order."""
+    return tuple(var.name for var in scope)
+
+
+def iter_assignments(
+    scope: Sequence[Variable],
+    base: Mapping[str, Any] | None = None,
+) -> Iterator[dict[str, Any]]:
+    """Enumerate all assignments of ``scope``, extending ``base``.
+
+    Yields plain dicts (name → value); ``base`` entries are copied into
+    every yielded assignment, and scope variables already fixed by
+    ``base`` are *not* re-enumerated.
+    """
+    fixed = dict(base) if base else {}
+    free = [var for var in scope if var.name not in fixed]
+
+    def recurse(index: int, current: dict[str, Any]) -> Iterator[dict[str, Any]]:
+        if index == len(free):
+            yield dict(current)
+            return
+        var = free[index]
+        for value in var.domain:
+            current[var.name] = value
+            yield from recurse(index + 1, current)
+        del current[var.name]
+
+    yield from recurse(0, dict(fixed))
+
+
+def assignment_space_size(scope: Sequence[Variable]) -> int:
+    """Number of complete assignments of ``scope``."""
+    size = 1
+    for var in scope:
+        size *= var.size
+    return size

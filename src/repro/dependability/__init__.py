@@ -1,0 +1,85 @@
+"""Dependability layer (paper Sec. 3 & 5).
+
+The Avizienis attribute taxonomy, integrity-as-refinement checks
+(Defs. 1–2), quantitative reliability analysis over the Probabilistic
+semiring, and classical dependability arithmetic (MTBF, block diagrams)
+cross-checking the semiring composition.
+"""
+
+from .analysis import (
+    ImplementationRanking,
+    best_implementation,
+    compression_reliability,
+    meets_requirement,
+    system_reliability,
+)
+from .attributes import (
+    AVAILABILITY,
+    CONFIDENTIALITY,
+    INTEGRITY,
+    MAINTAINABILITY,
+    RELIABILITY,
+    SAFETY,
+    SECURITY_COMPOSITE,
+    TAXONOMY,
+    DependabilityAttribute,
+    attribute,
+    is_security_attribute,
+)
+from .integrity import (
+    RefinementReport,
+    assume_unreliable,
+    dependably_safe,
+    integrate,
+    interface_of,
+    locally_refines,
+)
+from .metrics import (
+    MetricError,
+    ObservationWindow,
+    availability_from_mtbf,
+    compose_series_parallel,
+    downtime_hours_per_year,
+    failure_rate_from_reliability,
+    k_out_of_n_reliability,
+    mission_reliability,
+    parallel_reliability,
+    series_reliability,
+    wilson_lower_bound,
+)
+
+__all__ = [
+    "DependabilityAttribute",
+    "TAXONOMY",
+    "SECURITY_COMPOSITE",
+    "attribute",
+    "is_security_attribute",
+    "AVAILABILITY",
+    "RELIABILITY",
+    "SAFETY",
+    "CONFIDENTIALITY",
+    "INTEGRITY",
+    "MAINTAINABILITY",
+    "RefinementReport",
+    "locally_refines",
+    "dependably_safe",
+    "assume_unreliable",
+    "integrate",
+    "interface_of",
+    "compression_reliability",
+    "system_reliability",
+    "meets_requirement",
+    "best_implementation",
+    "ImplementationRanking",
+    "availability_from_mtbf",
+    "downtime_hours_per_year",
+    "mission_reliability",
+    "failure_rate_from_reliability",
+    "series_reliability",
+    "parallel_reliability",
+    "k_out_of_n_reliability",
+    "compose_series_parallel",
+    "wilson_lower_bound",
+    "ObservationWindow",
+    "MetricError",
+]

@@ -1,0 +1,134 @@
+"""Quantitative dependability analysis (paper Sec. 5, second half).
+
+Moving from the Classical to the Probabilistic semiring turns the crisp
+refinement check into a quantitative one: module policies become
+reliability functions, their combination ``Imp3 = c1 ⊗ c2 ⊗ c3`` is the
+system reliability, and ``MemoryProb ⊑ Imp3`` certifies that the client's
+minimum-reliability requirement is entailed.  ``blevel`` then picks the
+*best* (most reliable) implementation among candidates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..constraints.constraint import FunctionConstraint, SoftConstraint
+from ..constraints.operations import constraint_leq
+from ..constraints.variables import Variable
+from ..semirings.probabilistic import ProbabilisticSemiring
+
+_PROB = ProbabilisticSemiring()
+
+
+def compression_reliability(
+    input_var: Variable,
+    output_var: Variable,
+    reliable_below_kb: float = 1024.0,
+    broken_above_kb: float = 4096.0,
+    efficiency_scale: float = 100.0,
+    name: str = "compression-reliability",
+) -> FunctionConstraint:
+    """The paper's soft constraint ``c1(outcomp, bwbyte)``::
+
+        1                                 if outcomp ≤ 1024 Kb
+        0                                 if outcomp > 4096 Kb
+        1 − outcomp / (100 · bwbyte)      otherwise
+
+    "the compression does not work if the input image is more than 4Mb,
+    while it is completely reliable if less than 1Mb; otherwise more
+    compression means more risk".  With the paper's numbers,
+    ``c1(4096, 1024) = 0.96``.
+    """
+
+    def level(input_kb: float, output_kb: float) -> float:
+        if input_kb <= reliable_below_kb:
+            return 1.0
+        if input_kb > broken_above_kb:
+            return 0.0
+        value = 1.0 - input_kb / (efficiency_scale * output_kb)
+        return min(1.0, max(0.0, value))
+
+    return FunctionConstraint(
+        _PROB, (input_var, output_var), level, name=name
+    )
+
+
+def system_reliability(
+    module_constraints: Sequence[SoftConstraint],
+) -> SoftConstraint:
+    """``Imp = c1 ⊗ … ⊗ cn`` — the global reliability of the composition."""
+    if not module_constraints:
+        raise ValueError("system_reliability() needs at least one module")
+    result = module_constraints[0]
+    for constraint in module_constraints[1:]:
+        result = result.combine(constraint)
+    return result
+
+
+def meets_requirement(
+    requirement: SoftConstraint, implementation: SoftConstraint
+) -> bool:
+    """``MemoryProb ⊑ Imp3`` — every behaviour is at least as reliable as
+    the client demands (paper Sec. 5)."""
+    return constraint_leq(requirement, implementation)
+
+
+@dataclass
+class ImplementationRanking:
+    """Candidates ordered by best level of consistency (best first)."""
+
+    ranked: List[Tuple[str, Any]]
+
+    @property
+    def best(self) -> Tuple[str, Any]:
+        return self.ranked[0]
+
+    def level_of(self, name: str) -> Any:
+        for candidate, level in self.ranked:
+            if candidate == name:
+                return level
+        raise KeyError(name)
+
+
+def best_implementation(
+    candidates: Dict[str, SoftConstraint],
+    requirement: Optional[SoftConstraint] = None,
+) -> ImplementationRanking:
+    """Rank candidate implementations by blevel, optionally filtering by a
+    requirement ("by exploiting the notion of best level of consistency,
+    we can find the most reliable implementation among those possible").
+
+    Candidates failing ``requirement ⊑ candidate`` are excluded; ties
+    break on the candidate name for determinism.
+    """
+    if not candidates:
+        raise ValueError("best_implementation() needs candidates")
+    scored: List[Tuple[str, Any]] = []
+    for name, implementation in candidates.items():
+        if requirement is not None and not meets_requirement(
+            requirement, implementation
+        ):
+            continue
+        scored.append((name, implementation.consistency()))
+    if not scored:
+        raise ValueError(
+            "no candidate implementation meets the requirement"
+        )
+    semiring = next(iter(candidates.values())).semiring
+
+    def sort_key(item: Tuple[str, Any]):
+        return item[0]
+
+    # Stable selection sort by the (possibly partial) semiring order:
+    # repeatedly pull out a maximal element.
+    remaining = sorted(scored, key=sort_key)
+    ranked: List[Tuple[str, Any]] = []
+    while remaining:
+        best = remaining[0]
+        for item in remaining[1:]:
+            if semiring.gt(item[1], best[1]):
+                best = item
+        remaining.remove(best)
+        ranked.append(best)
+    return ImplementationRanking(ranked)

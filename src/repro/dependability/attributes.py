@@ -1,0 +1,107 @@
+"""The dependability attribute taxonomy (paper Sec. 3, after Avizienis
+et al., IEEE TDSC 2004).
+
+"Dependability is the ability to deliver a service that can justifiably
+be trusted."  The agreed attribute list: availability, reliability,
+safety, confidentiality, integrity, maintainability — some objective and
+quantifiable, others subjective.  Security is the composite of
+confidentiality, integrity and availability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Optional
+
+from ..semirings.base import Semiring
+from ..semirings.registry import get_semiring
+
+
+@dataclass(frozen=True)
+class DependabilityAttribute:
+    """One attribute of the taxonomy with its measurement character."""
+
+    name: str
+    definition: str
+    quantifiable: bool
+    default_semiring: Optional[str] = None
+
+    def semiring(self, **kwargs) -> Semiring:
+        """The natural cost model for this attribute (paper Sec. 4)."""
+        if self.default_semiring is None:
+            raise ValueError(
+                f"{self.name} is subjective; pick a semiring explicitly "
+                "(e.g. fuzzy for coarse low/medium/high judgements)"
+            )
+        return get_semiring(self.default_semiring, **kwargs)
+
+
+AVAILABILITY = DependabilityAttribute(
+    "availability",
+    "the probability that a service is present and ready for use",
+    quantifiable=True,
+    default_semiring="probabilistic",
+)
+RELIABILITY = DependabilityAttribute(
+    "reliability",
+    "the capability of maintaining the service and service quality",
+    quantifiable=True,
+    default_semiring="probabilistic",
+)
+SAFETY = DependabilityAttribute(
+    "safety",
+    "the absence of catastrophic consequences",
+    quantifiable=False,
+    default_semiring="fuzzy",
+)
+CONFIDENTIALITY = DependabilityAttribute(
+    "confidentiality",
+    "information is accessible only to those authorized to use it",
+    quantifiable=False,
+    default_semiring="set",
+)
+INTEGRITY = DependabilityAttribute(
+    "integrity",
+    "the absence of improper system alterations",
+    quantifiable=True,
+    default_semiring="classical",
+)
+MAINTAINABILITY = DependabilityAttribute(
+    "maintainability",
+    "the ability to undergo modifications and repairs",
+    quantifiable=True,
+    default_semiring="weighted",
+)
+
+TAXONOMY: Dict[str, DependabilityAttribute] = {
+    attribute.name: attribute
+    for attribute in (
+        AVAILABILITY,
+        RELIABILITY,
+        SAFETY,
+        CONFIDENTIALITY,
+        INTEGRITY,
+        MAINTAINABILITY,
+    )
+}
+
+#: "Security is a composite of the attributes of confidentiality,
+#: integrity and availability" (paper Sec. 3).
+SECURITY_COMPOSITE: FrozenSet[str] = frozenset(
+    {"confidentiality", "integrity", "availability"}
+)
+
+
+def attribute(name: str) -> DependabilityAttribute:
+    """Look up a taxonomy attribute by name."""
+    try:
+        return TAXONOMY[name]
+    except KeyError:
+        known = ", ".join(sorted(TAXONOMY))
+        raise KeyError(
+            f"unknown dependability attribute {name!r}; known: {known}"
+        ) from None
+
+
+def is_security_attribute(name: str) -> bool:
+    return name in SECURITY_COMPOSITE

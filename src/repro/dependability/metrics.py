@@ -1,0 +1,155 @@
+"""Classical dependability arithmetic: the numbers behind the semirings.
+
+Availability from MTBF/MTTR, mission reliability from failure rates,
+series/parallel reliability block diagrams.  These closed forms serve two
+purposes: they turn raw observations into the semiring levels the broker
+negotiates over, and they cross-check the semiring composition — a series
+block diagram must agree with the Probabilistic semiring's ``×`` (tested
+in the suite).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+
+class MetricError(Exception):
+    """Raised on physically meaningless inputs (negative rates, …)."""
+
+
+def availability_from_mtbf(mtbf_hours: float, mttr_hours: float) -> float:
+    """Steady-state availability ``MTBF / (MTBF + MTTR)``."""
+    if mtbf_hours <= 0 or mttr_hours < 0:
+        raise MetricError("MTBF must be > 0 and MTTR ≥ 0")
+    return mtbf_hours / (mtbf_hours + mttr_hours)
+
+
+def downtime_hours_per_year(availability: float) -> float:
+    """Expected yearly downtime implied by an availability level."""
+    if not 0.0 <= availability <= 1.0:
+        raise MetricError("availability must be a probability")
+    return (1.0 - availability) * 365.0 * 24.0
+
+
+def mission_reliability(
+    failure_rate_per_hour: float, mission_hours: float
+) -> float:
+    """Exponential-model reliability ``e^{−λt}``."""
+    if failure_rate_per_hour < 0 or mission_hours < 0:
+        raise MetricError("rate and mission time must be non-negative")
+    return math.exp(-failure_rate_per_hour * mission_hours)
+
+
+def failure_rate_from_reliability(
+    reliability: float, mission_hours: float
+) -> float:
+    """Invert ``e^{−λt}``: the constant failure rate behind an observed
+    mission reliability."""
+    if not 0.0 < reliability <= 1.0:
+        raise MetricError("reliability must be in (0, 1]")
+    if mission_hours <= 0:
+        raise MetricError("mission time must be positive")
+    return -math.log(reliability) / mission_hours
+
+
+def series_reliability(reliabilities: Iterable[float]) -> float:
+    """Series block diagram: all components must work — ``∏ rᵢ``.
+
+    Coincides with the Probabilistic semiring ``×`` folded over the
+    components (the cross-check for the paper's pipeline analysis).
+    """
+    result = 1.0
+    for value in reliabilities:
+        _check_probability(value)
+        result *= value
+    return result
+
+
+def parallel_reliability(reliabilities: Iterable[float]) -> float:
+    """Parallel (redundant) block diagram: ``1 − ∏ (1 − rᵢ)``."""
+    complement = 1.0
+    for value in reliabilities:
+        _check_probability(value)
+        complement *= 1.0 - value
+    return 1.0 - complement
+
+
+def k_out_of_n_reliability(r: float, k: int, n: int) -> float:
+    """k-out-of-n identical components: ``Σ_{i=k}^{n} C(n,i) rⁱ(1−r)^{n−i}``."""
+    _check_probability(r)
+    if not 0 < k <= n:
+        raise MetricError("need 0 < k ≤ n")
+    return sum(
+        math.comb(n, i) * r**i * (1.0 - r) ** (n - i)
+        for i in range(k, n + 1)
+    )
+
+
+@dataclass(frozen=True)
+class ObservationWindow:
+    """Raw dependability observations over a monitoring window."""
+
+    attempts: int
+    failures: int
+    total_repair_hours: float = 0.0
+    total_uptime_hours: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.attempts < 0 or self.failures < 0:
+            raise MetricError("counts must be non-negative")
+        if self.failures > self.attempts:
+            raise MetricError("failures cannot exceed attempts")
+
+    @property
+    def reliability(self) -> float:
+        """Empirical per-invocation success probability."""
+        if self.attempts == 0:
+            return 1.0
+        return 1.0 - self.failures / self.attempts
+
+    @property
+    def availability(self) -> float:
+        """Uptime fraction (1.0 when nothing was measured)."""
+        total = self.total_uptime_hours + self.total_repair_hours
+        if total == 0:
+            return 1.0
+        return self.total_uptime_hours / total
+
+
+def wilson_lower_bound(
+    successes: int, attempts: int, z: float = 1.96
+) -> float:
+    """Conservative reliability estimate: Wilson score lower bound.
+
+    The level a *prudent* broker should advertise from finite
+    observations rather than the raw ratio.
+    """
+    if attempts < 0 or successes < 0 or successes > attempts:
+        raise MetricError("need 0 ≤ successes ≤ attempts")
+    if attempts == 0:
+        return 0.0
+    phat = successes / attempts
+    denominator = 1.0 + z * z / attempts
+    centre = phat + z * z / (2 * attempts)
+    margin = z * math.sqrt(
+        (phat * (1.0 - phat) + z * z / (4 * attempts)) / attempts
+    )
+    return max(0.0, (centre - margin) / denominator)
+
+
+def _check_probability(value: float) -> None:
+    if not 0.0 <= value <= 1.0:
+        raise MetricError(f"{value!r} is not a probability")
+
+
+def compose_series_parallel(
+    series_groups: Sequence[Sequence[float]],
+) -> float:
+    """Series of parallel groups: each inner list is a redundant group,
+    groups are chained — the common shape of a dependable pipeline with
+    per-stage replicas."""
+    return series_reliability(
+        parallel_reliability(group) for group in series_groups
+    )

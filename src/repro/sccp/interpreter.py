@@ -1,0 +1,171 @@
+"""Running nmsccp programs: single scheduled runs and exhaustive search.
+
+``run`` drives one execution under a scheduler until success, deadlock or
+step budget; ``explore`` walks the whole reachable configuration graph,
+classifying terminal states — the tool used to prove that a negotiation
+outcome (like Example 1's failure) does not depend on the interleaving.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import List, Optional
+
+from ..constraints.store import ConstraintStore, empty_store
+from ..semirings.base import Semiring
+from .procedures import EMPTY_PROCEDURES, ProcedureTable
+from .scheduler import DeterministicScheduler, Scheduler
+from .syntax import Agent
+from .traces import Trace
+from .transitions import (
+    Configuration,
+    config_key,
+    successors,
+)
+
+
+class Status(Enum):
+    """How a run ended."""
+
+    SUCCESS = "success"
+    DEADLOCK = "deadlock"
+    EXHAUSTED = "exhausted"  # step budget hit — possible livelock
+
+
+@dataclass
+class RunResult:
+    """Outcome of a single scheduled execution."""
+
+    status: Status
+    configuration: Configuration
+    trace: Trace
+    steps: int
+
+    @property
+    def store(self) -> ConstraintStore:
+        return self.configuration.store
+
+    @property
+    def succeeded(self) -> bool:
+        return self.status is Status.SUCCESS
+
+    def consistency(self):
+        """Final ``σ ⇓∅`` — the agreed level of a negotiation."""
+        return self.store.consistency()
+
+
+def run(
+    agent: Agent,
+    store: Optional[ConstraintStore] = None,
+    semiring: Optional[Semiring] = None,
+    procedures: ProcedureTable = EMPTY_PROCEDURES,
+    scheduler: Optional[Scheduler] = None,
+    max_steps: int = 10_000,
+) -> RunResult:
+    """Execute ``agent`` until success, deadlock, or ``max_steps``.
+
+    Provide either an initial ``store`` or a ``semiring`` (for the empty
+    store ``1̄``).  The default scheduler is deterministic-leftmost.
+    """
+    if store is None:
+        if semiring is None:
+            raise ValueError("run() needs either a store or a semiring")
+        store = empty_store(semiring)
+    scheduler = scheduler or DeterministicScheduler()
+
+    configuration = Configuration(agent, store)
+    trace = Trace()
+    steps_taken = 0
+    while steps_taken < max_steps:
+        if configuration.is_terminal:
+            return RunResult(Status.SUCCESS, configuration, trace, steps_taken)
+        enabled = successors(configuration, procedures)
+        if not enabled:
+            return RunResult(
+                Status.DEADLOCK, configuration, trace, steps_taken
+            )
+        step = scheduler.choose(enabled)
+        trace.record(step)
+        configuration = step.configuration
+        steps_taken += 1
+    if configuration.is_terminal:
+        return RunResult(Status.SUCCESS, configuration, trace, steps_taken)
+    return RunResult(Status.EXHAUSTED, configuration, trace, steps_taken)
+
+
+@dataclass
+class ExplorationResult:
+    """Every terminal configuration of the reachable state space."""
+
+    successes: List[Configuration] = field(default_factory=list)
+    deadlocks: List[Configuration] = field(default_factory=list)
+    configurations_visited: int = 0
+    truncated: bool = False
+
+    @property
+    def always_succeeds(self) -> bool:
+        """True when every maximal run terminates in success."""
+        return bool(self.successes) and not self.deadlocks and not self.truncated
+
+    @property
+    def never_succeeds(self) -> bool:
+        """True when no interleaving reaches success."""
+        return not self.successes and not self.truncated
+
+    def success_consistencies(self) -> list:
+        """``σ ⇓∅`` of each distinct successful terminal store."""
+        return [c.store.consistency() for c in self.successes]
+
+
+def explore(
+    agent: Agent,
+    store: Optional[ConstraintStore] = None,
+    semiring: Optional[Semiring] = None,
+    procedures: ProcedureTable = EMPTY_PROCEDURES,
+    max_configurations: int = 50_000,
+) -> ExplorationResult:
+    """Breadth-first search of the full configuration graph.
+
+    Visited-state pruning uses extensional store fingerprints, so the
+    search terminates whenever the reachable store lattice is finite.
+    ``truncated`` reports a hit of the configuration budget (results are
+    then lower bounds).
+    """
+    if store is None:
+        if semiring is None:
+            raise ValueError("explore() needs either a store or a semiring")
+        store = empty_store(semiring)
+
+    initial = Configuration(agent, store)
+    result = ExplorationResult()
+    seen = {config_key(initial)}
+    queue = deque([initial])
+    terminal_keys = set()
+
+    while queue:
+        if result.configurations_visited >= max_configurations:
+            result.truncated = True
+            break
+        configuration = queue.popleft()
+        result.configurations_visited += 1
+        if configuration.is_terminal:
+            key = config_key(configuration)
+            if key not in terminal_keys:
+                terminal_keys.add(key)
+                result.successes.append(configuration)
+            continue
+        enabled = successors(configuration, procedures)
+        if not enabled:
+            key = config_key(configuration)
+            if key not in terminal_keys:
+                terminal_keys.add(key)
+                result.deadlocks.append(configuration)
+            continue
+        for step in enabled:
+            key = config_key(step.configuration)
+            if key not in seen:
+                seen.add(key)
+                queue.append(step.configuration)
+    return result

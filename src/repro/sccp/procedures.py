@@ -1,0 +1,83 @@
+"""Procedure declarations ``p(Y) :: A`` (paper Fig. 2, rule R10).
+
+A :class:`ProcedureTable` maps names to (formal parameters, body).
+Parameter passing follows the cylindric-algebra account of the paper
+([BMR 2006]): operationally we rename the formals to the actuals, which
+for distinct actual variables coincides with linking them through
+diagonal constraints ``d_xy`` and hiding the formals (the equivalence is
+exercised in the test suite via
+:func:`repro.constraints.cylindric.parameter_passing`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Sequence, Tuple
+
+from ..constraints.variables import Variable
+from .syntax import Agent, Call, SyntaxError_
+
+
+class ProcedureError(Exception):
+    """Raised on unknown procedures, arity mismatch, or redefinitions."""
+
+
+class ProcedureTable:
+    """The sequence of clauses ``F`` of an nmsccp program."""
+
+    def __init__(self) -> None:
+        self._table: Dict[str, Tuple[Tuple[str, ...], Agent]] = {}
+
+    def declare(
+        self, name: str, formals: Sequence[str | Variable], body: Agent
+    ) -> None:
+        """Add ``p(formals) :: body``; duplicate names are rejected."""
+        if name in self._table:
+            raise ProcedureError(f"procedure {name!r} already declared")
+        formal_names = tuple(
+            item.name if isinstance(item, Variable) else item
+            for item in formals
+        )
+        if len(set(formal_names)) != len(formal_names):
+            raise ProcedureError(
+                f"procedure {name!r} has duplicate formal parameters"
+            )
+        self._table[name] = (formal_names, body)
+
+    def names(self) -> Iterable[str]:
+        return sorted(self._table)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._table
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def expand(self, invocation: Call) -> Agent:
+        """The body of ``p`` with formals renamed to the actuals."""
+        try:
+            formals, body = self._table[invocation.name]
+        except KeyError:
+            raise ProcedureError(
+                f"unknown procedure {invocation.name!r}"
+            ) from None
+        if len(formals) != len(invocation.actuals):
+            raise ProcedureError(
+                f"procedure {invocation.name!r} expects {len(formals)} "
+                f"argument(s), got {len(invocation.actuals)}"
+            )
+        mapping = {
+            formal: actual
+            for formal, actual in zip(formals, invocation.actuals)
+            if formal != actual
+        }
+        if not mapping:
+            return body
+        if len(set(mapping.values())) != len(mapping):
+            raise SyntaxError_(
+                f"call {invocation.describe()} passes one variable to two "
+                "formals; alias parameters are not supported"
+            )
+        return body.substitute(mapping)
+
+
+EMPTY_PROCEDURES = ProcedureTable()

@@ -1,0 +1,434 @@
+"""Abstract syntax of the nmsccp language (paper Fig. 2).
+
+::
+
+    P ::= F . A
+    F ::= p(Y) :: A  |  F . F
+    A ::= success | tell(c)→A | retract(c)→A | update_X(c)→A
+        | E | A ‖ A | ∃x.A | p(Y)
+    E ::= ask(c)→A | nask(c)→A | E + E
+
+Agents are immutable; ``substitute`` renames variables inside constraints
+(used by the hiding rule's fresh variables and by procedure-call parameter
+passing).  Every checked action carries a :class:`~repro.sccp.check.CheckSpec`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Mapping, Optional, Sequence, Tuple
+
+from ..constraints.constraint import SoftConstraint
+from ..constraints.variables import Variable
+from .check import CheckSpec
+
+
+class SyntaxError_(Exception):
+    """Raised on malformed nmsccp agents (shadowing the builtin on purpose
+    would be rude; hence the trailing underscore)."""
+
+
+def _rename_spec(
+    spec: Optional[CheckSpec], mapping: Mapping[str, str]
+) -> Optional[CheckSpec]:
+    """Rename constraint thresholds inside a check spec."""
+    if spec is None:
+        return None
+
+    def rename(threshold):
+        if isinstance(threshold, SoftConstraint):
+            return threshold.renamed(mapping)
+        return threshold
+
+    return CheckSpec(
+        spec.semiring, lower=rename(spec.lower), upper=rename(spec.upper)
+    )
+
+
+class Agent(ABC):
+    """Base class of every nmsccp agent."""
+
+    @abstractmethod
+    def substitute(self, mapping: Mapping[str, str]) -> "Agent":
+        """Rename free variables according to ``mapping`` (``A[x/y]``)."""
+
+    @abstractmethod
+    def describe(self) -> str:
+        """Short, human-readable syntax rendering (for traces)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return self.describe()
+
+
+class Success(Agent):
+    """The terminated agent."""
+
+    def substitute(self, mapping: Mapping[str, str]) -> "Agent":
+        return self
+
+    def describe(self) -> str:
+        return "success"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Success)
+
+    def __hash__(self) -> int:
+        return hash(Success)
+
+
+#: Shared terminal agent.
+SUCCESS = Success()
+
+
+class _CheckedAction(Agent):
+    """Common shape of tell/ask/nask/retract/update: a constraint, a
+    checked arrow and a continuation."""
+
+    action_name = "?"
+
+    def __init__(
+        self,
+        constraint: SoftConstraint,
+        check: Optional[CheckSpec] = None,
+        continuation: Agent = SUCCESS,
+    ) -> None:
+        self.constraint = constraint
+        self.check = check
+        self.continuation = continuation
+        if check is not None and check.semiring != constraint.semiring:
+            raise SyntaxError_(
+                f"{self.action_name}: check over {check.semiring.name} but "
+                f"constraint over {constraint.semiring.name}"
+            )
+
+    def then(self, continuation: Agent) -> "Agent":
+        """A copy of this action with its continuation replaced."""
+        clone = type(self)(self.constraint, self.check, continuation)
+        return clone
+
+    def substitute(self, mapping: Mapping[str, str]) -> "Agent":
+        return type(self)(
+            self.constraint.renamed(mapping),
+            _rename_spec(self.check, mapping),
+            self.continuation.substitute(mapping),
+        )
+
+    def describe(self) -> str:
+        arrow = repr(self.check) if self.check is not None else "→"
+        cont = self.continuation.describe()
+        return f"{self.action_name}(c){arrow} {cont}"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            type(self) is type(other)
+            and self.constraint is other.constraint
+            and self.check is other.check
+            and self.continuation == other.continuation
+        )
+
+    def __hash__(self) -> int:
+        return hash(
+            (type(self), id(self.constraint), id(self.check), self.continuation)
+        )
+
+
+class Tell(_CheckedAction):
+    """``tell(c)→A`` — add ``c`` to the store when the *resulting* store
+    passes the check (rule R1)."""
+
+    action_name = "tell"
+
+
+class Ask(_CheckedAction):
+    """``ask(c)→A`` — proceed when σ entails ``c`` and σ passes the check
+    (rule R2).  A guard: usable inside ``+``."""
+
+    action_name = "ask"
+
+
+class Nask(_CheckedAction):
+    """``nask(c)→A`` — proceed when σ does *not* entail ``c`` and σ passes
+    the check (rule R6).  A guard: usable inside ``+``."""
+
+    action_name = "nask"
+
+
+class Retract(_CheckedAction):
+    """``retract(c)→A`` — divide ``c`` out of the store when σ entails it
+    and the resulting store passes the check (rule R7)."""
+
+    action_name = "retract"
+
+
+class Update(Agent):
+    """``update_X(c)→A`` — transactionally refresh the variables ``X`` and
+    add ``c`` (rule R8)."""
+
+    def __init__(
+        self,
+        variables: Sequence[str | Variable],
+        constraint: SoftConstraint,
+        check: Optional[CheckSpec] = None,
+        continuation: Agent = SUCCESS,
+    ) -> None:
+        self.variables: Tuple[str, ...] = tuple(
+            item.name if isinstance(item, Variable) else item
+            for item in variables
+        )
+        if not self.variables:
+            raise SyntaxError_("update needs at least one variable")
+        self.constraint = constraint
+        self.check = check
+        self.continuation = continuation
+
+    def then(self, continuation: Agent) -> "Update":
+        return Update(self.variables, self.constraint, self.check, continuation)
+
+    def substitute(self, mapping: Mapping[str, str]) -> "Agent":
+        return Update(
+            tuple(mapping.get(name, name) for name in self.variables),
+            self.constraint.renamed(mapping),
+            _rename_spec(self.check, mapping),
+            self.continuation.substitute(mapping),
+        )
+
+    def describe(self) -> str:
+        arrow = repr(self.check) if self.check is not None else "→"
+        names = ",".join(self.variables)
+        return f"update_{{{names}}}(c){arrow} {self.continuation.describe()}"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Update)
+            and self.variables == other.variables
+            and self.constraint is other.constraint
+            and self.check is other.check
+            and self.continuation == other.continuation
+        )
+
+    def __hash__(self) -> int:
+        return hash(
+            (
+                Update,
+                self.variables,
+                id(self.constraint),
+                id(self.check),
+                self.continuation,
+            )
+        )
+
+
+class Parallel(Agent):
+    """``A ‖ B`` — interleaved parallel composition (rules R3/R4)."""
+
+    def __init__(self, left: Agent, right: Agent) -> None:
+        self.left = left
+        self.right = right
+
+    def substitute(self, mapping: Mapping[str, str]) -> "Agent":
+        return Parallel(
+            self.left.substitute(mapping), self.right.substitute(mapping)
+        )
+
+    def describe(self) -> str:
+        return f"({self.left.describe()} ‖ {self.right.describe()})"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Parallel)
+            and self.left == other.left
+            and self.right == other.right
+        )
+
+    def __hash__(self) -> int:
+        return hash((Parallel, self.left, self.right))
+
+
+class Sum(Agent):
+    """``E + E`` — global nondeterministic choice among guards (rule R5).
+
+    Per the grammar, every branch must be a guard (``ask``/``nask``) or a
+    nested sum; flattening happens at construction.
+    """
+
+    def __init__(self, branches: Sequence[Agent]) -> None:
+        flat: list[Agent] = []
+        for branch in branches:
+            if isinstance(branch, Sum):
+                flat.extend(branch.branches)
+            elif isinstance(branch, (Ask, Nask)):
+                flat.append(branch)
+            else:
+                raise SyntaxError_(
+                    "sum branches must be ask/nask guards (grammar E), got "
+                    f"{branch.describe()}"
+                )
+        if not flat:
+            raise SyntaxError_("sum needs at least one branch")
+        self.branches: Tuple[Agent, ...] = tuple(flat)
+
+    def substitute(self, mapping: Mapping[str, str]) -> "Agent":
+        return Sum([b.substitute(mapping) for b in self.branches])
+
+    def describe(self) -> str:
+        return " + ".join(b.describe() for b in self.branches)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Sum) and self.branches == other.branches
+
+    def __hash__(self) -> int:
+        return hash((Sum, self.branches))
+
+
+class Exists(Agent):
+    """``∃x.A`` — ``x`` is local to ``A``; stepping renames it to a fresh
+    variable (rule R9)."""
+
+    def __init__(self, variable: str | Variable, body: Agent) -> None:
+        self.variable = (
+            variable.name if isinstance(variable, Variable) else variable
+        )
+        self.body = body
+
+    def substitute(self, mapping: Mapping[str, str]) -> "Agent":
+        # The bound variable is not free: shield it from the renaming.
+        shielded = {k: v for k, v in mapping.items() if k != self.variable}
+        return Exists(self.variable, self.body.substitute(shielded))
+
+    def describe(self) -> str:
+        return f"∃{self.variable}.({self.body.describe()})"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Exists)
+            and self.variable == other.variable
+            and self.body == other.body
+        )
+
+    def __hash__(self) -> int:
+        return hash((Exists, self.variable, self.body))
+
+
+class Call(Agent):
+    """``p(Y)`` — invoke procedure ``p`` with actual parameters ``Y``
+    (rule R10; parameter passing by renaming the formals)."""
+
+    def __init__(self, name: str, actuals: Sequence[str | Variable] = ()) -> None:
+        self.name = name
+        self.actuals: Tuple[str, ...] = tuple(
+            item.name if isinstance(item, Variable) else item
+            for item in actuals
+        )
+
+    def substitute(self, mapping: Mapping[str, str]) -> "Agent":
+        return Call(
+            self.name,
+            tuple(mapping.get(name, name) for name in self.actuals),
+        )
+
+    def describe(self) -> str:
+        return f"{self.name}({', '.join(self.actuals)})"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Call)
+            and self.name == other.name
+            and self.actuals == other.actuals
+        )
+
+    def __hash__(self) -> int:
+        return hash((Call, self.name, self.actuals))
+
+
+# ----------------------------------------------------------------------
+# Builder sugar
+# ----------------------------------------------------------------------
+
+
+def tell(
+    constraint: SoftConstraint,
+    check: Optional[CheckSpec] = None,
+    then: Agent = SUCCESS,
+) -> Tell:
+    return Tell(constraint, check, then)
+
+
+def ask(
+    constraint: SoftConstraint,
+    check: Optional[CheckSpec] = None,
+    then: Agent = SUCCESS,
+) -> Ask:
+    return Ask(constraint, check, then)
+
+
+def nask(
+    constraint: SoftConstraint,
+    check: Optional[CheckSpec] = None,
+    then: Agent = SUCCESS,
+) -> Nask:
+    return Nask(constraint, check, then)
+
+
+def retract(
+    constraint: SoftConstraint,
+    check: Optional[CheckSpec] = None,
+    then: Agent = SUCCESS,
+) -> Retract:
+    return Retract(constraint, check, then)
+
+
+def update(
+    variables: Sequence[str | Variable],
+    constraint: SoftConstraint,
+    check: Optional[CheckSpec] = None,
+    then: Agent = SUCCESS,
+) -> Update:
+    return Update(variables, constraint, check, then)
+
+
+def parallel(*agents: Agent) -> Agent:
+    """Right-fold agents into nested ``‖`` (at least one required)."""
+    if not agents:
+        raise SyntaxError_("parallel needs at least one agent")
+    result = agents[-1]
+    for agent in reversed(agents[:-1]):
+        result = Parallel(agent, result)
+    return result
+
+
+def choice(*branches: Agent) -> Agent:
+    """Nondeterministic sum of guards; a single branch is returned as-is."""
+    if len(branches) == 1:
+        only = branches[0]
+        if not isinstance(only, (Ask, Nask, Sum)):
+            raise SyntaxError_("choice branches must be guards")
+        return only
+    return Sum(branches)
+
+
+def exists(variable: str | Variable, body: Agent) -> Exists:
+    return Exists(variable, body)
+
+
+def call(name: str, *actuals: str | Variable) -> Call:
+    return Call(name, actuals)
+
+
+def sequence(*actions) -> Agent:
+    """Chain prefix actions: ``sequence(a1, a2, …)`` nests continuations.
+
+    Every element but the last must be a checked action (something with a
+    ``then`` method); the last may be any agent.
+    """
+    if not actions:
+        return SUCCESS
+    result = actions[-1]
+    if not isinstance(result, Agent):
+        raise SyntaxError_("last element of a sequence must be an agent")
+    for action in reversed(actions[:-1]):
+        if not hasattr(action, "then"):
+            raise SyntaxError_(
+                f"{action!r} cannot prefix a sequence (no continuation slot)"
+            )
+        result = action.then(result)
+    return result

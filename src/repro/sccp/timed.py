@@ -1,0 +1,270 @@
+"""Timed extension of nmsccp (paper Sec. 4.1: "by embedding timing
+mechanisms in the language as explained in [4]" — Bistarelli, Gabbrielli,
+Meo & Santini, *Timed soft concurrent constraint programs*,
+COORDINATION 2008).
+
+Time is discrete and advances when the computation cannot: a
+:class:`TimedRun` performs as many instantaneous transitions per time
+slot as the scheduler allows, and when every remaining agent is blocked
+it emits a *tick* which wakes timing constructs:
+
+* ``delay(n, agent)`` — inert for ``n`` ticks, then behaves as ``agent``;
+* ``timeout(guard, n, fallback)`` — behaves as the guard (an
+  ask/nask-prefixed agent) if it fires within ``n`` ticks, otherwise as
+  ``fallback``.  This is the classic timed-ccp "ask with timeout" that
+  lets a provider retract or relax a policy when the negotiation stalls.
+
+The untimed rules are untouched — timed nodes are ordinary agents whose
+transitions are driven by the tick hook, so everything composes with
+``‖``, ``+`` and procedures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Mapping, Optional
+
+from ..constraints.store import ConstraintStore, empty_store
+from ..semirings.base import Semiring
+from .interpreter import RunResult, Status
+from .procedures import EMPTY_PROCEDURES, ProcedureTable
+from .scheduler import DeterministicScheduler, Scheduler
+from .syntax import Agent, Ask, Nask, Success, SyntaxError_
+from .traces import Trace
+from .transitions import Configuration, Step, successors
+
+
+class Delay(Agent):
+    """``delay(n).A`` — becomes ``A`` after ``n`` clock ticks."""
+
+    def __init__(self, ticks: int, body: Agent) -> None:
+        if ticks < 0:
+            raise SyntaxError_("delay needs a non-negative tick count")
+        self.ticks = ticks
+        self.body = body
+
+    def substitute(self, mapping: Mapping[str, str]) -> "Agent":
+        return Delay(self.ticks, self.body.substitute(mapping))
+
+    def describe(self) -> str:
+        return f"delay({self.ticks}).{self.body.describe()}"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Delay)
+            and self.ticks == other.ticks
+            and self.body == other.body
+        )
+
+    def __hash__(self) -> int:
+        return hash((Delay, self.ticks, self.body))
+
+
+class Timeout(Agent):
+    """``timeout(guard, n, fallback)`` — guard must fire within ``n``
+    ticks, else the agent becomes ``fallback``.
+
+    ``guard`` must be an ask/nask action (grammar class E), matching the
+    timed-ccp treatment where only blocking guards can time out.
+    """
+
+    def __init__(self, guard: Agent, ticks: int, fallback: Agent) -> None:
+        if not isinstance(guard, (Ask, Nask)):
+            raise SyntaxError_("timeout guard must be ask or nask")
+        if ticks < 0:
+            raise SyntaxError_("timeout needs a non-negative tick count")
+        self.guard = guard
+        self.ticks = ticks
+        self.fallback = fallback
+
+    def substitute(self, mapping: Mapping[str, str]) -> "Agent":
+        return Timeout(
+            self.guard.substitute(mapping),
+            self.ticks,
+            self.fallback.substitute(mapping),
+        )
+
+    def describe(self) -> str:
+        return (
+            f"timeout({self.guard.describe()}, {self.ticks}, "
+            f"{self.fallback.describe()})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Timeout)
+            and self.guard == other.guard
+            and self.ticks == other.ticks
+            and self.fallback == other.fallback
+        )
+
+    def __hash__(self) -> int:
+        return hash((Timeout, self.guard, self.ticks, self.fallback))
+
+
+def delay(ticks: int, body: Agent) -> Delay:
+    return Delay(ticks, body)
+
+
+def timeout(guard: Agent, ticks: int, fallback: Agent) -> Timeout:
+    return Timeout(guard, ticks, fallback)
+
+
+def timed_successors(
+    config: Configuration, procedures: ProcedureTable = EMPTY_PROCEDURES
+) -> List[Step]:
+    """Instantaneous transitions, timed-node aware.
+
+    A ``Delay(0)``/expired ``Timeout`` is transparent; a pending timed
+    node offers no instantaneous step (it waits for ticks).
+    """
+    agent = config.agent
+    if isinstance(agent, Delay):
+        if agent.ticks == 0:
+            return timed_successors(
+                Configuration(agent.body, config.store), procedures
+            )
+        return []
+    if isinstance(agent, Timeout):
+        # the guard may fire instantaneously at any residual tick count
+        return [
+            Step(step.rule, f"timeout-guard:{step.action}", step.configuration)
+            for step in successors(
+                Configuration(agent.guard, config.store), procedures
+            )
+        ]
+    from .syntax import Exists, Parallel
+
+    if isinstance(agent, Exists):
+        from .transitions import fresh_name
+
+        fresh = fresh_name(agent.variable)
+        body = agent.body.substitute({agent.variable: fresh})
+        return [
+            Step("R9-Hide", step.action, step.configuration)
+            for step in timed_successors(
+                Configuration(body, config.store), procedures
+            )
+        ]
+    if isinstance(agent, Parallel):
+        steps: List[Step] = []
+        for side, other, tag in (
+            (agent.left, agent.right, "L"),
+            (agent.right, agent.left, "R"),
+        ):
+            for inner in timed_successors(
+                Configuration(side, config.store), procedures
+            ):
+                reduced = inner.configuration.agent
+                if isinstance(reduced, Success):
+                    next_agent: Agent = other
+                else:
+                    next_agent = (
+                        Parallel(reduced, other)
+                        if tag == "L"
+                        else Parallel(other, reduced)
+                    )
+                steps.append(
+                    Step(
+                        inner.rule,
+                        f"{tag}:{inner.action}",
+                        Configuration(next_agent, inner.configuration.store),
+                    )
+                )
+        return steps
+    return successors(config, procedures)
+
+
+def tick(agent: Agent) -> Agent:
+    """Advance one time unit inside a blocked agent tree.
+
+    Decrements pending delays and timeouts; an expiring timeout becomes
+    its fallback.  Untimed leaves are unchanged (they stay blocked until
+    the store changes).
+    """
+    if isinstance(agent, Delay):
+        if agent.ticks <= 1:
+            return agent.body
+        return Delay(agent.ticks - 1, agent.body)
+    if isinstance(agent, Timeout):
+        if agent.ticks == 0:
+            return agent.fallback
+        return Timeout(agent.guard, agent.ticks - 1, agent.fallback)
+    from .syntax import Exists, Parallel
+
+    if isinstance(agent, Parallel):
+        return Parallel(tick(agent.left), tick(agent.right))
+    if isinstance(agent, Exists):
+        return Exists(agent.variable, tick(agent.body))
+    return agent
+
+
+@dataclass
+class TimedRunResult:
+    """Outcome of a timed execution."""
+
+    status: Status
+    configuration: Configuration
+    trace: Trace
+    steps: int
+    ticks: int
+
+    @property
+    def store(self) -> ConstraintStore:
+        return self.configuration.store
+
+    def consistency(self):
+        return self.store.consistency()
+
+
+def timed_run(
+    agent: Agent,
+    store: Optional[ConstraintStore] = None,
+    semiring: Optional[Semiring] = None,
+    procedures: ProcedureTable = EMPTY_PROCEDURES,
+    scheduler: Optional[Scheduler] = None,
+    max_steps: int = 10_000,
+    max_ticks: int = 1_000,
+) -> TimedRunResult:
+    """Run under the maximal-progress timed semantics.
+
+    Within a time slot, instantaneous transitions fire until none is
+    enabled; then the clock ticks.  Deadlock is declared only when a
+    blocked agent tree contains no pending timer (no tick can ever help).
+    """
+    if store is None:
+        if semiring is None:
+            raise ValueError("timed_run() needs either a store or a semiring")
+        store = empty_store(semiring)
+    scheduler = scheduler or DeterministicScheduler()
+
+    configuration = Configuration(agent, store)
+    trace = Trace()
+    steps_taken = 0
+    ticks_elapsed = 0
+    while steps_taken < max_steps and ticks_elapsed <= max_ticks:
+        if isinstance(configuration.agent, Success):
+            return TimedRunResult(
+                Status.SUCCESS, configuration, trace, steps_taken, ticks_elapsed
+            )
+        enabled = timed_successors(configuration, procedures)
+        if enabled:
+            step = scheduler.choose(enabled)
+            trace.record(step)
+            configuration = step.configuration
+            steps_taken += 1
+            continue
+        ticked = tick(configuration.agent)
+        if ticked == configuration.agent:
+            return TimedRunResult(
+                Status.DEADLOCK,
+                configuration,
+                trace,
+                steps_taken,
+                ticks_elapsed,
+            )
+        configuration = Configuration(ticked, configuration.store)
+        ticks_elapsed += 1
+    return TimedRunResult(
+        Status.EXHAUSTED, configuration, trace, steps_taken, ticks_elapsed
+    )

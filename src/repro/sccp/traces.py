@@ -1,0 +1,72 @@
+"""Execution traces: what happened, rule by rule.
+
+A trace records every applied transition together with the consistency of
+the store after it — the quantity the paper's broker monitors during a
+negotiation (e.g. the number of hours in Examples 1–3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator, List
+
+from .transitions import Step
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One applied transition."""
+
+    index: int
+    rule: str
+    action: str
+    consistency: Any
+    agent_after: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"[{self.index:>3}] {self.rule:<12} {self.action:<24} "
+            f"σ⇓∅ = {self.consistency!r}"
+        )
+
+
+class Trace:
+    """An append-only sequence of :class:`TraceEvent`."""
+
+    def __init__(self) -> None:
+        self._events: List[TraceEvent] = []
+
+    def record(self, step: Step) -> None:
+        configuration = step.configuration
+        self._events.append(
+            TraceEvent(
+                index=len(self._events),
+                rule=step.rule,
+                action=step.action,
+                consistency=configuration.store.consistency(),
+                agent_after=configuration.agent.describe(),
+            )
+        )
+
+    @property
+    def events(self) -> List[TraceEvent]:
+        return list(self._events)
+
+    def consistencies(self) -> List[Any]:
+        """The σ⇓∅ profile along the run — negotiation progress."""
+        return [event.consistency for event in self._events]
+
+    def rules_applied(self) -> List[str]:
+        return [event.rule for event in self._events]
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._events)
+
+    def render(self) -> str:
+        """Multi-line pretty form for logs and examples."""
+        if not self._events:
+            return "(empty trace)"
+        return "\n".join(str(event) for event in self._events)

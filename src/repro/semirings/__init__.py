@@ -1,0 +1,64 @@
+"""Semiring algebra (paper Sec. 2 and 4).
+
+Every dependability/QoS cost model in the framework is an *absorptive
+c-semiring*; this package ships the five instances the paper names
+(Classical, Fuzzy, Probabilistic, Weighted, Set-based), the Cartesian
+product for multi-criteria optimization, residuated division for all of
+them, and executable validators for the semiring laws.
+"""
+
+from .base import (
+    Semiring,
+    SemiringError,
+    TotallyOrderedSemiring,
+)
+from .boolean import BooleanSemiring
+from .fuzzy import FuzzySemiring
+from .probabilistic import ProbabilisticSemiring
+from .product import ProductSemiring
+from .setbased import SetSemiring
+from .weighted import INFINITY, BoundedWeightedSemiring, WeightedSemiring
+from .properties import (
+    LawViolation,
+    ValidationReport,
+    check_division_laws,
+    check_invertibility,
+    check_lub_law,
+    check_order_laws,
+    check_plus_laws,
+    check_times_laws,
+    validate_semiring,
+)
+from .registry import (
+    available_semirings,
+    get_semiring,
+    product_of,
+    register_semiring,
+)
+
+__all__ = [
+    "Semiring",
+    "SemiringError",
+    "TotallyOrderedSemiring",
+    "BooleanSemiring",
+    "FuzzySemiring",
+    "ProbabilisticSemiring",
+    "ProductSemiring",
+    "SetSemiring",
+    "WeightedSemiring",
+    "BoundedWeightedSemiring",
+    "INFINITY",
+    "LawViolation",
+    "ValidationReport",
+    "validate_semiring",
+    "check_plus_laws",
+    "check_times_laws",
+    "check_order_laws",
+    "check_lub_law",
+    "check_division_laws",
+    "check_invertibility",
+    "available_semirings",
+    "get_semiring",
+    "product_of",
+    "register_semiring",
+]

@@ -1,0 +1,52 @@
+"""The Classical (Boolean) semiring ``⟨{0, 1}, ∨, ∧, 0, 1⟩``.
+
+Casts crisp constraints into the semiring framework (paper Sec. 4):
+a constraint is either satisfied (``True``) or violated (``False``), and a
+problem is consistent iff its ``blevel`` is ``True``.  It is the instance
+used by the crisp integrity analysis of Sec. 5 (the photo-editing
+``Memory``/``Imp1``/``Imp2`` example).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from .base import TotallyOrderedSemiring
+
+
+class BooleanSemiring(TotallyOrderedSemiring[bool]):
+    """Crisp truth values with disjunction as ``+`` and conjunction as ``×``.
+
+    Division is Boolean residuation ``a ÷ b = b → a`` (implication), the
+    largest ``x`` with ``b ∧ x ≤ a``.
+    """
+
+    name = "Classical"
+
+    @property
+    def zero(self) -> bool:
+        return False
+
+    @property
+    def one(self) -> bool:
+        return True
+
+    def plus(self, a: bool, b: bool) -> bool:
+        return a or b
+
+    def times(self, a: bool, b: bool) -> bool:
+        return a and b
+
+    def divide(self, a: bool, b: bool) -> bool:
+        # max{x | b ∧ x ≤ a}: if b is False any x works (take True);
+        # if b is True we need x ≤ a, whose maximum is a itself.
+        return (not b) or a
+
+    def is_element(self, a: Any) -> bool:
+        return isinstance(a, bool)
+
+    def is_multiplicative_idempotent(self) -> bool:
+        return True
+
+    def sample_elements(self) -> tuple[bool, ...]:
+        return (False, True)

@@ -1,0 +1,113 @@
+"""Cartesian product of c-semirings — multi-criteria optimization.
+
+"The cartesian product of multiple c-semirings is still a c-semiring and,
+therefore, we can model also a multicriteria optimization" (paper Sec. 4).
+A value is a tuple with one component per criterion (e.g. ``(cost,
+reliability)`` over Weighted × Probabilistic); all operations act
+componentwise and the derived order is the componentwise (Pareto) partial
+order, so incomparable trade-offs are first-class citizens.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Sequence, Tuple
+
+from .base import Semiring, SemiringError
+
+ProductValue = Tuple[Any, ...]
+
+
+class ProductSemiring(Semiring[ProductValue]):
+    """Componentwise product ``S₁ × … × Sₙ`` of absorptive semirings.
+
+    Division is componentwise residuation, which is again the residuation
+    of the product (the max of a componentwise-ordered set of tuples is
+    the tuple of componentwise maxima).
+    """
+
+    name = "Product"
+
+    def __init__(self, components: Sequence[Semiring]) -> None:
+        if not components:
+            raise SemiringError("ProductSemiring needs at least one component")
+        self.components: tuple[Semiring, ...] = tuple(components)
+        self.name = "Product[" + ", ".join(c.name for c in self.components) + "]"
+
+    @property
+    def arity(self) -> int:
+        return len(self.components)
+
+    @property
+    def zero(self) -> ProductValue:
+        return tuple(c.zero for c in self.components)
+
+    @property
+    def one(self) -> ProductValue:
+        return tuple(c.one for c in self.components)
+
+    def plus(self, a: ProductValue, b: ProductValue) -> ProductValue:
+        return tuple(
+            c.plus(x, y) for c, x, y in zip(self.components, a, b)
+        )
+
+    def times(self, a: ProductValue, b: ProductValue) -> ProductValue:
+        return tuple(
+            c.times(x, y) for c, x, y in zip(self.components, a, b)
+        )
+
+    def divide(self, a: ProductValue, b: ProductValue) -> ProductValue:
+        return tuple(
+            c.divide(x, y) for c, x, y in zip(self.components, a, b)
+        )
+
+    def leq(self, a: ProductValue, b: ProductValue) -> bool:
+        return all(
+            c.leq(x, y) for c, x, y in zip(self.components, a, b)
+        )
+
+    def equiv(self, a: ProductValue, b: ProductValue) -> bool:
+        return all(
+            c.equiv(x, y) for c, x, y in zip(self.components, a, b)
+        )
+
+    def is_element(self, a: Any) -> bool:
+        return (
+            isinstance(a, tuple)
+            and len(a) == self.arity
+            and all(c.is_element(x) for c, x in zip(self.components, a))
+        )
+
+    def is_multiplicative_idempotent(self) -> bool:
+        return all(c.is_multiplicative_idempotent() for c in self.components)
+
+    def is_total_order(self) -> bool:
+        # A product of nontrivial total orders is only total when there is
+        # a single component; report conservatively.
+        return self.arity == 1 and self.components[0].is_total_order()
+
+    def sample_elements(self) -> tuple[ProductValue, ...]:
+        per_component = [c.sample_elements()[:3] for c in self.components]
+        return tuple(itertools.product(*per_component))
+
+    def check_element(self, a: Any) -> ProductValue:
+        if not isinstance(a, tuple) or len(a) != self.arity:
+            raise SemiringError(
+                f"{a!r} is not a {self.arity}-tuple for {self.name}"
+            )
+        return tuple(
+            c.check_element(x) for c, x in zip(self.components, a)
+        )
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            type(self) is type(other)
+            and self.components == other.components
+        )
+
+    def __hash__(self) -> int:
+        return hash((type(self), self.components))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        inner = ", ".join(repr(c) for c in self.components)
+        return f"ProductSemiring([{inner}])"

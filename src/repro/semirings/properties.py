@@ -1,0 +1,239 @@
+"""Executable validators for the absorptive-semiring axioms.
+
+The paper's framework rests on the algebraic laws of Sec. 2 (and of
+Bistarelli & Gadducci 2006 for division).  This module turns each law into
+a checkable predicate over a finite sample of carrier elements, so that
+
+* every shipped instance is validated in the unit tests, and
+* user-defined semirings can be sanity-checked before being handed to the
+  solver (``validate_semiring`` raises with the first violated law).
+
+The checks are necessarily over samples, not proofs — but they catch the
+realistic failure modes (wrong unit, non-monotone division, broken
+absorption) immediately.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
+
+from .base import Semiring, pairs, triples
+
+
+@dataclass
+class LawViolation:
+    """A single violated law together with the witnessing elements."""
+
+    law: str
+    witness: tuple
+    detail: str = ""
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        suffix = f" ({self.detail})" if self.detail else ""
+        return f"{self.law} violated at {self.witness!r}{suffix}"
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of checking a semiring against all axioms."""
+
+    semiring_name: str
+    violations: list[LawViolation] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        if self.ok:
+            return f"{self.semiring_name}: all semiring laws hold on sample"
+        lines = [f"{self.semiring_name}: {len(self.violations)} violation(s)"]
+        lines.extend(f"  - {v}" for v in self.violations)
+        return "\n".join(lines)
+
+
+def _elements(semiring: Semiring, elements: Optional[Sequence]) -> tuple:
+    if elements is None:
+        return tuple(semiring.sample_elements())
+    return tuple(elements)
+
+
+def check_plus_laws(
+    semiring: Semiring, elements: Optional[Sequence] = None
+) -> list[LawViolation]:
+    """``+`` commutative, associative, idempotent, unit 0, absorbing 1."""
+    elems = _elements(semiring, elements)
+    out: list[LawViolation] = []
+    for a, b in pairs(elems):
+        if semiring.plus(a, b) != semiring.plus(b, a):
+            out.append(LawViolation("plus-commutativity", (a, b)))
+    for a, b, c in triples(elems):
+        left = semiring.plus(semiring.plus(a, b), c)
+        right = semiring.plus(a, semiring.plus(b, c))
+        if left != right:
+            out.append(LawViolation("plus-associativity", (a, b, c)))
+    for a in elems:
+        if semiring.plus(a, a) != a:
+            out.append(LawViolation("plus-idempotency", (a,)))
+        if semiring.plus(a, semiring.zero) != a:
+            out.append(LawViolation("plus-unit-zero", (a,)))
+        if semiring.plus(a, semiring.one) != semiring.one:
+            out.append(LawViolation("plus-absorbing-one", (a,)))
+    return out
+
+
+def check_times_laws(
+    semiring: Semiring, elements: Optional[Sequence] = None
+) -> list[LawViolation]:
+    """``×`` commutative, associative, unit 1, absorbing 0, distributive."""
+    elems = _elements(semiring, elements)
+    out: list[LawViolation] = []
+    for a, b in pairs(elems):
+        if semiring.times(a, b) != semiring.times(b, a):
+            out.append(LawViolation("times-commutativity", (a, b)))
+    for a, b, c in triples(elems):
+        left = semiring.times(semiring.times(a, b), c)
+        right = semiring.times(a, semiring.times(b, c))
+        if left != right:
+            out.append(LawViolation("times-associativity", (a, b, c)))
+        dist_left = semiring.times(a, semiring.plus(b, c))
+        dist_right = semiring.plus(semiring.times(a, b), semiring.times(a, c))
+        if dist_left != dist_right:
+            out.append(LawViolation("distributivity", (a, b, c)))
+    for a in elems:
+        if semiring.times(a, semiring.one) != a:
+            out.append(LawViolation("times-unit-one", (a,)))
+        if semiring.times(a, semiring.zero) != semiring.zero:
+            out.append(LawViolation("times-absorbing-zero", (a,)))
+    return out
+
+
+def check_order_laws(
+    semiring: Semiring, elements: Optional[Sequence] = None
+) -> list[LawViolation]:
+    """``≤S`` is a partial order with 0 min, 1 max; operations monotone;
+    absorptiveness ``a × b ≤ a``."""
+    elems = _elements(semiring, elements)
+    out: list[LawViolation] = []
+    for a in elems:
+        if not semiring.leq(a, a):
+            out.append(LawViolation("order-reflexivity", (a,)))
+        if not semiring.leq(semiring.zero, a):
+            out.append(LawViolation("zero-is-minimum", (a,)))
+        if not semiring.leq(a, semiring.one):
+            out.append(LawViolation("one-is-maximum", (a,)))
+    for a, b in pairs(elems):
+        if semiring.leq(a, b) and semiring.leq(b, a) and a != b:
+            out.append(LawViolation("order-antisymmetry", (a, b)))
+        if not semiring.leq(semiring.times(a, b), a):
+            out.append(LawViolation("times-absorptive (a×b ≤ a)", (a, b)))
+    for a, b, c in triples(elems):
+        if semiring.leq(a, b) and semiring.leq(b, c) and not semiring.leq(a, c):
+            out.append(LawViolation("order-transitivity", (a, b, c)))
+        if semiring.leq(a, b):
+            if not semiring.leq(semiring.plus(a, c), semiring.plus(b, c)):
+                out.append(LawViolation("plus-monotonicity", (a, b, c)))
+            if not semiring.leq(semiring.times(a, c), semiring.times(b, c)):
+                out.append(LawViolation("times-monotonicity", (a, b, c)))
+    return out
+
+
+def check_lub_law(
+    semiring: Semiring, elements: Optional[Sequence] = None
+) -> list[LawViolation]:
+    """``a + b`` is the least upper bound of ``a`` and ``b``."""
+    elems = _elements(semiring, elements)
+    out: list[LawViolation] = []
+    for a, b in pairs(elems):
+        lub = semiring.plus(a, b)
+        if not (semiring.leq(a, lub) and semiring.leq(b, lub)):
+            out.append(LawViolation("lub-upper-bound", (a, b)))
+        for c in elems:
+            if semiring.leq(a, c) and semiring.leq(b, c):
+                if not semiring.leq(lub, c):
+                    out.append(LawViolation("lub-least", (a, b, c)))
+    return out
+
+
+def check_division_laws(
+    semiring: Semiring, elements: Optional[Sequence] = None
+) -> list[LawViolation]:
+    """``a ÷ b`` is the residuation ``max{x | b × x ≤ a}`` on the sample.
+
+    Checks (i) feasibility ``b × (a ÷ b) ≤ a`` and (ii) maximality: no
+    sampled ``x`` with ``b × x ≤ a`` exceeds ``a ÷ b``.
+    """
+    elems = _elements(semiring, elements)
+    out: list[LawViolation] = []
+    for a, b in pairs(elems):
+        quotient = semiring.divide(a, b)
+        if not semiring.is_element(quotient):
+            out.append(
+                LawViolation("division-closure", (a, b), f"got {quotient!r}")
+            )
+            continue
+        if not semiring.leq(semiring.times(b, quotient), a):
+            out.append(LawViolation("division-feasibility", (a, b)))
+        for x in elems:
+            if semiring.leq(semiring.times(b, x), a) and not semiring.leq(
+                x, quotient
+            ):
+                out.append(LawViolation("division-maximality", (a, b, x)))
+    return out
+
+
+def check_invertibility(
+    semiring: Semiring, elements: Optional[Sequence] = None
+) -> list[LawViolation]:
+    """When ``a ≤ b``, division recovers ``a``: ``b × (a ÷ b) = a``.
+
+    This is the *invertible by residuation* property (paper Sec. 2) that
+    makes ``retract`` exact: removing a constraint that was previously
+    told restores the prior store.
+    """
+    elems = _elements(semiring, elements)
+    out: list[LawViolation] = []
+    for a, b in pairs(elems):
+        if semiring.leq(a, b):
+            recovered = semiring.times(b, semiring.divide(a, b))
+            if not semiring.equiv(recovered, a):
+                out.append(
+                    LawViolation(
+                        "invertibility (b × (a÷b) = a when a ≤ b)",
+                        (a, b),
+                        f"recovered {recovered!r}",
+                    )
+                )
+    return out
+
+
+_ALL_CHECKS = (
+    check_plus_laws,
+    check_times_laws,
+    check_order_laws,
+    check_lub_law,
+    check_division_laws,
+    check_invertibility,
+)
+
+
+def validate_semiring(
+    semiring: Semiring,
+    elements: Optional[Iterable] = None,
+    raise_on_error: bool = False,
+) -> ValidationReport:
+    """Run every law check over a sample and collect violations.
+
+    When ``elements`` is omitted, the instance's own ``sample_elements``
+    are used.  With ``raise_on_error`` the first failing report raises
+    ``ValueError`` — convenient as a guard before handing a user-defined
+    semiring to the solver.
+    """
+    sample = tuple(elements) if elements is not None else None
+    report = ValidationReport(semiring_name=semiring.name)
+    for check in _ALL_CHECKS:
+        report.violations.extend(check(semiring, sample))
+    if raise_on_error and not report.ok:
+        raise ValueError(str(report))
+    return report

@@ -1,0 +1,79 @@
+"""Named registry of semiring instances.
+
+QoS documents in the SOA layer reference their cost model by name
+(``"weighted"``, ``"fuzzy"``, …); this registry resolves those names to
+validated instances, and lets applications register custom semirings
+(after which the broker can negotiate over them like any built-in one).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable
+
+from .base import Semiring, SemiringError
+from .boolean import BooleanSemiring
+from .fuzzy import FuzzySemiring
+from .probabilistic import ProbabilisticSemiring
+from .product import ProductSemiring
+from .setbased import SetSemiring
+from .weighted import BoundedWeightedSemiring, WeightedSemiring
+
+_FACTORIES: Dict[str, Callable[..., Semiring]] = {
+    "classical": BooleanSemiring,
+    "boolean": BooleanSemiring,
+    "fuzzy": FuzzySemiring,
+    "probabilistic": ProbabilisticSemiring,
+    "weighted": WeightedSemiring,
+    "bounded-weighted": BoundedWeightedSemiring,
+    "set": SetSemiring,
+}
+
+
+def register_semiring(name: str, factory: Callable[..., Semiring]) -> None:
+    """Register a custom semiring factory under ``name`` (lowercased).
+
+    Raises :class:`SemiringError` when the name is already taken, so a
+    plugin cannot silently shadow a built-in cost model.
+    """
+    key = name.lower()
+    if key in _FACTORIES:
+        raise SemiringError(f"semiring name {name!r} already registered")
+    _FACTORIES[key] = factory
+
+
+def available_semirings() -> Iterable[str]:
+    """Sorted names of every registered semiring."""
+    return sorted(_FACTORIES)
+
+
+def get_semiring(name: str, *args, **kwargs) -> Semiring:
+    """Instantiate the semiring registered under ``name``.
+
+    Positional/keyword arguments are forwarded to the factory (e.g.
+    ``get_semiring("set", universe={"read", "write"})`` or
+    ``get_semiring("bounded-weighted", cap=100)``).
+    """
+    key = name.lower()
+    try:
+        factory = _FACTORIES[key]
+    except KeyError:
+        known = ", ".join(available_semirings())
+        raise SemiringError(
+            f"unknown semiring {name!r}; known: {known}"
+        ) from None
+    return factory(*args, **kwargs)
+
+
+def product_of(*names_or_instances, **factory_kwargs) -> ProductSemiring:
+    """Build a multi-criteria product from names and/or instances.
+
+    Example: ``product_of("weighted", "probabilistic")`` models a joint
+    (cost, reliability) optimization as in paper Sec. 4.
+    """
+    components = []
+    for item in names_or_instances:
+        if isinstance(item, Semiring):
+            components.append(item)
+        else:
+            components.append(get_semiring(item, **factory_kwargs))
+    return ProductSemiring(components)

@@ -1,0 +1,89 @@
+"""The Set-based semiring ``⟨P(U), ∪, ∩, ∅, U⟩`` over a finite universe U.
+
+Models qualitative features of service components (paper Sec. 4): security
+rights, capability sets, admissible time slots.  Combining components
+intersects their feature sets; the derived order is set inclusion, which
+is a genuine *partial* order — two services can be incomparable.
+"""
+
+from __future__ import annotations
+
+from typing import Any, FrozenSet, Iterable
+
+from .base import Semiring, SemiringError
+
+SetValue = FrozenSet[Any]
+
+
+class SetSemiring(Semiring[SetValue]):
+    """Subsets of a finite universe; union selects, intersection combines.
+
+    Residuated division::
+
+        a ÷ b = a ∪ (U ∖ b)
+
+    the largest ``x`` with ``b ∩ x ⊆ a`` (relative pseudo-complement of the
+    powerset Heyting algebra).
+    """
+
+    name = "SetBased"
+
+    def __init__(self, universe: Iterable[Any]) -> None:
+        self.universe: SetValue = frozenset(universe)
+        if not self.universe:
+            raise SemiringError("SetSemiring needs a non-empty universe")
+
+    @property
+    def zero(self) -> SetValue:
+        return frozenset()
+
+    @property
+    def one(self) -> SetValue:
+        return self.universe
+
+    def plus(self, a: SetValue, b: SetValue) -> SetValue:
+        return a | b
+
+    def times(self, a: SetValue, b: SetValue) -> SetValue:
+        return a & b
+
+    def divide(self, a: SetValue, b: SetValue) -> SetValue:
+        return a | (self.universe - b)
+
+    def leq(self, a: SetValue, b: SetValue) -> bool:
+        return a <= b
+
+    def is_element(self, a: Any) -> bool:
+        return isinstance(a, frozenset) and a <= self.universe
+
+    def is_multiplicative_idempotent(self) -> bool:
+        return True
+
+    def sample_elements(self) -> tuple[SetValue, ...]:
+        items = sorted(self.universe, key=repr)
+        samples = [frozenset(), self.universe]
+        if items:
+            samples.append(frozenset(items[:1]))
+        if len(items) > 1:
+            samples.append(frozenset(items[1:]))
+            samples.append(frozenset(items[::2]))
+        # Deduplicate while keeping order stable.
+        unique: list[SetValue] = []
+        for sample in samples:
+            if sample not in unique:
+                unique.append(sample)
+        return tuple(unique)
+
+    def check_element(self, a: Any) -> SetValue:
+        if isinstance(a, (set, frozenset)) and frozenset(a) <= self.universe:
+            return frozenset(a)
+        raise SemiringError(f"{a!r} is not a subset of the universe")
+
+    def __eq__(self, other: object) -> bool:
+        return type(self) is type(other) and self.universe == other.universe
+
+    def __hash__(self) -> int:
+        return hash((type(self), self.universe))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SetSemiring(universe={set(self.universe)!r})"

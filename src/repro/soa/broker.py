@@ -1,0 +1,556 @@
+"""The QoS/dependability broker-orchestrator (paper Sec. 4, Fig. 6).
+
+The broker sits between clients and providers, hosts the soft-constraint
+solver, and carries out the five computation steps of the paper:
+
+1. the client requests a binding, stating the required QoS;
+2. the broker searches the UDDI registry for providers;
+3. the broker performs QoS negotiation (nmsccp agents on its store);
+4. offered vs required QoS are compared to determine an agreed QoS;
+5. on success, an SLA binding is created and both parties informed.
+
+Selection solves one SCSP per candidate (client requirement ⊗ provider
+offer) and keeps the semiring-best; composition introduces one selection
+variable per pipeline slot and solves for the best provider tuple under
+the per-attribute aggregation rules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..constraints.constraint import FunctionConstraint, SoftConstraint
+from ..constraints.operations import combine
+from ..constraints.store import empty_store
+from ..constraints.variables import Variable
+from ..semirings.base import Semiring
+from ..sccp.check import CheckSpec
+from ..solver import SCSP, solve
+from .composition import (
+    AGGREGATION_RULES,
+    AggregationRule,
+    Choose,
+    Invoke,
+    Pipeline,
+    Plan,
+    Split,
+)
+from .messages import MessageBus
+from .negotiation import NegotiationOutcome, Party, negotiate
+from .qos import compile_document, resolve_attribute
+from .registry import ServiceRegistry
+from .service import ServiceDescription
+from .sla import SLA, SLARepository
+
+
+class BrokerError(Exception):
+    """Raised on unanswerable requests (no providers, no attribute, …)."""
+
+
+@dataclass
+class ClientRequest:
+    """Step 1: a binding request with its required QoS.
+
+    ``requirements`` are soft constraints over shared resource variables;
+    ``acceptance`` is the client's checked interval on the merged store
+    (``None`` accepts any consistent agreement).
+    """
+
+    client: str
+    operation: str
+    attribute: str
+    requirements: List[SoftConstraint] = field(default_factory=list)
+    acceptance: Optional[CheckSpec] = None
+    semiring: Optional[Semiring] = None
+
+    def resolved_semiring(self) -> Semiring:
+        if self.semiring is not None:
+            return self.semiring
+        if self.requirements:
+            return self.requirements[0].semiring
+        return resolve_attribute(self.attribute).semiring()
+
+
+@dataclass
+class CandidateEvaluation:
+    """Step 4 for one provider: offered ⊗ required, solved."""
+
+    description: ServiceDescription
+    blevel: Any
+    accepted: bool
+    best_assignment: Optional[Dict[str, Any]]
+
+    @property
+    def provider(self) -> str:
+        return self.description.provider
+
+
+@dataclass
+class NegotiationResult:
+    """The broker's answer to a client request."""
+
+    request: ClientRequest
+    success: bool
+    sla: Optional[SLA]
+    evaluations: List[CandidateEvaluation]
+    outcome: Optional[NegotiationOutcome] = None
+    detail: str = ""
+
+    @property
+    def chosen(self) -> Optional[CandidateEvaluation]:
+        if self.sla is None:
+            return None
+        for evaluation in self.evaluations:
+            if evaluation.description.service_id in self.sla.service_ids:
+                return evaluation
+        return None
+
+
+@dataclass
+class ParetoPoint:
+    """One nondominated offer: a candidate, its product-valued level and
+    the resource assignment achieving it."""
+
+    description: ServiceDescription
+    level: Tuple[Any, ...]
+    assignment: Dict[str, Any]
+
+    @property
+    def provider(self) -> str:
+        return self.description.provider
+
+
+@dataclass
+class MulticriteriaResult:
+    """The Pareto frontier of a joint multi-attribute negotiation."""
+
+    client: str
+    operation: str
+    attributes: Tuple[str, ...]
+    frontier: List[ParetoPoint]
+    semiring: Any
+
+    @property
+    def satisfiable(self) -> bool:
+        return bool(self.frontier)
+
+    def providers(self) -> List[str]:
+        return sorted({point.provider for point in self.frontier})
+
+    def dominated_by_frontier(self, level: Tuple[Any, ...]) -> bool:
+        """Whether ``level`` is strictly worse than some frontier point."""
+        return any(
+            self.semiring.gt(point.level, level) for point in self.frontier
+        )
+
+
+class Broker:
+    """The negotiation orchestrator with an embedded SCSP solver."""
+
+    ENDPOINT = "broker"
+
+    def __init__(
+        self,
+        registry: ServiceRegistry,
+        bus: Optional[MessageBus] = None,
+        name: str = "broker",
+    ) -> None:
+        self.registry = registry
+        self.bus = bus
+        self.name = name
+        self.slas = SLARepository()
+        self._clock = 0
+        if bus is not None:
+            bus.register(self.ENDPOINT)
+
+    # ------------------------------------------------------------------
+    # Single-service selection (steps 1–5)
+    # ------------------------------------------------------------------
+
+    def negotiate(
+        self,
+        request: ClientRequest,
+        verify_scheduler_independence: bool = False,
+    ) -> NegotiationResult:
+        """Select the semiring-best provider for one operation."""
+        self._clock += 1
+        semiring = request.resolved_semiring()
+        self._post(request.client, "negotiate-request", request.operation)
+
+        candidates = self.registry.find(
+            operation=request.operation, requires_attribute=request.attribute
+        )
+        self._post(self.name, "registry-query", len(candidates))
+        if not candidates:
+            return NegotiationResult(
+                request,
+                success=False,
+                sla=None,
+                evaluations=[],
+                detail=f"no provider offers {request.operation!r} with "
+                f"{request.attribute!r}",
+            )
+
+        evaluations: List[CandidateEvaluation] = []
+        for description in candidates:
+            evaluations.append(
+                self._evaluate(description, request, semiring)
+            )
+
+        accepted = [e for e in evaluations if e.accepted]
+        if not accepted:
+            self._post(self.name, "negotiate-reject", request.client)
+            return NegotiationResult(
+                request,
+                success=False,
+                sla=None,
+                evaluations=evaluations,
+                detail="no candidate satisfies the client's acceptance interval",
+            )
+
+        best = accepted[0]
+        for evaluation in accepted[1:]:
+            if semiring.gt(evaluation.blevel, best.blevel):
+                best = evaluation
+
+        outcome = self._confirm(best, request, semiring) if (
+            verify_scheduler_independence
+        ) else None
+        if outcome is not None and not outcome.success:
+            return NegotiationResult(
+                request,
+                success=False,
+                sla=None,
+                evaluations=evaluations,
+                outcome=outcome,
+                detail="nmsccp confirmation run failed",
+            )
+
+        sla = self._sign(best, request, semiring)
+        self._post(self.name, "sla-created", sla.sla_id)
+        return NegotiationResult(
+            request,
+            success=True,
+            sla=sla,
+            evaluations=evaluations,
+            outcome=outcome,
+            detail=f"bound to {best.description.service_id!r}",
+        )
+
+    def _evaluate(
+        self,
+        description: ServiceDescription,
+        request: ClientRequest,
+        semiring: Semiring,
+    ) -> CandidateEvaluation:
+        """Step 4: offered ⊗ required as one SCSP."""
+        pool: Dict[str, Variable] = {
+            var.name: var
+            for constraint in request.requirements
+            for var in constraint.scope
+        }
+        offer = compile_document(
+            description.qos, request.attribute, semiring, pool
+        )
+        if not offer:
+            return CandidateEvaluation(description, semiring.zero, False, None)
+        constraints = list(request.requirements) + offer
+        problem = SCSP(constraints, name=description.service_id)
+        result = solve(problem)
+
+        if request.acceptance is not None:
+            store = empty_store(semiring).tell(
+                combine(constraints, semiring=semiring)
+            )
+            accepted = request.acceptance.holds(store)
+        else:
+            accepted = result.is_consistent
+        return CandidateEvaluation(
+            description, result.blevel, accepted, result.best_assignment
+        )
+
+    def _confirm(
+        self,
+        evaluation: CandidateEvaluation,
+        request: ClientRequest,
+        semiring: Semiring,
+    ) -> NegotiationOutcome:
+        """Step 3 made explicit: rerun the winner as nmsccp agents and
+        certify scheduler independence."""
+        pool: Dict[str, Variable] = {
+            var.name: var
+            for constraint in request.requirements
+            for var in constraint.scope
+        }
+        offer = compile_document(
+            evaluation.description.qos, request.attribute, semiring, pool
+        )
+        provider = Party(
+            evaluation.description.provider, offer, acceptance=None
+        )
+        client = Party(
+            request.client, list(request.requirements), request.acceptance
+        )
+        return negotiate(
+            [provider, client],
+            semiring,
+            verify_scheduler_independence=True,
+        )
+
+    def _sign(
+        self,
+        evaluation: CandidateEvaluation,
+        request: ClientRequest,
+        semiring: Semiring,
+    ) -> SLA:
+        pool: Dict[str, Variable] = {
+            var.name: var
+            for constraint in request.requirements
+            for var in constraint.scope
+        }
+        offer = compile_document(
+            evaluation.description.qos, request.attribute, semiring, pool
+        )
+        agreed = combine(
+            list(request.requirements) + offer, semiring=semiring
+        )
+        sla = SLA(
+            client=request.client,
+            providers=(evaluation.description.provider,),
+            attribute=request.attribute,
+            semiring=semiring,
+            agreed_constraint=agreed,
+            agreed_level=evaluation.blevel,
+            resource_assignment=dict(evaluation.best_assignment or {}),
+            service_ids=(evaluation.description.service_id,),
+            created_at=self._clock,
+        )
+        self.slas.add(sla)
+        return sla
+
+    # ------------------------------------------------------------------
+    # Composition selection
+    # ------------------------------------------------------------------
+
+    def negotiate_composition(
+        self,
+        client: str,
+        slots: Sequence[str],
+        attribute: str,
+        pattern: str = "pipeline",
+        minimum_level: Any = None,
+        rule: Optional[AggregationRule] = None,
+    ) -> Tuple[Optional[SLA], Optional[Plan], Dict[str, Any]]:
+        """Choose one provider per operation slot, optimizing the
+        aggregated QoS of the composite (paper: "look for complex services
+        by composing together simpler service interfaces").
+
+        Returns ``(sla, plan, diagnostics)``; ``sla`` is ``None`` when no
+        selection reaches ``minimum_level``.
+        """
+        self._clock += 1
+        semiring = resolve_attribute(attribute).semiring()
+        if rule is None:
+            try:
+                rule = AGGREGATION_RULES[attribute]
+            except KeyError:
+                raise BrokerError(
+                    f"no aggregation rule for attribute {attribute!r}"
+                ) from None
+
+        # Scalar offer per candidate: its best achievable level.
+        slot_candidates: List[List[ServiceDescription]] = []
+        offer_level: Dict[str, Any] = {}
+        for operation in slots:
+            candidates = self.registry.find(
+                operation=operation, requires_attribute=attribute
+            )
+            if not candidates:
+                raise BrokerError(
+                    f"no provider for slot operation {operation!r}"
+                )
+            slot_candidates.append(candidates)
+            for description in candidates:
+                if description.service_id not in offer_level:
+                    constraints = compile_document(
+                        description.qos, attribute, semiring, {}
+                    )
+                    problem = SCSP(constraints, name=description.service_id)
+                    offer_level[description.service_id] = solve(problem).blevel
+
+        # One selection variable per slot, domain = candidate service ids.
+        selection_vars = [
+            Variable(f"slot{i}", tuple(d.service_id for d in candidates))
+            for i, candidates in enumerate(slot_candidates)
+        ]
+
+        fold = {
+            "pipeline": rule.sequence,
+            "split": rule.split,
+            "choose": rule.choose,
+        }.get(pattern)
+        if fold is None:
+            raise BrokerError(f"unknown composition pattern {pattern!r}")
+
+        def aggregated(*chosen_ids: str) -> Any:
+            return fold([offer_level[sid] for sid in chosen_ids])
+
+        objective = FunctionConstraint(
+            semiring, selection_vars, aggregated, name=f"compose-{attribute}"
+        )
+        problem = SCSP([objective], name="composition")
+        result = solve(problem)
+
+        diagnostics = {
+            "offer_levels": dict(offer_level),
+            "blevel": result.blevel,
+            "evaluations": result.stats.leaves_evaluated,
+        }
+        if minimum_level is not None and not semiring.geq(
+            result.blevel, minimum_level
+        ):
+            return None, None, diagnostics
+
+        assert result.best_assignment is not None
+        chosen_ids = [
+            result.best_assignment[var.name] for var in selection_vars
+        ]
+        plan_children = [Invoke(sid) for sid in chosen_ids]
+        plan: Plan = {
+            "pipeline": Pipeline,
+            "split": Split,
+            "choose": Choose,
+        }[pattern](plan_children)
+
+        providers = tuple(
+            self.registry.get(sid).provider for sid in chosen_ids
+        )
+        sla = SLA(
+            client=client,
+            providers=providers,
+            attribute=attribute,
+            semiring=semiring,
+            agreed_constraint=objective,
+            agreed_level=result.blevel,
+            resource_assignment=dict(result.best_assignment),
+            service_ids=tuple(chosen_ids),
+            created_at=self._clock,
+        )
+        self.slas.add(sla)
+        self._post(self.name, "composition-sla", sla.sla_id)
+        return sla, plan, diagnostics
+
+    # ------------------------------------------------------------------
+    # Multi-criteria (Pareto) selection
+    # ------------------------------------------------------------------
+
+    def negotiate_multicriteria(
+        self,
+        client: str,
+        operation: str,
+        attributes: Sequence[str],
+        requirements: Optional[List[SoftConstraint]] = None,
+    ) -> "MulticriteriaResult":
+        """Negotiate several QoS attributes jointly over their product
+        semiring (paper Sec. 4: "the cartesian product of multiple
+        c-semirings is still a c-semiring and, therefore, we can model
+        also a multicriteria optimization").
+
+        Each candidate's offers for every attribute are folded into one
+        product-valued constraint; incomparable trade-offs survive as a
+        Pareto frontier instead of being collapsed by an arbitrary
+        scalarization.  ``requirements`` (optional) are product-valued
+        client constraints combined into every candidate's problem.
+        """
+        from ..semirings.product import ProductSemiring
+
+        if len(attributes) < 2:
+            raise BrokerError(
+                "multicriteria negotiation needs at least two attributes"
+            )
+        self._clock += 1
+        component_semirings = [
+            resolve_attribute(a).semiring() for a in attributes
+        ]
+        product = ProductSemiring(component_semirings)
+
+        candidates = [
+            d
+            for d in self.registry.find(operation=operation)
+            if all(a in d.qos.attributes() for a in attributes)
+        ]
+        if not candidates:
+            return MulticriteriaResult(
+                client, operation, tuple(attributes), [], product
+            )
+
+        points: List[ParetoPoint] = []
+        for description in candidates:
+            pool: Dict[str, Variable] = {
+                var.name: var
+                for constraint in (requirements or [])
+                for var in constraint.scope
+            }
+            per_attribute = []
+            for attribute, semiring in zip(attributes, component_semirings):
+                offer = compile_document(
+                    description.qos, attribute, semiring, pool
+                )
+                per_attribute.append(
+                    combine(offer, semiring=semiring)
+                )
+            scope = tuple(
+                {
+                    var.name: var
+                    for constraint in per_attribute
+                    for var in constraint.scope
+                }.values()
+            )
+
+            def joint(*values, _scope=scope, _parts=per_attribute):
+                assignment = {
+                    var.name: value for var, value in zip(_scope, values)
+                }
+                return tuple(part.value(assignment) for part in _parts)
+
+            offer_constraint = FunctionConstraint(
+                product, scope, joint, name=description.service_id
+            )
+            constraints = list(requirements or []) + [offer_constraint]
+            problem = SCSP(constraints, name=description.service_id)
+            result = solve(problem, method="exhaustive")
+            for value, group in zip(result.frontier, result.optima):
+                for assignment in group:
+                    points.append(
+                        ParetoPoint(
+                            description=description,
+                            level=value,
+                            assignment=dict(assignment),
+                        )
+                    )
+
+        # Pareto-filter across candidates.
+        frontier_values = product.max_elements(
+            [point.level for point in points]
+        )
+        frontier = [
+            point for point in points if point.level in frontier_values
+        ]
+        frontier.sort(
+            key=lambda p: (p.description.service_id, repr(p.level))
+        )
+        return MulticriteriaResult(
+            client, operation, tuple(attributes), frontier, product
+        )
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+
+    def _post(self, sender: str, kind: str, body: Any) -> None:
+        """Journal a protocol step on the bus when one is attached."""
+        if self.bus is not None:
+            if sender not in self.bus.endpoints():
+                self.bus.register(sender)
+            self.bus.send(sender, self.ENDPOINT, kind, body)

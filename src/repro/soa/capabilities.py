@@ -1,0 +1,162 @@
+"""MUST/MAY capability policies over the Set-based semiring.
+
+The paper's conclusion sketches security policies as constraints: "a web
+service specification could require that, for example, 'you MUST use
+HTTP Authentication and MAY use GZIP compression'."  This module makes
+that concrete:
+
+* a :class:`CapabilityPolicy` lists capabilities a party **must** use,
+  **may** use, and (implicitly) everything else is **forbidden**;
+* a policy denotes the *set of admissible capability profiles* — encoded
+  as one Set-semiring value per profile bit, or, more compactly, as the
+  interval ``[must, must ∪ may]`` in the powerset lattice;
+* policies compose with the semiring ``×`` (= ∩): a profile admissible
+  for the composition must be admissible for every party — exactly the
+  paper's "composing the properties of its components together";
+* compatibility, the admissible profiles, and the minimal/maximal
+  profile are decidable queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from ..semirings.setbased import SetSemiring
+
+Profile = FrozenSet[str]
+
+
+class CapabilityError(Exception):
+    """Raised on malformed or contradictory policies."""
+
+
+@dataclass(frozen=True)
+class CapabilityPolicy:
+    """``MUST ⊆ profile ⊆ MUST ∪ MAY`` over a capability universe."""
+
+    name: str
+    must: FrozenSet[str] = frozenset()
+    may: FrozenSet[str] = frozenset()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "must", frozenset(self.must))
+        object.__setattr__(self, "may", frozenset(self.may))
+        overlap = self.must & self.may
+        if overlap:
+            # MUST subsumes MAY; overlapping declarations are harmless
+            object.__setattr__(self, "may", self.may - self.must)
+
+    @property
+    def floor(self) -> Profile:
+        """The minimal admissible profile (exactly the MUSTs)."""
+        return self.must
+
+    @property
+    def ceiling(self) -> Profile:
+        """The maximal admissible profile (MUSTs plus all MAYs)."""
+        return self.must | self.may
+
+    def admits(self, profile: Iterable[str]) -> bool:
+        """Whether a concrete capability profile satisfies the policy."""
+        chosen = frozenset(profile)
+        return self.must <= chosen <= self.ceiling
+
+    def admissible_profiles(self) -> List[Profile]:
+        """Every admissible profile (2^|may| of them) — small universes."""
+        profiles = [self.must]
+        for capability in sorted(self.may):
+            profiles.extend(
+                profile | {capability} for profile in list(profiles)
+            )
+        return profiles
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        musts = ", ".join(sorted(self.must)) or "—"
+        mays = ", ".join(sorted(self.may)) or "—"
+        return f"{self.name}: MUST {{{musts}}} MAY {{{mays}}}"
+
+
+def policy(
+    name: str,
+    must: Iterable[str] = (),
+    may: Iterable[str] = (),
+) -> CapabilityPolicy:
+    """Sugar: ``policy("svc", must={"http-auth"}, may={"gzip"})``."""
+    return CapabilityPolicy(name, frozenset(must), frozenset(may))
+
+
+@dataclass
+class CompositionVerdict:
+    """Outcome of composing capability policies."""
+
+    compatible: bool
+    combined: Optional[CapabilityPolicy]
+    conflicts: List[str] = field(default_factory=list)
+
+
+def compose_policies(
+    policies: Iterable[CapabilityPolicy],
+) -> CompositionVerdict:
+    """Intersect admissibility: the composition's MUST is the union of
+    all MUSTs, its ceiling the intersection of all ceilings.
+
+    Incompatible when some party's MUST is outside another's ceiling —
+    those capabilities are reported as conflicts.
+    """
+    items = list(policies)
+    if not items:
+        raise CapabilityError("compose_policies() needs at least one policy")
+    must: Set[str] = set()
+    ceiling: Optional[Set[str]] = None
+    for item in items:
+        must |= item.must
+        ceiling = (
+            set(item.ceiling) if ceiling is None else ceiling & item.ceiling
+        )
+    assert ceiling is not None
+    conflicts = sorted(must - ceiling)
+    if conflicts:
+        return CompositionVerdict(False, None, conflicts)
+    combined = CapabilityPolicy(
+        name="⊗".join(item.name for item in items),
+        must=frozenset(must),
+        may=frozenset(ceiling - must),
+    )
+    return CompositionVerdict(True, combined)
+
+
+def to_semiring_value(
+    policy_: CapabilityPolicy, semiring: SetSemiring
+) -> Tuple[Profile, Profile]:
+    """The policy's denotation in the Set semiring: the interval
+    ``(floor, ceiling)`` of its admissibility lattice.
+
+    Composition of intervals is componentwise: floors join (∪ = the
+    semiring ``+``) and ceilings meet (∩ = the semiring ``×``) — the
+    verdict of :func:`compose_policies` restated algebraically.  The
+    function checks the policy fits the semiring's universe.
+    """
+    if not policy_.ceiling <= semiring.universe:
+        unknown = sorted(policy_.ceiling - semiring.universe)
+        raise CapabilityError(
+            f"policy {policy_.name!r} mentions capabilities outside the "
+            f"universe: {unknown}"
+        )
+    return policy_.floor, policy_.ceiling
+
+
+def compose_in_semiring(
+    policies: Iterable[CapabilityPolicy], semiring: SetSemiring
+) -> Tuple[Profile, Profile, bool]:
+    """Compose via semiring operations; returns (floor, ceiling, ok).
+
+    Cross-checks :func:`compose_policies`: ``ok`` iff floor ⊆ ceiling.
+    """
+    floor = semiring.zero
+    ceiling = semiring.one
+    for item in policies:
+        item_floor, item_ceiling = to_semiring_value(item, semiring)
+        floor = semiring.plus(floor, item_floor)       # ∪ of musts
+        ceiling = semiring.times(ceiling, item_ceiling)  # ∩ of ceilings
+    return floor, ceiling, semiring.leq(floor, ceiling)

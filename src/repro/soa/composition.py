@@ -1,0 +1,188 @@
+"""Service composition plans and per-attribute QoS aggregation.
+
+The broker "consolidates multiple services into a new, single service
+offering" (paper Sec. 3).  A plan is a tree of three patterns —
+sequential pipeline, parallel split (fork-join), exclusive choice — and
+each QoS attribute aggregates along the tree with its own operators
+(availability multiplies along a pipeline, latency adds, a choice is as
+bad as its worst branch, …).  These are the standard web-service QoS
+aggregation rules; the semiring ``×`` recovers the pipeline column.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Sequence, Tuple
+
+
+class CompositionError(Exception):
+    """Raised on malformed plans or missing QoS values."""
+
+
+class Plan:
+    """Base class of composition plan nodes."""
+
+    def services(self) -> List[str]:
+        """Every service id in the plan, left-to-right."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return self.describe()
+
+
+@dataclass(frozen=True)
+class Invoke(Plan):
+    """Leaf: invoke one concrete service."""
+
+    service_id: str
+
+    def services(self) -> List[str]:
+        return [self.service_id]
+
+    def describe(self) -> str:
+        return self.service_id
+
+
+class _Composite(Plan):
+    symbol = "?"
+
+    def __init__(self, children: Sequence[Plan]) -> None:
+        if len(children) < 1:
+            raise CompositionError(
+                f"{type(self).__name__} needs at least one child"
+            )
+        self.children: Tuple[Plan, ...] = tuple(children)
+
+    def services(self) -> List[str]:
+        found: List[str] = []
+        for child in self.children:
+            found.extend(child.services())
+        return found
+
+    def describe(self) -> str:
+        inner = f" {self.symbol} ".join(c.describe() for c in self.children)
+        return f"({inner})"
+
+    def __eq__(self, other: object) -> bool:
+        return type(self) is type(other) and self.children == other.children
+
+    def __hash__(self) -> int:
+        return hash((type(self), self.children))
+
+
+class Pipeline(_Composite):
+    """Sequential composition — the paper's photo-editing pipeline."""
+
+    symbol = "▶"
+
+
+class Split(_Composite):
+    """Parallel split with join: all branches must succeed."""
+
+    symbol = "∥"
+
+
+class Choose(_Composite):
+    """Exclusive choice: exactly one branch runs."""
+
+    symbol = "⊕"
+
+
+@dataclass(frozen=True)
+class AggregationRule:
+    """How one attribute folds across each pattern.
+
+    Each operator folds a non-empty list of child values; ``choose``
+    defaults to worst-case (the guarantee that holds whichever branch
+    runs).
+    """
+
+    sequence: Callable[[Sequence[float]], float]
+    split: Callable[[Sequence[float]], float]
+    choose: Callable[[Sequence[float]], float]
+
+
+def _product(values: Sequence[float]) -> float:
+    result = 1.0
+    for value in values:
+        result *= value
+    return result
+
+
+#: Standard rules per attribute (extensible via ``aggregate(..., rule=)``).
+AGGREGATION_RULES: Dict[str, AggregationRule] = {
+    # multiplicative metrics: every stage must work
+    "availability": AggregationRule(_product, _product, min),
+    "reliability": AggregationRule(_product, _product, min),
+    # additive metrics: costs accumulate; a split pays every branch
+    "cost": AggregationRule(sum, sum, max),
+    "downtime": AggregationRule(sum, sum, max),
+    # latency: a split waits for its slowest branch
+    "latency": AggregationRule(sum, max, max),
+    # concave metrics: the pipeline is as good as its weakest stage
+    "fuzzy-reliability": AggregationRule(min, min, min),
+}
+
+
+def aggregate(
+    plan: Plan,
+    values: Mapping[str, float],
+    attribute: str,
+    rule: AggregationRule | None = None,
+) -> float:
+    """Fold per-service QoS ``values`` over ``plan`` for ``attribute``."""
+    if rule is None:
+        try:
+            rule = AGGREGATION_RULES[attribute]
+        except KeyError:
+            known = ", ".join(sorted(AGGREGATION_RULES))
+            raise CompositionError(
+                f"no aggregation rule for {attribute!r}; known: {known} "
+                "(pass rule= explicitly)"
+            ) from None
+
+    def fold(node: Plan) -> float:
+        if isinstance(node, Invoke):
+            try:
+                return values[node.service_id]
+            except KeyError:
+                raise CompositionError(
+                    f"no {attribute!r} value for service "
+                    f"{node.service_id!r}"
+                ) from None
+        child_values = [fold(child) for child in node.children]  # type: ignore[attr-defined]
+        if isinstance(node, Pipeline):
+            return rule.sequence(child_values)
+        if isinstance(node, Split):
+            return rule.split(child_values)
+        if isinstance(node, Choose):
+            return rule.choose(child_values)
+        raise CompositionError(f"unknown plan node {type(node).__name__}")
+
+    return fold(plan)
+
+
+def aggregate_many(
+    plan: Plan, per_attribute_values: Mapping[str, Mapping[str, float]]
+) -> Dict[str, float]:
+    """Aggregate several attributes at once:
+    ``{attribute: {service_id: value}} → {attribute: aggregated}``."""
+    return {
+        attribute: aggregate(plan, values, attribute)
+        for attribute, values in per_attribute_values.items()
+    }
+
+
+def pipeline(*service_ids: str) -> Plan:
+    """Sugar: a pipeline of leaf invocations."""
+    return Pipeline([Invoke(sid) for sid in service_ids])
+
+
+def plan_depth(plan: Plan) -> int:
+    """Height of the plan tree (a leaf has depth 1)."""
+    if isinstance(plan, Invoke):
+        return 1
+    return 1 + max(plan_depth(child) for child in plan.children)  # type: ignore[attr-defined]

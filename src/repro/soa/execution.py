@@ -1,0 +1,162 @@
+"""Simulated execution of composite service plans.
+
+Runs a :mod:`composition` plan against live :class:`~repro.soa.service.Service`
+objects, consulting the fault injector at every step.  Produces per-run
+reports the SLA monitor consumes, so negotiated dependability can be
+compared with delivered dependability over many logical ticks.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, List, Optional
+
+from .composition import Choose, CompositionError, Invoke, Pipeline, Plan, Split
+from .faults import FaultInjector
+from .service import InvocationOutcome, ServicePool
+
+
+@dataclass
+class ExecutionReport:
+    """Outcome of executing a plan once."""
+
+    tick: int
+    success: bool
+    latency_ms: float
+    outcomes: List[InvocationOutcome] = field(default_factory=list)
+    output: Any = None
+    aborted_at: Optional[str] = None
+
+    @property
+    def services_touched(self) -> List[str]:
+        return [outcome.service_id for outcome in self.outcomes]
+
+
+class ExecutionEngine:
+    """Drives plans over the service pool under fault injection."""
+
+    def __init__(
+        self,
+        pool: ServicePool,
+        injector: Optional[FaultInjector] = None,
+        seed: Optional[int] = None,
+    ) -> None:
+        self.pool = pool
+        self.injector = injector
+        self._rng = random.Random(seed)
+        self._tick = 0
+        self.reports: List[ExecutionReport] = []
+
+    def execute(self, plan: Plan, payload: Any = None) -> ExecutionReport:
+        """One run of ``plan``; the logical clock advances per run."""
+        tick = self._tick
+        self._tick += 1
+        outcomes: List[InvocationOutcome] = []
+        success, latency, output, aborted = self._run(
+            plan, payload, tick, outcomes
+        )
+        report = ExecutionReport(
+            tick=tick,
+            success=success,
+            latency_ms=latency,
+            outcomes=outcomes,
+            output=output if success else None,
+            aborted_at=aborted,
+        )
+        self.reports.append(report)
+        return report
+
+    def execute_many(
+        self, plan: Plan, runs: int, payload: Any = None
+    ) -> List[ExecutionReport]:
+        return [self.execute(plan, payload) for _ in range(runs)]
+
+    # ------------------------------------------------------------------
+    # Plan walkers
+    # ------------------------------------------------------------------
+
+    def _run(self, node, payload, tick, outcomes):
+        """Returns (success, latency_ms, output, aborted_service_id)."""
+        if isinstance(node, Invoke):
+            outcome = self._invoke(node.service_id, payload, tick)
+            outcomes.append(outcome)
+            aborted = None if outcome.success else node.service_id
+            return outcome.success, outcome.latency_ms, outcome.output, aborted
+
+        if isinstance(node, Pipeline):
+            total_latency = 0.0
+            current = payload
+            for child in node.children:
+                success, latency, current, aborted = self._run(
+                    child, current, tick, outcomes
+                )
+                total_latency += latency
+                if not success:
+                    return False, total_latency, None, aborted
+            return True, total_latency, current, None
+
+        if isinstance(node, Split):
+            # Fork-join: every branch runs on the same payload; the join
+            # waits for the slowest branch and fails if any branch fails.
+            worst_latency = 0.0
+            results = []
+            first_abort = None
+            all_ok = True
+            for child in node.children:
+                success, latency, output, aborted = self._run(
+                    child, payload, tick, outcomes
+                )
+                worst_latency = max(worst_latency, latency)
+                results.append(output)
+                if not success:
+                    all_ok = False
+                    if first_abort is None:
+                        first_abort = aborted
+            return all_ok, worst_latency, results if all_ok else None, first_abort
+
+        if isinstance(node, Choose):
+            # Exclusive choice: one branch, picked uniformly (seeded).
+            child = self._rng.choice(node.children)
+            return self._run(child, payload, tick, outcomes)
+
+        raise CompositionError(f"unknown plan node {type(node).__name__}")
+
+    def _invoke(self, service_id: str, payload, tick) -> InvocationOutcome:
+        fault = (
+            self.injector.decide(service_id, tick)
+            if self.injector is not None
+            else None
+        )
+        if fault is not None and fault.fail:
+            return InvocationOutcome(
+                service_id,
+                success=False,
+                latency_ms=0.0,
+                fault=fault.kind,
+            )
+        outcome = self.pool.get(service_id).invoke(payload)
+        if fault is not None and fault.extra_latency_ms:
+            outcome = InvocationOutcome(
+                outcome.service_id,
+                outcome.success,
+                outcome.latency_ms + fault.extra_latency_ms,
+                outcome.output,
+                fault=fault.kind,
+            )
+        return outcome
+
+    # ------------------------------------------------------------------
+    # Aggregate statistics
+    # ------------------------------------------------------------------
+
+    def observed_availability(self) -> float:
+        """Successful fraction over every run so far (1.0 when no runs)."""
+        if not self.reports:
+            return 1.0
+        return sum(r.success for r in self.reports) / len(self.reports)
+
+    def mean_latency(self) -> float:
+        if not self.reports:
+            return 0.0
+        return sum(r.latency_ms for r in self.reports) / len(self.reports)

@@ -1,0 +1,102 @@
+"""Fault injection for the simulated execution engine.
+
+The paper motivates dependability monitoring but reports no testbed; we
+substitute a seeded stochastic fault layer so the runtime monitor has
+real failures to detect (DESIGN.md, substitutions).  Faults are injected
+*between* the engine and a service, so a perfectly reliable service can
+still be observed failing — the situation where advertised and delivered
+dependability diverge.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+
+@dataclass(frozen=True)
+class InjectedFault:
+    """What the injector decided for one invocation."""
+
+    kind: str
+    extra_latency_ms: float = 0.0
+    fail: bool = False
+
+
+class FaultModel(ABC):
+    """Per-service fault policy, consulted once per invocation."""
+
+    @abstractmethod
+    def apply(self, tick: int, rng: random.Random) -> Optional[InjectedFault]:
+        """Return a fault for logical time ``tick`` or ``None``."""
+
+
+class BernoulliCrash(FaultModel):
+    """Independent crash with fixed probability — background noise."""
+
+    def __init__(self, probability: float) -> None:
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError("probability must be in [0, 1]")
+        self.probability = probability
+
+    def apply(self, tick: int, rng: random.Random) -> Optional[InjectedFault]:
+        if rng.random() < self.probability:
+            return InjectedFault(kind="crash", fail=True)
+        return None
+
+
+class BurstOutage(FaultModel):
+    """Deterministic outage window: down for ``length`` ticks from
+    ``start`` — models a provider incident the monitor must catch."""
+
+    def __init__(self, start: int, length: int) -> None:
+        if start < 0 or length <= 0:
+            raise ValueError("start must be ≥ 0 and length > 0")
+        self.start = start
+        self.length = length
+
+    def apply(self, tick: int, rng: random.Random) -> Optional[InjectedFault]:
+        if self.start <= tick < self.start + self.length:
+            return InjectedFault(kind="outage", fail=True)
+        return None
+
+
+class RandomDelay(FaultModel):
+    """Latency spikes: with ``probability``, add ``extra_ms``."""
+
+    def __init__(self, probability: float, extra_ms: float) -> None:
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError("probability must be in [0, 1]")
+        self.probability = probability
+        self.extra_ms = extra_ms
+
+    def apply(self, tick: int, rng: random.Random) -> Optional[InjectedFault]:
+        if rng.random() < self.probability:
+            return InjectedFault(kind="delay", extra_latency_ms=self.extra_ms)
+        return None
+
+
+class FaultInjector:
+    """Routes fault models to services; owns the seeded RNG."""
+
+    def __init__(self, seed: Optional[int] = None) -> None:
+        self._models: Dict[str, List[FaultModel]] = {}
+        self._rng = random.Random(seed)
+        self.injected: List[tuple] = []
+
+    def attach(self, service_id: str, model: FaultModel) -> None:
+        self._models.setdefault(service_id, []).append(model)
+
+    def decide(self, service_id: str, tick: int) -> Optional[InjectedFault]:
+        """First applicable fault among the service's models (if any)."""
+        for model in self._models.get(service_id, ()):  # ordered
+            fault = model.apply(tick, self._rng)
+            if fault is not None:
+                self.injected.append((tick, service_id, fault.kind))
+                return fault
+        return None
+
+    def history_for(self, service_id: str) -> List[tuple]:
+        return [item for item in self.injected if item[1] == service_id]

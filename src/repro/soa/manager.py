@@ -1,0 +1,245 @@
+"""The dependability manager: a self-healing negotiate→monitor loop.
+
+The paper's architecture implies a loop it never spells out: the broker
+negotiates an SLA (Sec. 4), the composition runs and "needs to be
+monitored" (Sec. 3), and a violated agreement sends the client back to
+the broker.  :class:`DependabilityManager` closes that loop:
+
+1. negotiate a composite SLA for a pipeline of operations;
+2. execute the bound plan, feeding every report to an SLA monitor;
+3. on violation: terminate the SLA, blacklist the offending provider,
+   renegotiate among the remaining candidates, rebind, continue;
+4. give up (and say so) when no compliant market remains.
+
+Every decision is recorded in an event log so tests and operators can
+audit exactly why a rebinding happened.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Sequence, Tuple
+
+from .broker import Broker
+from .composition import Plan
+from .execution import ExecutionEngine, ExecutionReport
+from .monitor import SLAMonitor
+from .sla import SLA, SLAViolation
+
+
+class ManagerError(Exception):
+    """Raised on impossible management requests."""
+
+
+@dataclass(frozen=True)
+class ManagementEvent:
+    """One entry of the audit log."""
+
+    tick: int
+    kind: str  # bound | violation | rebound | gave-up
+    detail: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"[{self.tick:>4}] {self.kind}: {self.detail}"
+
+
+@dataclass
+class ManagementOutcome:
+    """What a managed run delivered."""
+
+    runs: int
+    successes: int
+    rebindings: int
+    gave_up: bool
+    final_sla: Optional[SLA]
+    final_plan: Optional[Plan]
+    events: List[ManagementEvent] = field(default_factory=list)
+    violations: List[SLAViolation] = field(default_factory=list)
+
+    @property
+    def availability(self) -> float:
+        return self.successes / self.runs if self.runs else 1.0
+
+
+class DependabilityManager:
+    """Owns a broker, an execution engine and the monitors between them."""
+
+    def __init__(
+        self,
+        broker: Broker,
+        engine: ExecutionEngine,
+        client: str = "managed-client",
+        window: int = 15,
+        min_samples: int = 8,
+    ) -> None:
+        self.broker = broker
+        self.engine = engine
+        self.client = client
+        self.window = window
+        self.min_samples = min_samples
+        self.blacklist: set[str] = set()
+        self.events: List[ManagementEvent] = []
+
+    # ------------------------------------------------------------------
+    # Binding
+    # ------------------------------------------------------------------
+
+    def bind(
+        self,
+        operations: Sequence[str],
+        attribute: str,
+        minimum_level: Any = None,
+    ) -> Tuple[Optional[SLA], Optional[Plan]]:
+        """Negotiate a composite SLA, honouring the blacklist.
+
+        Blacklisting works by temporarily unpublishing the offending
+        providers' services — the registry equivalent of refusing to
+        bind to them.
+        """
+        removed = []
+        for provider in self.blacklist:
+            for description in self.broker.registry.find(provider=provider):
+                removed.append(
+                    self.broker.registry.unpublish(description.service_id)
+                )
+        try:
+            try:
+                sla, plan, _ = self.broker.negotiate_composition(
+                    self.client,
+                    operations,
+                    attribute,
+                    minimum_level=minimum_level,
+                )
+            except Exception:
+                return None, None
+            return sla, plan
+        finally:
+            for description in removed:
+                self.broker.registry.publish(description)
+
+    # ------------------------------------------------------------------
+    # The managed loop
+    # ------------------------------------------------------------------
+
+    def manage(
+        self,
+        operations: Sequence[str],
+        attribute: str,
+        runs: int,
+        minimum_level: Any = None,
+        payload: Any = None,
+        max_rebindings: int = 5,
+    ) -> ManagementOutcome:
+        """Run ``runs`` executions with automatic renegotiation."""
+        if runs <= 0:
+            raise ManagerError("runs must be positive")
+
+        outcome = ManagementOutcome(
+            runs=0,
+            successes=0,
+            rebindings=0,
+            gave_up=False,
+            final_sla=None,
+            final_plan=None,
+        )
+
+        sla, plan = self.bind(operations, attribute, minimum_level)
+        if sla is None or plan is None:
+            outcome.gave_up = True
+            self._log(outcome, 0, "gave-up", "no initial binding possible")
+            return outcome
+        self._log(
+            outcome,
+            0,
+            "bound",
+            f"SLA#{sla.sla_id} → {plan.describe()} @ {sla.agreed_level!r}",
+        )
+        monitor = self._monitor(sla, minimum_level)
+
+        while outcome.runs < runs:
+            report = self.engine.execute(plan, payload)
+            outcome.runs += 1
+            outcome.successes += int(report.success)
+            violation = monitor.observe(report)
+            if violation is None:
+                continue
+
+            outcome.violations.append(violation)
+            self._log(outcome, report.tick, "violation", str(violation))
+            offender = self._offending_provider(report, plan)
+            sla.terminate()
+            if offender is not None:
+                self.blacklist.add(offender)
+
+            if outcome.rebindings >= max_rebindings:
+                outcome.gave_up = True
+                self._log(
+                    outcome, report.tick, "gave-up", "rebinding budget spent"
+                )
+                break
+            new_sla, new_plan = self.bind(
+                operations, attribute, minimum_level
+            )
+            if new_sla is None or new_plan is None:
+                outcome.gave_up = True
+                self._log(
+                    outcome,
+                    report.tick,
+                    "gave-up",
+                    f"no compliant market without {sorted(self.blacklist)}",
+                )
+                break
+            sla, plan = new_sla, new_plan
+            monitor = self._monitor(sla, minimum_level)
+            outcome.rebindings += 1
+            self._log(
+                outcome,
+                report.tick,
+                "rebound",
+                f"SLA#{sla.sla_id} → {plan.describe()} "
+                f"(blacklist: {sorted(self.blacklist)})",
+            )
+
+        outcome.final_sla = sla if sla.active else None
+        outcome.final_plan = plan
+        return outcome
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _monitor(
+        self, sla: SLA, minimum_level: Any = None
+    ) -> SLAMonitor:
+        """Monitor against the client's contractual floor when one was
+        stated; otherwise against the advertised level."""
+        return SLAMonitor(
+            sla,
+            window=self.window,
+            min_samples=self.min_samples,
+            threshold=minimum_level,
+        )
+
+    def _offending_provider(
+        self, report: ExecutionReport, plan: Plan
+    ) -> Optional[str]:
+        """The provider of the service that failed in this run, falling
+        back to the plan's first provider when the failure was a window
+        effect rather than a single crash."""
+        failed = next(
+            (o.service_id for o in report.outcomes if not o.success), None
+        )
+        service_id = failed or (plan.services()[0] if plan.services() else None)
+        if service_id is None:
+            return None
+        try:
+            return self.broker.registry.get(service_id).provider
+        except Exception:
+            return None
+
+    def _log(
+        self, outcome: ManagementOutcome, tick: int, kind: str, detail: str
+    ) -> None:
+        event = ManagementEvent(tick, kind, detail)
+        outcome.events.append(event)
+        self.events.append(event)

@@ -1,0 +1,156 @@
+"""A SOAP-like in-process message bus.
+
+The paper keeps the transport stack (SOAP/UDDI) intact and treats the
+solver as "a transparent component"; we simulate the transport with an
+in-process bus so the broker, clients and providers exchange explicit,
+inspectable envelopes.  Deterministic and synchronous-by-default: a
+request is delivered when its recipient polls, which makes negotiation
+tests reproducible while keeping the distributed shape of the protocol.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Deque, Dict, List, Optional
+
+_message_ids = itertools.count(1)
+
+
+class MessageError(Exception):
+    """Raised on unknown endpoints or correlation failures."""
+
+
+@dataclass(frozen=True)
+class Envelope:
+    """A message envelope (the stand-in for a SOAP envelope).
+
+    ``correlation_id`` links a reply to its request; ``header`` carries
+    protocol metadata (e.g. required QoS, negotiation round), ``body``
+    the payload.
+    """
+
+    message_id: int
+    sender: str
+    recipient: str
+    kind: str
+    body: Any
+    header: Dict[str, Any] = field(default_factory=dict)
+    correlation_id: Optional[int] = None
+
+    def reply(self, kind: str, body: Any, header: Optional[dict] = None) -> "Envelope":
+        """Build the response envelope correlated to this request."""
+        return Envelope(
+            message_id=next(_message_ids),
+            sender=self.recipient,
+            recipient=self.sender,
+            kind=kind,
+            body=body,
+            header=dict(header or {}),
+            correlation_id=self.message_id,
+        )
+
+
+class MessageBus:
+    """Named mailboxes plus an optional delivery journal."""
+
+    def __init__(self, keep_journal: bool = True) -> None:
+        self._mailboxes: Dict[str, Deque[Envelope]] = {}
+        self._journal: List[Envelope] = []
+        self.keep_journal = keep_journal
+
+    def register(self, endpoint: str) -> None:
+        """Create a mailbox; re-registering is a no-op."""
+        self._mailboxes.setdefault(endpoint, deque())
+
+    def endpoints(self) -> List[str]:
+        return sorted(self._mailboxes)
+
+    def send(
+        self,
+        sender: str,
+        recipient: str,
+        kind: str,
+        body: Any,
+        header: Optional[dict] = None,
+        correlation_id: Optional[int] = None,
+    ) -> Envelope:
+        """Enqueue an envelope for ``recipient``; returns it."""
+        if recipient not in self._mailboxes:
+            raise MessageError(f"unknown endpoint {recipient!r}")
+        envelope = Envelope(
+            message_id=next(_message_ids),
+            sender=sender,
+            recipient=recipient,
+            kind=kind,
+            body=body,
+            header=dict(header or {}),
+            correlation_id=correlation_id,
+        )
+        self._deliver(envelope)
+        return envelope
+
+    def post(self, envelope: Envelope) -> None:
+        """Enqueue a pre-built envelope (e.g. from ``Envelope.reply``)."""
+        if envelope.recipient not in self._mailboxes:
+            raise MessageError(f"unknown endpoint {envelope.recipient!r}")
+        self._deliver(envelope)
+
+    def _deliver(self, envelope: Envelope) -> None:
+        self._mailboxes[envelope.recipient].append(envelope)
+        if self.keep_journal:
+            self._journal.append(envelope)
+
+    def receive(self, endpoint: str) -> Optional[Envelope]:
+        """Pop the next envelope for ``endpoint`` (None when empty)."""
+        try:
+            mailbox = self._mailboxes[endpoint]
+        except KeyError:
+            raise MessageError(f"unknown endpoint {endpoint!r}") from None
+        return mailbox.popleft() if mailbox else None
+
+    def receive_all(self, endpoint: str) -> List[Envelope]:
+        """Drain the mailbox."""
+        drained: List[Envelope] = []
+        while True:
+            envelope = self.receive(endpoint)
+            if envelope is None:
+                return drained
+            drained.append(envelope)
+
+    def pending(self, endpoint: str) -> int:
+        return len(self._mailboxes.get(endpoint, ()))
+
+    @property
+    def journal(self) -> List[Envelope]:
+        return list(self._journal)
+
+    def journal_kinds(self) -> List[str]:
+        """The sequence of message kinds exchanged — protocol shape."""
+        return [envelope.kind for envelope in self._journal]
+
+
+def request_reply(
+    bus: MessageBus,
+    sender: str,
+    recipient: str,
+    kind: str,
+    body: Any,
+    handler: Callable[[Envelope], Envelope],
+    header: Optional[dict] = None,
+) -> Envelope:
+    """Synchronous request/reply convenience: send, let ``handler``
+    process the delivered request, return the correlated reply."""
+    request = bus.send(sender, recipient, kind, body, header)
+    delivered = bus.receive(recipient)
+    if delivered is None or delivered.message_id != request.message_id:
+        raise MessageError("request was not delivered in order")
+    reply = handler(delivered)
+    if reply.correlation_id != request.message_id:
+        raise MessageError("reply does not correlate to the request")
+    bus.post(reply)
+    answer = bus.receive(sender)
+    if answer is None:
+        raise MessageError("reply was not delivered")
+    return answer

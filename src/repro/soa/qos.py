@@ -1,0 +1,218 @@
+"""QoS attributes and provider QoS documents.
+
+Providers advertise QoS through structured documents (the stand-in for
+the XML policies of [26] in the paper — see DESIGN.md, substitutions).
+Each document entry states a policy for one attribute, either as a
+constant, an explicit value table, or a polynomial over resource
+variables ("reliability = 5x + 80").  ``compile_document`` performs the
+translation into soft constraints that the paper assigns to the broker's
+solver ("the documents describing the QoS associated with a service need
+to be translated into a soft constraint and added to the store").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..constraints.constraint import FunctionConstraint, SoftConstraint
+from ..constraints.polynomial import Polynomial, polynomial_constraint
+from ..constraints.table import TableConstraint
+from ..constraints.variables import Variable
+from ..semirings.base import Semiring
+from ..semirings.registry import get_semiring
+
+
+class QoSError(Exception):
+    """Raised on malformed QoS documents."""
+
+
+@dataclass(frozen=True)
+class QoSAttribute:
+    """A named quality dimension with its natural cost model.
+
+    ``semiring_name`` selects the instantiation (paper Sec. 4): additive
+    metrics → Weighted, multiplicative → Probabilistic, concave → Fuzzy,
+    feature sets → Set-based, crisp checks → Classical.
+    """
+
+    name: str
+    semiring_name: str
+    description: str = ""
+    unit: str = ""
+
+    def semiring(self, **kwargs) -> Semiring:
+        return get_semiring(self.semiring_name, **kwargs)
+
+
+#: The dependability-oriented attribute catalogue (paper Sec. 3 & 4).
+AVAILABILITY = QoSAttribute(
+    "availability",
+    "probabilistic",
+    "probability that the service is present and ready for use",
+)
+RELIABILITY = QoSAttribute(
+    "reliability",
+    "probabilistic",
+    "probability of maintaining service and service quality",
+)
+COST = QoSAttribute(
+    "cost", "weighted", "monetary cost of an invocation", unit="EUR"
+)
+LATENCY = QoSAttribute(
+    "latency", "weighted", "end-to-end response time", unit="ms"
+)
+DOWNTIME = QoSAttribute(
+    "downtime", "weighted", "expected hours of unavailability", unit="h"
+)
+FUZZY_RELIABILITY = QoSAttribute(
+    "fuzzy-reliability",
+    "fuzzy",
+    "coarse low/medium/high reliability preference",
+)
+SECURITY_RIGHTS = QoSAttribute(
+    "security-rights",
+    "set",
+    "set of security rights / time slots supported",
+)
+
+STANDARD_ATTRIBUTES: Dict[str, QoSAttribute] = {
+    attribute.name: attribute
+    for attribute in (
+        AVAILABILITY,
+        RELIABILITY,
+        COST,
+        LATENCY,
+        DOWNTIME,
+        FUZZY_RELIABILITY,
+        SECURITY_RIGHTS,
+    )
+}
+
+
+@dataclass
+class QoSPolicy:
+    """One attribute policy inside a QoS document.
+
+    Exactly one of ``constant``, ``polynomial``, ``table`` or ``fn`` must
+    be given.  ``variables`` declares the resource variables the policy
+    ranges over, as ``name → domain`` (iterable of values).
+    """
+
+    attribute: str
+    variables: Mapping[str, Sequence[Any]] = field(default_factory=dict)
+    constant: Any = None
+    polynomial: Optional[Polynomial] = None
+    table: Optional[Mapping[Tuple[Any, ...], Any]] = None
+    fn: Optional[Callable[..., Any]] = None
+
+    def __post_init__(self) -> None:
+        given = [
+            kind
+            for kind, value in (
+                ("constant", self.constant),
+                ("polynomial", self.polynomial),
+                ("table", self.table),
+                ("fn", self.fn),
+            )
+            if value is not None
+        ]
+        if len(given) != 1:
+            raise QoSError(
+                f"policy for {self.attribute!r} must define exactly one of "
+                f"constant/polynomial/table/fn, got {given or 'none'}"
+            )
+        if (self.table is not None or self.fn is not None) and not self.variables:
+            raise QoSError(
+                f"policy for {self.attribute!r} needs resource variables"
+            )
+
+
+@dataclass
+class QoSDocument:
+    """The QoS sheet a provider publishes for one service operation."""
+
+    service_name: str
+    provider: str
+    policies: List[QoSPolicy] = field(default_factory=list)
+
+    def policy_for(self, attribute: str) -> Optional[QoSPolicy]:
+        for policy in self.policies:
+            if policy.attribute == attribute:
+                return policy
+        return None
+
+    def attributes(self) -> List[str]:
+        return [policy.attribute for policy in self.policies]
+
+
+def resolve_attribute(name: str) -> QoSAttribute:
+    """Look up a standard attribute (custom ones may be passed directly)."""
+    try:
+        return STANDARD_ATTRIBUTES[name]
+    except KeyError:
+        known = ", ".join(sorted(STANDARD_ATTRIBUTES))
+        raise QoSError(f"unknown QoS attribute {name!r}; known: {known}") from None
+
+
+def compile_policy(
+    policy: QoSPolicy,
+    semiring: Semiring,
+    variable_pool: Optional[Dict[str, Variable]] = None,
+    name_prefix: str = "",
+) -> SoftConstraint:
+    """Translate one policy into a soft constraint.
+
+    ``variable_pool`` shares :class:`Variable` objects across policies so
+    that two policies over the same resource variable constrain the same
+    thing; it is updated in place.
+    """
+    pool = variable_pool if variable_pool is not None else {}
+    scope: List[Variable] = []
+    for var_name, domain in policy.variables.items():
+        existing = pool.get(var_name)
+        candidate = Variable(var_name, tuple(domain))
+        if existing is None:
+            pool[var_name] = candidate
+            scope.append(candidate)
+        else:
+            if existing.domain != candidate.domain:
+                raise QoSError(
+                    f"variable {var_name!r} declared with two domains"
+                )
+            scope.append(existing)
+
+    label = f"{name_prefix}{policy.attribute}"
+    if policy.constant is not None:
+        return FunctionConstraint(
+            semiring, (), lambda value=policy.constant: value, name=label
+        )
+    if policy.polynomial is not None:
+        return polynomial_constraint(
+            semiring, scope, policy.polynomial, name=label
+        )
+    if policy.table is not None:
+        return TableConstraint(
+            semiring, scope, dict(policy.table), name=label
+        )
+    return FunctionConstraint(semiring, scope, policy.fn, name=label)
+
+
+def compile_document(
+    document: QoSDocument,
+    attribute: str,
+    semiring: Optional[Semiring] = None,
+    variable_pool: Optional[Dict[str, Variable]] = None,
+) -> List[SoftConstraint]:
+    """All constraints a document states about ``attribute``.
+
+    The semiring defaults to the attribute's natural one; pass an explicit
+    instance to negotiate the attribute under a different cost model.
+    """
+    semiring = semiring or resolve_attribute(attribute).semiring()
+    prefix = f"{document.provider}/{document.service_name}:"
+    return [
+        compile_policy(policy, semiring, variable_pool, prefix)
+        for policy in document.policies
+        if policy.attribute == attribute
+    ]

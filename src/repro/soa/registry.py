@@ -1,0 +1,115 @@
+"""A UDDI-like service registry (paper Sec. 4, step 2).
+
+"Providers publish QoS-enabled web services by registering them at the
+UDDI registry."  In-memory, indexed by operation name, provider and tag;
+supports publish / find / unpublish — the discovery substrate the broker
+queries during negotiation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set
+
+from .service import ServiceDescription
+
+
+class RegistryError(Exception):
+    """Raised on duplicate publications or unknown lookups."""
+
+
+class ServiceRegistry:
+    """Publication and discovery of service descriptions."""
+
+    def __init__(self) -> None:
+        self._by_id: Dict[str, ServiceDescription] = {}
+        self._by_operation: Dict[str, Set[str]] = {}
+        self._by_provider: Dict[str, Set[str]] = {}
+        self._by_tag: Dict[str, Set[str]] = {}
+
+    # ------------------------------------------------------------------
+    # Publication
+    # ------------------------------------------------------------------
+
+    def publish(self, description: ServiceDescription) -> None:
+        """Register a description; service ids are unique."""
+        service_id = description.service_id
+        if service_id in self._by_id:
+            raise RegistryError(f"service {service_id!r} already published")
+        self._by_id[service_id] = description
+        self._by_operation.setdefault(
+            description.interface.operation, set()
+        ).add(service_id)
+        self._by_provider.setdefault(description.provider, set()).add(
+            service_id
+        )
+        for tag in description.tags:
+            self._by_tag.setdefault(tag, set()).add(service_id)
+
+    def unpublish(self, service_id: str) -> ServiceDescription:
+        """Remove a description, returning it."""
+        try:
+            description = self._by_id.pop(service_id)
+        except KeyError:
+            raise RegistryError(f"service {service_id!r} not published") from None
+        self._by_operation[description.interface.operation].discard(service_id)
+        self._by_provider[description.provider].discard(service_id)
+        for tag in description.tags:
+            self._by_tag.get(tag, set()).discard(service_id)
+        return description
+
+    # ------------------------------------------------------------------
+    # Discovery
+    # ------------------------------------------------------------------
+
+    def get(self, service_id: str) -> ServiceDescription:
+        try:
+            return self._by_id[service_id]
+        except KeyError:
+            raise RegistryError(f"service {service_id!r} not published") from None
+
+    def find(
+        self,
+        operation: Optional[str] = None,
+        provider: Optional[str] = None,
+        tag: Optional[str] = None,
+        requires_attribute: Optional[str] = None,
+    ) -> List[ServiceDescription]:
+        """All descriptions matching every given criterion (AND)."""
+        candidates: Optional[Set[str]] = None
+
+        def narrow(ids: Iterable[str]) -> None:
+            nonlocal candidates
+            id_set = set(ids)
+            candidates = id_set if candidates is None else candidates & id_set
+
+        if operation is not None:
+            narrow(self._by_operation.get(operation, set()))
+        if provider is not None:
+            narrow(self._by_provider.get(provider, set()))
+        if tag is not None:
+            narrow(self._by_tag.get(tag, set()))
+        if candidates is None:
+            candidates = set(self._by_id)
+
+        results = [self._by_id[sid] for sid in candidates]
+        if requires_attribute is not None:
+            results = [
+                d
+                for d in results
+                if requires_attribute in d.qos.attributes()
+            ]
+        return sorted(results, key=lambda d: d.service_id)
+
+    def operations(self) -> List[str]:
+        return sorted(
+            op for op, ids in self._by_operation.items() if ids
+        )
+
+    def providers(self) -> List[str]:
+        return sorted(p for p, ids in self._by_provider.items() if ids)
+
+    def __len__(self) -> int:
+        return len(self._by_id)
+
+    def __contains__(self, service_id: str) -> bool:
+        return service_id in self._by_id

@@ -1,0 +1,173 @@
+"""Services, providers and service descriptions (paper Sec. 3).
+
+"Basic services, their descriptions, and basic operations (publication,
+discovery, selection, and binding) that produce or utilize such
+descriptions constitute the SOA foundation."  A
+:class:`ServiceDescription` is what gets published to the registry; a
+:class:`Service` is the runtime object the execution engine invokes,
+with a seeded stochastic behaviour so observed dependability can be
+compared against the advertised one.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional
+
+from .capabilities import CapabilityPolicy
+from .qos import QoSDocument
+
+
+class ServiceError(Exception):
+    """Raised on malformed service definitions or invocation misuse."""
+
+
+@dataclass(frozen=True)
+class ServiceInterface:
+    """Functional face of a service: operation name, inputs, outputs and
+    pre/postconditions (informal strings — the paper's 'data formats,
+    pre and post conditions')."""
+
+    operation: str
+    inputs: tuple = ()
+    outputs: tuple = ()
+    preconditions: tuple = ()
+    postconditions: tuple = ()
+
+
+@dataclass
+class ServiceDescription:
+    """What a provider publishes: interface + QoS document + metadata.
+
+    ``capabilities`` (optional) is the provider's MUST/MAY security
+    policy; the query engine refuses candidates whose policy is
+    incompatible with the client's (paper Sec. 8's HTTP-auth example).
+    """
+
+    service_id: str
+    name: str
+    provider: str
+    interface: ServiceInterface
+    qos: QoSDocument
+    tags: tuple = ()
+    capabilities: Optional[CapabilityPolicy] = None
+
+    def __post_init__(self) -> None:
+        if not self.service_id:
+            raise ServiceError("service_id must be non-empty")
+        if self.qos.provider != self.provider:
+            raise ServiceError(
+                f"QoS document provider {self.qos.provider!r} does not match "
+                f"service provider {self.provider!r}"
+            )
+
+
+@dataclass
+class InvocationOutcome:
+    """Result of one simulated invocation."""
+
+    service_id: str
+    success: bool
+    latency_ms: float
+    output: Any = None
+    fault: Optional[str] = None
+
+
+class Service:
+    """A runtime service with stochastic, seeded behaviour.
+
+    ``reliability`` is the per-invocation success probability;
+    ``base_latency_ms``/``latency_jitter_ms`` shape the response-time
+    distribution; ``behaviour`` optionally computes a real output from
+    the request payload (defaults to echoing it).
+    """
+
+    def __init__(
+        self,
+        description: ServiceDescription,
+        reliability: float = 1.0,
+        base_latency_ms: float = 10.0,
+        latency_jitter_ms: float = 2.0,
+        behaviour: Optional[Callable[[Any], Any]] = None,
+        seed: Optional[int] = None,
+    ) -> None:
+        if not 0.0 <= reliability <= 1.0:
+            raise ServiceError("reliability must be a probability")
+        self.description = description
+        self.reliability = reliability
+        self.base_latency_ms = base_latency_ms
+        self.latency_jitter_ms = latency_jitter_ms
+        self.behaviour = behaviour if behaviour is not None else (lambda x: x)
+        self._rng = random.Random(seed)
+        self.invocations = 0
+        self.failures = 0
+
+    @property
+    def service_id(self) -> str:
+        return self.description.service_id
+
+    def invoke(self, payload: Any = None) -> InvocationOutcome:
+        """One invocation: may fail with probability ``1 − reliability``."""
+        self.invocations += 1
+        latency = max(
+            0.0,
+            self.base_latency_ms
+            + self._rng.uniform(-self.latency_jitter_ms, self.latency_jitter_ms),
+        )
+        if self._rng.random() > self.reliability:
+            self.failures += 1
+            return InvocationOutcome(
+                self.service_id,
+                success=False,
+                latency_ms=latency,
+                fault="service-fault",
+            )
+        return InvocationOutcome(
+            self.service_id,
+            success=True,
+            latency_ms=latency,
+            output=self.behaviour(payload),
+        )
+
+    @property
+    def observed_reliability(self) -> float:
+        """Empirical success ratio so far (1.0 before any invocation)."""
+        if self.invocations == 0:
+            return 1.0
+        return 1.0 - self.failures / self.invocations
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Service({self.service_id!r}, reliability={self.reliability}, "
+            f"invocations={self.invocations})"
+        )
+
+
+class ServicePool:
+    """Runtime lookup from service id to live :class:`Service` objects."""
+
+    def __init__(self) -> None:
+        self._services: Dict[str, Service] = {}
+
+    def add(self, service: Service) -> None:
+        if service.service_id in self._services:
+            raise ServiceError(
+                f"service id {service.service_id!r} already in pool"
+            )
+        self._services[service.service_id] = service
+
+    def get(self, service_id: str) -> Service:
+        try:
+            return self._services[service_id]
+        except KeyError:
+            raise ServiceError(f"no service {service_id!r} in pool") from None
+
+    def all(self) -> List[Service]:
+        return list(self._services.values())
+
+    def __len__(self) -> int:
+        return len(self._services)
+
+    def __contains__(self, service_id: str) -> bool:
+        return service_id in self._services

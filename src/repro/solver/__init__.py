@@ -1,0 +1,90 @@
+"""SCSP solving (paper Sec. 2's ``Sol``/``blevel``, mechanized).
+
+Backends: exhaustive enumeration (reference, any semiring), bucket
+elimination (exact, any semiring, avoids the full joint table), branch &
+bound (totally ordered semirings), plus soft arc consistency and α-cuts.
+``solve`` picks a backend automatically.
+"""
+
+from __future__ import annotations
+
+from .alphacut import (
+    alpha_cut,
+    alpha_cut_problem,
+    consistency_level_among,
+    satisfiable_at,
+)
+from .branch_bound import solve_branch_bound
+from .consistency import (
+    PropagationStats,
+    enforce_arc_consistency,
+    prune_domains,
+)
+from .elimination import eliminate, solve_elimination
+from .exhaustive import solve_exhaustive
+from .minibucket import minibucket_bound, screening_test
+from .heuristics import (
+    ORDERINGS,
+    given_order,
+    max_degree_order,
+    min_degree_order,
+    min_domain_order,
+    resolve_ordering,
+)
+from .problem import SCSP, ProblemError, SolverResult, SolverStats
+
+_METHODS = {
+    "exhaustive": solve_exhaustive,
+    "branch-bound": solve_branch_bound,
+    "elimination": solve_elimination,
+}
+
+
+def solve(problem: SCSP, method: str = "auto", **options) -> SolverResult:
+    """Solve an SCSP with the requested backend.
+
+    ``method="auto"`` picks branch & bound for totally ordered semirings
+    and bucket elimination otherwise.
+    """
+    if method == "auto":
+        method = (
+            "branch-bound"
+            if problem.semiring.is_total_order()
+            else "elimination"
+        )
+    try:
+        backend = _METHODS[method]
+    except KeyError:
+        known = ", ".join(sorted(_METHODS) + ["auto"])
+        raise ProblemError(
+            f"unknown solve method {method!r}; known: {known}"
+        ) from None
+    return backend(problem, **options)
+
+
+__all__ = [
+    "SCSP",
+    "ProblemError",
+    "SolverResult",
+    "SolverStats",
+    "solve",
+    "solve_exhaustive",
+    "solve_branch_bound",
+    "solve_elimination",
+    "eliminate",
+    "enforce_arc_consistency",
+    "prune_domains",
+    "PropagationStats",
+    "minibucket_bound",
+    "screening_test",
+    "alpha_cut",
+    "alpha_cut_problem",
+    "satisfiable_at",
+    "consistency_level_among",
+    "ORDERINGS",
+    "given_order",
+    "min_degree_order",
+    "min_domain_order",
+    "max_degree_order",
+    "resolve_ordering",
+]

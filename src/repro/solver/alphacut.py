@@ -1,0 +1,69 @@
+"""α-cuts: slicing a soft problem into crisp ones.
+
+For a totally ordered semiring, the α-cut of a soft constraint keeps the
+tuples whose preference is at least α.  This connects the soft framework
+back to crisp CSPs: ``P`` is α-consistent at the best α for which the cut
+problem stays satisfiable, and thresholds like the paper's checked
+transitions ("at least a solution as good as a1") are cut queries.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..constraints.constraint import SoftConstraint
+from ..constraints.table import TableConstraint, to_table
+from ..semirings.boolean import BooleanSemiring
+from .problem import SCSP, ProblemError
+
+_BOOLEAN = BooleanSemiring()
+
+
+def alpha_cut(constraint: SoftConstraint, alpha: Any) -> TableConstraint:
+    """The crisp constraint keeping tuples with value ``≥S alpha``."""
+    semiring = constraint.semiring
+    if not semiring.is_total_order():
+        raise ProblemError(
+            f"alpha-cut needs a totally ordered semiring, got {semiring.name}"
+        )
+    table = to_table(constraint)
+    cut = {
+        key: semiring.geq(value, alpha) for key, value in table.items()
+    }
+    return TableConstraint(
+        _BOOLEAN, table.scope, cut, default=False, name=f"cut@{alpha!r}"
+    )
+
+
+def alpha_cut_problem(problem: SCSP, alpha: Any) -> SCSP:
+    """Cut every constraint of ``problem`` at ``alpha``.
+
+    Note the subtlety: satisfiability of the cut problem is *necessary*
+    but in general not sufficient for α-consistency when ``×`` is not
+    idempotent (two tuples individually ≥ α can combine below α); cutting
+    the *combined* constraint (:func:`alpha_cut` on ``problem.combined()``)
+    is always exact.
+    """
+    cut_constraints = [alpha_cut(c, alpha) for c in problem.constraints]
+    return SCSP(cut_constraints, con=problem.con, name=f"{problem.name}@cut")
+
+
+def satisfiable_at(problem: SCSP, alpha: Any) -> bool:
+    """Whether some complete assignment of ``⊗C`` reaches ``≥S alpha``.
+
+    Exact for every semiring (cuts the combined constraint).
+    """
+    semiring = problem.semiring
+    return semiring.geq(problem.blevel(), alpha)
+
+
+def consistency_level_among(problem: SCSP, candidates) -> Any:
+    """Best ``alpha`` among ``candidates`` at which ``problem`` is
+    satisfiable — a bisection-style helper for threshold negotiation."""
+    semiring = problem.semiring
+    blevel = problem.blevel()
+    best = semiring.zero
+    for alpha in candidates:
+        if semiring.geq(blevel, alpha) and semiring.geq(alpha, best):
+            best = alpha
+    return best

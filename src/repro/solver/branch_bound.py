@@ -1,0 +1,133 @@
+"""Depth-first branch & bound for totally ordered semirings.
+
+Exploits ``×``-monotonicity (``a × b ≤S a``, the absorptive law): the
+combined value of a completion can never beat the combination of the
+constraints already fully instantiated, so that combination is a sound
+upper bound and subtrees strictly worse than the incumbent are pruned.
+
+Only valid when ``≤S`` is total (Boolean, Fuzzy, Probabilistic, Weighted);
+for partial orders (Set-based, products) use exhaustive search or bucket
+elimination.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from ..constraints.constraint import SoftConstraint
+from ..constraints.variables import Variable
+from .heuristics import OrderingFn, resolve_ordering
+from .problem import SCSP, ProblemError, SolverResult, SolverStats
+
+
+def solve_branch_bound(
+    problem: SCSP,
+    ordering: str | OrderingFn = "max-degree",
+    lookahead: bool = True,
+) -> SolverResult:
+    """Find the blevel and all optimal ``con``-assignments by DFS + pruning.
+
+    ``lookahead`` additionally bounds constraints with exactly one
+    unassigned variable by their best value over that variable's domain,
+    tightening the bound at the cost of extra evaluations (ablated in the
+    E12 benchmark).
+    """
+    semiring = problem.semiring
+    if not semiring.is_total_order():
+        raise ProblemError(
+            f"branch & bound needs a total order; {semiring.name} is partial"
+        )
+
+    order = resolve_ordering(ordering)(problem.variables, problem.constraints)
+    stats = SolverStats()
+
+    # For each prefix depth, which constraints become fully assigned when
+    # the variable at that depth gets a value (and were not before).
+    position = {var.name: depth for depth, var in enumerate(order)}
+    activation: List[List[SoftConstraint]] = [[] for _ in order]
+    one_left: List[List[tuple[SoftConstraint, Variable]]] = [
+        [] for _ in order
+    ]
+    for constraint in problem.constraints:
+        depths = [position[name] for name in constraint.support]
+        last = max(depths) if depths else -1
+        if last >= 0:
+            activation[last].append(constraint)
+            if len(depths) >= 1:
+                second_last = sorted(depths)[-2] if len(depths) > 1 else -1
+                # After depth ``second_last`` the constraint has exactly
+                # one unassigned variable: the one at depth ``last``.
+                if second_last < last:
+                    pending_var = order[last]
+                    if second_last >= 0:
+                        one_left[second_last].append(
+                            (constraint, pending_var)
+                        )
+
+    empty_scope = [c for c in problem.constraints if not c.scope]
+    base_value = semiring.prod(c.value({}) for c in empty_scope) if (
+        empty_scope
+    ) else semiring.one
+
+    incumbent: Any = semiring.zero
+    witnesses: List[Dict[str, Any]] = []
+    assignment: Dict[str, Any] = {}
+    con_set = set(problem.con)
+
+    def lookahead_bound(depth: int) -> Any:
+        bound = semiring.one
+        for constraint, pending in one_left[depth]:
+            best = semiring.zero
+            for value in pending.domain:
+                assignment[pending.name] = value
+                best = semiring.plus(best, constraint.value(assignment))
+            del assignment[pending.name]
+            bound = semiring.times(bound, best)
+        return bound
+
+    def descend(depth: int, accumulated: Any) -> None:
+        nonlocal incumbent, witnesses
+        if depth == len(order):
+            stats.leaves_evaluated += 1
+            if semiring.gt(accumulated, incumbent):
+                incumbent = accumulated
+                witnesses = [dict(assignment)]
+            elif accumulated == incumbent and incumbent != semiring.zero:
+                witnesses.append(dict(assignment))
+            return
+        var = order[depth]
+        for value in var.domain:
+            stats.nodes_expanded += 1
+            assignment[var.name] = value
+            bound = accumulated
+            for constraint in activation[depth]:
+                bound = semiring.times(bound, constraint.value(assignment))
+            node_value = bound
+            if lookahead and semiring.geq(bound, incumbent):
+                bound = semiring.times(bound, lookahead_bound(depth))
+            if semiring.lt(bound, incumbent):
+                stats.prunes += 1
+            else:
+                descend(depth + 1, node_value)
+            del assignment[var.name]
+
+    descend(0, base_value)
+
+    blevel = incumbent
+    seen: set = set()
+    projected: List[Dict[str, Any]] = []
+    for witness in witnesses:
+        key = tuple(
+            sorted((k, v) for k, v in witness.items() if k in con_set)
+        )
+        if key not in seen:
+            seen.add(key)
+            projected.append(dict(key))
+    return SolverResult(
+        problem=problem,
+        blevel=blevel,
+        frontier=[blevel],
+        optima=[projected],
+        method="branch-bound",
+        stats=stats,
+    )

@@ -1,0 +1,168 @@
+"""Soft local consistency (node/arc) for idempotent-× semirings.
+
+When ``×`` is idempotent (Classical, Fuzzy, Set-based), adding to a unary
+constraint the projection of any neighbouring combination does not change
+the problem's solution: ``c_x := c_x ⊗ ((c_xy ⊗ c_y) ⇓ x)`` is a sound,
+solution-preserving tightening (semiring soft arc consistency, Bistarelli
+et al.).  Iterated to fixpoint it prunes hopeless values before search —
+the classic propagation the paper inherits from the SCSP literature.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..constraints.operations import constraints_equal
+from ..constraints.table import TableConstraint, to_table
+from ..constraints.variables import Variable
+from .problem import SCSP, ProblemError
+
+
+@dataclass
+class PropagationStats:
+    """Work counters for an arc-consistency run."""
+
+    revisions: int = 0
+    changes: int = 0
+    values_pruned: int = 0
+    iterations: int = 0
+
+
+def _unary_tables(problem: SCSP) -> Dict[str, TableConstraint]:
+    """Current unary constraint per variable (missing ones start at 1̄)."""
+    semiring = problem.semiring
+    unary: Dict[str, TableConstraint] = {}
+    for var in problem.variables:
+        ones = {(value,): semiring.one for value in var.domain}
+        unary[var.name] = TableConstraint(
+            semiring, (var,), ones, default=semiring.zero
+        )
+    for constraint in problem.constraints:
+        if len(constraint.scope) == 1:
+            name = constraint.scope[0].name
+            unary[name] = to_table(unary[name].combine(constraint))
+    return unary
+
+
+def enforce_arc_consistency(
+    problem: SCSP, max_iterations: int = 100
+) -> Tuple[SCSP, PropagationStats]:
+    """Return an equivalent, locally consistent problem plus statistics.
+
+    Only valid for idempotent ``×`` (raises otherwise).  Binary
+    constraints drive revisions; higher-arity constraints are kept as-is
+    (sound: we only ever *add* entailed information).  The returned
+    problem has one tightened unary constraint per variable alongside the
+    original non-unary constraints, and the same ``Sol``/``blevel``.
+    """
+    semiring = problem.semiring
+    if not semiring.is_multiplicative_idempotent():
+        raise ProblemError(
+            f"arc consistency requires idempotent ×; {semiring.name} "
+            "is not (use branch & bound or elimination instead)"
+        )
+
+    stats = PropagationStats()
+    unary = _unary_tables(problem)
+    binaries = [
+        to_table(c) for c in problem.constraints if len(c.scope) == 2
+    ]
+    others = [c for c in problem.constraints if len(c.scope) > 2]
+
+    # Revision queue of (binary constraint, variable-to-revise) arcs.
+    queue: List[Tuple[TableConstraint, Variable]] = [
+        (binary, var) for binary in binaries for var in binary.scope
+    ]
+    iteration_guard = 0
+    while queue:
+        iteration_guard += 1
+        if iteration_guard > max_iterations * max(1, len(binaries) * 2):
+            break
+        stats.iterations = iteration_guard
+        binary, target = queue.pop(0)
+        other = next(v for v in binary.scope if v.name != target.name)
+        stats.revisions += 1
+
+        support = binary.combine(unary[other.name]).project([target.name])
+        tightened = to_table(unary[target.name].combine(support))
+        if not constraints_equal(tightened, unary[target.name]):
+            stats.changes += 1
+            stats.values_pruned += sum(
+                1
+                for (value,), level in tightened.items()
+                if level == semiring.zero
+                and unary[target.name].value({target.name: value})
+                != semiring.zero
+            )
+            unary[target.name] = tightened
+            # Re-enqueue arcs pointing at the neighbours of ``target``.
+            for other_binary in binaries:
+                if target.name in other_binary.support:
+                    for var in other_binary.scope:
+                        if var.name != target.name:
+                            queue.append((other_binary, var))
+
+    new_constraints = list(unary.values()) + binaries + others
+    tightened_problem = SCSP(
+        new_constraints, con=problem.con, name=f"{problem.name}+AC"
+    )
+    return tightened_problem, stats
+
+
+def prune_domains(problem: SCSP) -> Tuple[SCSP, int]:
+    """Drop domain values whose unary level is the semiring ``zero``.
+
+    Returns a new problem over the reduced domains plus the number of
+    values removed.  Sound for any semiring (a zero unary level forces
+    the combined value to zero), but only *useful* after a tightening
+    pass such as :func:`enforce_arc_consistency`.
+    """
+    semiring = problem.semiring
+    unary_zero: Dict[str, set] = {}
+    for constraint in problem.constraints:
+        if len(constraint.scope) != 1:
+            continue
+        var = constraint.scope[0]
+        for value in var.domain:
+            if constraint.value({var.name: value}) == semiring.zero:
+                unary_zero.setdefault(var.name, set()).add(value)
+
+    if not unary_zero:
+        return problem, 0
+
+    removed = 0
+    replacement: Dict[str, Variable] = {}
+    for var in problem.variables:
+        dead = unary_zero.get(var.name, set())
+        if not dead:
+            replacement[var.name] = var
+            continue
+        kept = tuple(v for v in var.domain if v not in dead)
+        if not kept:
+            # Every value is hopeless: keep one so the problem stays
+            # well-formed; its blevel is zero either way.
+            kept = (var.domain[0],)
+        removed += var.size - len(kept)
+        replacement[var.name] = Variable(var.name, kept)
+
+    def rebuild(constraint):
+        table = to_table(constraint)
+        scope = tuple(replacement[v.name] for v in table.scope)
+        entries = {
+            key: value
+            for key, value in table.items()
+            if all(
+                k in var.domain for k, var in zip(key, scope)
+            )
+        }
+        return TableConstraint(
+            semiring, scope, entries, default=semiring.zero
+        )
+
+    reduced = SCSP(
+        [rebuild(c) for c in problem.constraints],
+        con=problem.con,
+        name=f"{problem.name}+pruned",
+    )
+    return reduced, removed

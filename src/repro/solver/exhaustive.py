@@ -1,0 +1,55 @@
+"""Exhaustive SCSP solving — the reference backend.
+
+Enumerates every complete assignment, folds ``+`` for the blevel and
+keeps the ≤S-maximal frontier with its witnesses.  Exact for *any*
+semiring (including partial orders, where branch & bound does not apply)
+and the ground truth the other backends are tested against.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from ..constraints.variables import iter_assignments
+from .problem import SCSP, SolverResult, SolverStats
+
+
+def solve_exhaustive(problem: SCSP) -> SolverResult:
+    """Enumerate the full assignment space of ``problem``.
+
+    The blevel is folded over *combined* values (⊕ of ⊗C over complete
+    assignments); witnesses are grouped by their projection onto ``con``,
+    and a projected assignment's value is the ⊕ over its extensions —
+    exactly ``Sol(P)`` evaluated pointwise.
+    """
+    semiring = problem.semiring
+    stats = SolverStats()
+
+    # value of Sol(P) per con-assignment (key: sorted tuple of items)
+    solution_values: Dict[tuple, Any] = {}
+    con_set = set(problem.con)
+
+    blevel = semiring.zero
+    for assignment in iter_assignments(problem.variables):
+        stats.leaves_evaluated += 1
+        value = problem.evaluate(assignment)
+        blevel = semiring.plus(blevel, value)
+        key = tuple(
+            sorted((k, v) for k, v in assignment.items() if k in con_set)
+        )
+        previous = solution_values.get(key, semiring.zero)
+        solution_values[key] = semiring.plus(previous, value)
+
+    frontier = semiring.max_elements(solution_values.values())
+    optima: List[List[Dict[str, Any]]] = [
+        [dict(key) for key, value in solution_values.items() if value == fv]
+        for fv in frontier
+    ]
+    return SolverResult(
+        problem=problem,
+        blevel=blevel,
+        frontier=frontier,
+        optima=optima,
+        method="exhaustive",
+        stats=stats,
+    )

@@ -1,0 +1,122 @@
+"""Coalition trustworthiness T(C) (paper Def. 3) and partitions."""
+
+import pytest
+
+from repro.coalitions import (
+    TrustError,
+    TrustNetwork,
+    coalition,
+    coalition_of,
+    coalition_trust,
+    member_view,
+    normalize_partition,
+    partition_trust,
+    validate_partition,
+)
+
+
+@pytest.fixture
+def network():
+    return TrustNetwork(
+        ["a", "b", "c"],
+        {
+            ("a", "a"): 1.0, ("b", "b"): 1.0, ("c", "c"): 1.0,
+            ("a", "b"): 0.8, ("b", "a"): 0.6,
+            ("a", "c"): 0.2, ("c", "a"): 0.4,
+            ("b", "c"): 0.9, ("c", "b"): 0.7,
+        },
+    )
+
+
+class TestCoalitionTrust:
+    def test_min_composition(self, network):
+        assert coalition_trust({"a", "b"}, network, "min") == 0.6
+
+    def test_avg_composition(self, network):
+        expected = (1.0 + 1.0 + 0.8 + 0.6) / 4
+        assert coalition_trust({"a", "b"}, network, "avg") == pytest.approx(
+            expected
+        )
+
+    def test_max_composition(self, network):
+        assert coalition_trust({"a", "b"}, network, "max") == 1.0
+
+    def test_self_trust_included_by_default(self, network):
+        assert coalition_trust({"a"}, network, "min") == 1.0
+
+    def test_self_trust_excludable(self, network):
+        assert (
+            coalition_trust({"a", "b"}, network, "min", include_self=False)
+            == 0.6
+        )
+
+    def test_empty_relationship_set_neutral(self):
+        sparse = TrustNetwork(["a", "b"])
+        assert coalition_trust({"a"}, sparse, "min") == 1.0
+        assert (
+            coalition_trust({"a"}, sparse, "min", empty_value=0.3) == 0.3
+        )
+
+    def test_monotone_under_min(self, network):
+        # adding members can only keep or lower a min-composed T
+        small = coalition_trust({"a", "b"}, network, "min")
+        large = coalition_trust({"a", "b", "c"}, network, "min")
+        assert large <= small
+
+
+class TestMemberView:
+    def test_view_of_group(self, network):
+        assert member_view("a", ["b", "c"], network, "min") == 0.2
+        assert member_view("a", ["b", "c"], network, "avg") == pytest.approx(
+            0.5
+        )
+
+    def test_empty_view_defaults_to_zero(self, network):
+        assert member_view("a", [], network, "min") == 0.0
+
+    def test_view_ignores_missing_scores(self):
+        sparse = TrustNetwork(["a", "b", "c"], {("a", "b"): 0.9})
+        assert member_view("a", ["b", "c"], sparse, "min") == 0.9
+
+
+class TestPartitions:
+    def test_normalize_sorts_and_freezes(self):
+        partition = normalize_partition([{"c"}, {"a", "b"}])
+        assert partition == (frozenset({"a", "b"}), frozenset({"c"}))
+
+    def test_validate_accepts_proper_partition(self, network):
+        partition = validate_partition([{"a", "b"}, {"c"}], network)
+        assert len(partition) == 2
+
+    def test_validate_rejects_overlap(self, network):
+        with pytest.raises(TrustError, match="two coalitions"):
+            validate_partition([{"a", "b"}, {"b", "c"}], network)
+
+    def test_validate_rejects_missing_agent(self, network):
+        with pytest.raises(TrustError, match="not assigned"):
+            validate_partition([{"a"}], network)
+
+    def test_validate_rejects_unknown_agent(self, network):
+        with pytest.raises(TrustError, match="unknown agents"):
+            validate_partition([{"a", "b", "c", "ghost"}], network)
+
+    def test_validate_rejects_empty_coalition(self, network):
+        with pytest.raises(TrustError, match="empty coalition"):
+            validate_partition([{"a", "b", "c"}, set()], network)
+
+    def test_partition_trust_max_min(self, network):
+        # min over coalitions of min-composed T
+        value = partition_trust([{"a", "b"}, {"c"}], network, "min", "min")
+        assert value == 0.6
+
+    def test_partition_trust_empty_rejected(self, network):
+        with pytest.raises(TrustError):
+            partition_trust([], network)
+
+    def test_coalition_of(self):
+        partition = normalize_partition([{"a", "b"}, {"c"}])
+        assert coalition_of("a", partition) == frozenset({"a", "b"})
+        assert coalition_of("ghost", partition) is None
+
+    def test_coalition_helper(self):
+        assert coalition("a", "b") == frozenset({"a", "b"})

@@ -1,0 +1,109 @@
+"""The Sec. 6.1 SCSP encoding of coalition formation."""
+
+import pytest
+
+from repro.coalitions import (
+    TrustNetwork,
+    build_coalition_scsp,
+    coalition_variables,
+    decode,
+    partition_trust,
+    solve_exact,
+)
+from repro.solver import solve, solve_branch_bound
+
+
+@pytest.fixture
+def small_network():
+    return TrustNetwork(
+        ["a", "b", "c"],
+        {
+            ("a", "a"): 0.6, ("b", "b"): 0.6, ("c", "c"): 0.6,
+            ("a", "b"): 0.9, ("b", "a"): 0.8,
+            ("a", "c"): 0.2, ("c", "a"): 0.3,
+            ("b", "c"): 0.4, ("c", "b"): 0.5,
+        },
+    )
+
+
+class TestVariables:
+    def test_one_variable_per_agent(self, small_network):
+        variables = coalition_variables(small_network)
+        assert len(variables) == 3
+        assert [v.name for v in variables] == ["co1", "co2", "co3"]
+
+    def test_domain_is_powerset(self, small_network):
+        variables = coalition_variables(small_network)
+        assert len(variables[0].domain) == 2**3
+        assert frozenset() in variables[0].domain
+        assert frozenset({"a", "b", "c"}) in variables[0].domain
+
+
+class TestConstraintClasses:
+    def test_constraint_census(self, small_network):
+        problem, variables = build_coalition_scsp(small_network)
+        names = [getattr(c, "name", "") for c in problem.constraints]
+        trust = [n for n in names if n.startswith("ct(")]
+        partition = [n for n in names if n.startswith("cp(")]
+        stability = [n for n in names if n.startswith("cs(")]
+        assert len(trust) == 3          # one per coalition variable
+        assert len(partition) == 3 + 1  # pairwise disjoint + coverage
+        assert len(stability) == 3 * 3 * 2  # agents × ordered var pairs
+
+    def test_partition_constraints_reject_overlap(self, small_network):
+        problem, variables = build_coalition_scsp(small_network)
+        overlap = {
+            "co1": frozenset({"a", "b"}),
+            "co2": frozenset({"b", "c"}),
+            "co3": frozenset(),
+        }
+        assert problem.evaluate(overlap) == 0.0
+
+    def test_partition_constraints_reject_gaps(self, small_network):
+        problem, variables = build_coalition_scsp(small_network)
+        gap = {
+            "co1": frozenset({"a"}),
+            "co2": frozenset({"b"}),
+            "co3": frozenset(),
+        }
+        assert problem.evaluate(gap) == 0.0
+
+    def test_valid_partition_scores_its_trust(self, small_network):
+        problem, _ = build_coalition_scsp(small_network, op="avg")
+        assignment = {
+            "co1": frozenset({"a", "b"}),
+            "co2": frozenset({"c"}),
+            "co3": frozenset(),
+        }
+        expected = partition_trust(
+            [{"a", "b"}, {"c"}], small_network, "avg", "min"
+        )
+        value = problem.evaluate(assignment)
+        # stability constraints may zero it; here {a,b},{c} is stable
+        assert value == pytest.approx(expected)
+
+
+class TestSolveAndDecode:
+    def test_encoding_agrees_with_direct_enumeration(self, small_network):
+        problem, variables = build_coalition_scsp(small_network, op="avg")
+        encoded = solve_branch_bound(problem)
+        direct = solve_exact(small_network, op="avg", aggregate="min")
+        assert encoded.blevel == pytest.approx(direct.trust)
+
+    def test_decode_drops_empty_slots(self, small_network):
+        _, variables = build_coalition_scsp(small_network)
+        assignment = {
+            "co1": frozenset({"a", "b"}),
+            "co2": frozenset(),
+            "co3": frozenset({"c"}),
+        }
+        partition = decode(assignment, variables)
+        assert partition == (frozenset({"a", "b"}), frozenset({"c"}))
+
+    def test_decoded_solution_is_stable(self, small_network):
+        from repro.coalitions import is_stable
+
+        problem, variables = build_coalition_scsp(small_network, op="avg")
+        result = solve(problem, "branch-bound")
+        partition = decode(result.best_assignment, variables)
+        assert is_stable(partition, small_network, "avg")

@@ -1,0 +1,143 @@
+"""Semiring-based trust propagation."""
+
+import pytest
+
+from repro.coalitions import TrustError, TrustNetwork, solve_exact
+from repro.coalitions.propagation import (
+    coverage,
+    propagate_trust,
+    propagation_closure,
+    trust_between,
+)
+from repro.semirings import (
+    FuzzySemiring,
+    ProbabilisticSemiring,
+    SetSemiring,
+)
+
+
+@pytest.fixture
+def chain():
+    """a → b → c with no direct a → c judgement."""
+    return TrustNetwork(
+        ["a", "b", "c"],
+        {("a", "b"): 0.8, ("b", "c"): 0.6},
+    )
+
+
+class TestClosure:
+    def test_fuzzy_bottleneck_path(self, chain):
+        # max-min: trust along a→b→c is min(0.8, 0.6) = 0.6
+        assert trust_between(chain, "a", "c") == 0.6
+
+    def test_probabilistic_dilution(self, chain):
+        value = trust_between(
+            chain, "a", "c", semiring=ProbabilisticSemiring()
+        )
+        assert value == pytest.approx(0.8 * 0.6)
+
+    def test_no_path_means_zero(self, chain):
+        assert trust_between(chain, "c", "a") == 0.0
+
+    def test_best_of_alternative_paths(self):
+        network = TrustNetwork(
+            ["a", "b", "c", "d"],
+            {
+                ("a", "b"): 0.9, ("b", "d"): 0.5,   # bottleneck 0.5
+                ("a", "c"): 0.7, ("c", "d"): 0.7,   # bottleneck 0.7
+            },
+        )
+        assert trust_between(network, "a", "d") == 0.7
+
+    def test_direct_edge_beats_weaker_path(self):
+        network = TrustNetwork(
+            ["a", "b", "c"],
+            {("a", "c"): 0.9, ("a", "b"): 0.5, ("b", "c"): 0.5},
+        )
+        assert trust_between(network, "a", "c") == 0.9
+
+    def test_cycles_cannot_inflate_trust(self):
+        network = TrustNetwork(
+            ["a", "b"],
+            {("a", "b"): 0.8, ("b", "a"): 0.8},
+        )
+        closure = propagation_closure(network)
+        # going a→b→a→b… never exceeds the direct 0.8
+        assert closure[("a", "b")] == 0.8
+        assert closure[("a", "a")] == 1.0  # seeded identity
+
+    def test_explicit_self_trust_preserved(self):
+        network = TrustNetwork(["a"], {("a", "a"): 0.4})
+        closure = propagation_closure(network)
+        # paths through itself: 0.4 ⊕ (0.4 ⊗ 0.4) = 0.4 under max-min
+        assert closure[("a", "a")] == 0.4
+
+    def test_defaults_are_ignored_by_closure(self):
+        network = TrustNetwork(["a", "b"], default=0.5)
+        closure = propagation_closure(network)
+        assert closure[("a", "b")] == 0.0  # no explicit path
+
+
+class TestPropagateTrust:
+    def test_completed_network_fills_gaps(self, chain):
+        completed = propagate_trust(chain)
+        assert completed.trust("a", "c") == 0.6
+        assert completed.trust("a", "b") == 0.8  # direct kept
+
+    def test_keep_direct_protects_first_hand_scores(self):
+        network = TrustNetwork(
+            ["a", "b", "c"],
+            # weak direct judgement but a strong path exists
+            {("a", "c"): 0.2, ("a", "b"): 0.9, ("b", "c"): 0.9},
+        )
+        kept = propagate_trust(network, keep_direct=True)
+        assert kept.trust("a", "c") == 0.2
+        overridden = propagate_trust(network, keep_direct=False)
+        assert overridden.trust("a", "c") == 0.9
+
+    def test_unreachable_pairs_stay_unknown(self, chain):
+        completed = propagate_trust(chain)
+        assert completed.trust("c", "a") is None
+
+    def test_partial_order_semiring_rejected(self, chain):
+        with pytest.raises(TrustError, match="totally ordered"):
+            propagate_trust(chain, semiring=SetSemiring({"x"}))
+
+    def test_propagation_enables_coalition_formation(self):
+        """A sparse network becomes solvable once completed: the strong
+        a↔b↔c chain clusters together, the distrusted d stays alone."""
+        network = TrustNetwork(
+            ["a", "b", "c", "d"],
+            {
+                ("a", "a"): 0.6, ("b", "b"): 0.6,
+                ("c", "c"): 0.6, ("d", "d"): 0.6,
+                ("a", "b"): 0.9, ("b", "a"): 0.9,
+                ("b", "c"): 0.9, ("c", "b"): 0.9,
+                ("a", "d"): 0.1, ("d", "a"): 0.1,
+            },
+        )
+        completed = propagate_trust(network)
+        assert completed.trust("a", "c") == 0.9  # derived via b
+        solution = solve_exact(completed, op="avg", aggregate="min")
+        assert solution.found
+        abc = next(g for g in solution.partition if "a" in g)
+        assert {"b", "c"} <= set(abc)
+        assert frozenset({"d"}) in solution.partition
+
+
+class TestCoverage:
+    def test_coverage_fraction(self, chain):
+        assert coverage(chain) == pytest.approx(2 / 6)
+
+    def test_full_coverage_after_propagation_on_connected_graph(self):
+        network = TrustNetwork(
+            ["a", "b", "c"],
+            {
+                ("a", "b"): 0.8, ("b", "c"): 0.8, ("c", "a"): 0.8,
+            },
+        )
+        completed = propagate_trust(network)
+        assert coverage(completed) == 1.0
+
+    def test_singleton_coverage(self):
+        assert coverage(TrustNetwork(["a"])) == 1.0

@@ -1,0 +1,151 @@
+"""Exact, greedy and local-search coalition-structure generation."""
+
+import pytest
+
+from repro.coalitions import (
+    TrustNetwork,
+    bell_number,
+    enumerate_partitions,
+    figure9_network,
+    grand_coalition,
+    individually_oriented,
+    is_stable,
+    partition_trust,
+    random_trust_network,
+    singletons,
+    socially_oriented,
+    solve_exact,
+    solve_local_search,
+)
+
+
+@pytest.fixture
+def network():
+    return figure9_network()
+
+
+class TestEnumeration:
+    def test_bell_numbers(self):
+        assert [bell_number(n) for n in range(6)] == [1, 1, 2, 5, 15, 52]
+
+    def test_enumerate_counts_match_bell(self):
+        agents = ["a", "b", "c", "d"]
+        partitions = list(enumerate_partitions(agents))
+        assert len(partitions) == bell_number(4)
+        assert len(set(partitions)) == len(partitions)  # no duplicates
+
+    def test_every_partition_covers_agents(self):
+        for partition in enumerate_partitions(["a", "b", "c"]):
+            assert sorted(a for g in partition for a in g) == ["a", "b", "c"]
+
+    def test_empty_agents(self):
+        assert list(enumerate_partitions([])) == []
+
+    def test_reference_structures(self, network):
+        assert grand_coalition(network) == (frozenset(network.agents),)
+        assert len(singletons(network)) == 7
+
+
+class TestExact:
+    def test_finds_stable_optimum(self, network):
+        solution = solve_exact(network, op="avg", aggregate="min")
+        assert solution.found
+        assert solution.stable
+        assert is_stable(solution.partition, network, "avg")
+        assert solution.partitions_examined == bell_number(7)
+
+    def test_optimum_dominates_every_stable_partition(self, network):
+        solution = solve_exact(network, op="avg", aggregate="min")
+        for partition in enumerate_partitions(network.agents):
+            if is_stable(partition, network, "avg"):
+                assert (
+                    partition_trust(partition, network, "avg", "min")
+                    <= solution.trust + 1e-12
+                )
+
+    def test_stability_prunes_hard(self, network):
+        solution = solve_exact(network, op="avg", aggregate="min")
+        assert solution.stable_partitions < solution.partitions_examined / 10
+
+    def test_unconstrained_beats_or_equals_stable(self, network):
+        stable = solve_exact(network, op="avg", aggregate="min")
+        free = solve_exact(
+            network, op="avg", aggregate="min", require_stability=False
+        )
+        assert free.trust >= stable.trust
+
+    def test_small_network_exact(self):
+        network = TrustNetwork(
+            ["a", "b"],
+            {("a", "b"): 0.9, ("b", "a"): 0.9, ("a", "a"): 0.5, ("b", "b"): 0.5},
+        )
+        solution = solve_exact(network, op="avg", aggregate="min")
+        # mutual high trust: pairing beats singletons
+        assert solution.partition == (frozenset({"a", "b"}),)
+
+
+class TestGreedy:
+    def test_individually_oriented_clusters_best_friends(self, network):
+        solution = individually_oriented(network, "avg")
+        assert solution.found
+        # x4's best friend is x1 — they must share a coalition
+        x4_group = next(g for g in solution.partition if "x4" in g)
+        assert "x1" in x4_group
+
+    def test_individually_oriented_is_partition(self, network):
+        solution = individually_oriented(network, "avg")
+        assert sorted(a for g in solution.partition for a in g) == sorted(
+            network.agents
+        )
+
+    def test_socially_oriented_improves_or_stays(self, network):
+        start = partition_trust(
+            singletons(network), network, "avg", "min"
+        )
+        solution = socially_oriented(network, "avg")
+        assert solution.trust >= start
+
+    def test_exact_dominates_greedy(self, network):
+        exact = solve_exact(network, op="avg", aggregate="min")
+        for greedy in (
+            individually_oriented(network, "avg"),
+            socially_oriented(network, "avg"),
+        ):
+            if greedy.stable:
+                assert exact.trust >= greedy.trust - 1e-12
+
+
+class TestLocalSearch:
+    def test_reaches_exact_optimum_on_fig9(self, network):
+        exact = solve_exact(network, op="avg", aggregate="min")
+        local = solve_local_search(network, op="avg", seed=42)
+        assert local.stable
+        assert local.trust == pytest.approx(exact.trust, abs=1e-9)
+
+    def test_seeded_reproducibility(self, network):
+        a = solve_local_search(network, op="avg", seed=7)
+        b = solve_local_search(network, op="avg", seed=7)
+        assert a.partition == b.partition
+        assert a.trust == b.trust
+
+    def test_initial_partition_accepted(self, network):
+        local = solve_local_search(
+            network,
+            op="avg",
+            seed=1,
+            initial=singletons(network),
+            restarts=1,
+        )
+        assert local.found
+
+    def test_scales_past_exact_range(self):
+        # 10 agents: Bell(10) = 115975; local search samples a fraction.
+        network = random_trust_network(10, seed=5)
+        solution = solve_local_search(
+            network, op="avg", seed=5, restarts=2, max_iterations=30
+        )
+        assert solution.found
+        assert sorted(a for g in solution.partition for a in g) == sorted(
+            network.agents
+        )
+        assert solution.partitions_examined < bell_number(10)

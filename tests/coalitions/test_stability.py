@@ -1,0 +1,122 @@
+"""Blocking coalitions and stability (paper Def. 4, Fig. 10)."""
+
+import pytest
+
+from repro.coalitions import (
+    blocking_pairs,
+    blocking_witness,
+    coalition,
+    coalition_trust,
+    figure9_network,
+    is_stable,
+    normalize_partition,
+    repair_step,
+    stabilize,
+)
+
+
+@pytest.fixture
+def network():
+    return figure9_network()
+
+
+@pytest.fixture
+def fig10_partition():
+    return [coalition("x1", "x2", "x3"), coalition("x4", "x5", "x6", "x7")]
+
+
+class TestFig10Scenario:
+    def test_partition_is_blocked_under_avg(self, network, fig10_partition):
+        assert not is_stable(fig10_partition, network, "avg")
+
+    def test_witness_is_x4(self, network, fig10_partition):
+        witnesses = blocking_pairs(fig10_partition, network, "avg")
+        assert witnesses
+        assert witnesses[0].defector == "x4"
+        assert witnesses[0].to_coalition == coalition("x1", "x2", "x3")
+
+    def test_witness_conditions_quantified(self, network, fig10_partition):
+        witness = blocking_pairs(fig10_partition, network, "avg")[0]
+        # condition (i): strictly prefers the target coalition
+        assert witness.preference_for_target > witness.preference_for_own
+        # condition (ii): strictly raises the target's trustworthiness
+        assert witness.target_trust_after > witness.target_trust_before
+
+    def test_joining_x4_raises_T_C1(self, network):
+        c1 = coalition("x1", "x2", "x3")
+        assert coalition_trust(c1 | {"x4"}, network, "avg") > coalition_trust(
+            c1, network, "avg"
+        )
+
+    def test_min_composition_never_blocks(self, network, fig10_partition):
+        """Under ◦ = min, T(Cu ∪ xk) > T(Cu) is impossible (documented
+        degeneracy): every partition is trivially stable."""
+        assert is_stable(fig10_partition, network, "min")
+
+    def test_ordered_pair_direction_matters(self, network):
+        c1 = coalition("x1", "x2", "x3")
+        c2 = coalition("x4", "x5", "x6", "x7")
+        # (target=C1, source=C2) is blocking via x4 …
+        assert blocking_witness(c1, c2, network, "avg") is not None
+        # … but nobody in C1 wants to defect to C2.
+        assert blocking_witness(c2, c1, network, "avg") is None
+
+
+class TestRepairAndStabilize:
+    def test_repair_moves_defector(self, network, fig10_partition):
+        step = repair_step(
+            normalize_partition(fig10_partition), network, "avg"
+        )
+        assert step is not None
+        new_partition, witness = step
+        assert witness.defector == "x4"
+        moved_to = next(g for g in new_partition if "x4" in g)
+        assert {"x1", "x2", "x3"} <= set(moved_to)
+
+    def test_repair_on_stable_partition_is_none(self, network):
+        stable, _, converged = stabilize(
+            [coalition(*network.agents)], network, "avg"
+        )
+        if converged:
+            assert repair_step(stable, network, "avg") is None
+
+    def test_stabilize_reaches_stability(self, network, fig10_partition):
+        final, history, converged = stabilize(
+            fig10_partition, network, "avg"
+        )
+        assert converged
+        assert history  # at least one defection happened
+        assert is_stable(final, network, "avg")
+
+    def test_stabilize_preserves_agents(self, network, fig10_partition):
+        final, _, _ = stabilize(fig10_partition, network, "avg")
+        assert sorted(a for g in final for a in g) == sorted(network.agents)
+
+    def test_stabilize_max_steps(self, network, fig10_partition):
+        final, history, converged = stabilize(
+            fig10_partition, network, "avg", max_steps=0
+        )
+        assert not converged
+        assert history == []
+
+    def test_witness_str_is_informative(self, network, fig10_partition):
+        witness = blocking_pairs(fig10_partition, network, "avg")[0]
+        text = str(witness)
+        assert "x4" in text and "prefers" in text
+
+
+class TestSingletonDynamics:
+    def test_all_singletons_unstable_here(self, network):
+        singles = [coalition(agent) for agent in network.agents]
+        # self-trust is 0.6 < pairwise trust among the C1 members, so
+        # some singleton wants to merge — unstable.
+        assert not is_stable(singles, network, "avg")
+
+    def test_empty_own_fellows_view_is_zero(self, network):
+        # a singleton's defector has empty own-fellow view (0.0), so any
+        # positive rating of another coalition satisfies condition (i)
+        witness = blocking_witness(
+            coalition("x1"), coalition("x2"), network, "avg"
+        )
+        assert witness is not None
+        assert witness.preference_for_own == 0.0

@@ -1,0 +1,117 @@
+"""Trust networks (paper Fig. 9)."""
+
+import pytest
+
+from repro.coalitions import (
+    TrustError,
+    TrustNetwork,
+    average,
+    figure9_network,
+    random_trust_network,
+    resolve_op,
+)
+
+
+class TestNetwork:
+    def test_construction_and_lookup(self):
+        network = TrustNetwork(
+            ["a", "b"], {("a", "b"): 0.7, ("b", "a"): 0.4}
+        )
+        assert network.trust("a", "b") == 0.7
+        assert network.trust("b", "a") == 0.4
+        assert len(network) == 2
+
+    def test_directedness(self):
+        network = TrustNetwork(["a", "b"], {("a", "b"): 0.9})
+        assert network.trust("a", "b") == 0.9
+        assert network.trust("b", "a") is None
+
+    def test_default_fallback(self):
+        network = TrustNetwork(["a", "b"], default=0.5)
+        assert network.trust("a", "b") == 0.5
+
+    def test_self_trust_allowed(self):
+        network = TrustNetwork(["a"], {("a", "a"): 1.0})
+        assert network.trust("a", "a") == 1.0
+
+    def test_bounds_validated(self):
+        network = TrustNetwork(["a", "b"])
+        with pytest.raises(TrustError):
+            network.set_trust("a", "b", 1.5)
+        with pytest.raises(TrustError):
+            network.set_trust("a", "b", -0.1)
+
+    def test_unknown_agent_rejected(self):
+        network = TrustNetwork(["a"])
+        with pytest.raises(TrustError):
+            network.set_trust("a", "ghost", 0.5)
+
+    def test_duplicate_agents_rejected(self):
+        with pytest.raises(TrustError):
+            TrustNetwork(["a", "a"])
+
+    def test_empty_network_rejected(self):
+        with pytest.raises(TrustError):
+            TrustNetwork([])
+
+    def test_outgoing(self):
+        network = TrustNetwork(
+            ["a", "b", "c"], {("a", "b"): 0.5, ("a", "c"): 0.7, ("b", "a"): 0.3}
+        )
+        assert network.outgoing("a") == {"b": 0.5, "c": 0.7}
+
+    def test_subjectivity_gap(self):
+        network = TrustNetwork(
+            ["a", "b"], {("a", "b"): 0.9, ("b", "a"): 0.4}
+        )
+        assert network.subjectivity_gap() == pytest.approx(0.5)
+
+    def test_networkx_export(self):
+        network = TrustNetwork(["a", "b"], {("a", "b"): 0.9})
+        graph = network.to_networkx()
+        assert graph.number_of_nodes() == 2
+        assert graph.edges["a", "b"]["trust"] == 0.9
+
+
+class TestOps:
+    def test_average(self):
+        assert average([0.2, 0.4, 0.6]) == pytest.approx(0.4)
+
+    def test_resolve_named(self):
+        assert resolve_op("min") is min
+        assert resolve_op("max") is max
+        assert resolve_op("avg") is average
+
+    def test_resolve_callable_passthrough(self):
+        fn = lambda vs: vs[0]  # noqa: E731
+        assert resolve_op(fn) is fn
+
+    def test_unknown_op(self):
+        with pytest.raises(TrustError, match="known:"):
+            resolve_op("median-of-medians")
+
+
+class TestGenerators:
+    def test_random_network_seeded_reproducible(self):
+        a = random_trust_network(6, seed=3)
+        b = random_trust_network(6, seed=3)
+        assert a.known_scores() == b.known_scores()
+
+    def test_random_network_full_density(self):
+        network = random_trust_network(4, seed=1, density=1.0)
+        for source in network.agents:
+            for target in network.agents:
+                assert network.trust(source, target) is not None
+
+    def test_random_network_parameters_validated(self):
+        with pytest.raises(TrustError):
+            random_trust_network(0)
+        with pytest.raises(TrustError):
+            random_trust_network(3, density=0.0)
+
+    def test_figure9_shape(self):
+        network = figure9_network()
+        assert len(network) == 7
+        assert network.agents == tuple(f"x{i}" for i in range(1, 8))
+        # x4's asymmetric judgements, as drawn
+        assert network.trust("x4", "x1") > network.trust("x4", "x5")

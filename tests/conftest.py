@@ -1,0 +1,147 @@
+"""Shared fixtures: semiring instances, paper constraints, trust networks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.constraints import (
+    Polynomial,
+    TableConstraint,
+    integer_variable,
+    polynomial_constraint,
+    variable,
+)
+from repro.semirings import (
+    BooleanSemiring,
+    BoundedWeightedSemiring,
+    FuzzySemiring,
+    ProbabilisticSemiring,
+    ProductSemiring,
+    SetSemiring,
+    WeightedSemiring,
+)
+
+# ----------------------------------------------------------------------
+# Semirings
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture
+def boolean():
+    return BooleanSemiring()
+
+
+@pytest.fixture
+def fuzzy():
+    return FuzzySemiring()
+
+
+@pytest.fixture
+def probabilistic():
+    return ProbabilisticSemiring()
+
+
+@pytest.fixture
+def weighted():
+    return WeightedSemiring()
+
+
+@pytest.fixture
+def bounded():
+    return BoundedWeightedSemiring(cap=10.0)
+
+
+@pytest.fixture
+def setbased():
+    return SetSemiring({"read", "write", "exec"})
+
+
+@pytest.fixture
+def product(weighted, fuzzy):
+    return ProductSemiring([weighted, fuzzy])
+
+
+#: Every shipped instance, parameterizable.
+ALL_SEMIRINGS = [
+    BooleanSemiring(),
+    FuzzySemiring(),
+    ProbabilisticSemiring(),
+    WeightedSemiring(),
+    BoundedWeightedSemiring(cap=8.0),
+    SetSemiring({"a", "b", "c"}),
+    ProductSemiring([WeightedSemiring(), FuzzySemiring()]),
+]
+
+
+@pytest.fixture(params=ALL_SEMIRINGS, ids=lambda s: s.name)
+def any_semiring(request):
+    return request.param
+
+
+TOTAL_SEMIRINGS = [s for s in ALL_SEMIRINGS if s.is_total_order()]
+
+
+@pytest.fixture(params=TOTAL_SEMIRINGS, ids=lambda s: s.name)
+def total_semiring(request):
+    return request.param
+
+
+# ----------------------------------------------------------------------
+# The paper's Fig. 1 problem
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture
+def fig1(weighted):
+    """Variables and constraints of the paper's Fig. 1 weighted SCSP."""
+    x = variable("X", ["a", "b"])
+    y = variable("Y", ["a", "b"])
+    c1 = TableConstraint(weighted, [x], {("a",): 1, ("b",): 9}, name="c1")
+    c2 = TableConstraint(
+        weighted,
+        [x, y],
+        {("a", "a"): 5, ("a", "b"): 1, ("b", "a"): 2, ("b", "b"): 2},
+        name="c2",
+    )
+    c3 = TableConstraint(weighted, [y], {("a",): 5, ("b",): 5}, name="c3")
+    return {"x": x, "y": y, "c1": c1, "c2": c2, "c3": c3}
+
+
+# ----------------------------------------------------------------------
+# The paper's Fig. 7 polynomial policies
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture
+def fig7(weighted):
+    """c1 = x+3, c2 = y+1, c3 = 2x, c4 = x+5 over x, y ∈ 0..20."""
+    x = integer_variable("x", 20)
+    y = integer_variable("y", 20)
+    return {
+        "x": x,
+        "y": y,
+        "c1": polynomial_constraint(
+            weighted, [x], Polynomial.linear({"x": 1}, 3), name="c1"
+        ),
+        "c2": polynomial_constraint(
+            weighted, [y], Polynomial.linear({"y": 1}, 1), name="c2"
+        ),
+        "c3": polynomial_constraint(
+            weighted, [x], Polynomial.linear({"x": 2}), name="c3"
+        ),
+        "c4": polynomial_constraint(
+            weighted, [x], Polynomial.linear({"x": 1}, 5), name="c4"
+        ),
+    }
+
+
+@pytest.fixture
+def sync_flags(weighted):
+    """Synchronization constraints sp1/sp2 used in Examples 1–2."""
+    sp1_var = variable("sp1", [0, 1])
+    sp2_var = variable("sp2", [0, 1])
+    inf = weighted.zero
+    return {
+        "sp1": TableConstraint(weighted, [sp1_var], {(1,): 0.0, (0,): inf}),
+        "sp2": TableConstraint(weighted, [sp2_var], {(1,): 0.0, (0,): inf}),
+    }

@@ -1,0 +1,192 @@
+"""Core soft-constraint behaviour: evaluation, ⊗, ÷, ⇓, ∃x, renaming."""
+
+import pytest
+
+from repro.constraints import (
+    ConstantConstraint,
+    ConstraintError,
+    FunctionConstraint,
+    TableConstraint,
+    VariableError,
+    constraints_equal,
+    variable,
+)
+
+
+@pytest.fixture
+def xy(weighted):
+    x = variable("x", [0, 1, 2])
+    y = variable("y", [0, 1, 2])
+    cx = FunctionConstraint(weighted, (x,), lambda v: v + 1.0, name="cx")
+    cxy = FunctionConstraint(
+        weighted, (x, y), lambda a, b: float(abs(a - b)), name="cxy"
+    )
+    return x, y, cx, cxy
+
+
+class TestEvaluation:
+    def test_function_constraint_positional_args(self, xy):
+        x, y, cx, cxy = xy
+        assert cx({"x": 2}) == 3.0
+        assert cxy({"x": 0, "y": 2}) == 2.0
+
+    def test_extra_bindings_ignored(self, xy):
+        x, y, cx, _ = xy
+        assert cx({"x": 1, "unrelated": 99}) == 2.0
+
+    def test_missing_binding_raises(self, xy):
+        _, _, cx, _ = xy
+        with pytest.raises(ConstraintError, match="missing variable"):
+            cx({})
+
+    def test_function_result_validated_against_semiring(self, weighted):
+        x = variable("x", [0])
+        bad = FunctionConstraint(weighted, (x,), lambda v: -1.0)
+        from repro.semirings import SemiringError
+
+        with pytest.raises(SemiringError):
+            bad({"x": 0})
+
+    def test_constant_constraint(self, fuzzy):
+        c = ConstantConstraint(fuzzy, 0.7)
+        assert c({}) == 0.7
+        assert c.scope == ()
+
+
+class TestCombination:
+    def test_combination_is_pointwise_times(self, xy, weighted):
+        x, y, cx, cxy = xy
+        combined = cx.combine(cxy)
+        assert combined({"x": 1, "y": 2}) == weighted.times(2.0, 1.0)
+
+    def test_scope_union(self, xy):
+        _, _, cx, cxy = xy
+        assert cx.combine(cxy).support == ("x", "y")
+
+    def test_operator_sugar(self, xy):
+        _, _, cx, cxy = xy
+        assert (cx * cxy)({"x": 0, "y": 0}) == (cx.combine(cxy))(
+            {"x": 0, "y": 0}
+        )
+
+    def test_cross_semiring_rejected(self, weighted, fuzzy):
+        x = variable("x", [0])
+        a = FunctionConstraint(weighted, (x,), lambda v: 1.0)
+        b = FunctionConstraint(fuzzy, (x,), lambda v: 0.5)
+        with pytest.raises(ConstraintError, match="cannot mix"):
+            a.combine(b)
+
+    def test_combine_with_one_is_identity(self, xy, weighted):
+        _, _, cx, _ = xy
+        one = ConstantConstraint(weighted, weighted.one)
+        assert constraints_equal(cx.combine(one), cx)
+
+
+class TestDivision:
+    def test_division_pointwise(self, weighted):
+        x = variable("x", range(5))
+        sigma = FunctionConstraint(weighted, (x,), lambda v: 3.0 * v + 5)
+        c = FunctionConstraint(weighted, (x,), lambda v: v + 3.0)
+        quotient = sigma.divide(c)
+        for v in range(5):
+            assert quotient({"x": v}) == 2.0 * v + 2
+
+    def test_retract_roundtrip(self, weighted):
+        # (σ ⊗ c) ÷ c = σ when c's influence is entailed
+        x = variable("x", range(4))
+        sigma = FunctionConstraint(weighted, (x,), lambda v: 2.0 * v)
+        c = FunctionConstraint(weighted, (x,), lambda v: float(v))
+        roundtrip = sigma.combine(c).divide(c)
+        assert constraints_equal(roundtrip, sigma)
+
+    def test_division_sugar(self, weighted):
+        x = variable("x", [0, 1])
+        a = FunctionConstraint(weighted, (x,), lambda v: 5.0)
+        b = FunctionConstraint(weighted, (x,), lambda v: 2.0)
+        assert (a / b)({"x": 0}) == 3.0
+
+
+class TestProjection:
+    def test_projection_sums_out_variables(self, xy, weighted):
+        x, y, _, cxy = xy
+        projected = cxy.project(["x"])
+        # min over y of |x − y| is always 0 (y can match x)
+        for v in range(3):
+            assert projected({"x": v}) == 0.0
+
+    def test_projection_to_empty_is_consistency(self, xy):
+        _, _, cx, _ = xy
+        empty = cx.project([])
+        assert empty({}) == 1.0
+        assert empty({}) == cx.consistency()
+
+    def test_projection_onto_full_scope_is_identity(self, xy):
+        _, _, _, cxy = xy
+        assert cxy.project(["x", "y"]) is cxy
+
+    def test_projection_ignores_foreign_names(self, xy):
+        _, _, cx, _ = xy
+        projected = cx.project(["x", "not-a-var"])
+        assert projected is cx
+
+    def test_hide_is_complementary_projection(self, xy):
+        _, _, _, cxy = xy
+        assert cxy.hide("y").support == ("x",)
+
+    def test_fuzzy_projection_takes_max(self, fuzzy):
+        x = variable("x", [0, 1])
+        y = variable("y", [0, 1])
+        c = TableConstraint(
+            fuzzy,
+            (x, y),
+            {(0, 0): 0.2, (0, 1): 0.8, (1, 0): 0.5, (1, 1): 0.1},
+        )
+        projected = c.project(["x"])
+        assert projected({"x": 0}) == 0.8
+        assert projected({"x": 1}) == 0.5
+
+
+class TestRenaming:
+    def test_renamed_evaluates_through_mapping(self, xy):
+        _, _, cx, _ = xy
+        renamed = cx.renamed({"x": "z"})
+        assert renamed.support == ("z",)
+        assert renamed({"z": 2}) == cx({"x": 2})
+
+    def test_renaming_preserves_domain(self, xy):
+        _, _, cx, _ = xy
+        renamed = cx.renamed({"x": "z"})
+        assert renamed.scope[0].domain == (0, 1, 2)
+
+    def test_identity_renaming_is_noop(self, xy):
+        _, _, cx, _ = xy
+        assert cx.renamed({}) is cx
+
+    def test_collapsing_renaming_rejected(self, xy):
+        _, _, _, cxy = xy
+        with pytest.raises(VariableError, match="collapses"):
+            cxy.renamed({"x": "y"})
+
+    def test_rename_then_combine(self, xy, weighted):
+        _, _, cx, _ = xy
+        other = cx.renamed({"x": "w"})
+        combined = cx.combine(other)
+        assert combined.support == ("x", "w")
+        assert combined({"x": 0, "w": 2}) == weighted.times(1.0, 3.0)
+
+
+class TestConsistencyAndEnumeration:
+    def test_consistency_folds_plus(self, weighted):
+        x = variable("x", [2, 5, 7])
+        c = FunctionConstraint(weighted, (x,), float)
+        assert c.consistency() == 2.0  # min cost
+
+    def test_enumerate_values_covers_space(self, xy):
+        _, _, _, cxy = xy
+        entries = list(cxy.enumerate_values())
+        assert len(entries) == 9
+        assert all(isinstance(a, dict) for a, _ in entries)
+
+    def test_materialize_equals_original(self, xy):
+        _, _, _, cxy = xy
+        assert constraints_equal(cxy.materialize(), cxy)

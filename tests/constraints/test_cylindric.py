@@ -1,0 +1,83 @@
+"""Diagonal constraints and cylindric parameter passing."""
+
+import pytest
+
+from repro.constraints import (
+    ConstraintError,
+    DiagonalConstraint,
+    FunctionConstraint,
+    constraints_equal,
+    diagonal,
+    parameter_passing,
+    variable,
+)
+
+
+@pytest.fixture
+def vars3(fuzzy):
+    x = variable("x", [0, 1, 2])
+    y = variable("y", [0, 1, 2])
+    z = variable("z", [0, 1, 2])
+    return x, y, z
+
+
+class TestDiagonal:
+    def test_one_on_diagonal_zero_off(self, fuzzy, vars3):
+        x, y, _ = vars3
+        d = diagonal(fuzzy, x, y)
+        assert d({"x": 1, "y": 1}) == fuzzy.one
+        assert d({"x": 1, "y": 2}) == fuzzy.zero
+
+    def test_same_variable_rejected(self, fuzzy, vars3):
+        x, _, _ = vars3
+        with pytest.raises(ConstraintError):
+            DiagonalConstraint(fuzzy, x, x)
+
+    def test_missing_binding_raises(self, fuzzy, vars3):
+        x, y, _ = vars3
+        d = diagonal(fuzzy, x, y)
+        with pytest.raises(ConstraintError, match="missing"):
+            d({"x": 1})
+
+    def test_diagonal_works_on_weighted(self, weighted, vars3):
+        x, y, _ = vars3
+        d = DiagonalConstraint(weighted, x, y)
+        assert d({"x": 0, "y": 0}) == weighted.one
+        assert d({"x": 0, "y": 1}) == weighted.zero
+
+
+class TestParameterPassing:
+    def test_equivalent_to_renaming(self, fuzzy, vars3):
+        """∃formal.(body ⊗ d_{formal,actual}) ≡ body[formal/actual].
+
+        This is the classical cylindric-algebra fact the procedure-call
+        rule relies on; it requires an idempotent-+ semiring where the
+        diagonal zeros kill the mismatched tuples under projection.
+        """
+        x, y, _ = vars3
+        body = FunctionConstraint(fuzzy, (x,), lambda v: [0.2, 0.9, 0.5][v])
+        via_diagonal = parameter_passing(fuzzy, body, formal=x, actual=y)
+        via_renaming = body.renamed({"x": "y"})
+        assert constraints_equal(via_diagonal, via_renaming)
+
+    def test_weighted_equivalence(self, weighted, vars3):
+        x, y, _ = vars3
+        body = FunctionConstraint(weighted, (x,), lambda v: float(v * 3 + 1))
+        via_diagonal = parameter_passing(weighted, body, formal=x, actual=y)
+        via_renaming = body.renamed({"x": "y"})
+        assert constraints_equal(via_diagonal, via_renaming)
+
+    def test_same_variable_shortcircuits(self, fuzzy, vars3):
+        x, _, _ = vars3
+        body = FunctionConstraint(fuzzy, (x,), lambda v: 0.5)
+        assert parameter_passing(fuzzy, body, formal=x, actual=x) is body
+
+    def test_binary_body(self, fuzzy, vars3):
+        x, y, z = vars3
+        body = FunctionConstraint(
+            fuzzy, (x, z), lambda a, b: 1.0 if a == b else 0.3
+        )
+        passed = parameter_passing(fuzzy, body, formal=x, actual=y)
+        assert set(passed.support) == {"y", "z"}
+        assert passed({"y": 1, "z": 1}) == 1.0
+        assert passed({"y": 1, "z": 0}) == 0.3

@@ -1,0 +1,133 @@
+"""Module-level operations: combine, entailment, order, blevel."""
+
+import pytest
+
+from repro.constraints import (
+    ConstantConstraint,
+    ConstraintError,
+    FunctionConstraint,
+    best_assignments,
+    blevel,
+    combine,
+    constraint_leq,
+    constraints_equal,
+    entails,
+    variable,
+)
+
+
+@pytest.fixture
+def simple(fuzzy):
+    x = variable("x", [0, 1, 2])
+    loose = FunctionConstraint(fuzzy, (x,), lambda v: 0.9, name="loose")
+    tight = FunctionConstraint(
+        fuzzy, (x,), lambda v: 0.9 if v == 0 else 0.1, name="tight"
+    )
+    return x, loose, tight
+
+
+class TestCombine:
+    def test_combine_list(self, simple, fuzzy):
+        x, loose, tight = simple
+        both = combine([loose, tight])
+        assert both({"x": 1}) == 0.1
+
+    def test_combine_empty_needs_semiring(self, fuzzy):
+        with pytest.raises(ConstraintError):
+            combine([])
+        one = combine([], semiring=fuzzy)
+        assert one({}) == fuzzy.one
+
+    def test_combine_single_is_that_constraint(self, simple):
+        _, loose, _ = simple
+        assert combine([loose]) is loose
+
+
+class TestOrder:
+    def test_tight_below_loose(self, simple):
+        _, loose, tight = simple
+        assert constraint_leq(tight, loose)
+        assert not constraint_leq(loose, tight)
+
+    def test_order_reflexive(self, simple):
+        _, loose, _ = simple
+        assert constraint_leq(loose, loose)
+
+    def test_order_over_disjoint_scopes(self, fuzzy):
+        x = variable("x", [0, 1])
+        y = variable("y", [0, 1])
+        cx = FunctionConstraint(fuzzy, (x,), lambda v: 0.3)
+        cy = FunctionConstraint(fuzzy, (y,), lambda v: 0.8)
+        assert constraint_leq(cx, cy)
+
+    def test_cross_semiring_comparison_rejected(self, fuzzy, weighted):
+        x = variable("x", [0])
+        a = FunctionConstraint(fuzzy, (x,), lambda v: 0.5)
+        b = FunctionConstraint(weighted, (x,), lambda v: 2.0)
+        with pytest.raises(ConstraintError):
+            constraint_leq(a, b)
+
+
+class TestEntailment:
+    def test_combined_store_entails_members(self, simple, fuzzy):
+        x, loose, tight = simple
+        # ⊗{loose, tight} ⊑ loose and ⊑ tight (× is glb here)
+        assert entails([loose, tight], loose)
+        assert entails([loose, tight], tight)
+
+    def test_single_constraint_store(self, simple):
+        _, loose, tight = simple
+        assert entails(tight, loose)
+        assert not entails(loose, tight)
+
+    def test_weighted_entailment_direction(self, weighted):
+        # On Weighted, the costlier store entails the cheaper constraint.
+        x = variable("x", range(3))
+        sigma = FunctionConstraint(weighted, (x,), lambda v: 3.0 * v + 5)
+        c = FunctionConstraint(weighted, (x,), lambda v: v + 3.0)
+        assert entails(sigma, c)
+        assert not entails(c, sigma)
+
+
+class TestEquality:
+    def test_extensional_equality(self, fuzzy):
+        x = variable("x", [0, 1])
+        a = FunctionConstraint(fuzzy, (x,), lambda v: 0.5)
+        b = FunctionConstraint(fuzzy, (x,), lambda v: 1.0 - 0.5)
+        assert constraints_equal(a, b)
+
+    def test_different_semirings_never_equal(self, fuzzy, probabilistic):
+        a = ConstantConstraint(fuzzy, 0.5)
+        b = ConstantConstraint(probabilistic, 0.5)
+        assert not constraints_equal(a, b)
+
+    def test_uses_semiring_tolerance(self, probabilistic):
+        x = variable("x", [0])
+        a = FunctionConstraint(probabilistic, (x,), lambda v: 0.1 + 0.2)
+        b = FunctionConstraint(probabilistic, (x,), lambda v: 0.3)
+        assert constraints_equal(a, b)
+
+
+class TestBlevelAndBest:
+    def test_blevel_fig1(self, fig1):
+        combined = combine([fig1["c1"], fig1["c2"], fig1["c3"]])
+        assert blevel(combined) == 7.0
+
+    def test_best_assignments_total_order(self, fig1):
+        combined = combine([fig1["c1"], fig1["c2"], fig1["c3"]])
+        frontier, groups = best_assignments(combined)
+        assert frontier == [7.0]
+        assert groups == [[{"X": "a", "Y": "b"}]]
+
+    def test_best_assignments_pareto(self, product):
+        x = variable("x", [0, 1, 2])
+        c = FunctionConstraint(
+            product,
+            (x,),
+            lambda v: [(1.0, 0.2), (5.0, 0.9), (9.0, 0.1)][v],
+        )
+        frontier, groups = best_assignments(c)
+        assert set(frontier) == {(1.0, 0.2), (5.0, 0.9)}
+        flattened = [a for group in groups for a in group]
+        assert {"x": 0} in flattened and {"x": 1} in flattened
+        assert {"x": 2} not in flattened

@@ -1,0 +1,100 @@
+"""The polynomial preference type and its lifting to constraints."""
+
+import pytest
+
+from repro.constraints import Polynomial, integer_variable, polynomial_constraint
+
+
+class TestArithmetic:
+    def test_linear_construction(self):
+        p = Polynomial.linear({"x": 5}, 80)
+        assert p.evaluate({"x": 3}) == 95  # "reliability = 5x + 80"
+
+    def test_addition(self):
+        p = Polynomial.linear({"x": 2}) + Polynomial.linear({"x": 1}, 5)
+        assert p == Polynomial.linear({"x": 3}, 5)
+
+    def test_addition_with_scalar(self):
+        p = Polynomial.var("x") + 4
+        assert p.evaluate({"x": 2}) == 6
+        assert (4 + Polynomial.var("x")) == p
+
+    def test_subtraction(self):
+        # the paper's Ex. 2: (3x+5) − (x+3) = 2x+2
+        p = Polynomial.linear({"x": 3}, 5) - Polynomial.linear({"x": 1}, 3)
+        assert p == Polynomial.linear({"x": 2}, 2)
+
+    def test_rsub(self):
+        p = 10 - Polynomial.var("x")
+        assert p.evaluate({"x": 3}) == 7
+
+    def test_multiplication_merges_powers(self):
+        p = Polynomial.var("x") * Polynomial.var("x")
+        assert p == Polynomial.var("x", power=2)
+        assert p.evaluate({"x": 3}) == 9
+
+    def test_multivariate_multiplication(self):
+        p = (Polynomial.var("x") + 1) * (Polynomial.var("y") + 2)
+        assert p.evaluate({"x": 2, "y": 3}) == 3 * 5
+
+    def test_scalar_multiplication(self):
+        p = 3 * Polynomial.var("x")
+        assert p == Polynomial.linear({"x": 3})
+
+    def test_zero_coefficients_dropped(self):
+        p = Polynomial.var("x") - Polynomial.var("x")
+        assert p == Polynomial.constant(0)
+        assert p.coefficients == {}
+
+    def test_negative_power_rejected(self):
+        with pytest.raises(ValueError):
+            Polynomial.var("x", power=-1)
+
+    def test_power_zero_is_one(self):
+        assert Polynomial.var("x", power=0) == Polynomial.constant(1)
+
+
+class TestInspection:
+    def test_variables_sorted(self):
+        p = Polynomial.linear({"b": 1, "a": 2}, 3)
+        assert p.variables() == ("a", "b")
+
+    def test_is_constant(self):
+        assert Polynomial.constant(5).is_constant
+        assert not Polynomial.var("x").is_constant
+
+    def test_hash_and_equality(self):
+        a = Polynomial.linear({"x": 2}, 2)
+        b = Polynomial.linear({"x": 1}, 1) + Polynomial.linear({"x": 1}, 1)
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_str_renders_terms(self):
+        text = str(Polynomial.linear({"x": 2}, 2))
+        assert "x" in text and "2" in text
+        assert str(Polynomial({})) == "0"
+
+
+class TestLifting:
+    def test_constraint_evaluates_polynomial(self, weighted):
+        x = integer_variable("x", 10)
+        c = polynomial_constraint(
+            weighted, [x], Polynomial.linear({"x": 1}, 3)
+        )
+        assert c({"x": 4}) == 7.0
+
+    def test_scope_superset_allowed(self, weighted):
+        x = integer_variable("x", 5)
+        y = integer_variable("y", 5)
+        c = polynomial_constraint(weighted, [x, y], Polynomial.var("x"))
+        assert c({"x": 3, "y": 4}) == 3.0  # constant along y
+
+    def test_polynomial_variable_outside_scope_rejected(self, weighted):
+        x = integer_variable("x", 5)
+        with pytest.raises(ValueError, match="outside scope"):
+            polynomial_constraint(weighted, [x], Polynomial.var("z"))
+
+    def test_constraint_name_defaults_to_polynomial(self, weighted):
+        x = integer_variable("x", 5)
+        c = polynomial_constraint(weighted, [x], Polynomial.linear({"x": 2}))
+        assert "x" in c.name

@@ -1,0 +1,141 @@
+"""Property-based tests of the constraint algebra (hypothesis).
+
+Random table constraints over random small scopes exercise the laws the
+paper's framework relies on: ⊗ associativity/commutativity, projection
+commuting with combination on disjoint scopes, retract-after-tell
+round-trips, and entailment monotonicity.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.constraints import (
+    TableConstraint,
+    combine,
+    constraint_leq,
+    constraints_equal,
+    empty_store,
+    variable,
+)
+from repro.semirings import FuzzySemiring, WeightedSemiring
+
+FUZZY = FuzzySemiring()
+WEIGHTED = WeightedSemiring()
+
+_X = variable("x", (0, 1, 2))
+_Y = variable("y", (0, 1))
+_Z = variable("z", (0, 1))
+
+fuzzy_levels = st.sampled_from((0.0, 0.25, 0.5, 0.75, 1.0))
+weights = st.sampled_from((0.0, 1.0, 2.0, 5.0, 9.0))
+
+
+def table_strategy(semiring, scope, values):
+    import itertools
+
+    keys = list(itertools.product(*[v.domain for v in scope]))
+    return st.lists(values, min_size=len(keys), max_size=len(keys)).map(
+        lambda vs: TableConstraint(semiring, scope, dict(zip(keys, vs)))
+    )
+
+
+fuzzy_unary_x = table_strategy(FUZZY, (_X,), fuzzy_levels)
+fuzzy_binary_xy = table_strategy(FUZZY, (_X, _Y), fuzzy_levels)
+fuzzy_unary_z = table_strategy(FUZZY, (_Z,), fuzzy_levels)
+weighted_unary_x = table_strategy(WEIGHTED, (_X,), weights)
+weighted_binary_xy = table_strategy(WEIGHTED, (_X, _Y), weights)
+
+
+@settings(max_examples=50)
+@given(fuzzy_unary_x, fuzzy_binary_xy, fuzzy_unary_z)
+def test_combination_associative_and_commutative(a, b, c):
+    left = a.combine(b).combine(c)
+    right = a.combine(b.combine(c))
+    assert constraints_equal(left, right)
+    assert constraints_equal(a.combine(b), b.combine(a))
+
+
+@settings(max_examples=50)
+@given(fuzzy_unary_x, fuzzy_binary_xy)
+def test_combination_lower_bounds_both(a, b):
+    combined = a.combine(b)
+    assert constraint_leq(combined, a)
+    assert constraint_leq(combined, b)
+
+
+@settings(max_examples=50)
+@given(fuzzy_binary_xy)
+def test_projection_shrinks_or_keeps_levels(c):
+    projected = c.project(["x"])
+    # projecting sums (max) over y: the projection dominates the original
+    assert constraint_leq(c, projected)
+
+
+@settings(max_examples=50)
+@given(fuzzy_binary_xy)
+def test_double_projection_composes(c):
+    via_y = c.project(["x"]).project([])
+    direct = c.project([])
+    assert constraints_equal(via_y, direct)
+    assert via_y({}) == c.consistency()
+
+
+@settings(max_examples=50)
+@given(fuzzy_unary_x, fuzzy_unary_z)
+def test_projection_distributes_over_disjoint_combination(cx, cz):
+    # (cx ⊗ cz) ⇓ x = cx ⊗ (cz ⇓ ∅) when scopes are disjoint
+    left = cx.combine(cz).project(["x"])
+    right = cx.combine(cz.project([]))
+    assert constraints_equal(left, right)
+
+
+@settings(max_examples=50)
+@given(weighted_unary_x, weighted_binary_xy)
+def test_tell_retract_roundtrip_weighted(base, extra):
+    store = empty_store(WEIGHTED).tell(base)
+    roundtrip = store.tell(extra).retract(extra)
+    assert constraints_equal(roundtrip.constraint, store.constraint)
+
+
+@settings(max_examples=50)
+@given(fuzzy_unary_x, fuzzy_binary_xy)
+def test_tell_retract_roundtrip_is_weaker_or_equal_fuzzy(base, extra):
+    # Fuzzy division is not exactly inverse below the entailed region, but
+    # the round trip never *tightens* the store.
+    store = empty_store(FUZZY).tell(base)
+    roundtrip = store.tell(extra).retract(extra)
+    assert constraint_leq(store.constraint, roundtrip.constraint)
+
+
+@settings(max_examples=50)
+@given(fuzzy_unary_x, fuzzy_binary_xy)
+def test_store_entails_every_told_constraint(a, b):
+    store = empty_store(FUZZY).tell(a).tell(b)
+    assert store.entails(a)
+    assert store.entails(b)
+
+
+@settings(max_examples=50)
+@given(weighted_unary_x, weighted_binary_xy)
+def test_weighted_store_entails_every_told_constraint(a, b):
+    store = empty_store(WEIGHTED).tell(a).tell(b)
+    assert store.entails(a)
+    assert store.entails(b)
+
+
+@settings(max_examples=50)
+@given(fuzzy_unary_x, fuzzy_binary_xy)
+def test_consistency_antitone_under_tell(a, b):
+    store = empty_store(FUZZY).tell(a)
+    told = store.tell(b)
+    assert FUZZY.leq(told.consistency(), store.consistency())
+
+
+@settings(max_examples=50)
+@given(fuzzy_binary_xy, st.sampled_from(["x", "y"]))
+def test_update_removes_variable_from_support(c, var_name):
+    store = empty_store(FUZZY).tell(c)
+    from repro.constraints import ConstantConstraint
+
+    updated = store.update([var_name], ConstantConstraint(FUZZY, 1.0))
+    assert var_name not in updated.support

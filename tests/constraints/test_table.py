@@ -1,0 +1,89 @@
+"""Extensional (table) constraints and materialization."""
+
+import pytest
+
+from repro.constraints import (
+    ConstraintError,
+    FunctionConstraint,
+    TableConstraint,
+    constraints_equal,
+    to_table,
+    variable,
+)
+
+
+class TestTableConstruction:
+    def test_basic_lookup(self, weighted, fig1):
+        c2 = fig1["c2"]
+        assert c2({"X": "a", "Y": "b"}) == 1
+        assert c2({"X": "b", "Y": "a"}) == 2
+
+    def test_scalar_keys_promoted_to_tuples(self, weighted):
+        x = variable("x", [0, 1])
+        c = TableConstraint(weighted, [x], {0: 5.0, 1: 7.0})
+        assert c({"x": 0}) == 5.0
+
+    def test_missing_tuple_takes_default(self, fuzzy):
+        x = variable("x", [0, 1, 2])
+        c = TableConstraint(fuzzy, [x], {(0,): 0.9}, default=0.1)
+        assert c({"x": 1}) == 0.1
+
+    def test_default_defaults_to_zero(self, fuzzy):
+        x = variable("x", [0, 1])
+        c = TableConstraint(fuzzy, [x], {(0,): 0.9})
+        assert c({"x": 1}) == fuzzy.zero
+
+    def test_wrong_arity_key_rejected(self, fuzzy):
+        x = variable("x", [0, 1])
+        with pytest.raises(ConstraintError, match="arity"):
+            TableConstraint(fuzzy, [x], {(0, 1): 0.5})
+
+    def test_value_outside_domain_rejected(self, fuzzy):
+        x = variable("x", [0, 1])
+        with pytest.raises(ConstraintError, match="domain"):
+            TableConstraint(fuzzy, [x], {(7,): 0.5})
+
+    def test_non_semiring_value_rejected(self, fuzzy):
+        from repro.semirings import SemiringError
+
+        x = variable("x", [0])
+        with pytest.raises(SemiringError):
+            TableConstraint(fuzzy, [x], {(0,): 3.5})
+
+    def test_missing_scope_binding_raises(self, fuzzy):
+        x = variable("x", [0])
+        c = TableConstraint(fuzzy, [x], {(0,): 1.0}, name="t")
+        with pytest.raises(ConstraintError, match="missing variable"):
+            c({})
+
+
+class TestItems:
+    def test_items_cover_full_space_with_defaults(self, fuzzy):
+        x = variable("x", [0, 1, 2])
+        c = TableConstraint(fuzzy, [x], {(0,): 0.9}, default=0.2)
+        assert dict(c.items()) == {(0,): 0.9, (1,): 0.2, (2,): 0.2}
+
+
+class TestToTable:
+    def test_materializes_lazy_tree(self, weighted, fig1):
+        combined = fig1["c1"].combine(fig1["c2"]).combine(fig1["c3"])
+        table = to_table(combined)
+        assert dict(table.items()) == {
+            ("a", "a"): 11,
+            ("a", "b"): 7,
+            ("b", "a"): 16,
+            ("b", "b"): 16,
+        }
+
+    def test_table_passthrough(self, fig1):
+        assert to_table(fig1["c1"]) is fig1["c1"]
+
+    def test_materialized_equals_lazy(self, weighted):
+        x = variable("x", range(4))
+        c = FunctionConstraint(weighted, (x,), lambda v: v * 2.0)
+        assert constraints_equal(to_table(c), c)
+
+    def test_projection_materializes_correctly(self, fig1):
+        combined = fig1["c1"].combine(fig1["c2"]).combine(fig1["c3"])
+        projected = to_table(combined.project(["X"]))
+        assert dict(projected.items()) == {("a",): 7, ("b",): 16}

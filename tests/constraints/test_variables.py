@@ -1,0 +1,115 @@
+"""Variables, domains, scopes and assignment enumeration."""
+
+import pytest
+
+from repro.constraints import (
+    Variable,
+    VariableError,
+    assignment_space_size,
+    integer_variable,
+    iter_assignments,
+    merge_scopes,
+    scope_names,
+    variable,
+)
+
+
+class TestVariable:
+    def test_construction_and_size(self):
+        v = variable("x", [1, 2, 3])
+        assert v.name == "x"
+        assert v.domain == (1, 2, 3)
+        assert v.size == 3
+
+    def test_domain_coerced_to_tuple(self):
+        v = Variable("x", [1, 2])
+        assert isinstance(v.domain, tuple)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(VariableError):
+            Variable("", (1,))
+
+    def test_empty_domain_rejected(self):
+        with pytest.raises(VariableError):
+            Variable("x", ())
+
+    def test_duplicate_domain_values_rejected(self):
+        with pytest.raises(VariableError):
+            Variable("x", (1, 1, 2))
+
+    def test_frozen_and_hashable(self):
+        a = variable("x", [1, 2])
+        b = variable("x", [1, 2])
+        assert a == b
+        assert hash(a) == hash(b)
+        assert len({a, b}) == 1
+
+
+class TestIntegerVariable:
+    def test_inclusive_bounds(self):
+        v = integer_variable("n", 3)
+        assert v.domain == (0, 1, 2, 3)
+
+    def test_custom_lower(self):
+        v = integer_variable("n", 5, lower=2)
+        assert v.domain == (2, 3, 4, 5)
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(VariableError):
+            integer_variable("n", 1, lower=5)
+
+
+class TestScopes:
+    def test_merge_preserves_first_occurrence_order(self):
+        x = variable("x", [1])
+        y = variable("y", [1])
+        z = variable("z", [1])
+        merged = merge_scopes([x, y], [y, z])
+        assert scope_names(merged) == ("x", "y", "z")
+
+    def test_merge_rejects_conflicting_domains(self):
+        with pytest.raises(VariableError):
+            merge_scopes([variable("x", [1])], [variable("x", [2])])
+
+    def test_merge_accepts_identical_duplicates(self):
+        x = variable("x", [1, 2])
+        assert merge_scopes([x], [x]) == (x,)
+
+
+class TestEnumeration:
+    def test_cartesian_order(self):
+        x = variable("x", [0, 1])
+        y = variable("y", ["a", "b"])
+        combos = list(iter_assignments([x, y]))
+        assert combos == [
+            {"x": 0, "y": "a"},
+            {"x": 0, "y": "b"},
+            {"x": 1, "y": "a"},
+            {"x": 1, "y": "b"},
+        ]
+
+    def test_base_fixes_variables(self):
+        x = variable("x", [0, 1])
+        y = variable("y", [0, 1])
+        combos = list(iter_assignments([x, y], base={"x": 1}))
+        assert combos == [{"x": 1, "y": 0}, {"x": 1, "y": 1}]
+
+    def test_base_entries_propagate(self):
+        x = variable("x", [0, 1])
+        combos = list(iter_assignments([x], base={"other": 9}))
+        assert all(a["other"] == 9 for a in combos)
+
+    def test_empty_scope_yields_single_assignment(self):
+        assert list(iter_assignments([])) == [{}]
+
+    def test_space_size(self):
+        x = variable("x", range(4))
+        y = variable("y", range(5))
+        assert assignment_space_size([x, y]) == 20
+        assert assignment_space_size([]) == 1
+
+    def test_yielded_dicts_are_independent(self):
+        x = variable("x", [0, 1])
+        combos = list(iter_assignments([x]))
+        combos[0]["x"] = 99
+        assert combos[1]["x"] == 1

@@ -1,0 +1,137 @@
+"""Quantitative reliability analysis (paper Sec. 5, probabilistic part)."""
+
+import pytest
+
+from repro.constraints import FunctionConstraint, variable
+from repro.dependability import (
+    best_implementation,
+    compression_reliability,
+    meets_requirement,
+    system_reliability,
+)
+
+SIZES = (512, 1024, 2048, 4096, 8192)
+
+
+@pytest.fixture
+def io_vars():
+    return variable("outcomp", SIZES), variable("bwbyte", SIZES)
+
+
+class TestCompressionReliability:
+    def test_paper_spot_value(self, io_vars):
+        c1 = compression_reliability(*io_vars)
+        assert c1({"outcomp": 4096, "bwbyte": 1024}) == pytest.approx(0.96)
+
+    def test_fully_reliable_below_1mb(self, io_vars):
+        c1 = compression_reliability(*io_vars)
+        assert c1({"outcomp": 512, "bwbyte": 512}) == 1.0
+        assert c1({"outcomp": 1024, "bwbyte": 512}) == 1.0
+
+    def test_broken_above_4mb(self, io_vars):
+        c1 = compression_reliability(*io_vars)
+        assert c1({"outcomp": 8192, "bwbyte": 1024}) == 0.0
+
+    def test_more_compression_less_reliability(self, io_vars):
+        c1 = compression_reliability(*io_vars)
+        aggressive = c1({"outcomp": 4096, "bwbyte": 512})
+        gentle = c1({"outcomp": 4096, "bwbyte": 2048})
+        assert aggressive < gentle
+
+    def test_clamped_to_unit_interval(self, io_vars):
+        c1 = compression_reliability(*io_vars)
+        for o in SIZES:
+            for b in SIZES:
+                value = c1({"outcomp": o, "bwbyte": b})
+                assert 0.0 <= value <= 1.0
+
+
+class TestSystemReliability:
+    def test_composition_is_product(self, probabilistic, io_vars):
+        outcomp, bwbyte = io_vars
+        c1 = FunctionConstraint(probabilistic, (outcomp,), lambda o: 0.9)
+        c2 = FunctionConstraint(probabilistic, (bwbyte,), lambda b: 0.8)
+        system = system_reliability([c1, c2])
+        assert system({"outcomp": 512, "bwbyte": 512}) == pytest.approx(0.72)
+
+    def test_needs_modules(self):
+        with pytest.raises(ValueError):
+            system_reliability([])
+
+    def test_matches_block_diagram_series(self, probabilistic, io_vars):
+        from repro.dependability import series_reliability
+
+        outcomp, _ = io_vars
+        levels = (0.99, 0.95, 0.9)
+        modules = [
+            FunctionConstraint(probabilistic, (outcomp,), lambda o, r=r: r)
+            for r in levels
+        ]
+        system = system_reliability(modules)
+        assert system({"outcomp": 512}) == pytest.approx(
+            series_reliability(levels)
+        )
+
+
+class TestRequirementCheck:
+    def test_requirement_entailed(self, probabilistic, io_vars):
+        outcomp, _ = io_vars
+        implementation = FunctionConstraint(
+            probabilistic, (outcomp,), lambda o: 0.9
+        )
+        requirement = FunctionConstraint(
+            probabilistic, (outcomp,), lambda o: 0.8
+        )
+        assert meets_requirement(requirement, implementation)
+        assert not meets_requirement(implementation, requirement)
+
+
+class TestRanking:
+    @pytest.fixture
+    def candidates(self, probabilistic, io_vars):
+        outcomp, _ = io_vars
+        return {
+            name: FunctionConstraint(
+                probabilistic, (outcomp,), lambda o, r=r: r
+            )
+            for name, r in (
+                ("premium", 0.999),
+                ("standard", 0.95),
+                ("budget", 0.7),
+            )
+        }
+
+    def test_ranked_best_first(self, candidates):
+        ranking = best_implementation(candidates)
+        assert [name for name, _ in ranking.ranked] == [
+            "premium",
+            "standard",
+            "budget",
+        ]
+        assert ranking.best == ("premium", pytest.approx(0.999))
+
+    def test_requirement_filters_candidates(self, candidates, probabilistic, io_vars):
+        outcomp, _ = io_vars
+        requirement = FunctionConstraint(
+            probabilistic, (outcomp,), lambda o: 0.9
+        )
+        ranking = best_implementation(candidates, requirement)
+        assert [name for name, _ in ranking.ranked] == ["premium", "standard"]
+
+    def test_all_filtered_raises(self, candidates, probabilistic, io_vars):
+        outcomp, _ = io_vars
+        impossible = FunctionConstraint(
+            probabilistic, (outcomp,), lambda o: 1.0
+        )
+        with pytest.raises(ValueError, match="no candidate"):
+            best_implementation(candidates, impossible)
+
+    def test_level_of(self, candidates):
+        ranking = best_implementation(candidates)
+        assert ranking.level_of("budget") == pytest.approx(0.7)
+        with pytest.raises(KeyError):
+            ranking.level_of("ghost")
+
+    def test_empty_candidates(self):
+        with pytest.raises(ValueError):
+            best_implementation({})

@@ -1,0 +1,56 @@
+"""The dependability attribute taxonomy (Avizienis et al.)."""
+
+import pytest
+
+from repro.dependability import (
+    SECURITY_COMPOSITE,
+    TAXONOMY,
+    attribute,
+    is_security_attribute,
+)
+
+
+class TestTaxonomy:
+    def test_six_attributes(self):
+        assert set(TAXONOMY) == {
+            "availability",
+            "reliability",
+            "safety",
+            "confidentiality",
+            "integrity",
+            "maintainability",
+        }
+
+    def test_quantifiable_flags(self):
+        assert attribute("availability").quantifiable
+        assert attribute("reliability").quantifiable
+        assert not attribute("safety").quantifiable
+        assert not attribute("confidentiality").quantifiable
+
+    def test_lookup_error_lists_known(self):
+        with pytest.raises(KeyError, match="known:"):
+            attribute("karma")
+
+    def test_default_semirings(self):
+        assert attribute("availability").semiring().name == "Probabilistic"
+        assert attribute("integrity").semiring().name == "Classical"
+        assert attribute("maintainability").semiring().name == "Weighted"
+        assert (
+            attribute("confidentiality")
+            .semiring(universe={"a"})
+            .name
+            == "SetBased"
+        )
+
+
+class TestSecurityComposite:
+    def test_composite_members(self):
+        assert SECURITY_COMPOSITE == {
+            "confidentiality",
+            "integrity",
+            "availability",
+        }
+
+    def test_predicate(self):
+        assert is_security_attribute("integrity")
+        assert not is_security_attribute("maintainability")

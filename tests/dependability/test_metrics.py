@@ -1,0 +1,160 @@
+"""Classical dependability arithmetic and its semiring cross-checks."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dependability import (
+    MetricError,
+    ObservationWindow,
+    availability_from_mtbf,
+    compose_series_parallel,
+    downtime_hours_per_year,
+    failure_rate_from_reliability,
+    k_out_of_n_reliability,
+    mission_reliability,
+    parallel_reliability,
+    series_reliability,
+    wilson_lower_bound,
+)
+from repro.semirings import ProbabilisticSemiring
+
+
+class TestAvailability:
+    def test_mtbf_formula(self):
+        assert availability_from_mtbf(99.0, 1.0) == pytest.approx(0.99)
+
+    def test_zero_mttr_is_perfect(self):
+        assert availability_from_mtbf(10.0, 0.0) == 1.0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(MetricError):
+            availability_from_mtbf(0.0, 1.0)
+        with pytest.raises(MetricError):
+            availability_from_mtbf(10.0, -1.0)
+
+    def test_downtime_of_five_nines(self):
+        downtime = downtime_hours_per_year(0.99999)
+        assert downtime == pytest.approx(0.0876, rel=1e-3)
+
+    def test_downtime_rejects_non_probability(self):
+        with pytest.raises(MetricError):
+            downtime_hours_per_year(1.5)
+
+
+class TestMissionReliability:
+    def test_exponential_model(self):
+        assert mission_reliability(0.001, 1000) == pytest.approx(
+            math.exp(-1.0)
+        )
+
+    def test_zero_rate_is_certain(self):
+        assert mission_reliability(0.0, 1e6) == 1.0
+
+    def test_inversion_roundtrip(self):
+        rate = failure_rate_from_reliability(0.9, 100.0)
+        assert mission_reliability(rate, 100.0) == pytest.approx(0.9)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(MetricError):
+            mission_reliability(-0.1, 10)
+        with pytest.raises(MetricError):
+            failure_rate_from_reliability(0.0, 10)
+        with pytest.raises(MetricError):
+            failure_rate_from_reliability(0.9, 0)
+
+
+class TestBlockDiagrams:
+    def test_series(self):
+        assert series_reliability([0.9, 0.9]) == pytest.approx(0.81)
+
+    def test_parallel(self):
+        assert parallel_reliability([0.9, 0.9]) == pytest.approx(0.99)
+
+    def test_parallel_beats_series(self):
+        rs = [0.8, 0.95, 0.7]
+        assert parallel_reliability(rs) > series_reliability(rs)
+
+    def test_series_matches_probabilistic_semiring(self):
+        semiring = ProbabilisticSemiring()
+        rs = [0.99, 0.98, 0.9]
+        assert series_reliability(rs) == pytest.approx(semiring.prod(rs))
+
+    def test_k_out_of_n(self):
+        # 2-of-3 with r=0.9: 3·0.81·0.1 + 0.729 = 0.972
+        assert k_out_of_n_reliability(0.9, 2, 3) == pytest.approx(0.972)
+
+    def test_n_out_of_n_is_series(self):
+        assert k_out_of_n_reliability(0.9, 3, 3) == pytest.approx(
+            series_reliability([0.9] * 3)
+        )
+
+    def test_1_out_of_n_is_parallel(self):
+        assert k_out_of_n_reliability(0.9, 1, 3) == pytest.approx(
+            parallel_reliability([0.9] * 3)
+        )
+
+    def test_series_parallel_composition(self):
+        result = compose_series_parallel([[0.9, 0.9], [0.8]])
+        assert result == pytest.approx(0.99 * 0.8)
+
+    def test_probability_validation(self):
+        with pytest.raises(MetricError):
+            series_reliability([1.1])
+        with pytest.raises(MetricError):
+            k_out_of_n_reliability(0.9, 0, 3)
+
+
+class TestObservationWindow:
+    def test_reliability_estimate(self):
+        window = ObservationWindow(attempts=100, failures=5)
+        assert window.reliability == pytest.approx(0.95)
+
+    def test_availability_estimate(self):
+        window = ObservationWindow(
+            attempts=0,
+            failures=0,
+            total_uptime_hours=99.0,
+            total_repair_hours=1.0,
+        )
+        assert window.availability == pytest.approx(0.99)
+
+    def test_empty_window_optimistic(self):
+        window = ObservationWindow(attempts=0, failures=0)
+        assert window.reliability == 1.0
+        assert window.availability == 1.0
+
+    def test_validation(self):
+        with pytest.raises(MetricError):
+            ObservationWindow(attempts=5, failures=10)
+        with pytest.raises(MetricError):
+            ObservationWindow(attempts=-1, failures=0)
+
+
+class TestWilson:
+    def test_lower_bound_below_point_estimate(self):
+        assert wilson_lower_bound(95, 100) < 0.95
+
+    def test_more_samples_tighter(self):
+        small = wilson_lower_bound(9, 10)
+        large = wilson_lower_bound(900, 1000)
+        assert large > small
+
+    def test_no_samples_is_zero(self):
+        assert wilson_lower_bound(0, 0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(MetricError):
+            wilson_lower_bound(5, 3)
+
+    @settings(max_examples=50)
+    @given(st.integers(0, 500), st.integers(0, 500))
+    def test_always_a_probability(self, successes, attempts):
+        if successes > attempts:
+            successes, attempts = attempts, successes
+        bound = wilson_lower_bound(successes, attempts)
+        assert 0.0 <= bound <= 1.0
+        if attempts:
+            assert bound <= successes / attempts + 1e-9

@@ -1,0 +1,168 @@
+"""Cross-package integration: negotiate → bind → compose → execute →
+monitor → renegotiate, plus the runnable examples as smoke tests."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+from repro.constraints import Polynomial, integer_variable, polynomial_constraint
+from repro.sccp import interval
+from repro.soa import (
+    BernoulliCrash,
+    Broker,
+    BurstOutage,
+    ClientRequest,
+    ExecutionEngine,
+    FaultInjector,
+    MessageBus,
+    QoSDocument,
+    QoSPolicy,
+    Service,
+    ServiceDescription,
+    ServiceInterface,
+    ServicePool,
+    ServiceRegistry,
+    SLAMonitor,
+    pipeline,
+)
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).resolve().parents[2] / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
+def test_example_scripts_run_clean(script):
+    completed = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert completed.returncode == 0, completed.stderr
+    assert "✓" in completed.stdout
+
+
+class TestFullLifecycle:
+    @pytest.fixture
+    def world(self):
+        registry = ServiceRegistry()
+        pool = ServicePool()
+        for operation, provider, reliability in (
+            ("compress", "ACME", 0.99),
+            ("compress", "Globex", 0.95),
+            ("archive", "Hooli", 0.98),
+        ):
+            document = QoSDocument(
+                service_name=operation,
+                provider=provider,
+                policies=[
+                    QoSPolicy(attribute="reliability", constant=reliability),
+                    QoSPolicy(
+                        attribute="cost",
+                        variables={"jobs": range(0, 6)},
+                        polynomial=Polynomial.linear({"jobs": 1.0}, 2.0),
+                    ),
+                ],
+            )
+            service_id = f"{operation}-{provider}"
+            description = ServiceDescription(
+                service_id=service_id,
+                name=operation,
+                provider=provider,
+                interface=ServiceInterface(operation=operation),
+                qos=document,
+            )
+            registry.publish(description)
+            pool.add(
+                Service(description, reliability=reliability, seed=len(pool))
+            )
+        return registry, pool
+
+    def test_negotiate_compose_execute_monitor(self, world, weighted):
+        registry, pool = world
+        bus = MessageBus()
+        broker = Broker(registry, bus=bus)
+
+        # 1. single-service SLA over cost
+        jobs = integer_variable("jobs", 5)
+        request = ClientRequest(
+            client="shop",
+            operation="compress",
+            attribute="cost",
+            requirements=[
+                polynomial_constraint(
+                    weighted, [jobs], Polynomial.linear({"jobs": 0.5})
+                )
+            ],
+            acceptance=interval(weighted, lower=10.0, upper=0.0),
+        )
+        single = broker.negotiate(request)
+        assert single.success
+
+        # 2. composite SLA over reliability
+        sla, plan, _ = broker.negotiate_composition(
+            "shop", ["compress", "archive"], "reliability", minimum_level=0.9
+        )
+        assert sla is not None
+        assert sla.agreed_level == pytest.approx(0.99 * 0.98)
+
+        # 3. execute under an injected outage, 4. monitor detects it
+        injector = FaultInjector(seed=2)
+        injector.attach(plan.services()[0], BurstOutage(start=20, length=10))
+        engine = ExecutionEngine(pool, injector=injector, seed=2)
+        monitor = SLAMonitor(sla, window=15, min_samples=8)
+        monitor.observe_many(engine.execute_many(plan, runs=60))
+        assert monitor.violations
+
+        # 5. violation triggers renegotiation excluding the bad provider
+        bad_provider = registry.get(plan.services()[0]).provider
+        sla.terminate()
+        remaining = [
+            d
+            for d in registry.find(operation="compress")
+            if d.provider != bad_provider
+        ]
+        assert remaining  # another provider exists to fall back to
+        fallback = ClientRequest(
+            client="shop", operation="compress", attribute="reliability"
+        )
+        renegotiated = broker.negotiate(fallback)
+        assert renegotiated.success
+
+        # the bus journalled the whole story
+        kinds = bus.journal_kinds()
+        assert kinds.count("sla-created") >= 2 or (
+            "composition-sla" in kinds and "sla-created" in kinds
+        )
+
+    def test_monitor_quiet_on_healthy_system(self, world):
+        registry, pool = world
+        broker = Broker(registry)
+        sla, plan, _ = broker.negotiate_composition(
+            "shop", ["compress"], "reliability", minimum_level=0.9
+        )
+        engine = ExecutionEngine(pool, seed=3)
+        monitor = SLAMonitor(sla, window=15, min_samples=8)
+        violations = monitor.observe_many(engine.execute_many(plan, runs=60))
+        # the chosen service has reliability 0.99 ≥ agreed 0.99; a healthy
+        # window may rarely dip below with small samples, so allow the
+        # rate to stay tiny rather than demanding zero.
+        assert len(violations) <= 3
+
+    def test_background_noise_vs_agreement(self, world):
+        registry, pool = world
+        broker = Broker(registry)
+        sla, plan, _ = broker.negotiate_composition(
+            "shop", ["compress"], "reliability"
+        )
+        injector = FaultInjector(seed=9)
+        injector.attach(plan.services()[0], BernoulliCrash(0.4))
+        engine = ExecutionEngine(pool, injector=injector, seed=9)
+        monitor = SLAMonitor(sla, window=20, min_samples=10)
+        monitor.observe_many(engine.execute_many(plan, runs=100))
+        # 40% crash noise must breach a ~0.99 reliability agreement
+        assert monitor.violations
+        assert monitor.in_breach

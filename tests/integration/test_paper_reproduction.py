@@ -1,0 +1,264 @@
+"""Every figure and worked example of the paper, asserted in one place.
+
+This is the reproduction contract: each test corresponds to one row of
+the experiment index in DESIGN.md (E1–E8) and states the exact values the
+paper reports.
+"""
+
+import pytest
+
+from repro.constraints import (
+    FunctionConstraint,
+    Polynomial,
+    TableConstraint,
+    constraints_equal,
+    integer_variable,
+    polynomial_constraint,
+    variable,
+)
+from repro.coalitions import (
+    blocking_pairs,
+    coalition,
+    figure9_network,
+    is_stable,
+    solve_exact,
+)
+from repro.dependability import (
+    assume_unreliable,
+    compression_reliability,
+    integrate,
+    locally_refines,
+    meets_requirement,
+    system_reliability,
+)
+from repro.sccp import (
+    SUCCESS,
+    Status,
+    ask,
+    explore,
+    interval,
+    parallel,
+    retract,
+    run,
+    sequence,
+    tell,
+    update,
+)
+from repro.semirings import BooleanSemiring, ProbabilisticSemiring
+from repro.soa import fuzzy_agreement
+from repro.solver import SCSP, solve
+
+
+class TestE1Figure1:
+    """Fig. 1: the weighted SCSP worked through in Sec. 2."""
+
+    def test_combined_tuples(self, fig1):
+        combined = fig1["c1"].combine(fig1["c2"]).combine(fig1["c3"])
+        expected = {
+            ("a", "a"): 11.0,
+            ("a", "b"): 7.0,
+            ("b", "a"): 16.0,
+            ("b", "b"): 16.0,
+        }
+        assert dict(combined.materialize().items()) == expected
+
+    def test_projection_onto_X(self, fig1):
+        combined = fig1["c1"].combine(fig1["c2"]).combine(fig1["c3"])
+        projected = combined.project(["X"]).materialize()
+        assert dict(projected.items()) == {("a",): 7.0, ("b",): 16.0}
+
+    def test_blevel_and_witness(self, fig1):
+        problem = SCSP([fig1["c1"], fig1["c2"], fig1["c3"]], con=["X"])
+        result = solve(problem)
+        assert result.blevel == 7.0
+        assert result.best_assignment == {"X": "a"}
+        # "the blevel is 7, related to the solution X = a, Y = b"
+        full = solve(SCSP([fig1["c1"], fig1["c2"], fig1["c3"]]))
+        assert full.best_assignment == {"X": "a", "Y": "b"}
+
+
+class TestE2Figure5:
+    """Fig. 5: the graphical fuzzy agreement meeting at 0.5."""
+
+    def test_intersection_blevel(self, fuzzy):
+        resource = integer_variable("r", 9, lower=1)
+        provider = FunctionConstraint(
+            fuzzy, (resource,), lambda r: (r - 1) / 8.0
+        )
+        client = FunctionConstraint(
+            fuzzy, (resource,), lambda r: (9 - r) / 8.0
+        )
+        combined, blevel = fuzzy_agreement(provider, client)
+        assert blevel == 0.5
+        winners = [
+            a["r"] for a, v in combined.enumerate_values() if v == blevel
+        ]
+        assert winners == [5]
+
+
+class TestE3Example1:
+    """Ex. 1: c4 ⊗ c3 ≡ 3x+5, consistency 5 ∉ [1,4] ⇒ no agreement."""
+
+    def test_full_reproduction(self, weighted, fig7, sync_flags):
+        p1 = sequence(
+            tell(fig7["c4"]),
+            tell(sync_flags["sp2"]),
+            ask(sync_flags["sp1"], interval(weighted, lower=10.0, upper=2.0)),
+            SUCCESS,
+        )
+        p2 = sequence(
+            tell(fig7["c3"]),
+            tell(sync_flags["sp1"]),
+            ask(sync_flags["sp2"], interval(weighted, lower=4.0, upper=1.0)),
+            SUCCESS,
+        )
+        agents = parallel(p1, p2)
+        result = run(agents, semiring=weighted)
+        assert result.status is Status.DEADLOCK
+        assert result.consistency() == 5.0
+        target = polynomial_constraint(
+            weighted, [fig7["x"]], Polynomial.linear({"x": 3}, 5)
+        )
+        assert constraints_equal(result.store.project(["x"]), target)
+        assert explore(agents, semiring=weighted).never_succeeds
+
+
+class TestE4Example2:
+    """Ex. 2: retract(c1) relaxes the store to 2x+2; both succeed at 2."""
+
+    def test_full_reproduction(self, weighted, fig7, sync_flags):
+        p1 = sequence(
+            tell(fig7["c4"]),
+            tell(sync_flags["sp2"]),
+            ask(sync_flags["sp1"], interval(weighted, lower=10.0, upper=2.0)),
+            retract(fig7["c1"], interval(weighted, lower=10.0, upper=2.0)),
+            SUCCESS,
+        )
+        p2 = sequence(
+            tell(fig7["c3"]),
+            tell(sync_flags["sp1"]),
+            ask(sync_flags["sp2"], interval(weighted, lower=4.0, upper=1.0)),
+            SUCCESS,
+        )
+        agents = parallel(p1, p2)
+        result = run(agents, semiring=weighted)
+        assert result.status is Status.SUCCESS
+        assert result.consistency() == 2.0
+        target = polynomial_constraint(
+            weighted, [fig7["x"]], Polynomial.linear({"x": 2}, 2)
+        )
+        assert constraints_equal(result.store.project(["x"]), target)
+        exploration = explore(agents, semiring=weighted)
+        assert exploration.always_succeeds
+        assert set(exploration.success_consistencies()) == {2.0}
+
+
+class TestE5Example3:
+    """Ex. 3: update_{x}(c2) turns the store into y + 4."""
+
+    def test_full_reproduction(self, weighted, fig7):
+        agent = sequence(tell(fig7["c1"]), update(["x"], fig7["c2"]), SUCCESS)
+        result = run(agent, semiring=weighted)
+        assert result.status is Status.SUCCESS
+        target = polynomial_constraint(
+            weighted, [fig7["y"]], Polynomial.linear({"y": 1}, 4)
+        )
+        assert constraints_equal(result.store.constraint, target)
+        assert result.store.support == ("y",)
+
+
+SIZES = (256, 512, 666, 1024, 2048, 4096)
+
+
+class TestE6Section5Crisp:
+    """Sec. 5: Imp1 upholds Memory; Imp2 (unreliable REDF) does not."""
+
+    @pytest.fixture
+    def policies(self):
+        boolean = BooleanSemiring()
+        outcomp = variable("outcomp", SIZES)
+        incomp = variable("incomp", SIZES)
+        redbyte = variable("redbyte", SIZES)
+        bwbyte = variable("bwbyte", SIZES)
+        return {
+            "memory": FunctionConstraint(
+                boolean, (incomp, outcomp), lambda i, o: i <= o
+            ),
+            "red": FunctionConstraint(
+                boolean, (redbyte, bwbyte), lambda r, b: r <= b
+            ),
+            "bw": FunctionConstraint(
+                boolean, (bwbyte, outcomp), lambda b, o: b <= o
+            ),
+            "comp": FunctionConstraint(
+                boolean, (incomp, redbyte), lambda i, r: i <= r
+            ),
+        }
+
+    def test_imp1_upholds_memory(self, policies):
+        imp1 = integrate([policies["red"], policies["bw"], policies["comp"]])
+        assert locally_refines(
+            imp1, policies["memory"], ["incomp", "outcomp"]
+        ).holds
+
+    def test_imp2_fails_memory(self, policies):
+        imp2 = integrate(
+            [
+                assume_unreliable(policies["red"]),
+                policies["bw"],
+                policies["comp"],
+            ],
+            semiring=BooleanSemiring(),
+        )
+        report = locally_refines(
+            imp2, policies["memory"], ["incomp", "outcomp"]
+        )
+        assert not report.holds
+
+
+class TestE7Section5Quantitative:
+    """Sec. 5: c1(4096, 1024) = 0.96; MemoryProb ⊑ Imp3; blevel ranks."""
+
+    def test_c1_value(self):
+        outcomp = variable("outcomp", SIZES)
+        bwbyte = variable("bwbyte", SIZES)
+        c1 = compression_reliability(outcomp, bwbyte)
+        assert c1({"outcomp": 4096, "bwbyte": 1024}) == pytest.approx(0.96)
+
+    def test_requirement_entailment(self):
+        probabilistic = ProbabilisticSemiring()
+        outcomp = variable("outcomp", SIZES)
+        bwbyte = variable("bwbyte", SIZES)
+        c1 = compression_reliability(outcomp, bwbyte)
+        c2 = FunctionConstraint(probabilistic, (bwbyte,), lambda b: 0.99)
+        imp3 = system_reliability([c1, c2])
+        weak_requirement = FunctionConstraint(
+            probabilistic, (outcomp,), lambda o: 0.0
+        )
+        assert meets_requirement(weak_requirement, imp3)
+        strict_requirement = FunctionConstraint(
+            probabilistic, (outcomp,), lambda o: 0.99
+        )
+        assert not meets_requirement(strict_requirement, imp3)
+
+
+class TestE8Figures9And10:
+    """Sec. 6: the seven-component trust network and blocking coalitions."""
+
+    def test_fig10_blocking(self):
+        network = figure9_network()
+        partition = [
+            coalition("x1", "x2", "x3"),
+            coalition("x4", "x5", "x6", "x7"),
+        ]
+        assert not is_stable(partition, network, "avg")
+        witness = blocking_pairs(partition, network, "avg")[0]
+        assert witness.defector == "x4"
+
+    def test_optimal_stable_partition_found(self):
+        network = figure9_network()
+        solution = solve_exact(network, op="avg", aggregate="min")
+        assert solution.found and solution.stable
+        # x4 ends up with the coalition it prefers
+        x4_group = next(g for g in solution.partition if "x4" in g)
+        assert {"x1", "x2", "x3"} <= set(x4_group)

@@ -1,0 +1,225 @@
+"""Scheduled runs, deadlock detection and exhaustive exploration."""
+
+import pytest
+
+from repro.constraints import (
+    ConstantConstraint,
+    FunctionConstraint,
+    empty_store,
+    variable,
+)
+from repro.sccp import (
+    SUCCESS,
+    DeterministicScheduler,
+    ProcedureTable,
+    RandomScheduler,
+    RoundRobinScheduler,
+    ScriptedScheduler,
+    Status,
+    Sum,
+    ask,
+    call,
+    explore,
+    nask,
+    parallel,
+    run,
+    sequence,
+    tell,
+)
+
+
+@pytest.fixture
+def flags(fuzzy):
+    a_var = variable("a", [0, 1])
+    b_var = variable("b", [0, 1])
+    flag_a = FunctionConstraint(
+        fuzzy, (a_var,), lambda v: 1.0 if v == 1 else 0.0, name="flag_a"
+    )
+    flag_b = FunctionConstraint(
+        fuzzy, (b_var,), lambda v: 1.0 if v == 1 else 0.0, name="flag_b"
+    )
+    return flag_a, flag_b
+
+
+class TestRun:
+    def test_success_run(self, fuzzy, flags):
+        flag_a, _ = flags
+        result = run(tell(flag_a), semiring=fuzzy)
+        assert result.status is Status.SUCCESS
+        assert result.succeeded
+        assert result.steps == 1
+        assert result.store.entails(flag_a)
+
+    def test_deadlock_on_blocked_ask(self, fuzzy, flags):
+        flag_a, _ = flags
+        result = run(ask(flag_a), semiring=fuzzy)
+        assert result.status is Status.DEADLOCK
+        assert not result.succeeded
+
+    def test_producer_consumer_synchronization(self, fuzzy, flags):
+        flag_a, flag_b = flags
+        producer = tell(flag_a)
+        consumer = sequence(ask(flag_a), tell(flag_b), SUCCESS)
+        result = run(parallel(consumer, producer), semiring=fuzzy)
+        assert result.status is Status.SUCCESS
+        assert result.store.entails(flag_b)
+
+    def test_needs_store_or_semiring(self, flags):
+        flag_a, _ = flags
+        with pytest.raises(ValueError):
+            run(tell(flag_a))
+
+    def test_max_steps_reports_exhaustion(self, fuzzy, flags):
+        flag_a, flag_b = flags
+        procedures = ProcedureTable()
+        # an endless ping-pong loop
+        procedures.declare(
+            "loop", [], sequence(tell(flag_a), call("loop"))
+        )
+        result = run(
+            call("loop"), semiring=fuzzy, procedures=procedures, max_steps=25
+        )
+        assert result.status is Status.EXHAUSTED
+        assert result.steps == 25
+
+    def test_trace_records_rules_and_consistency(self, fuzzy, flags):
+        flag_a, flag_b = flags
+        result = run(
+            sequence(tell(flag_a), tell(flag_b), SUCCESS), semiring=fuzzy
+        )
+        assert result.trace.rules_applied() == ["R1-Tell", "R1-Tell"]
+        assert result.trace.consistencies() == [1.0, 1.0]
+
+    def test_run_result_consistency_shortcut(self, fuzzy, flags):
+        flag_a, _ = flags
+        result = run(tell(flag_a), semiring=fuzzy)
+        assert result.consistency() == result.store.consistency()
+
+
+class TestSchedulers:
+    def test_deterministic_prefers_left(self, fuzzy, flags):
+        flag_a, flag_b = flags
+        agent = parallel(tell(flag_a), tell(flag_b))
+        result = run(agent, semiring=fuzzy, scheduler=DeterministicScheduler())
+        assert result.trace.events[0].action.startswith("L:")
+
+    def test_random_scheduler_reproducible_with_seed(self, fuzzy, flags):
+        flag_a, flag_b = flags
+        agent = parallel(tell(flag_a), tell(flag_b))
+        first = run(agent, semiring=fuzzy, scheduler=RandomScheduler(seed=3))
+        second = run(agent, semiring=fuzzy, scheduler=RandomScheduler(seed=3))
+        assert [e.action for e in first.trace] == [
+            e.action for e in second.trace
+        ]
+
+    def test_scripted_scheduler_follows_script(self, fuzzy, flags):
+        flag_a, flag_b = flags
+        agent = parallel(tell(flag_a), tell(flag_b))
+        result = run(
+            agent, semiring=fuzzy, scheduler=ScriptedScheduler([1])
+        )
+        assert result.trace.events[0].action.startswith("R:")
+
+    def test_round_robin_rotates(self, fuzzy, flags):
+        flag_a, flag_b = flags
+        agent = parallel(
+            sequence(tell(flag_a), tell(flag_a), SUCCESS),
+            sequence(tell(flag_b), tell(flag_b), SUCCESS),
+        )
+        result = run(agent, semiring=fuzzy, scheduler=RoundRobinScheduler())
+        assert result.status is Status.SUCCESS
+
+    def test_all_schedulers_reach_same_confluent_result(self, fuzzy, flags):
+        # tells commute: every scheduler must reach the same final store
+        flag_a, flag_b = flags
+        agent = parallel(tell(flag_a), tell(flag_b))
+        stores = []
+        for scheduler in (
+            DeterministicScheduler(),
+            RandomScheduler(seed=1),
+            RoundRobinScheduler(),
+            ScriptedScheduler([1, 0]),
+        ):
+            result = run(agent, semiring=fuzzy, scheduler=scheduler)
+            assert result.status is Status.SUCCESS
+            stores.append(result.store)
+        from repro.constraints import constraints_equal
+
+        for store in stores[1:]:
+            assert constraints_equal(stores[0].constraint, store.constraint)
+
+
+class TestExplore:
+    def test_confluent_program_always_succeeds(self, fuzzy, flags):
+        flag_a, flag_b = flags
+        agent = parallel(tell(flag_a), tell(flag_b))
+        result = explore(agent, semiring=fuzzy)
+        assert result.always_succeeds
+        assert not result.deadlocks
+
+    def test_blocked_program_never_succeeds(self, fuzzy, flags):
+        flag_a, flag_b = flags
+        agent = parallel(ask(flag_a), ask(flag_b))
+        result = explore(agent, semiring=fuzzy)
+        assert result.never_succeeds
+        assert result.deadlocks
+
+    def test_choice_dependent_outcome_is_neither(self, fuzzy, flags):
+        flag_a, flag_b = flags
+        # one branch succeeds, the other blocks forever afterwards
+        agent = Sum(
+            [
+                nask(flag_a, then=tell(flag_a)),
+                nask(flag_b, then=ask(flag_a)),
+            ]
+        )
+        result = explore(agent, semiring=fuzzy)
+        assert result.successes and result.deadlocks
+        assert not result.always_succeeds
+        assert not result.never_succeeds
+
+    def test_distinct_terminal_stores_reported(self, fuzzy, flags):
+        flag_a, flag_b = flags
+        agent = Sum(
+            [
+                nask(flag_a, then=tell(flag_a)),
+                nask(flag_b, then=tell(flag_b)),
+            ]
+        )
+        result = explore(agent, semiring=fuzzy)
+        assert len(result.successes) == 2
+
+    def test_livelock_with_finite_stores_terminates(self, fuzzy, flags):
+        # Re-telling an idempotent constraint loops over a *finite* store
+        # lattice: dedup closes the exploration without truncation, and
+        # there is no terminal state at all.
+        flag_a, _ = flags
+        procedures = ProcedureTable()
+        procedures.declare("loop", [], sequence(tell(flag_a), call("loop")))
+        result = explore(
+            call("loop"), semiring=fuzzy, procedures=procedures
+        )
+        assert not result.truncated
+        assert result.never_succeeds
+        assert not result.deadlocks
+
+    def test_truncation_reported_on_growing_stores(self, weighted):
+        # On the Weighted semiring each re-tell adds cost: the store keeps
+        # changing, the state space is infinite, the budget must trip.
+        from repro.constraints import ConstantConstraint
+
+        cost = ConstantConstraint(weighted, 1.0)
+        procedures = ProcedureTable()
+        procedures.declare("spend", [], sequence(tell(cost), call("spend")))
+        result = explore(
+            call("spend"),
+            semiring=weighted,
+            procedures=procedures,
+            max_configurations=5,
+        )
+        assert result.truncated
+
+    def test_success_consistencies(self, fuzzy, flags):
+        flag_a, _ = flags
+        result = explore(tell(flag_a), semiring=fuzzy)
+        assert result.success_consistencies() == [1.0]

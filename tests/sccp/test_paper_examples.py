@@ -1,0 +1,156 @@
+"""The paper's negotiation Examples 1–3, verbatim (Sec. 4.1)."""
+
+import pytest
+
+from repro.constraints import (
+    Polynomial,
+    constraints_equal,
+    polynomial_constraint,
+)
+from repro.sccp import (
+    SUCCESS,
+    RandomScheduler,
+    Status,
+    ask,
+    explore,
+    interval,
+    parallel,
+    retract,
+    run,
+    sequence,
+    tell,
+    update,
+)
+
+
+def example1_agents(weighted, fig7, sync_flags):
+    p1 = sequence(
+        tell(fig7["c4"]),
+        tell(sync_flags["sp2"]),
+        ask(sync_flags["sp1"], interval(weighted, lower=10.0, upper=2.0)),
+        SUCCESS,
+    )
+    p2 = sequence(
+        tell(fig7["c3"]),
+        tell(sync_flags["sp1"]),
+        ask(sync_flags["sp2"], interval(weighted, lower=4.0, upper=1.0)),
+        SUCCESS,
+    )
+    return parallel(p1, p2)
+
+
+class TestExample1:
+    def test_negotiation_fails_with_consistency_5(
+        self, weighted, fig7, sync_flags
+    ):
+        agents = example1_agents(weighted, fig7, sync_flags)
+        result = run(agents, semiring=weighted)
+        assert result.status is Status.DEADLOCK
+        assert result.consistency() == 5.0
+
+    def test_merged_store_is_3x_plus_5(self, weighted, fig7, sync_flags):
+        agents = example1_agents(weighted, fig7, sync_flags)
+        result = run(agents, semiring=weighted)
+        target = polynomial_constraint(
+            weighted, [fig7["x"]], Polynomial.linear({"x": 3}, 5)
+        )
+        assert constraints_equal(result.store.project(["x"]), target)
+
+    def test_failure_is_scheduler_independent(
+        self, weighted, fig7, sync_flags
+    ):
+        agents = example1_agents(weighted, fig7, sync_flags)
+        exploration = explore(agents, semiring=weighted)
+        assert exploration.never_succeeds
+        assert len(exploration.deadlocks) >= 1
+
+    def test_failure_under_random_schedules(self, weighted, fig7, sync_flags):
+        for seed in range(5):
+            agents = example1_agents(weighted, fig7, sync_flags)
+            result = run(
+                agents, semiring=weighted, scheduler=RandomScheduler(seed)
+            )
+            assert result.status is Status.DEADLOCK
+
+    def test_p1_alone_would_succeed(self, weighted, fig7, sync_flags):
+        """P1's interval [2, 10] admits σ⇓∅ = 5 — only P2 blocks."""
+        p1 = sequence(
+            tell(fig7["c4"]),
+            tell(fig7["c3"]),  # play both policies into the store
+            tell(sync_flags["sp1"]),
+            ask(sync_flags["sp1"], interval(weighted, lower=10.0, upper=2.0)),
+            SUCCESS,
+        )
+        result = run(p1, semiring=weighted)
+        assert result.status is Status.SUCCESS
+
+
+class TestExample2:
+    def build(self, weighted, fig7, sync_flags):
+        p1 = sequence(
+            tell(fig7["c4"]),
+            tell(sync_flags["sp2"]),
+            ask(sync_flags["sp1"], interval(weighted, lower=10.0, upper=2.0)),
+            retract(fig7["c1"], interval(weighted, lower=10.0, upper=2.0)),
+            SUCCESS,
+        )
+        p2 = sequence(
+            tell(fig7["c3"]),
+            tell(sync_flags["sp1"]),
+            ask(sync_flags["sp2"], interval(weighted, lower=4.0, upper=1.0)),
+            SUCCESS,
+        )
+        return parallel(p1, p2)
+
+    def test_both_succeed_at_consistency_2(self, weighted, fig7, sync_flags):
+        result = run(self.build(weighted, fig7, sync_flags), semiring=weighted)
+        assert result.status is Status.SUCCESS
+        assert result.consistency() == 2.0
+
+    def test_final_store_is_2x_plus_2(self, weighted, fig7, sync_flags):
+        result = run(self.build(weighted, fig7, sync_flags), semiring=weighted)
+        target = polynomial_constraint(
+            weighted, [fig7["x"]], Polynomial.linear({"x": 2}, 2)
+        )
+        assert constraints_equal(result.store.project(["x"]), target)
+
+    def test_success_is_scheduler_independent(
+        self, weighted, fig7, sync_flags
+    ):
+        exploration = explore(
+            self.build(weighted, fig7, sync_flags), semiring=weighted
+        )
+        assert exploration.always_succeeds
+        assert set(exploration.success_consistencies()) == {2.0}
+
+    def test_retract_used_c1_never_told(self, weighted, fig7):
+        """The paper stresses c1 was never told — retract still works
+        because the merged store entails it (partial removal)."""
+        from repro.constraints import empty_store
+
+        store = (
+            empty_store(weighted).tell(fig7["c4"]).tell(fig7["c3"])
+        )
+        assert store.entails(fig7["c1"])
+
+
+class TestExample3:
+    def test_update_yields_y_plus_4(self, weighted, fig7):
+        agent = sequence(tell(fig7["c1"]), update(["x"], fig7["c2"]), SUCCESS)
+        result = run(agent, semiring=weighted)
+        assert result.status is Status.SUCCESS
+        target = polynomial_constraint(
+            weighted, [fig7["y"]], Polynomial.linear({"y": 1}, 4)
+        )
+        assert constraints_equal(result.store.constraint, target)
+
+    def test_constant_3_survives_from_old_policy(self, weighted, fig7):
+        """'the 3 component of the final store derives from the old c1'"""
+        agent = sequence(tell(fig7["c1"]), update(["x"], fig7["c2"]), SUCCESS)
+        result = run(agent, semiring=weighted)
+        assert result.store.value({"y": 0}) == 4.0  # 3 (from c1) + 1
+
+    def test_consistency_now_depends_only_on_y(self, weighted, fig7):
+        agent = sequence(tell(fig7["c1"]), update(["x"], fig7["c2"]), SUCCESS)
+        result = run(agent, semiring=weighted)
+        assert result.store.support == ("y",)

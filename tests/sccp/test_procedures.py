@@ -1,0 +1,117 @@
+"""Procedure declarations and parameter passing (rule R10)."""
+
+import pytest
+
+from repro.constraints import FunctionConstraint, empty_store, variable
+from repro.sccp import (
+    ProcedureError,
+    ProcedureTable,
+    Status,
+    SyntaxError_,
+    call,
+    run,
+    sequence,
+    tell,
+    SUCCESS,
+)
+
+
+@pytest.fixture
+def table(fuzzy):
+    x = variable("x", [0, 1])
+    con = FunctionConstraint(fuzzy, (x,), lambda v: 0.8, name="body")
+    procedures = ProcedureTable()
+    procedures.declare("p", ["x"], tell(con))
+    return procedures, con
+
+
+class TestDeclaration:
+    def test_declare_and_contains(self, table):
+        procedures, _ = table
+        assert "p" in procedures
+        assert list(procedures.names()) == ["p"]
+        assert len(procedures) == 1
+
+    def test_duplicate_declaration_rejected(self, table, fuzzy):
+        procedures, con = table
+        with pytest.raises(ProcedureError, match="already declared"):
+            procedures.declare("p", ["z"], tell(con))
+
+    def test_duplicate_formals_rejected(self, fuzzy):
+        x = variable("x", [0, 1])
+        con = FunctionConstraint(fuzzy, (x,), lambda v: 0.5)
+        procedures = ProcedureTable()
+        with pytest.raises(ProcedureError, match="duplicate formal"):
+            procedures.declare("q", ["x", "x"], tell(con))
+
+
+class TestExpansion:
+    def test_expand_renames_formals(self, table):
+        procedures, _ = table
+        body = procedures.expand(call("p", "y"))
+        assert body.constraint.support == ("y",)
+
+    def test_expand_identity_when_actual_equals_formal(self, table):
+        procedures, _ = table
+        body = procedures.expand(call("p", "x"))
+        assert body.constraint.support == ("x",)
+
+    def test_unknown_procedure(self, table):
+        procedures, _ = table
+        with pytest.raises(ProcedureError, match="unknown procedure"):
+            procedures.expand(call("q"))
+
+    def test_arity_mismatch(self, table):
+        procedures, _ = table
+        with pytest.raises(ProcedureError, match="expects 1"):
+            procedures.expand(call("p", "a", "b"))
+
+    def test_aliasing_actuals_rejected(self, fuzzy):
+        x = variable("x", [0, 1])
+        y = variable("y", [0, 1])
+        con = FunctionConstraint(fuzzy, (x, y), lambda a, b: 0.5)
+        procedures = ProcedureTable()
+        procedures.declare("r", ["x", "y"], tell(con))
+        with pytest.raises(SyntaxError_, match="alias"):
+            procedures.expand(call("r", "z", "z"))
+
+
+class TestRecursion:
+    def test_bounded_recursion_via_guard(self, fuzzy):
+        """A recursive countdown: tell progressively weaker constraints,
+        stopping when the store already entails the next one."""
+        from repro.sccp import nask, Sum, ask
+
+        x = variable("x", [0, 1])
+        marker = FunctionConstraint(
+            fuzzy, (x,), lambda v: 1.0 if v == 1 else 0.0, name="marker"
+        )
+        procedures = ProcedureTable()
+        procedures.declare(
+            "settle",
+            [],
+            Sum(
+                [
+                    nask(marker, then=sequence(tell(marker), call("settle"))),
+                    ask(marker, then=SUCCESS),
+                ]
+            ),
+        )
+        result = run(call("settle"), semiring=fuzzy, procedures=procedures)
+        assert result.status is Status.SUCCESS
+        assert result.store.entails(marker)
+
+    def test_mutual_recursion_terminates_on_guard(self, fuzzy):
+        from repro.sccp import Sum, ask, nask
+
+        x = variable("x", [0, 1])
+        flag = FunctionConstraint(
+            fuzzy, (x,), lambda v: 1.0 if v == 1 else 0.0
+        )
+        procedures = ProcedureTable()
+        procedures.declare(
+            "ping", [], Sum([nask(flag, then=call("pong")), ask(flag)])
+        )
+        procedures.declare("pong", [], tell(flag, then=call("ping")))
+        result = run(call("ping"), semiring=fuzzy, procedures=procedures)
+        assert result.status is Status.SUCCESS

@@ -1,0 +1,135 @@
+"""Property-based tests of nmsccp semantic invariants (hypothesis).
+
+Random tell-only programs are *confluent* (the store is a commutative
+fold of ⊗), consistency is antitone along any run, and exploration
+verdicts agree with scheduled runs.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.constraints import TableConstraint, constraints_equal, variable
+from repro.sccp import (
+    SUCCESS,
+    DeterministicScheduler,
+    RandomScheduler,
+    Status,
+    ask,
+    explore,
+    nask,
+    parallel,
+    run,
+    sequence,
+    tell,
+)
+from repro.semirings import FuzzySemiring
+
+FUZZY = FuzzySemiring()
+_X = variable("x", (0, 1, 2))
+_Y = variable("y", (0, 1))
+
+levels = st.sampled_from((0.0, 0.25, 0.5, 0.75, 1.0))
+
+
+def unary_constraint(draw_values):
+    return TableConstraint(
+        FUZZY, (_X,), {(d,): v for d, v in zip(_X.domain, draw_values)}
+    )
+
+
+constraint_strategy = st.lists(levels, min_size=3, max_size=3).map(
+    unary_constraint
+)
+constraint_lists = st.lists(constraint_strategy, min_size=1, max_size=4)
+
+
+@settings(max_examples=40, deadline=None)
+@given(constraint_lists, st.integers(0, 2**16))
+def test_tell_programs_are_confluent(constraints, seed):
+    """Any interleaving of parallel tells reaches the same store."""
+    agents = parallel(*[tell(c) for c in constraints])
+    deterministic = run(agents, semiring=FUZZY)
+    randomized = run(
+        agents, semiring=FUZZY, scheduler=RandomScheduler(seed)
+    )
+    assert deterministic.status is Status.SUCCESS
+    assert randomized.status is Status.SUCCESS
+    assert constraints_equal(
+        deterministic.store.constraint, randomized.store.constraint
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(constraint_lists)
+def test_final_store_is_commutative_fold(constraints):
+    """The terminal store of a tell-only program equals ⊗ of the tells."""
+    from repro.constraints import combine
+
+    agents = sequence(*[tell(c) for c in constraints], SUCCESS)
+    result = run(agents, semiring=FUZZY)
+    expected = combine(constraints, semiring=FUZZY)
+    assert constraints_equal(result.store.constraint, expected)
+
+
+@settings(max_examples=40, deadline=None)
+@given(constraint_lists)
+def test_consistency_is_antitone_along_tell_runs(constraints):
+    agents = sequence(*[tell(c) for c in constraints], SUCCESS)
+    result = run(agents, semiring=FUZZY)
+    profile = result.trace.consistencies()
+    for earlier, later in zip(profile, profile[1:]):
+        assert FUZZY.leq(later, earlier)
+
+
+@settings(max_examples=40, deadline=None)
+@given(constraint_strategy, constraint_strategy)
+def test_ask_after_tell_always_fires(told, asked):
+    """σ ⊢ c once c was told — the ask can never block afterwards."""
+    agents = sequence(tell(told), tell(asked), ask(asked), SUCCESS)
+    result = run(agents, semiring=FUZZY)
+    assert result.status is Status.SUCCESS
+
+
+@settings(max_examples=40, deadline=None)
+@given(constraint_strategy)
+def test_ask_nask_dichotomy(constraint):
+    """Exactly one of ask(c)/nask(c) is enabled in any store."""
+    from repro.constraints import empty_store
+    from repro.sccp import Configuration, successors
+
+    store = empty_store(FUZZY)
+    ask_steps = successors(Configuration(ask(constraint), store))
+    nask_steps = successors(Configuration(nask(constraint), store))
+    assert (len(ask_steps) == 1) != (len(nask_steps) == 1)
+
+
+@settings(max_examples=25, deadline=None)
+@given(constraint_lists, st.integers(0, 2**16))
+def test_exploration_agrees_with_scheduled_runs(constraints, seed):
+    """If exploration says every path succeeds, any scheduler succeeds;
+    if it says none do, no scheduler can."""
+    agents = parallel(*[tell(c) for c in constraints])
+    exploration = explore(agents, semiring=FUZZY)
+    outcome = run(agents, semiring=FUZZY, scheduler=RandomScheduler(seed))
+    if exploration.always_succeeds:
+        assert outcome.status is Status.SUCCESS
+    if exploration.never_succeeds:
+        assert outcome.status is not Status.SUCCESS
+
+
+@settings(max_examples=40, deadline=None)
+@given(constraint_strategy, constraint_strategy)
+def test_retract_after_tell_restores_store(base, extra):
+    """⟨tell(b) tell(e) retract(e)⟩ never tightens below ⟨tell(b)⟩."""
+    from repro.constraints import constraint_leq
+    from repro.sccp import retract
+
+    with_roundtrip = run(
+        sequence(tell(base), tell(extra), retract(extra), SUCCESS),
+        semiring=FUZZY,
+    )
+    baseline = run(tell(base), semiring=FUZZY)
+    assert with_roundtrip.status is Status.SUCCESS
+    assert constraint_leq(
+        baseline.store.constraint, with_roundtrip.store.constraint
+    )

@@ -1,0 +1,171 @@
+"""nmsccp abstract syntax: builders, grammar restrictions, substitution."""
+
+import pytest
+
+from repro.constraints import ConstantConstraint, FunctionConstraint, variable
+from repro.sccp import (
+    SUCCESS,
+    Ask,
+    Nask,
+    Parallel,
+    Sum,
+    SyntaxError_,
+    Tell,
+    ask,
+    call,
+    choice,
+    exists,
+    nask,
+    parallel,
+    retract,
+    sequence,
+    tell,
+    update,
+)
+
+
+@pytest.fixture
+def c(fuzzy):
+    x = variable("x", [0, 1])
+    return FunctionConstraint(fuzzy, (x,), lambda v: 0.5, name="c")
+
+
+class TestBuilders:
+    def test_tell_defaults_to_success(self, c):
+        agent = tell(c)
+        assert isinstance(agent, Tell)
+        assert agent.continuation == SUCCESS
+
+    def test_sequence_nests_continuations(self, c):
+        agent = sequence(tell(c), ask(c), SUCCESS)
+        assert isinstance(agent, Tell)
+        assert isinstance(agent.continuation, Ask)
+        assert agent.continuation.continuation == SUCCESS
+
+    def test_sequence_requires_agent_tail(self, c):
+        with pytest.raises(SyntaxError_):
+            sequence(tell(c), "not an agent")
+
+    def test_sequence_requires_prefixable_heads(self, c):
+        with pytest.raises(SyntaxError_):
+            sequence(SUCCESS, tell(c))
+
+    def test_empty_sequence_is_success(self):
+        assert sequence() == SUCCESS
+
+    def test_parallel_folds_right(self, c):
+        agent = parallel(tell(c), ask(c), nask(c))
+        assert isinstance(agent, Parallel)
+        assert isinstance(agent.right, Parallel)
+
+    def test_parallel_single_agent_passthrough(self, c):
+        assert parallel(tell(c)) == tell(c)
+
+    def test_parallel_needs_agents(self):
+        with pytest.raises(SyntaxError_):
+            parallel()
+
+    def test_then_replaces_continuation(self, c):
+        first = tell(c)
+        second = first.then(ask(c))
+        assert first.continuation == SUCCESS
+        assert isinstance(second.continuation, Ask)
+
+
+class TestGrammarRestrictions:
+    def test_sum_accepts_only_guards(self, c):
+        valid = Sum([ask(c), nask(c)])
+        assert len(valid.branches) == 2
+        with pytest.raises(SyntaxError_, match="grammar E"):
+            Sum([tell(c)])
+
+    def test_sum_flattens_nested_sums(self, c):
+        nested = Sum([Sum([ask(c), nask(c)]), ask(c)])
+        assert len(nested.branches) == 3
+
+    def test_choice_of_one_guard_unwrapped(self, c):
+        assert isinstance(choice(ask(c)), Ask)
+
+    def test_choice_rejects_non_guard_single(self, c):
+        with pytest.raises(SyntaxError_):
+            choice(tell(c))
+
+    def test_empty_sum_rejected(self):
+        with pytest.raises(SyntaxError_):
+            Sum([])
+
+    def test_update_needs_variables(self, c):
+        with pytest.raises(SyntaxError_):
+            update([], c)
+
+    def test_check_semiring_must_match_constraint(self, c, weighted):
+        from repro.sccp import interval
+
+        with pytest.raises(SyntaxError_, match="check over"):
+            tell(c, interval(weighted, lower=5.0, upper=0.0))
+
+
+class TestSubstitution:
+    def test_tell_substitution_renames_constraint(self, fuzzy):
+        x = variable("x", [0, 1])
+        con = FunctionConstraint(fuzzy, (x,), lambda v: 0.5)
+        agent = tell(con).substitute({"x": "y"})
+        assert agent.constraint.support == ("y",)
+
+    def test_substitution_reaches_continuation(self, fuzzy):
+        x = variable("x", [0, 1])
+        con = FunctionConstraint(fuzzy, (x,), lambda v: 0.5)
+        agent = sequence(tell(con), ask(con), SUCCESS).substitute({"x": "y"})
+        assert agent.constraint.support == ("y",)
+        assert agent.continuation.constraint.support == ("y",)
+
+    def test_exists_shields_bound_variable(self, fuzzy):
+        x = variable("x", [0, 1])
+        con = FunctionConstraint(fuzzy, (x,), lambda v: 0.5)
+        hidden = exists("x", tell(con))
+        renamed = hidden.substitute({"x": "y"})
+        # the bound x must not be renamed
+        assert renamed.body.constraint.support == ("x",)
+
+    def test_exists_renames_free_variables(self, fuzzy):
+        x = variable("x", [0, 1])
+        z = variable("z", [0, 1])
+        con = FunctionConstraint(fuzzy, (x, z), lambda a, b: 0.5)
+        hidden = exists("x", tell(con))
+        renamed = hidden.substitute({"z": "w"})
+        assert set(renamed.body.constraint.support) == {"x", "w"}
+
+    def test_update_substitution_renames_target_variables(self, fuzzy):
+        con = ConstantConstraint(fuzzy, 0.5)
+        agent = update(["x", "z"], con).substitute({"x": "y"})
+        assert agent.variables == ("y", "z")
+
+    def test_call_substitution_renames_actuals(self):
+        agent = call("p", "x", "z").substitute({"x": "y"})
+        assert agent.actuals == ("y", "z")
+
+    def test_substitution_renames_check_thresholds(self, fuzzy):
+        from repro.sccp import CheckSpec
+
+        x = variable("x", [0, 1])
+        phi = FunctionConstraint(fuzzy, (x,), lambda v: 0.9)
+        con = ConstantConstraint(fuzzy, 0.5)
+        agent = tell(con, CheckSpec(fuzzy, upper=phi)).substitute({"x": "y"})
+        assert agent.check.upper.support == ("y",)
+
+
+class TestDescribe:
+    def test_describe_round_trips_structure(self, c):
+        agent = parallel(sequence(tell(c), ask(c), SUCCESS), nask(c))
+        text = agent.describe()
+        assert "tell" in text and "ask" in text and "nask" in text
+        assert "‖" in text
+
+    def test_success_description(self):
+        assert SUCCESS.describe() == "success"
+
+    def test_exists_description(self, c):
+        assert exists("x", tell(c)).describe().startswith("∃x.")
+
+    def test_call_description(self):
+        assert call("p", "a", "b").describe() == "p(a, b)"

@@ -1,0 +1,138 @@
+"""The timed nmsccp extension: delay, timeout, maximal progress."""
+
+import pytest
+
+from repro.constraints import FunctionConstraint, variable
+from repro.sccp import (
+    SUCCESS,
+    Status,
+    SyntaxError_,
+    ask,
+    interval,
+    parallel,
+    retract,
+    sequence,
+    tell,
+)
+from repro.sccp.timed import Delay, Timeout, delay, tick, timed_run, timeout
+
+
+@pytest.fixture
+def flag(fuzzy):
+    flag_var = variable("f", [0, 1])
+    return FunctionConstraint(
+        fuzzy, (flag_var,), lambda v: 1.0 if v == 1 else 0.0, name="flag"
+    )
+
+
+class TestDelay:
+    def test_delay_postpones_action(self, fuzzy, flag):
+        result = timed_run(delay(3, tell(flag)), semiring=fuzzy)
+        assert result.status is Status.SUCCESS
+        assert result.ticks == 3
+        assert result.store.entails(flag)
+
+    def test_zero_delay_is_transparent(self, fuzzy, flag):
+        result = timed_run(delay(0, tell(flag)), semiring=fuzzy)
+        assert result.status is Status.SUCCESS
+        assert result.ticks == 0
+
+    def test_negative_delay_rejected(self, flag):
+        with pytest.raises(SyntaxError_):
+            delay(-1, tell(flag))
+
+    def test_parallel_delay_lets_other_side_work_first(self, fuzzy, flag):
+        consumer = ask(flag)
+        producer = delay(2, tell(flag))
+        result = timed_run(parallel(consumer, producer), semiring=fuzzy)
+        assert result.status is Status.SUCCESS
+        assert result.ticks == 2
+
+    def test_substitution_reaches_delayed_body(self, fuzzy, flag):
+        agent = delay(1, tell(flag)).substitute({"f": "g"})
+        assert agent.body.constraint.support == ("g",)
+
+
+class TestTimeout:
+    def test_guard_fires_when_enabled(self, fuzzy, flag):
+        agent = parallel(
+            timeout(ask(flag), 5, tell(flag)),  # fallback never needed
+            tell(flag),
+        )
+        result = timed_run(agent, semiring=fuzzy)
+        assert result.status is Status.SUCCESS
+        assert result.ticks == 0
+
+    def test_fallback_after_expiry(self, fuzzy, flag):
+        # nobody ever tells the flag: the guard cannot fire; after 3
+        # ticks the fallback tells it itself.
+        agent = timeout(ask(flag), 3, tell(flag))
+        result = timed_run(agent, semiring=fuzzy)
+        assert result.status is Status.SUCCESS
+        assert result.ticks == 4  # 3 waiting ticks + expiry tick
+        assert result.store.entails(flag)
+
+    def test_timeout_guard_must_be_ask_or_nask(self, flag):
+        with pytest.raises(SyntaxError_, match="ask or nask"):
+            timeout(tell(flag), 2, SUCCESS)
+
+    def test_timed_retract_scenario(self, weighted, fig7):
+        """The paper's motivation: a provider relaxes its policy when the
+        negotiation stalls — retract c1 after a timeout."""
+        blocked_guard = ask(
+            fig7["c1"], interval(weighted, lower=4.0, upper=1.0)
+        )
+        provider = sequence(
+            tell(fig7["c4"]),
+            tell(fig7["c3"]),
+            SUCCESS,
+        )
+        relaxer = timeout(
+            blocked_guard,
+            2,
+            retract(fig7["c1"], interval(weighted, lower=10.0, upper=2.0)),
+        )
+        result = timed_run(parallel(provider, relaxer), semiring=weighted)
+        assert result.status is Status.SUCCESS
+        # after the timed retract the store is 2x+2 with consistency 2
+        assert result.consistency() == 2.0
+        assert result.ticks >= 1
+
+
+class TestTick:
+    def test_tick_decrements_delay(self, flag):
+        agent = Delay(2, tell(flag))
+        ticked = tick(agent)
+        assert isinstance(ticked, Delay)
+        assert ticked.ticks == 1
+        assert tick(ticked) == tell(flag)
+
+    def test_tick_expires_timeout_to_fallback(self, flag):
+        agent = Timeout(ask(flag), 0, tell(flag))
+        assert tick(agent) == tell(flag)
+
+    def test_tick_descends_into_parallel(self, flag):
+        agent = parallel(Delay(1, tell(flag)), ask(flag))
+        ticked = tick(agent)
+        assert ticked.left == tell(flag)
+
+    def test_tick_on_untimed_agent_is_identity(self, flag):
+        agent = ask(flag)
+        assert tick(agent) == agent
+
+
+class TestTimedDeadlock:
+    def test_blocked_untimed_agent_deadlocks(self, fuzzy, flag):
+        result = timed_run(ask(flag), semiring=fuzzy)
+        assert result.status is Status.DEADLOCK
+
+    def test_tick_budget_reports_exhaustion(self, fuzzy, flag):
+        # an infinite chain of delays around an unsatisfiable ask
+        agent = delay(5, ask(flag))
+        result = timed_run(agent, semiring=fuzzy, max_ticks=3)
+        assert result.status is Status.EXHAUSTED
+        assert result.ticks >= 3
+
+    def test_describe_renders_timing(self, flag):
+        assert "delay(2)" in delay(2, tell(flag)).describe()
+        assert "timeout(" in timeout(ask(flag), 1, SUCCESS).describe()

@@ -1,0 +1,54 @@
+"""Trace recording and rendering."""
+
+import pytest
+
+from repro.constraints import FunctionConstraint, variable
+from repro.sccp import SUCCESS, Trace, ask, run, sequence, tell
+
+
+@pytest.fixture
+def two_step_result(fuzzy):
+    x = variable("x", [0, 1])
+    strong = FunctionConstraint(
+        fuzzy, (x,), lambda v: 0.8 if v == 1 else 0.0, name="strong"
+    )
+    weak = FunctionConstraint(fuzzy, (x,), lambda v: 0.9, name="weak")
+    agent = sequence(tell(weak), tell(strong), ask(weak), SUCCESS)
+    return run(agent, semiring=fuzzy)
+
+
+class TestTrace:
+    def test_event_sequence(self, two_step_result):
+        trace = two_step_result.trace
+        assert len(trace) == 3
+        assert trace.rules_applied() == ["R1-Tell", "R1-Tell", "R2-Ask"]
+
+    def test_consistency_profile(self, two_step_result):
+        assert two_step_result.trace.consistencies() == [0.9, 0.8, 0.8]
+
+    def test_event_indices_increase(self, two_step_result):
+        indices = [event.index for event in two_step_result.trace]
+        assert indices == [0, 1, 2]
+
+    def test_events_copy_is_stable(self, two_step_result):
+        events = two_step_result.trace.events
+        events.clear()
+        assert len(two_step_result.trace) == 3
+
+    def test_render_contains_rules_and_levels(self, two_step_result):
+        text = two_step_result.trace.render()
+        assert "R1-Tell" in text
+        assert "σ⇓∅" in text
+        assert "0.8" in text
+
+    def test_empty_trace_render(self):
+        assert Trace().render() == "(empty trace)"
+
+    def test_event_str(self, two_step_result):
+        event = two_step_result.trace.events[0]
+        text = str(event)
+        assert "R1-Tell" in text and "0.9" in text
+
+    def test_agent_after_is_recorded(self, two_step_result):
+        final_event = two_step_result.trace.events[-1]
+        assert final_event.agent_after == "success"

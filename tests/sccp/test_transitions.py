@@ -1,0 +1,237 @@
+"""The transition rules R1–R10, one by one (paper Fig. 4)."""
+
+import pytest
+
+from repro.constraints import (
+    ConstantConstraint,
+    FunctionConstraint,
+    TableConstraint,
+    empty_store,
+    integer_variable,
+    variable,
+)
+from repro.sccp import (
+    SUCCESS,
+    Configuration,
+    ProcedureTable,
+    ask,
+    call,
+    exists,
+    interval,
+    nask,
+    parallel,
+    retract,
+    successors,
+    tell,
+    update,
+    Sum,
+)
+
+
+@pytest.fixture
+def fuzzy_setup(fuzzy):
+    x = variable("x", [0, 1, 2])
+    strong = FunctionConstraint(
+        fuzzy, (x,), lambda v: 0.9 if v == 0 else 0.1, name="strong"
+    )
+    weak = FunctionConstraint(fuzzy, (x,), lambda v: 0.9, name="weak")
+    return x, strong, weak
+
+
+def step_once(agent, store, procedures=None):
+    from repro.sccp import EMPTY_PROCEDURES
+
+    return successors(
+        Configuration(agent, store), procedures or EMPTY_PROCEDURES
+    )
+
+
+class TestR1Tell:
+    def test_tell_adds_constraint(self, fuzzy, fuzzy_setup):
+        x, strong, _ = fuzzy_setup
+        steps = step_once(tell(strong), empty_store(fuzzy))
+        assert len(steps) == 1
+        assert steps[0].rule == "R1-Tell"
+        assert steps[0].configuration.store.entails(strong)
+
+    def test_tell_checks_next_step_store(self, fuzzy, fuzzy_setup):
+        x, strong, _ = fuzzy_setup
+        # after telling, σ⇓∅ = 0.9; a lower bound of 0.95 must block it
+        blocked = tell(strong, interval(fuzzy, lower=0.95, upper=None))
+        assert step_once(blocked, empty_store(fuzzy)) == []
+        allowed = tell(strong, interval(fuzzy, lower=0.9, upper=None))
+        assert len(step_once(allowed, empty_store(fuzzy))) == 1
+
+
+class TestR2Ask:
+    def test_ask_enabled_when_entailed(self, fuzzy, fuzzy_setup):
+        _, strong, weak = fuzzy_setup
+        store = empty_store(fuzzy).tell(strong)
+        steps = step_once(ask(weak), store)
+        assert len(steps) == 1
+        assert steps[0].rule == "R2-Ask"
+        # ask does not change the store
+        assert steps[0].configuration.store is store
+
+    def test_ask_blocked_when_not_entailed(self, fuzzy, fuzzy_setup):
+        _, strong, weak = fuzzy_setup
+        store = empty_store(fuzzy).tell(weak)
+        assert step_once(ask(strong), store) == []
+
+    def test_ask_checks_current_store(self, fuzzy, fuzzy_setup):
+        _, strong, weak = fuzzy_setup
+        store = empty_store(fuzzy).tell(strong)  # σ⇓∅ = 0.9
+        blocked = ask(weak, interval(fuzzy, lower=0.95, upper=None))
+        assert step_once(blocked, store) == []
+
+
+class TestR6Nask:
+    def test_nask_enabled_when_absent(self, fuzzy, fuzzy_setup):
+        _, strong, weak = fuzzy_setup
+        store = empty_store(fuzzy).tell(weak)
+        steps = step_once(nask(strong), store)
+        assert len(steps) == 1
+        assert steps[0].rule == "R6-Nask"
+
+    def test_nask_blocked_when_entailed(self, fuzzy, fuzzy_setup):
+        _, strong, weak = fuzzy_setup
+        store = empty_store(fuzzy).tell(strong)
+        assert step_once(nask(weak), store) == []
+
+
+class TestR7Retract:
+    def test_retract_divides_store(self, weighted):
+        x = integer_variable("x", 5)
+        sigma = FunctionConstraint(weighted, (x,), lambda v: 3.0 * v + 5)
+        c = FunctionConstraint(weighted, (x,), lambda v: v + 3.0)
+        store = empty_store(weighted).tell(sigma)
+        steps = step_once(retract(c), store)
+        assert len(steps) == 1
+        assert steps[0].rule == "R7-Retract"
+        assert steps[0].configuration.store.value({"x": 1}) == 4.0  # 2x+2
+
+    def test_retract_blocked_without_entailment(self, weighted):
+        x = integer_variable("x", 5)
+        sigma = FunctionConstraint(weighted, (x,), lambda v: float(v))
+        c = FunctionConstraint(weighted, (x,), lambda v: v + 3.0)
+        store = empty_store(weighted).tell(sigma)
+        assert step_once(retract(c), store) == []
+
+    def test_retract_checks_resulting_store(self, weighted):
+        x = integer_variable("x", 5)
+        sigma = FunctionConstraint(weighted, (x,), lambda v: 3.0 * v + 5)
+        c = FunctionConstraint(weighted, (x,), lambda v: v + 3.0)
+        store = empty_store(weighted).tell(sigma)
+        # resulting consistency is 2; demanding at least 1 (upper bound
+        # numerically) blocks a result that good? No: upper=1 means the
+        # store must cost at least 1 hour — 2 passes; lower=1 fails.
+        assert step_once(
+            retract(c, interval(weighted, lower=10.0, upper=1.0)), store
+        )
+        assert (
+            step_once(
+                retract(c, interval(weighted, lower=1.0, upper=0.0)), store
+            )
+            == []
+        )
+
+
+class TestR8Update:
+    def test_update_refreshes_variables(self, weighted):
+        x = integer_variable("x", 5)
+        y = integer_variable("y", 5)
+        c1 = FunctionConstraint(weighted, (x,), lambda v: v + 3.0)
+        c2 = FunctionConstraint(weighted, (y,), lambda v: v + 1.0)
+        store = empty_store(weighted).tell(c1)
+        steps = step_once(update(["x"], c2), store)
+        assert len(steps) == 1
+        assert steps[0].rule == "R8-Update"
+        new_store = steps[0].configuration.store
+        assert "x" not in new_store.support
+        assert new_store.value({"y": 0}) == 4.0
+
+
+class TestR5Sum:
+    def test_all_enabled_guards_offered(self, fuzzy, fuzzy_setup):
+        _, strong, weak = fuzzy_setup
+        store = empty_store(fuzzy).tell(strong)
+        both = Sum([ask(weak), ask(strong)])
+        steps = step_once(both, store)
+        assert len(steps) == 2
+        assert all(step.rule == "R5-Nondet" for step in steps)
+
+    def test_only_enabled_guards_offered(self, fuzzy, fuzzy_setup):
+        _, strong, weak = fuzzy_setup
+        store = empty_store(fuzzy).tell(weak)
+        mixed = Sum([ask(strong), nask(strong)])
+        steps = step_once(mixed, store)
+        assert len(steps) == 1
+        assert "choose#1" in steps[0].action
+
+
+class TestR3R4Parallel:
+    def test_interleaving_offers_both_sides(self, fuzzy, fuzzy_setup):
+        _, strong, weak = fuzzy_setup
+        agent = parallel(tell(strong), tell(weak))
+        steps = step_once(agent, empty_store(fuzzy))
+        assert len(steps) == 2
+        assert {step.action[:2] for step in steps} == {"L:", "R:"}
+
+    def test_terminating_side_disappears(self, fuzzy, fuzzy_setup):
+        _, strong, weak = fuzzy_setup
+        agent = parallel(tell(strong), tell(weak))
+        steps = step_once(agent, empty_store(fuzzy))
+        left_step = next(s for s in steps if s.action.startswith("L:"))
+        # tell's continuation is success, so R4 reduces A ‖ B to B
+        assert left_step.rule == "R4-Parall2"
+        assert left_step.configuration.agent == tell(weak)
+
+    def test_nonterminating_side_stays_parallel(self, fuzzy, fuzzy_setup):
+        _, strong, weak = fuzzy_setup
+        from repro.sccp import Parallel, sequence
+
+        agent = parallel(sequence(tell(strong), ask(weak), SUCCESS), tell(weak))
+        steps = step_once(agent, empty_store(fuzzy))
+        left_step = next(s for s in steps if s.action.startswith("L:"))
+        assert left_step.rule == "R3-Parall1"
+        assert isinstance(left_step.configuration.agent, Parallel)
+
+
+class TestR9Hide:
+    def test_hidden_variable_renamed_fresh(self, fuzzy):
+        x = variable("x", [0, 1])
+        con = FunctionConstraint(fuzzy, (x,), lambda v: 0.5)
+        agent = exists("x", tell(con))
+        steps = step_once(agent, empty_store(fuzzy))
+        assert len(steps) == 1
+        assert steps[0].rule == "R9-Hide"
+        support = steps[0].configuration.store.support
+        assert support != ("x",)
+        assert support[0].startswith("x'")
+
+    def test_fresh_names_never_repeat(self, fuzzy):
+        x = variable("x", [0, 1])
+        con = FunctionConstraint(fuzzy, (x,), lambda v: 0.5)
+        agent = exists("x", tell(con))
+        first = step_once(agent, empty_store(fuzzy))[0]
+        second = step_once(agent, empty_store(fuzzy))[0]
+        assert (
+            first.configuration.store.support
+            != second.configuration.store.support
+        )
+
+
+class TestR10Call:
+    def test_call_expands_and_steps(self, fuzzy):
+        x = variable("x", [0, 1])
+        y = variable("y", [0, 1])
+        con = FunctionConstraint(fuzzy, (x,), lambda v: 0.5)
+        procedures = ProcedureTable()
+        procedures.declare("p", ["x"], tell(con))
+        steps = step_once(call("p", "y"), empty_store(fuzzy), procedures)
+        assert len(steps) == 1
+        assert steps[0].rule == "R10-PCall"
+        assert steps[0].configuration.store.support == ("y",)
+
+    def test_success_has_no_successors(self, fuzzy):
+        assert step_once(SUCCESS, empty_store(fuzzy)) == []

@@ -1,0 +1,192 @@
+"""Invariant and reachability checking over the configuration graph."""
+
+import pytest
+
+from repro.constraints import (
+    FunctionConstraint,
+    Polynomial,
+    polynomial_constraint,
+    variable,
+)
+from repro.sccp import (
+    SUCCESS,
+    ask,
+    nask,
+    parallel,
+    retract,
+    sequence,
+    tell,
+    Sum,
+)
+from repro.sccp.verification import (
+    check_eventually,
+    check_invariant,
+    consistency_invariant,
+)
+
+
+@pytest.fixture
+def flags(fuzzy):
+    a = variable("a", [0, 1])
+    b = variable("b", [0, 1])
+    flag_a = FunctionConstraint(
+        fuzzy, (a,), lambda v: 1.0 if v == 1 else 0.2, name="flag_a"
+    )
+    flag_b = FunctionConstraint(
+        fuzzy, (b,), lambda v: 1.0 if v == 1 else 0.5, name="flag_b"
+    )
+    return flag_a, flag_b
+
+
+class TestInvariant:
+    def test_holds_on_gentle_program(self, fuzzy, flags):
+        flag_a, flag_b = flags
+        agents = parallel(tell(flag_a), tell(flag_b))
+        result = check_invariant(
+            agents,
+            consistency_invariant(fuzzy, 0.2),
+            semiring=fuzzy,
+        )
+        assert result.holds
+        assert result.counterexample is None
+        assert result.configurations_checked >= 3
+
+    def test_violation_returns_shortest_path(self, fuzzy, flags):
+        flag_a, flag_b = flags
+        # telling flag_a drops consistency to 1.0 → fine; combined store
+        # min is 1.0 then flag_b keeps 1.0 — use a harsher constraint
+        harsh = FunctionConstraint(
+            fuzzy, (variable("h", [0]),), lambda v: 0.1, name="harsh"
+        )
+        agents = sequence(tell(flag_a), tell(harsh), SUCCESS)
+        result = check_invariant(
+            agents, consistency_invariant(fuzzy, 0.5), semiring=fuzzy
+        )
+        assert not result.holds
+        assert result.counterexample is not None
+        assert result.counterexample.length == 2  # tell, tell
+        assert "invariant" in result.counterexample.reason
+        assert "R1-Tell" in result.counterexample.describe()
+
+    def test_initial_violation_detected(self, fuzzy, flags):
+        flag_a, _ = flags
+        from repro.constraints import ConstantConstraint, empty_store
+
+        bad_store = empty_store(fuzzy).tell(ConstantConstraint(fuzzy, 0.1))
+        result = check_invariant(
+            tell(flag_a),
+            consistency_invariant(fuzzy, 0.5),
+            store=bad_store,
+        )
+        assert not result.holds
+        assert result.counterexample.length == 0
+
+    def test_needs_store_or_semiring(self, flags):
+        flag_a, _ = flags
+        with pytest.raises(ValueError):
+            check_invariant(tell(flag_a), lambda s: True)
+
+    def test_paper_example2_consistency_floor(self, weighted, fig7, sync_flags):
+        """Along every interleaving of Example 2 the store never costs
+        more than 5 hours (the pre-retract worst case)."""
+        p1 = sequence(
+            tell(fig7["c4"]),
+            tell(sync_flags["sp2"]),
+            ask(sync_flags["sp1"]),
+            retract(fig7["c1"]),
+            SUCCESS,
+        )
+        p2 = sequence(
+            tell(fig7["c3"]), tell(sync_flags["sp1"]), ask(sync_flags["sp2"]),
+            SUCCESS,
+        )
+        result = check_invariant(
+            parallel(p1, p2),
+            consistency_invariant(weighted, 5.0),
+            semiring=weighted,
+        )
+        assert result.holds
+        # and a tighter floor (max 4 hours) is refuted with a witness
+        refuted = check_invariant(
+            parallel(p1, p2),
+            consistency_invariant(weighted, 4.0),
+            semiring=weighted,
+        )
+        assert not refuted.holds
+
+
+class TestEventually:
+    def test_every_run_reaches_agreement(self, fuzzy, flags):
+        flag_a, flag_b = flags
+        agents = parallel(tell(flag_a), tell(flag_b))
+
+        def both_told(store):
+            return store.entails(flag_a) and store.entails(flag_b)
+
+        result = check_eventually(agents, both_told, semiring=fuzzy)
+        assert result.holds
+
+    def test_blocked_run_refutes_eventually(self, fuzzy, flags):
+        flag_a, flag_b = flags
+        agents = ask(flag_a, then=tell(flag_b))
+        result = check_eventually(
+            agents, lambda store: store.entails(flag_b), semiring=fuzzy
+        )
+        assert not result.holds
+        assert "maximal run" in result.counterexample.reason
+
+    def test_branch_dependent_eventuality_fails(self, fuzzy, flags):
+        flag_a, flag_b = flags
+        # one branch tells flag_a, the other only flag_b
+        agents = Sum(
+            [
+                nask(flag_a, then=tell(flag_a)),
+                nask(flag_b, then=tell(flag_b)),
+            ]
+        )
+        result = check_eventually(
+            agents, lambda store: store.entails(flag_a), semiring=fuzzy
+        )
+        assert not result.holds
+
+    def test_require_success_distinguishes_deadlock(self, fuzzy, flags):
+        flag_a, _ = flags
+        # predicate holds immediately, but the run deadlocks
+        agents = ask(flag_a)
+        trivially_true = check_eventually(
+            agents, lambda store: True, semiring=fuzzy
+        )
+        assert trivially_true.holds
+        strict = check_eventually(
+            agents,
+            lambda store: True,
+            semiring=fuzzy,
+            require_success=True,
+        )
+        assert not strict.holds
+
+    def test_example2_always_ends_at_two_hours(
+        self, weighted, fig7, sync_flags
+    ):
+        p1 = sequence(
+            tell(fig7["c4"]),
+            tell(sync_flags["sp2"]),
+            ask(sync_flags["sp1"]),
+            retract(fig7["c1"]),
+            SUCCESS,
+        )
+        p2 = sequence(
+            tell(fig7["c3"]), tell(sync_flags["sp1"]), ask(sync_flags["sp2"]),
+            SUCCESS,
+        )
+
+        def at_two_hours(store):
+            return store.consistency() == 2.0
+
+        result = check_eventually(
+            parallel(p1, p2),
+            at_two_hours,
+            semiring=weighted,
+            require_success=True,
+        )
+        assert result.holds

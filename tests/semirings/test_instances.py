@@ -1,0 +1,249 @@
+"""Instance-specific behaviour of each shipped semiring."""
+
+import math
+
+import pytest
+
+from repro.semirings import (
+    INFINITY,
+    BooleanSemiring,
+    BoundedWeightedSemiring,
+    FuzzySemiring,
+    ProbabilisticSemiring,
+    ProductSemiring,
+    SemiringError,
+    SetSemiring,
+    WeightedSemiring,
+)
+
+
+class TestBoolean:
+    def test_operations(self, boolean):
+        assert boolean.plus(True, False) is True
+        assert boolean.times(True, False) is False
+        assert boolean.zero is False and boolean.one is True
+
+    def test_division_is_implication(self, boolean):
+        assert boolean.divide(False, True) is False
+        assert boolean.divide(True, True) is True
+        assert boolean.divide(False, False) is True
+        assert boolean.divide(True, False) is True
+
+    def test_order(self, boolean):
+        assert boolean.leq(False, True)
+        assert not boolean.leq(True, False)
+        assert boolean.is_total_order()
+        assert boolean.is_multiplicative_idempotent()
+
+    def test_rejects_non_bool(self, boolean):
+        assert not boolean.is_element(1)
+        assert not boolean.is_element(0)
+
+
+class TestFuzzy:
+    def test_max_min(self, fuzzy):
+        assert fuzzy.plus(0.3, 0.7) == 0.7
+        assert fuzzy.times(0.3, 0.7) == 0.3
+
+    def test_goedel_division(self, fuzzy):
+        assert fuzzy.divide(0.7, 0.3) == 1.0  # b ≤ a
+        assert fuzzy.divide(0.3, 0.7) == 0.3  # b > a
+
+    def test_division_recovers_under_entailment(self, fuzzy):
+        # a ≤ b ⇒ b × (a ÷ b) = a
+        a, b = 0.4, 0.9
+        assert fuzzy.times(b, fuzzy.divide(a, b)) == a
+
+    def test_carrier_bounds(self, fuzzy):
+        assert fuzzy.is_element(0.0) and fuzzy.is_element(1.0)
+        assert not fuzzy.is_element(1.0001)
+        assert not fuzzy.is_element(-0.1)
+        assert not fuzzy.is_element(float("nan"))
+        assert not fuzzy.is_element(True)
+
+    def test_idempotent_times(self, fuzzy):
+        assert fuzzy.is_multiplicative_idempotent()
+        assert fuzzy.glb(0.3, 0.8) == 0.3
+
+
+class TestProbabilistic:
+    def test_max_product(self, probabilistic):
+        assert probabilistic.plus(0.3, 0.7) == 0.7
+        assert probabilistic.times(0.5, 0.5) == 0.25
+
+    def test_goguen_division(self, probabilistic):
+        assert probabilistic.divide(0.3, 0.6) == 0.5
+        assert probabilistic.divide(0.6, 0.3) == 1.0
+        assert probabilistic.divide(0.5, 0.0) == 1.0
+
+    def test_division_feasible(self, probabilistic):
+        for a in (0.0, 0.2, 0.9):
+            for b in (0.0, 0.4, 1.0):
+                q = probabilistic.divide(a, b)
+                assert probabilistic.leq(probabilistic.times(b, q), a) or (
+                    abs(b * q - a) < 1e-12
+                )
+
+    def test_equiv_tolerates_float_noise(self, probabilistic):
+        assert probabilistic.equiv(0.1 + 0.2, 0.3)
+
+    def test_not_idempotent(self, probabilistic):
+        assert not probabilistic.is_multiplicative_idempotent()
+
+
+class TestWeighted:
+    def test_min_plus(self, weighted):
+        assert weighted.plus(3.0, 5.0) == 3.0
+        assert weighted.times(3.0, 5.0) == 8.0
+        assert weighted.zero == INFINITY and weighted.one == 0.0
+
+    def test_inverted_order(self, weighted):
+        # smaller cost is better: 3 ≥S 5
+        assert weighted.leq(5.0, 3.0)
+        assert weighted.gt(3.0, 5.0)
+        assert weighted.leq(INFINITY, 42.0)
+
+    def test_truncated_subtraction_division(self, weighted):
+        assert weighted.divide(8.0, 3.0) == 5.0
+        assert weighted.divide(3.0, 8.0) == 0.0
+        assert weighted.divide(INFINITY, 3.0) == INFINITY
+        assert weighted.divide(3.0, INFINITY) == 0.0
+        assert weighted.divide(INFINITY, INFINITY) == 0.0
+
+    def test_division_recovers_entailed_cost(self, weighted):
+        # paper Ex. 2: (3x+5) ÷ (x+3) = 2x+2 pointwise
+        for x in range(10):
+            sigma = 3 * x + 5
+            c = x + 3
+            assert weighted.times(c, weighted.divide(sigma, c)) == sigma
+
+    def test_integral_variant(self):
+        integral = WeightedSemiring(integral=True)
+        assert integral.is_element(3)
+        assert not integral.is_element(3.5)
+        assert integral.is_element(INFINITY)
+        assert integral != WeightedSemiring()
+
+    def test_rejects_negative(self, weighted):
+        assert not weighted.is_element(-1.0)
+
+
+class TestBoundedWeighted:
+    def test_saturating_addition(self, bounded):
+        assert bounded.times(6.0, 7.0) == 10.0
+        assert bounded.times(2.0, 3.0) == 5.0
+        assert bounded.zero == 10.0
+
+    def test_division_at_cap(self, bounded):
+        # a = cap: smallest x with b + x ≥ cap is cap − b
+        assert bounded.divide(10.0, 4.0) == 6.0
+        assert bounded.times(4.0, bounded.divide(10.0, 4.0)) == 10.0
+
+    def test_invalid_cap_rejected(self):
+        with pytest.raises(SemiringError):
+            BoundedWeightedSemiring(cap=0)
+        with pytest.raises(SemiringError):
+            BoundedWeightedSemiring(cap=-3)
+
+    def test_carrier_respects_cap(self, bounded):
+        assert bounded.is_element(10.0)
+        assert not bounded.is_element(10.5)
+
+
+class TestSetBased:
+    def test_union_intersection(self, setbased):
+        a = frozenset({"read"})
+        b = frozenset({"read", "write"})
+        assert setbased.plus(a, b) == b
+        assert setbased.times(a, b) == a
+
+    def test_partial_order(self, setbased):
+        a = frozenset({"read"})
+        b = frozenset({"write"})
+        assert not setbased.comparable(a, b)
+        assert not setbased.is_total_order()
+
+    def test_heyting_division(self, setbased):
+        a = frozenset({"read"})
+        b = frozenset({"write"})
+        quotient = setbased.divide(a, b)
+        # largest x with b ∩ x ⊆ a
+        assert setbased.leq(setbased.times(b, quotient), a)
+        assert quotient == frozenset({"read", "exec"})
+
+    def test_max_elements_is_antichain(self, setbased):
+        values = [
+            frozenset(),
+            frozenset({"read"}),
+            frozenset({"write"}),
+            frozenset({"read", "write"}),
+        ]
+        frontier = setbased.max_elements(values)
+        assert frontier == [frozenset({"read", "write"})]
+
+    def test_empty_universe_rejected(self):
+        with pytest.raises(SemiringError):
+            SetSemiring([])
+
+    def test_check_element_coerces_set(self, setbased):
+        assert setbased.check_element({"read"}) == frozenset({"read"})
+        with pytest.raises(SemiringError):
+            setbased.check_element({"nope"})
+
+
+class TestProduct:
+    def test_componentwise(self, product):
+        a = (3.0, 0.5)
+        b = (5.0, 0.8)
+        assert product.times(a, b) == (8.0, 0.5)
+        assert product.plus(a, b) == (3.0, 0.8)
+
+    def test_pareto_order(self, product):
+        better = (2.0, 0.9)
+        worse = (5.0, 0.3)
+        tradeoff = (1.0, 0.1)
+        assert product.leq(worse, better)
+        assert not product.comparable(better, tradeoff)
+
+    def test_max_elements_pareto_frontier(self, product):
+        values = [(2.0, 0.9), (5.0, 0.3), (1.0, 0.1), (6.0, 0.2)]
+        frontier = product.max_elements(values)
+        assert (2.0, 0.9) in frontier
+        assert (1.0, 0.1) in frontier
+        assert (5.0, 0.3) not in frontier  # dominated by (2.0, 0.9)
+
+    def test_arity_enforced(self, product):
+        assert not product.is_element((1.0,))
+        assert not product.is_element((1.0, 0.5, 3.0))
+
+    def test_empty_product_rejected(self):
+        with pytest.raises(SemiringError):
+            ProductSemiring([])
+
+    def test_nested_products(self, weighted, fuzzy):
+        inner = ProductSemiring([weighted, fuzzy])
+        outer = ProductSemiring([inner, BooleanSemiring()])
+        value = ((3.0, 0.5), True)
+        assert outer.is_element(value)
+        assert outer.times(value, outer.one) == value
+
+    def test_componentwise_division(self, product):
+        a = (8.0, 0.4)
+        b = (3.0, 0.9)
+        assert product.divide(a, b) == (5.0, 0.4)
+
+
+class TestEqualityAndHash:
+    def test_same_type_semirings_equal(self):
+        assert FuzzySemiring() == FuzzySemiring()
+        assert hash(FuzzySemiring()) == hash(FuzzySemiring())
+
+    def test_parameterized_semirings_compare_by_parameters(self):
+        assert SetSemiring({"a"}) != SetSemiring({"b"})
+        assert BoundedWeightedSemiring(5) != BoundedWeightedSemiring(6)
+        assert ProductSemiring([FuzzySemiring()]) == ProductSemiring(
+            [FuzzySemiring()]
+        )
+
+    def test_different_types_never_equal(self):
+        assert FuzzySemiring() != ProbabilisticSemiring()

@@ -1,0 +1,141 @@
+"""Semiring axioms, validated instance by instance (paper Sec. 2)."""
+
+import pytest
+
+from repro.semirings import (
+    check_division_laws,
+    check_invertibility,
+    check_lub_law,
+    check_order_laws,
+    check_plus_laws,
+    check_times_laws,
+    validate_semiring,
+)
+
+
+class TestAllLaws:
+    def test_every_instance_passes_all_laws(self, any_semiring):
+        report = validate_semiring(any_semiring)
+        assert report.ok, str(report)
+
+    def test_validate_raises_on_demand(self, any_semiring):
+        # A well-formed semiring must not raise.
+        validate_semiring(any_semiring, raise_on_error=True)
+
+    def test_plus_laws(self, any_semiring):
+        assert check_plus_laws(any_semiring) == []
+
+    def test_times_laws(self, any_semiring):
+        assert check_times_laws(any_semiring) == []
+
+    def test_order_laws(self, any_semiring):
+        assert check_order_laws(any_semiring) == []
+
+    def test_lub_law(self, any_semiring):
+        assert check_lub_law(any_semiring) == []
+
+    def test_division_residuation(self, any_semiring):
+        assert check_division_laws(any_semiring) == []
+
+    def test_invertibility_by_residuation(self, any_semiring):
+        assert check_invertibility(any_semiring) == []
+
+
+class TestBrokenSemiringDetection:
+    """The validators must actually catch broken algebra, not just pass."""
+
+    def test_wrong_unit_detected(self):
+        from repro.semirings import FuzzySemiring
+
+        class BrokenFuzzy(FuzzySemiring):
+            name = "BrokenFuzzy"
+
+            @property
+            def one(self):
+                return 0.5  # not the absorbing element of +
+
+        report = validate_semiring(BrokenFuzzy())
+        assert not report.ok
+        laws = {violation.law for violation in report.violations}
+        assert any("one" in law or "maximum" in law for law in laws)
+
+    def test_non_monotone_division_detected(self):
+        from repro.semirings import FuzzySemiring
+
+        class BrokenDivision(FuzzySemiring):
+            name = "BrokenDivision"
+
+            def divide(self, a, b):
+                return 0.0  # never maximal
+
+        report = validate_semiring(BrokenDivision())
+        assert not report.ok
+        assert any(
+            "division" in violation.law or "invertibility" in violation.law
+            for violation in report.violations
+        )
+
+    def test_validate_raise_on_error_raises(self):
+        from repro.semirings import FuzzySemiring
+
+        class Broken(FuzzySemiring):
+            def times(self, a, b):
+                return max(a, b)  # breaks absorptiveness (a×b ≤ a)
+
+        with pytest.raises(ValueError):
+            validate_semiring(Broken(), raise_on_error=True)
+
+
+class TestDerivedStructure:
+    def test_zero_is_minimum_one_is_maximum(self, any_semiring):
+        for element in any_semiring.sample_elements():
+            assert any_semiring.leq(any_semiring.zero, element)
+            assert any_semiring.leq(element, any_semiring.one)
+
+    def test_sum_of_empty_is_zero(self, any_semiring):
+        assert any_semiring.sum([]) == any_semiring.zero
+
+    def test_prod_of_empty_is_one(self, any_semiring):
+        assert any_semiring.prod([]) == any_semiring.one
+
+    def test_prod_short_circuits_on_zero(self, any_semiring):
+        calls = []
+
+        def generator():
+            yield any_semiring.zero
+            calls.append("should not be reached")
+            yield any_semiring.one
+
+        result = any_semiring.prod(generator())
+        assert result == any_semiring.zero
+        assert calls == []
+
+    def test_lub_is_plus(self, any_semiring):
+        samples = any_semiring.sample_elements()
+        for a in samples:
+            for b in samples:
+                assert any_semiring.lub(a, b) == any_semiring.plus(a, b)
+
+    def test_max_elements_totally_ordered_is_singleton(self, total_semiring):
+        samples = list(total_semiring.sample_elements())
+        frontier = total_semiring.max_elements(samples)
+        assert len(frontier) == 1
+        assert frontier[0] == total_semiring.sum(samples)
+
+    def test_comparable_reflexive(self, any_semiring):
+        for element in any_semiring.sample_elements():
+            assert any_semiring.comparable(element, element)
+
+    def test_strict_order_irreflexive(self, any_semiring):
+        for element in any_semiring.sample_elements():
+            assert not any_semiring.lt(element, element)
+
+    def test_check_element_accepts_samples(self, any_semiring):
+        for element in any_semiring.sample_elements():
+            assert any_semiring.check_element(element) == element
+
+    def test_check_element_rejects_garbage(self, any_semiring):
+        from repro.semirings import SemiringError
+
+        with pytest.raises(SemiringError):
+            any_semiring.check_element(object())

@@ -1,0 +1,187 @@
+"""Property-based law checking over randomly drawn carrier elements.
+
+The sampled validators in :mod:`repro.semirings.properties` use small
+fixed samples; here hypothesis draws arbitrary carrier elements so the
+laws are exercised across the whole carrier, including awkward floats.
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.semirings import (
+    BooleanSemiring,
+    BoundedWeightedSemiring,
+    FuzzySemiring,
+    ProbabilisticSemiring,
+    ProductSemiring,
+    SetSemiring,
+    WeightedSemiring,
+)
+
+FUZZY = FuzzySemiring()
+PROB = ProbabilisticSemiring()
+WEIGHTED = WeightedSemiring()
+BOUNDED = BoundedWeightedSemiring(cap=100.0)
+BOOL = BooleanSemiring()
+SETS = SetSemiring({"a", "b", "c", "d"})
+PRODUCT = ProductSemiring([WEIGHTED, FUZZY])
+
+unit = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+costs = st.one_of(
+    st.just(math.inf),
+    st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+)
+bounded_vals = st.floats(min_value=0.0, max_value=100.0, allow_nan=False)
+bools = st.booleans()
+subsets = st.frozensets(st.sampled_from(["a", "b", "c", "d"]))
+pairs = st.tuples(costs, unit)
+
+CASES = [
+    (FUZZY, unit),
+    (PROB, unit),
+    (WEIGHTED, costs),
+    (BOUNDED, bounded_vals),
+    (BOOL, bools),
+    (SETS, subsets),
+    (PRODUCT, pairs),
+]
+
+
+def for_all_semirings(test_fn):
+    """Apply a 3-element property across every (semiring, strategy) pair."""
+
+    @settings(max_examples=60)
+    @given(st.data())
+    def wrapper(data):
+        for semiring, strategy in CASES:
+            a = data.draw(strategy)
+            b = data.draw(strategy)
+            c = data.draw(strategy)
+            test_fn(semiring, a, b, c)
+
+    wrapper.__name__ = test_fn.__name__
+    return wrapper
+
+
+@for_all_semirings
+def test_plus_commutative(s, a, b, c):
+    assert s.plus(a, b) == s.plus(b, a)
+
+
+@for_all_semirings
+def test_plus_idempotent(s, a, b, c):
+    assert s.plus(a, a) == a
+
+
+@for_all_semirings
+def test_plus_unit_and_absorbing(s, a, b, c):
+    assert s.plus(a, s.zero) == a
+    assert s.plus(a, s.one) == s.one
+
+
+@for_all_semirings
+def test_times_commutative(s, a, b, c):
+    assert s.equiv(s.times(a, b), s.times(b, a))
+
+
+@for_all_semirings
+def test_times_unit_and_absorbing(s, a, b, c):
+    assert s.times(a, s.one) == a
+    assert s.times(a, s.zero) == s.zero
+
+
+@for_all_semirings
+def test_absorptive_law(s, a, b, c):
+    # a × b ≤S a — combining can only worsen (the B&B bound's soundness)
+    assert s.leq(s.times(a, b), a)
+
+
+@for_all_semirings
+def test_order_is_partial_order(s, a, b, c):
+    assert s.leq(a, a)
+    if s.leq(a, b) and s.leq(b, a):
+        assert a == b
+    if s.leq(a, b) and s.leq(b, c):
+        assert s.leq(a, c)
+
+
+@for_all_semirings
+def test_plus_is_lub(s, a, b, c):
+    lub = s.plus(a, b)
+    assert s.leq(a, lub) and s.leq(b, lub)
+    if s.leq(a, c) and s.leq(b, c):
+        assert s.leq(lub, c)
+
+
+@for_all_semirings
+def test_monotonicity(s, a, b, c):
+    if s.leq(a, b):
+        assert s.leq(s.plus(a, c), s.plus(b, c))
+        assert s.leq(s.times(a, c), s.times(b, c))
+
+
+@for_all_semirings
+def test_division_feasibility(s, a, b, c):
+    # b × (a ÷ b) ≤ a (residuation, up to float tolerance via equiv)
+    quotient = s.divide(a, b)
+    combined = s.times(b, quotient)
+    assert s.leq(combined, a) or s.equiv(combined, a)
+
+
+@for_all_semirings
+def test_division_by_one_is_identity(s, a, b, c):
+    assert s.equiv(s.divide(a, s.one), a)
+
+
+@for_all_semirings
+def test_division_by_zero_is_one(s, a, b, c):
+    # max{x | 0 × x ≤ a} = 1 for every a
+    assert s.divide(a, s.zero) == s.one
+
+
+@settings(max_examples=100)
+@given(unit, unit)
+def test_fuzzy_invertibility(a, b):
+    if a <= b:
+        assert FUZZY.times(b, FUZZY.divide(a, b)) == a
+
+
+@settings(max_examples=100)
+@given(
+    st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+    st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+)
+def test_weighted_invertibility(a, b):
+    # a ≤S b numerically means a ≥ b; then b + (a − b) = a exactly when
+    # the subtraction is representable — assert with tolerance.
+    if a >= b:
+        recovered = WEIGHTED.times(b, WEIGHTED.divide(a, b))
+        assert math.isclose(recovered, a, rel_tol=1e-9, abs_tol=1e-9)
+
+
+@settings(max_examples=100)
+@given(subsets, subsets)
+def test_set_invertibility(a, b):
+    if a <= b:
+        assert SETS.times(b, SETS.divide(a, b)) == a
+
+
+@settings(max_examples=100)
+@given(unit, unit)
+def test_probabilistic_division_is_maximal(a, b):
+    quotient = PROB.divide(a, b)
+    # any strictly larger x must violate b·x ≤ a
+    for bump in (1e-6, 1e-3, 0.1):
+        x = quotient + bump
+        if x <= 1.0:
+            assert b * x > a or math.isclose(b * x, a, abs_tol=1e-9)
+
+
+@settings(max_examples=60)
+@given(pairs, pairs)
+def test_product_order_is_componentwise(pa, pb):
+    assert PRODUCT.leq(pa, pb) == (
+        WEIGHTED.leq(pa[0], pb[0]) and FUZZY.leq(pa[1], pb[1])
+    )

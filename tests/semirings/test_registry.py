@@ -1,0 +1,77 @@
+"""The named semiring registry used by QoS documents."""
+
+import pytest
+
+from repro.semirings import (
+    BooleanSemiring,
+    FuzzySemiring,
+    ProductSemiring,
+    SemiringError,
+    WeightedSemiring,
+    available_semirings,
+    get_semiring,
+    product_of,
+    register_semiring,
+)
+
+
+class TestLookup:
+    def test_builtin_names_resolve(self):
+        assert isinstance(get_semiring("fuzzy"), FuzzySemiring)
+        assert isinstance(get_semiring("classical"), BooleanSemiring)
+        assert isinstance(get_semiring("boolean"), BooleanSemiring)
+        assert isinstance(get_semiring("weighted"), WeightedSemiring)
+
+    def test_lookup_is_case_insensitive(self):
+        assert isinstance(get_semiring("FUZZY"), FuzzySemiring)
+
+    def test_parameterized_factories(self):
+        s = get_semiring("set", universe={"r", "w"})
+        assert s.one == frozenset({"r", "w"})
+        b = get_semiring("bounded-weighted", cap=7)
+        assert b.zero == 7.0
+
+    def test_unknown_name_raises_with_known_list(self):
+        with pytest.raises(SemiringError, match="known:"):
+            get_semiring("tropical-deluxe")
+
+    def test_available_contains_all_builtins(self):
+        names = set(available_semirings())
+        assert {
+            "classical",
+            "fuzzy",
+            "probabilistic",
+            "weighted",
+            "set",
+            "bounded-weighted",
+        } <= names
+
+
+class TestRegistration:
+    def test_register_and_resolve_custom(self):
+        class Custom(FuzzySemiring):
+            name = "Custom"
+
+        register_semiring("custom-test-semiring", Custom)
+        try:
+            assert isinstance(get_semiring("custom-test-semiring"), Custom)
+        finally:  # keep the global registry clean for other tests
+            from repro.semirings import registry
+
+            registry._FACTORIES.pop("custom-test-semiring", None)
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(SemiringError, match="already registered"):
+            register_semiring("fuzzy", FuzzySemiring)
+
+
+class TestProductOf:
+    def test_product_from_names(self):
+        pair = product_of("weighted", "probabilistic")
+        assert isinstance(pair, ProductSemiring)
+        assert pair.arity == 2
+        assert pair.one == (0.0, 1.0)
+
+    def test_product_mixes_names_and_instances(self):
+        pair = product_of(WeightedSemiring(integral=True), "fuzzy")
+        assert pair.components[0].integral is True

@@ -1,0 +1,119 @@
+"""MUST/MAY capability policies and their Set-semiring composition."""
+
+import pytest
+
+from repro.semirings import SetSemiring
+from repro.soa.capabilities import (
+    CapabilityError,
+    CapabilityPolicy,
+    compose_in_semiring,
+    compose_policies,
+    policy,
+    to_semiring_value,
+)
+
+UNIVERSE = {"http-auth", "gzip", "tls", "plain"}
+
+
+@pytest.fixture
+def paper_policy():
+    """'you MUST use HTTP Authentication and MAY use GZIP compression'"""
+    return policy("ws-spec", must={"http-auth"}, may={"gzip"})
+
+
+class TestSinglePolicy:
+    def test_admits_paper_examples(self, paper_policy):
+        assert paper_policy.admits({"http-auth"})
+        assert paper_policy.admits({"http-auth", "gzip"})
+        assert not paper_policy.admits({"gzip"})          # MUST missing
+        assert not paper_policy.admits({"http-auth", "tls"})  # tls forbidden
+
+    def test_floor_and_ceiling(self, paper_policy):
+        assert paper_policy.floor == frozenset({"http-auth"})
+        assert paper_policy.ceiling == frozenset({"http-auth", "gzip"})
+
+    def test_admissible_profiles(self, paper_policy):
+        profiles = paper_policy.admissible_profiles()
+        assert set(profiles) == {
+            frozenset({"http-auth"}),
+            frozenset({"http-auth", "gzip"}),
+        }
+
+    def test_must_subsumes_may(self):
+        redundant = policy("p", must={"tls"}, may={"tls", "gzip"})
+        assert redundant.may == frozenset({"gzip"})
+
+    def test_str_render(self, paper_policy):
+        text = str(paper_policy)
+        assert "MUST" in text and "http-auth" in text
+
+
+class TestComposition:
+    def test_compatible_composition(self, paper_policy):
+        client = policy("client", must={"gzip"}, may={"http-auth"})
+        verdict = compose_policies([paper_policy, client])
+        assert verdict.compatible
+        assert verdict.combined.must == frozenset({"http-auth", "gzip"})
+        assert verdict.combined.may == frozenset()
+
+    def test_incompatible_must_vs_forbidden(self, paper_policy):
+        # the client insists on TLS which the service forbids
+        client = policy("client", must={"tls", "http-auth"})
+        verdict = compose_policies([paper_policy, client])
+        assert not verdict.compatible
+        assert verdict.conflicts == ["tls"]
+        assert verdict.combined is None
+
+    def test_composition_associative(self):
+        a = policy("a", must={"x"}, may={"y", "z"})
+        b = policy("b", may={"x", "y", "z"})
+        c = policy("c", must={"y"}, may={"x", "z"})
+        left = compose_policies(
+            [compose_policies([a, b]).combined, c]
+        ).combined
+        right = compose_policies(
+            [a, compose_policies([b, c]).combined]
+        ).combined
+        assert left.must == right.must
+        assert left.ceiling == right.ceiling
+
+    def test_composition_with_self_is_idempotent(self, paper_policy):
+        verdict = compose_policies([paper_policy, paper_policy])
+        assert verdict.combined.must == paper_policy.must
+        assert verdict.combined.ceiling == paper_policy.ceiling
+
+    def test_empty_composition_rejected(self):
+        with pytest.raises(CapabilityError):
+            compose_policies([])
+
+
+class TestSemiringView:
+    def test_denotation(self, paper_policy):
+        semiring = SetSemiring(UNIVERSE)
+        floor, ceiling = to_semiring_value(paper_policy, semiring)
+        assert floor == frozenset({"http-auth"})
+        assert ceiling == frozenset({"http-auth", "gzip"})
+
+    def test_universe_violation_rejected(self, paper_policy):
+        semiring = SetSemiring({"tls"})
+        with pytest.raises(CapabilityError, match="outside the universe"):
+            to_semiring_value(paper_policy, semiring)
+
+    def test_semiring_composition_matches_policy_composition(
+        self, paper_policy
+    ):
+        semiring = SetSemiring(UNIVERSE)
+        client = policy("client", must={"gzip"}, may={"http-auth"})
+        floor, ceiling, ok = compose_in_semiring(
+            [paper_policy, client], semiring
+        )
+        verdict = compose_policies([paper_policy, client])
+        assert ok == verdict.compatible
+        assert floor == verdict.combined.must
+        assert ceiling == verdict.combined.ceiling
+
+    def test_semiring_detects_incompatibility(self, paper_policy):
+        semiring = SetSemiring(UNIVERSE)
+        client = policy("client", must={"tls"})
+        _, _, ok = compose_in_semiring([paper_policy, client], semiring)
+        assert not ok

@@ -1,0 +1,150 @@
+"""Composition plans and per-attribute QoS aggregation."""
+
+import pytest
+
+from repro.soa import (
+    AGGREGATION_RULES,
+    AggregationRule,
+    Choose,
+    CompositionError,
+    Invoke,
+    Pipeline,
+    Split,
+    aggregate,
+    aggregate_many,
+    pipeline,
+    plan_depth,
+)
+
+
+@pytest.fixture
+def values():
+    return {
+        "reliability": {"a": 0.9, "b": 0.8, "c": 0.99},
+        "cost": {"a": 5.0, "b": 3.0, "c": 10.0},
+        "latency": {"a": 10.0, "b": 20.0, "c": 5.0},
+    }
+
+
+class TestPlanStructure:
+    def test_pipeline_sugar(self):
+        plan = pipeline("a", "b", "c")
+        assert isinstance(plan, Pipeline)
+        assert plan.services() == ["a", "b", "c"]
+
+    def test_nested_plan_services_in_order(self):
+        plan = Pipeline([Invoke("a"), Split([Invoke("b"), Invoke("c")])])
+        assert plan.services() == ["a", "b", "c"]
+
+    def test_describe_uses_pattern_symbols(self):
+        plan = Pipeline([Invoke("a"), Choose([Invoke("b"), Invoke("c")])])
+        text = plan.describe()
+        assert "▶" in text and "⊕" in text
+
+    def test_depth(self):
+        assert plan_depth(Invoke("a")) == 1
+        assert plan_depth(pipeline("a", "b")) == 2
+        assert (
+            plan_depth(Pipeline([Split([Invoke("a")]), Invoke("b")])) == 3
+        )
+
+    def test_empty_composite_rejected(self):
+        with pytest.raises(CompositionError):
+            Pipeline([])
+
+    def test_plan_equality(self):
+        assert pipeline("a", "b") == pipeline("a", "b")
+        assert pipeline("a", "b") != pipeline("b", "a")
+
+
+class TestAggregation:
+    def test_reliability_multiplies_in_sequence(self, values):
+        result = aggregate(pipeline("a", "b"), values["reliability"], "reliability")
+        assert result == pytest.approx(0.72)
+
+    def test_reliability_multiplies_in_split(self, values):
+        plan = Split([Invoke("a"), Invoke("b")])
+        result = aggregate(plan, values["reliability"], "reliability")
+        assert result == pytest.approx(0.72)
+
+    def test_reliability_choice_is_worst_case(self, values):
+        plan = Choose([Invoke("a"), Invoke("b")])
+        assert aggregate(plan, values["reliability"], "reliability") == 0.8
+
+    def test_cost_adds_in_sequence(self, values):
+        assert aggregate(pipeline("a", "b"), values["cost"], "cost") == 8.0
+
+    def test_cost_split_pays_all_branches(self, values):
+        plan = Split([Invoke("a"), Invoke("b")])
+        assert aggregate(plan, values["cost"], "cost") == 8.0
+
+    def test_cost_choice_budget_is_max(self, values):
+        plan = Choose([Invoke("a"), Invoke("c")])
+        assert aggregate(plan, values["cost"], "cost") == 10.0
+
+    def test_latency_split_waits_for_slowest(self, values):
+        plan = Split([Invoke("a"), Invoke("b")])
+        assert aggregate(plan, values["latency"], "latency") == 20.0
+
+    def test_latency_adds_in_sequence(self, values):
+        assert (
+            aggregate(pipeline("a", "b", "c"), values["latency"], "latency")
+            == 35.0
+        )
+
+    def test_nested_aggregation(self, values):
+        plan = Pipeline(
+            [Invoke("a"), Split([Invoke("b"), Invoke("c")])]
+        )
+        # sequence(0.9, split(0.8, 0.99)) = 0.9 · (0.8 · 0.99)
+        assert aggregate(
+            plan, values["reliability"], "reliability"
+        ) == pytest.approx(0.9 * 0.8 * 0.99)
+
+    def test_missing_value_reported(self, values):
+        with pytest.raises(CompositionError, match="no 'cost' value"):
+            aggregate(pipeline("a", "zz"), values["cost"], "cost")
+
+    def test_unknown_attribute_requires_explicit_rule(self, values):
+        with pytest.raises(CompositionError, match="no aggregation rule"):
+            aggregate(pipeline("a"), values["cost"], "jitter")
+
+    def test_custom_rule(self, values):
+        geometric = AggregationRule(
+            sequence=lambda vs: min(vs),
+            split=lambda vs: min(vs),
+            choose=lambda vs: min(vs),
+        )
+        result = aggregate(
+            pipeline("a", "b"), values["reliability"], "jitter", rule=geometric
+        )
+        assert result == 0.8
+
+    def test_aggregate_many(self, values):
+        results = aggregate_many(pipeline("a", "b"), values)
+        assert results["cost"] == 8.0
+        assert results["reliability"] == pytest.approx(0.72)
+
+    def test_sequence_rule_matches_probabilistic_semiring(self, values):
+        """The pipeline column of the rules table IS the semiring ×."""
+        from repro.semirings import ProbabilisticSemiring
+
+        semiring = ProbabilisticSemiring()
+        plan = pipeline("a", "b", "c")
+        via_rules = aggregate(plan, values["reliability"], "reliability")
+        via_semiring = semiring.prod(values["reliability"].values())
+        assert via_rules == pytest.approx(via_semiring)
+
+    def test_cost_rule_matches_weighted_semiring(self, values):
+        from repro.semirings import WeightedSemiring
+
+        semiring = WeightedSemiring()
+        plan = pipeline("a", "b", "c")
+        via_rules = aggregate(plan, values["cost"], "cost")
+        via_semiring = semiring.prod(values["cost"].values())
+        assert via_rules == via_semiring
+
+    def test_rules_table_covers_core_attributes(self):
+        assert {"availability", "reliability", "cost", "latency"} <= set(
+            AGGREGATION_RULES
+        )

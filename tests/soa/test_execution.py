@@ -1,0 +1,260 @@
+"""Execution engine, fault injection and SLA monitoring."""
+
+import pytest
+
+from repro.semirings import ProbabilisticSemiring, WeightedSemiring
+from repro.soa import (
+    SLA,
+    BernoulliCrash,
+    BurstOutage,
+    Choose,
+    ExecutionEngine,
+    FaultInjector,
+    Invoke,
+    Pipeline,
+    QoSDocument,
+    QoSPolicy,
+    RandomDelay,
+    Service,
+    ServiceDescription,
+    ServiceInterface,
+    ServicePool,
+    SLAMonitor,
+    Split,
+    pipeline,
+)
+from repro.constraints import ConstantConstraint
+
+
+def make_service(service_id, reliability=1.0, latency=10.0, seed=1):
+    description = ServiceDescription(
+        service_id=service_id,
+        name=service_id,
+        provider="P",
+        interface=ServiceInterface(operation=service_id),
+        qos=QoSDocument(
+            service_name=service_id,
+            provider="P",
+            policies=[QoSPolicy(attribute="reliability", constant=reliability)],
+        ),
+    )
+    return Service(
+        description,
+        reliability=reliability,
+        base_latency_ms=latency,
+        latency_jitter_ms=0.0,
+        seed=seed,
+    )
+
+
+@pytest.fixture
+def pool():
+    p = ServicePool()
+    for sid in ("s1", "s2", "s3"):
+        p.add(make_service(sid))
+    return p
+
+
+class TestEngine:
+    def test_pipeline_latency_accumulates(self, pool):
+        engine = ExecutionEngine(pool, seed=1)
+        report = engine.execute(pipeline("s1", "s2", "s3"))
+        assert report.success
+        assert report.latency_ms == pytest.approx(30.0)
+        assert report.services_touched == ["s1", "s2", "s3"]
+
+    def test_pipeline_aborts_on_failure(self):
+        pool = ServicePool()
+        pool.add(make_service("ok"))
+        pool.add(make_service("bad", reliability=0.0))
+        pool.add(make_service("never"))
+        engine = ExecutionEngine(pool, seed=1)
+        report = engine.execute(pipeline("ok", "bad", "never"))
+        assert not report.success
+        assert report.aborted_at == "bad"
+        assert report.services_touched == ["ok", "bad"]
+
+    def test_pipeline_threads_payload(self):
+        pool = ServicePool()
+        double = make_service("double")
+        double.behaviour = lambda x: x * 2
+        inc = make_service("inc")
+        inc.behaviour = lambda x: x + 1
+        pool.add(double)
+        pool.add(inc)
+        engine = ExecutionEngine(pool, seed=1)
+        report = engine.execute(pipeline("double", "inc"), payload=5)
+        assert report.output == 11
+
+    def test_split_waits_for_slowest(self):
+        pool = ServicePool()
+        pool.add(make_service("fast", latency=5.0))
+        pool.add(make_service("slow", latency=50.0))
+        engine = ExecutionEngine(pool, seed=1)
+        report = engine.execute(Split([Invoke("fast"), Invoke("slow")]))
+        assert report.success
+        assert report.latency_ms == pytest.approx(50.0)
+
+    def test_split_fails_if_any_branch_fails(self):
+        pool = ServicePool()
+        pool.add(make_service("good"))
+        pool.add(make_service("bad", reliability=0.0))
+        engine = ExecutionEngine(pool, seed=1)
+        report = engine.execute(Split([Invoke("good"), Invoke("bad")]))
+        assert not report.success
+        assert report.aborted_at == "bad"
+
+    def test_choose_picks_one_branch(self, pool):
+        engine = ExecutionEngine(pool, seed=3)
+        report = engine.execute(Choose([Invoke("s1"), Invoke("s2")]))
+        assert report.success
+        assert len(report.services_touched) == 1
+
+    def test_execute_many_and_statistics(self, pool):
+        engine = ExecutionEngine(pool, seed=1)
+        reports = engine.execute_many(pipeline("s1"), runs=10)
+        assert len(reports) == 10
+        assert engine.observed_availability() == 1.0
+        assert engine.mean_latency() == pytest.approx(10.0)
+
+    def test_ticks_increase(self, pool):
+        engine = ExecutionEngine(pool, seed=1)
+        reports = engine.execute_many(pipeline("s1"), runs=3)
+        assert [r.tick for r in reports] == [0, 1, 2]
+
+
+class TestFaults:
+    def test_bernoulli_crash_rate(self, pool):
+        injector = FaultInjector(seed=5)
+        injector.attach("s1", BernoulliCrash(0.5))
+        engine = ExecutionEngine(pool, injector=injector, seed=1)
+        reports = engine.execute_many(pipeline("s1"), runs=200)
+        failures = sum(1 for r in reports if not r.success)
+        assert 60 < failures < 140
+
+    def test_burst_outage_window(self, pool):
+        injector = FaultInjector(seed=1)
+        injector.attach("s1", BurstOutage(start=5, length=3))
+        engine = ExecutionEngine(pool, injector=injector, seed=1)
+        reports = engine.execute_many(pipeline("s1"), runs=12)
+        outcome = [r.success for r in reports]
+        assert outcome == [True] * 5 + [False] * 3 + [True] * 4
+
+    def test_delay_fault_adds_latency(self, pool):
+        injector = FaultInjector(seed=1)
+        injector.attach("s1", RandomDelay(probability=1.0, extra_ms=100.0))
+        engine = ExecutionEngine(pool, injector=injector, seed=1)
+        report = engine.execute(pipeline("s1"))
+        assert report.success
+        assert report.latency_ms == pytest.approx(110.0)
+
+    def test_injection_history(self, pool):
+        injector = FaultInjector(seed=1)
+        injector.attach("s1", BurstOutage(start=0, length=2))
+        engine = ExecutionEngine(pool, injector=injector, seed=1)
+        engine.execute_many(pipeline("s1"), runs=3)
+        assert len(injector.history_for("s1")) == 2
+
+    def test_invalid_fault_parameters(self):
+        with pytest.raises(ValueError):
+            BernoulliCrash(1.5)
+        with pytest.raises(ValueError):
+            BurstOutage(start=-1, length=1)
+        with pytest.raises(ValueError):
+            RandomDelay(probability=2.0, extra_ms=1.0)
+
+
+def availability_sla(level=0.95):
+    semiring = ProbabilisticSemiring()
+    return SLA(
+        client="C",
+        providers=("P",),
+        attribute="availability",
+        semiring=semiring,
+        agreed_constraint=ConstantConstraint(semiring, level),
+        agreed_level=level,
+    )
+
+
+class TestMonitor:
+    def test_healthy_run_no_violations(self, pool):
+        engine = ExecutionEngine(pool, seed=1)
+        monitor = SLAMonitor(availability_sla(0.9), window=10, min_samples=5)
+        violations = monitor.observe_many(
+            engine.execute_many(pipeline("s1"), runs=30)
+        )
+        assert violations == []
+        assert not monitor.in_breach
+        assert monitor.current_level() == 1.0
+
+    def test_outage_trips_violation(self, pool):
+        injector = FaultInjector(seed=1)
+        injector.attach("s1", BurstOutage(start=10, length=8))
+        engine = ExecutionEngine(pool, injector=injector, seed=1)
+        monitor = SLAMonitor(availability_sla(0.9), window=10, min_samples=5)
+        violations = monitor.observe_many(
+            engine.execute_many(pipeline("s1"), runs=30)
+        )
+        assert violations
+        first = violations[0]
+        assert first.attribute == "availability"
+        assert first.observed < 0.9
+        assert first.expected == 0.9
+
+    def test_min_samples_gate(self, pool):
+        engine = ExecutionEngine(pool, seed=1)
+        monitor = SLAMonitor(availability_sla(0.99), window=10, min_samples=5)
+        report = engine.execute(pipeline("s1"))
+        # even a failure cannot trip before min_samples observations
+        assert monitor.observe(report) is None
+
+    def test_violation_callback(self, pool):
+        injector = FaultInjector(seed=1)
+        injector.attach("s1", BurstOutage(start=0, length=20))
+        engine = ExecutionEngine(pool, injector=injector, seed=1)
+        seen = []
+        monitor = SLAMonitor(
+            availability_sla(0.9),
+            window=10,
+            min_samples=5,
+            on_violation=seen.append,
+        )
+        monitor.observe_many(engine.execute_many(pipeline("s1"), runs=10))
+        assert seen == monitor.violations
+
+    def test_latency_sla_uses_inverted_order(self, pool):
+        semiring = WeightedSemiring()
+        sla = SLA(
+            client="C",
+            providers=("P",),
+            attribute="latency",
+            semiring=semiring,
+            agreed_constraint=ConstantConstraint(semiring, 15.0),
+            agreed_level=15.0,
+        )
+        engine = ExecutionEngine(pool, seed=1)
+        monitor = SLAMonitor(sla, window=5, min_samples=3)
+        # 10ms mean latency honours a 15ms agreement
+        violations = monitor.observe_many(
+            engine.execute_many(pipeline("s1"), runs=5)
+        )
+        assert violations == []
+        # a 30ms pipeline violates it
+        violations = monitor.observe_many(
+            engine.execute_many(pipeline("s1", "s2", "s3"), runs=5)
+        )
+        assert violations
+
+    def test_window_recovery(self, pool):
+        injector = FaultInjector(seed=1)
+        injector.attach("s1", BurstOutage(start=0, length=5))
+        engine = ExecutionEngine(pool, injector=injector, seed=1)
+        monitor = SLAMonitor(availability_sla(0.9), window=5, min_samples=3)
+        monitor.observe_many(engine.execute_many(pipeline("s1"), runs=30))
+        # after the outage leaves the window the monitor recovers
+        assert not monitor.in_breach
+        assert monitor.violation_rate() > 0.0
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            SLAMonitor(availability_sla(), window=0)

@@ -1,0 +1,182 @@
+"""The self-healing dependability manager."""
+
+import pytest
+
+from repro.soa import (
+    Broker,
+    BurstOutage,
+    ExecutionEngine,
+    FaultInjector,
+    QoSDocument,
+    QoSPolicy,
+    Service,
+    ServiceDescription,
+    ServiceInterface,
+    ServicePool,
+    ServiceRegistry,
+)
+from repro.soa.manager import DependabilityManager, ManagerError
+
+
+def build_world(providers, perfect_runtime=True):
+    """providers: list of (operation, provider, advertised_reliability).
+
+    With ``perfect_runtime`` the live services never fail on their own,
+    so injected faults are the only failure source and the self-healing
+    behaviour under test is fully deterministic.
+    """
+    registry = ServiceRegistry()
+    pool = ServicePool()
+    for operation, provider, reliability in providers:
+        service_id = f"{operation}-{provider}"
+        description = ServiceDescription(
+            service_id=service_id,
+            name=operation,
+            provider=provider,
+            interface=ServiceInterface(operation=operation),
+            qos=QoSDocument(
+                service_name=operation,
+                provider=provider,
+                policies=[
+                    QoSPolicy(attribute="reliability", constant=reliability)
+                ],
+            ),
+        )
+        registry.publish(description)
+        pool.add(
+            Service(
+                description,
+                reliability=1.0 if perfect_runtime else reliability,
+                seed=17,
+            )
+        )
+    return registry, pool
+
+
+@pytest.fixture
+def redundant_world():
+    return build_world(
+        [
+            ("compress", "Best", 0.999),
+            ("compress", "Backup", 0.99),
+            ("archive", "Store", 0.999),
+        ]
+    )
+
+
+class TestHealthyOperation:
+    def test_runs_without_rebinding(self, redundant_world):
+        registry, pool = redundant_world
+        manager = DependabilityManager(
+            Broker(registry), ExecutionEngine(pool, seed=1)
+        )
+        outcome = manager.manage(
+            ["compress", "archive"], "reliability", runs=40
+        )
+        assert outcome.runs == 40
+        assert outcome.rebindings == 0
+        assert not outcome.gave_up
+        assert outcome.final_sla is not None
+        assert outcome.availability > 0.9
+        assert outcome.events[0].kind == "bound"
+
+    def test_initial_binding_picks_best(self, redundant_world):
+        registry, pool = redundant_world
+        manager = DependabilityManager(
+            Broker(registry), ExecutionEngine(pool, seed=1)
+        )
+        sla, plan = manager.bind(["compress"], "reliability")
+        assert sla.providers == ("Best",)
+
+    def test_zero_runs_rejected(self, redundant_world):
+        registry, pool = redundant_world
+        manager = DependabilityManager(
+            Broker(registry), ExecutionEngine(pool, seed=1)
+        )
+        with pytest.raises(ManagerError):
+            manager.manage(["compress"], "reliability", runs=0)
+
+
+class TestSelfHealing:
+    def test_outage_triggers_rebinding_to_backup(self, redundant_world):
+        registry, pool = redundant_world
+        injector = FaultInjector(seed=3)
+        # the initially chosen Best provider goes down hard
+        injector.attach("compress-Best", BurstOutage(start=5, length=60))
+        engine = ExecutionEngine(pool, injector=injector, seed=3)
+        manager = DependabilityManager(
+            Broker(registry), engine, window=10, min_samples=5
+        )
+        outcome = manager.manage(
+            ["compress"], "reliability", runs=60, minimum_level=0.9
+        )
+        assert outcome.rebindings >= 1
+        assert "Best" in manager.blacklist
+        assert outcome.final_plan is not None
+        assert outcome.final_plan.services() == ["compress-Backup"]
+        kinds = [event.kind for event in outcome.events]
+        assert kinds[0] == "bound"
+        assert "violation" in kinds and "rebound" in kinds
+        # after the rebinding the system recovers
+        assert not outcome.gave_up
+
+    def test_gives_up_when_no_market_remains(self):
+        registry, pool = build_world([("compress", "Only", 0.99)])
+        injector = FaultInjector(seed=5)
+        injector.attach("compress-Only", BurstOutage(start=2, length=100))
+        engine = ExecutionEngine(pool, injector=injector, seed=5)
+        manager = DependabilityManager(
+            Broker(registry), engine, window=8, min_samples=4
+        )
+        outcome = manager.manage(
+            ["compress"], "reliability", runs=50, minimum_level=0.9
+        )
+        assert outcome.gave_up
+        assert outcome.events[-1].kind == "gave-up"
+        assert outcome.final_sla is None
+
+    def test_rebinding_budget_respected(self):
+        registry, pool = build_world(
+            [
+                ("compress", f"P{i}", 0.99) for i in range(4)
+            ]
+        )
+        injector = FaultInjector(seed=7)
+        for i in range(4):
+            injector.attach(f"compress-P{i}", BurstOutage(start=0, length=500))
+        engine = ExecutionEngine(pool, injector=injector, seed=7)
+        manager = DependabilityManager(
+            Broker(registry), engine, window=6, min_samples=3
+        )
+        outcome = manager.manage(
+            ["compress"],
+            "reliability",
+            runs=200,
+            minimum_level=0.9,
+            max_rebindings=2,
+        )
+        assert outcome.gave_up
+        assert outcome.rebindings <= 2
+
+    def test_blacklist_survives_across_manage_calls(self, redundant_world):
+        registry, pool = redundant_world
+        injector = FaultInjector(seed=3)
+        injector.attach("compress-Best", BurstOutage(start=5, length=60))
+        engine = ExecutionEngine(pool, injector=injector, seed=3)
+        manager = DependabilityManager(
+            Broker(registry), engine, window=10, min_samples=5
+        )
+        manager.manage(["compress"], "reliability", runs=60)
+        assert "Best" in manager.blacklist
+        sla, plan = manager.bind(["compress"], "reliability")
+        assert sla.providers == ("Backup",)
+
+    def test_registry_restored_after_blacklisted_bind(self, redundant_world):
+        registry, pool = redundant_world
+        manager = DependabilityManager(
+            Broker(registry), ExecutionEngine(pool, seed=1)
+        )
+        manager.blacklist.add("Best")
+        manager.bind(["compress"], "reliability")
+        # the blacklisted provider is only *temporarily* unpublished
+        assert registry.find(provider="Best")

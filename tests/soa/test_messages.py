@@ -1,0 +1,96 @@
+"""The SOAP-like message bus."""
+
+import pytest
+
+from repro.soa import Envelope, MessageBus, MessageError, request_reply
+
+
+@pytest.fixture
+def bus():
+    bus = MessageBus()
+    bus.register("client")
+    bus.register("broker")
+    return bus
+
+
+class TestDelivery:
+    def test_send_and_receive(self, bus):
+        envelope = bus.send("client", "broker", "query", {"op": "compress"})
+        received = bus.receive("broker")
+        assert received is envelope
+        assert received.body == {"op": "compress"}
+        assert bus.receive("broker") is None
+
+    def test_fifo_order(self, bus):
+        bus.send("client", "broker", "first", 1)
+        bus.send("client", "broker", "second", 2)
+        assert bus.receive("broker").kind == "first"
+        assert bus.receive("broker").kind == "second"
+
+    def test_unknown_recipient(self, bus):
+        with pytest.raises(MessageError, match="unknown endpoint"):
+            bus.send("client", "nowhere", "query", None)
+
+    def test_unknown_receiver(self, bus):
+        with pytest.raises(MessageError, match="unknown endpoint"):
+            bus.receive("nowhere")
+
+    def test_receive_all_drains(self, bus):
+        for i in range(3):
+            bus.send("client", "broker", "msg", i)
+        drained = bus.receive_all("broker")
+        assert [e.body for e in drained] == [0, 1, 2]
+        assert bus.pending("broker") == 0
+
+    def test_register_idempotent(self, bus):
+        bus.register("client")
+        assert bus.endpoints() == ["broker", "client"]
+
+
+class TestCorrelation:
+    def test_reply_correlates(self, bus):
+        request = bus.send("client", "broker", "query", "ping")
+        delivered = bus.receive("broker")
+        reply = delivered.reply("answer", "pong")
+        assert reply.correlation_id == request.message_id
+        assert reply.recipient == "client"
+        assert reply.sender == "broker"
+
+    def test_request_reply_roundtrip(self, bus):
+        def handler(envelope: Envelope) -> Envelope:
+            return envelope.reply("answer", envelope.body * 2)
+
+        answer = request_reply(bus, "client", "broker", "query", 21, handler)
+        assert answer.body == 42
+        assert answer.kind == "answer"
+
+    def test_request_reply_rejects_uncorrelated_handler(self, bus):
+        rogue = Envelope(
+            message_id=999_999,
+            sender="broker",
+            recipient="client",
+            kind="answer",
+            body=None,
+        )
+        with pytest.raises(MessageError, match="correlate"):
+            request_reply(
+                bus, "client", "broker", "query", 1, lambda e: rogue
+            )
+
+
+class TestJournal:
+    def test_journal_records_everything(self, bus):
+        bus.send("client", "broker", "a", 1)
+        bus.send("broker", "client", "b", 2)
+        assert bus.journal_kinds() == ["a", "b"]
+
+    def test_journal_can_be_disabled(self):
+        bus = MessageBus(keep_journal=False)
+        bus.register("x")
+        bus.send("x", "x", "k", None)
+        assert bus.journal == []
+
+    def test_message_ids_strictly_increase(self, bus):
+        first = bus.send("client", "broker", "a", None)
+        second = bus.send("client", "broker", "b", None)
+        assert second.message_id > first.message_id

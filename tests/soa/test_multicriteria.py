@@ -1,0 +1,166 @@
+"""Joint multi-attribute negotiation over product semirings."""
+
+import pytest
+
+from repro.constraints import Polynomial
+from repro.soa import (
+    Broker,
+    BrokerError,
+    QoSDocument,
+    QoSPolicy,
+    ServiceDescription,
+    ServiceInterface,
+    ServiceRegistry,
+)
+
+
+def publish(registry, provider, cost, reliability, operation="compress"):
+    registry.publish(
+        ServiceDescription(
+            service_id=f"{operation}-{provider}",
+            name=operation,
+            provider=provider,
+            interface=ServiceInterface(operation=operation),
+            qos=QoSDocument(
+                service_name=operation,
+                provider=provider,
+                policies=[
+                    QoSPolicy(attribute="cost", constant=cost),
+                    QoSPolicy(attribute="reliability", constant=reliability),
+                ],
+            ),
+        )
+    )
+
+
+@pytest.fixture
+def market():
+    registry = ServiceRegistry()
+    publish(registry, "Cheap", cost=2.0, reliability=0.90)
+    publish(registry, "Solid", cost=6.0, reliability=0.99)
+    publish(registry, "Bad", cost=7.0, reliability=0.85)  # dominated
+    return registry
+
+
+class TestParetoFrontier:
+    def test_frontier_keeps_tradeoffs_drops_dominated(self, market):
+        broker = Broker(market)
+        result = broker.negotiate_multicriteria(
+            "client", "compress", ["cost", "reliability"]
+        )
+        assert result.satisfiable
+        assert set(result.providers()) == {"Cheap", "Solid"}
+        levels = {point.level for point in result.frontier}
+        assert (2.0, 0.90) in levels
+        assert (6.0, 0.99) in levels
+
+    def test_dominated_check(self, market):
+        broker = Broker(market)
+        result = broker.negotiate_multicriteria(
+            "client", "compress", ["cost", "reliability"]
+        )
+        assert result.dominated_by_frontier((7.0, 0.85))
+        assert not result.dominated_by_frontier((1.0, 0.999))
+
+    def test_needs_two_attributes(self, market):
+        broker = Broker(market)
+        with pytest.raises(BrokerError, match="at least two"):
+            broker.negotiate_multicriteria("client", "compress", ["cost"])
+
+    def test_empty_market(self, market):
+        broker = Broker(market)
+        result = broker.negotiate_multicriteria(
+            "client", "teleport", ["cost", "reliability"]
+        )
+        assert not result.satisfiable
+        assert result.providers() == []
+
+    def test_candidates_missing_an_attribute_excluded(self, market):
+        market.publish(
+            ServiceDescription(
+                service_id="compress-CostOnly",
+                name="compress",
+                provider="CostOnly",
+                interface=ServiceInterface(operation="compress"),
+                qos=QoSDocument(
+                    service_name="compress",
+                    provider="CostOnly",
+                    policies=[QoSPolicy(attribute="cost", constant=0.5)],
+                ),
+            )
+        )
+        broker = Broker(market)
+        result = broker.negotiate_multicriteria(
+            "client", "compress", ["cost", "reliability"]
+        )
+        assert "CostOnly" not in result.providers()
+
+
+class TestResourceDependentOffers:
+    def test_variable_offers_produce_per_assignment_points(self):
+        registry = ServiceRegistry()
+        registry.publish(
+            ServiceDescription(
+                service_id="compress-Var",
+                name="compress",
+                provider="Var",
+                interface=ServiceInterface(operation="compress"),
+                qos=QoSDocument(
+                    service_name="compress",
+                    provider="Var",
+                    policies=[
+                        QoSPolicy(
+                            attribute="cost",
+                            variables={"batch": (1, 2, 4)},
+                            polynomial=Polynomial.linear({"batch": 2.0}),
+                        ),
+                        QoSPolicy(
+                            attribute="reliability",
+                            variables={"batch": (1, 2, 4)},
+                            table={(1,): 0.99, (2,): 0.95, (4,): 0.90},
+                        ),
+                    ],
+                ),
+            )
+        )
+        broker = Broker(registry)
+        result = broker.negotiate_multicriteria(
+            "client", "compress", ["cost", "reliability"]
+        )
+        # batch=1 → (2, 0.99): cheapest AND most reliable — it dominates
+        levels = {point.level for point in result.frontier}
+        assert levels == {(2.0, 0.99)}
+        assert result.frontier[0].assignment == {"batch": 1}
+
+    def test_genuine_tradeoff_across_assignments(self):
+        registry = ServiceRegistry()
+        registry.publish(
+            ServiceDescription(
+                service_id="compress-Var",
+                name="compress",
+                provider="Var",
+                interface=ServiceInterface(operation="compress"),
+                qos=QoSDocument(
+                    service_name="compress",
+                    provider="Var",
+                    policies=[
+                        QoSPolicy(
+                            attribute="cost",
+                            variables={"tier": (0, 1)},
+                            table={(0,): 1.0, (1,): 5.0},
+                        ),
+                        QoSPolicy(
+                            attribute="reliability",
+                            variables={"tier": (0, 1)},
+                            table={(0,): 0.90, (1,): 0.999},
+                        ),
+                    ],
+                ),
+            )
+        )
+        broker = Broker(registry)
+        result = broker.negotiate_multicriteria(
+            "client", "compress", ["cost", "reliability"]
+        )
+        levels = {point.level for point in result.frontier}
+        assert levels == {(1.0, 0.90), (5.0, 0.999)}

@@ -1,0 +1,181 @@
+"""QoS attributes, policies and document → constraint translation."""
+
+import pytest
+
+from repro.constraints import Polynomial
+from repro.soa import (
+    QoSDocument,
+    QoSError,
+    QoSPolicy,
+    compile_document,
+    compile_policy,
+    resolve_attribute,
+    STANDARD_ATTRIBUTES,
+)
+
+
+class TestAttributes:
+    def test_catalogue_covers_dependability_metrics(self):
+        assert {"availability", "reliability", "cost", "latency"} <= set(
+            STANDARD_ATTRIBUTES
+        )
+
+    def test_natural_semirings(self):
+        assert resolve_attribute("availability").semiring().name == (
+            "Probabilistic"
+        )
+        assert resolve_attribute("cost").semiring().name == "Weighted"
+        assert resolve_attribute("fuzzy-reliability").semiring().name == (
+            "Fuzzy"
+        )
+
+    def test_set_attribute_needs_universe(self):
+        semiring = resolve_attribute("security-rights").semiring(
+            universe={"read", "write"}
+        )
+        assert semiring.one == frozenset({"read", "write"})
+
+    def test_unknown_attribute(self):
+        with pytest.raises(QoSError, match="known:"):
+            resolve_attribute("karma")
+
+
+class TestPolicyValidation:
+    def test_exactly_one_body_required(self):
+        with pytest.raises(QoSError, match="exactly one"):
+            QoSPolicy(attribute="cost")
+        with pytest.raises(QoSError, match="exactly one"):
+            QoSPolicy(
+                attribute="cost",
+                constant=1.0,
+                polynomial=Polynomial.var("x"),
+            )
+
+    def test_table_needs_variables(self):
+        with pytest.raises(QoSError, match="resource variables"):
+            QoSPolicy(attribute="cost", table={(0,): 1.0})
+
+    def test_fn_needs_variables(self):
+        with pytest.raises(QoSError, match="resource variables"):
+            QoSPolicy(attribute="cost", fn=lambda x: x)
+
+
+class TestCompilation:
+    def test_constant_policy(self, probabilistic):
+        policy = QoSPolicy(attribute="reliability", constant=0.98)
+        constraint = compile_policy(policy, probabilistic)
+        assert constraint({}) == 0.98
+        assert constraint.scope == ()
+
+    def test_polynomial_policy(self, weighted):
+        # "the reliability is 80% plus 5% per processor" shape, as cost
+        policy = QoSPolicy(
+            attribute="cost",
+            variables={"x": range(5)},
+            polynomial=Polynomial.linear({"x": 5}, 80),
+        )
+        constraint = compile_policy(policy, weighted)
+        assert constraint({"x": 2}) == 90.0
+
+    def test_table_policy(self, fuzzy):
+        policy = QoSPolicy(
+            attribute="fuzzy-reliability",
+            variables={"tier": (0, 1, 2)},
+            table={(0,): 0.3, (1,): 0.6, (2,): 0.9},
+        )
+        constraint = compile_policy(policy, fuzzy)
+        assert constraint({"tier": 2}) == 0.9
+
+    def test_fn_policy(self, probabilistic):
+        policy = QoSPolicy(
+            attribute="reliability",
+            variables={"load": (1, 2, 4)},
+            fn=lambda load: 1.0 / load,
+        )
+        constraint = compile_policy(policy, probabilistic)
+        assert constraint({"load": 4}) == 0.25
+
+    def test_variable_pool_shared_across_policies(self, weighted):
+        pool = {}
+        p1 = QoSPolicy(
+            attribute="cost",
+            variables={"x": range(3)},
+            polynomial=Polynomial.var("x"),
+        )
+        p2 = QoSPolicy(
+            attribute="cost",
+            variables={"x": range(3)},
+            polynomial=Polynomial.linear({"x": 2}),
+        )
+        c1 = compile_policy(p1, weighted, pool)
+        c2 = compile_policy(p2, weighted, pool)
+        assert c1.scope[0] is c2.scope[0]
+
+    def test_conflicting_domains_rejected(self, weighted):
+        pool = {}
+        compile_policy(
+            QoSPolicy(
+                attribute="cost",
+                variables={"x": range(3)},
+                polynomial=Polynomial.var("x"),
+            ),
+            weighted,
+            pool,
+        )
+        with pytest.raises(QoSError, match="two domains"):
+            compile_policy(
+                QoSPolicy(
+                    attribute="cost",
+                    variables={"x": range(5)},
+                    polynomial=Polynomial.var("x"),
+                ),
+                weighted,
+                pool,
+            )
+
+
+class TestDocuments:
+    def test_compile_document_filters_by_attribute(self, weighted):
+        document = QoSDocument(
+            service_name="svc",
+            provider="P",
+            policies=[
+                QoSPolicy(attribute="reliability", constant=0.9),
+                QoSPolicy(
+                    attribute="cost",
+                    variables={"x": range(3)},
+                    polynomial=Polynomial.var("x"),
+                ),
+            ],
+        )
+        cost_constraints = compile_document(document, "cost", weighted)
+        assert len(cost_constraints) == 1
+        assert cost_constraints[0]({"x": 2}) == 2.0
+
+    def test_compile_document_default_semiring(self):
+        document = QoSDocument(
+            service_name="svc",
+            provider="P",
+            policies=[QoSPolicy(attribute="reliability", constant=0.9)],
+        )
+        constraints = compile_document(document, "reliability")
+        assert constraints[0].semiring.name == "Probabilistic"
+
+    def test_document_queries(self):
+        document = QoSDocument(
+            service_name="svc",
+            provider="P",
+            policies=[QoSPolicy(attribute="reliability", constant=0.9)],
+        )
+        assert document.attributes() == ["reliability"]
+        assert document.policy_for("reliability").constant == 0.9
+        assert document.policy_for("cost") is None
+
+    def test_constraint_names_carry_provenance(self, probabilistic):
+        document = QoSDocument(
+            service_name="svc",
+            provider="P",
+            policies=[QoSPolicy(attribute="reliability", constant=0.9)],
+        )
+        constraints = compile_document(document, "reliability", probabilistic)
+        assert constraints[0].name.startswith("P/svc:")

@@ -1,0 +1,163 @@
+"""Capability-aware service queries (Sec. 8's security-policy vision)."""
+
+import pytest
+
+from repro.soa import (
+    QoSDocument,
+    QoSPolicy,
+    QueryEngine,
+    ServiceDescription,
+    ServiceInterface,
+    ServiceQuery,
+    ServiceRegistry,
+    policy,
+)
+
+
+def publish(registry, service_id, reliability, capabilities=None):
+    registry.publish(
+        ServiceDescription(
+            service_id=service_id,
+            name="transfer",
+            provider=f"prov-{service_id}",
+            interface=ServiceInterface(operation="transfer"),
+            qos=QoSDocument(
+                service_name="transfer",
+                provider=f"prov-{service_id}",
+                policies=[
+                    QoSPolicy(attribute="reliability", constant=reliability)
+                ],
+            ),
+            capabilities=capabilities,
+        )
+    )
+
+
+@pytest.fixture
+def secure_registry():
+    registry = ServiceRegistry()
+    # the paper's example: MUST http-auth, MAY gzip
+    publish(
+        registry,
+        "secure",
+        0.95,
+        policy("secure", must={"http-auth"}, may={"gzip"}),
+    )
+    # a legacy service that only speaks plain http
+    publish(
+        registry,
+        "legacy",
+        0.99,
+        policy("legacy", must={"plain-http"}),
+    )
+    # a service with no published policy at all
+    publish(registry, "agnostic", 0.90)
+    return registry
+
+
+class TestCapabilityFiltering:
+    def test_without_client_policy_everything_matches(self, secure_registry):
+        engine = QueryEngine(secure_registry)
+        answer = engine.query(
+            ServiceQuery(attribute="reliability", operation="transfer")
+        )
+        assert len(answer.matches) == 3
+
+    def test_client_requiring_auth_excludes_legacy(self, secure_registry):
+        engine = QueryEngine(secure_registry)
+        client = policy("client", must={"http-auth"}, may={"gzip"})
+        answer = engine.query(
+            ServiceQuery(
+                attribute="reliability",
+                operation="transfer",
+                client_capabilities=client,
+            )
+        )
+        services = {m.plan.services()[0] for m in answer.matches}
+        assert services == {"secure", "agnostic"}
+
+    def test_incompatible_client_matches_only_unconstrained(
+        self, secure_registry
+    ):
+        engine = QueryEngine(secure_registry)
+        # forbids http-auth (not even MAY) → 'secure' is out; demands
+        # plain-http → compatible with 'legacy' and the agnostic one
+        client = policy("client", must={"plain-http"})
+        answer = engine.query(
+            ServiceQuery(
+                attribute="reliability",
+                operation="transfer",
+                client_capabilities=client,
+            )
+        )
+        services = {m.plan.services()[0] for m in answer.matches}
+        assert services == {"legacy", "agnostic"}
+
+    def test_best_compatible_wins_despite_better_incompatible(
+        self, secure_registry
+    ):
+        engine = QueryEngine(secure_registry)
+        client = policy("client", must={"http-auth"}, may={"gzip"})
+        answer = engine.query(
+            ServiceQuery(
+                attribute="reliability",
+                operation="transfer",
+                client_capabilities=client,
+            )
+        )
+        # legacy (0.99) is out: the 0.95 secure service ranks first
+        assert answer.best.plan.services() == ["secure"]
+
+    def test_filter_applies_to_every_pipeline_stage(self):
+        registry = ServiceRegistry()
+        registry.publish(
+            ServiceDescription(
+                service_id="stage1",
+                name="s1",
+                provider="p1",
+                interface=ServiceInterface(
+                    operation="s1", inputs=("a",), outputs=("b",)
+                ),
+                qos=QoSDocument(
+                    service_name="s1",
+                    provider="p1",
+                    policies=[
+                        QoSPolicy(attribute="reliability", constant=0.99)
+                    ],
+                ),
+                capabilities=policy("s1", must={"http-auth"}),
+            )
+        )
+        registry.publish(
+            ServiceDescription(
+                service_id="stage2",
+                name="s2",
+                provider="p2",
+                interface=ServiceInterface(
+                    operation="s2", inputs=("b",), outputs=("c",)
+                ),
+                qos=QoSDocument(
+                    service_name="s2",
+                    provider="p2",
+                    policies=[
+                        QoSPolicy(attribute="reliability", constant=0.99)
+                    ],
+                ),
+                capabilities=policy("s2", must={"plain-http"}),
+            )
+        )
+        engine = QueryEngine(registry)
+        client = policy("client", must={"http-auth"}, may={"plain-http"})
+        answer = engine.query(
+            ServiceQuery(
+                attribute="reliability",
+                produces=("c",),
+                consumes=("a",),
+                max_chain=2,
+                client_capabilities=client,
+            )
+        )
+        # stage1 allows only http-auth, so stage2's plain-http MUST falls
+        # outside the composed ceiling: the pipeline is incompatible even
+        # though each stage individually suits the client.
+        assert not answer.satisfiable

@@ -1,0 +1,189 @@
+"""Services, pools and the UDDI-like registry."""
+
+import pytest
+
+from repro.soa import (
+    QoSDocument,
+    QoSPolicy,
+    RegistryError,
+    Service,
+    ServiceDescription,
+    ServiceError,
+    ServiceInterface,
+    ServicePool,
+    ServiceRegistry,
+)
+
+
+def make_description(
+    service_id="svc-1",
+    operation="compress",
+    provider="ACME",
+    tags=(),
+    attributes=("reliability",),
+):
+    return ServiceDescription(
+        service_id=service_id,
+        name=operation,
+        provider=provider,
+        interface=ServiceInterface(operation=operation),
+        qos=QoSDocument(
+            service_name=operation,
+            provider=provider,
+            policies=[
+                QoSPolicy(attribute=a, constant=0.9) for a in attributes
+            ],
+        ),
+        tags=tuple(tags),
+    )
+
+
+class TestDescriptions:
+    def test_empty_id_rejected(self):
+        with pytest.raises(ServiceError):
+            make_description(service_id="")
+
+    def test_qos_provider_must_match(self):
+        qos = QoSDocument(service_name="x", provider="Other", policies=[])
+        with pytest.raises(ServiceError, match="does not match"):
+            ServiceDescription(
+                service_id="s",
+                name="x",
+                provider="ACME",
+                interface=ServiceInterface(operation="x"),
+                qos=qos,
+            )
+
+
+class TestService:
+    def test_reliable_service_always_succeeds(self):
+        service = Service(make_description(), reliability=1.0, seed=1)
+        outcomes = [service.invoke("data") for _ in range(20)]
+        assert all(o.success for o in outcomes)
+        assert service.observed_reliability == 1.0
+
+    def test_unreliable_service_fails_sometimes(self):
+        service = Service(make_description(), reliability=0.5, seed=7)
+        outcomes = [service.invoke() for _ in range(200)]
+        failures = sum(1 for o in outcomes if not o.success)
+        assert 50 < failures < 150  # roughly half, seeded
+        assert 0.25 < service.observed_reliability < 0.75
+
+    def test_latency_within_jitter(self):
+        service = Service(
+            make_description(),
+            base_latency_ms=10.0,
+            latency_jitter_ms=2.0,
+            seed=3,
+        )
+        for _ in range(50):
+            outcome = service.invoke()
+            assert 8.0 <= outcome.latency_ms <= 12.0
+
+    def test_behaviour_computes_output(self):
+        service = Service(
+            make_description(), behaviour=lambda x: x * 2, seed=1
+        )
+        assert service.invoke(21).output == 42
+
+    def test_invalid_reliability_rejected(self):
+        with pytest.raises(ServiceError):
+            Service(make_description(), reliability=1.5)
+
+    def test_failed_invocation_reports_fault(self):
+        service = Service(make_description(), reliability=0.0, seed=1)
+        outcome = service.invoke()
+        assert not outcome.success
+        assert outcome.fault == "service-fault"
+        assert outcome.output is None
+
+
+class TestServicePool:
+    def test_add_get(self):
+        pool = ServicePool()
+        service = Service(make_description(), seed=1)
+        pool.add(service)
+        assert pool.get("svc-1") is service
+        assert "svc-1" in pool
+        assert len(pool) == 1
+
+    def test_duplicate_rejected(self):
+        pool = ServicePool()
+        pool.add(Service(make_description(), seed=1))
+        with pytest.raises(ServiceError, match="already"):
+            pool.add(Service(make_description(), seed=2))
+
+    def test_missing_lookup(self):
+        with pytest.raises(ServiceError, match="no service"):
+            ServicePool().get("ghost")
+
+
+class TestRegistry:
+    def test_publish_and_get(self):
+        registry = ServiceRegistry()
+        description = make_description()
+        registry.publish(description)
+        assert registry.get("svc-1") is description
+        assert "svc-1" in registry
+        assert len(registry) == 1
+
+    def test_duplicate_publication_rejected(self):
+        registry = ServiceRegistry()
+        registry.publish(make_description())
+        with pytest.raises(RegistryError, match="already published"):
+            registry.publish(make_description())
+
+    def test_find_by_operation(self):
+        registry = ServiceRegistry()
+        registry.publish(make_description("a", operation="compress"))
+        registry.publish(make_description("b", operation="archive"))
+        found = registry.find(operation="compress")
+        assert [d.service_id for d in found] == ["a"]
+
+    def test_find_by_provider_and_tag(self):
+        registry = ServiceRegistry()
+        registry.publish(
+            make_description("a", provider="ACME", tags=("premium",))
+        )
+        registry.publish(make_description("b", provider="Globex"))
+        assert [d.service_id for d in registry.find(provider="ACME")] == ["a"]
+        assert [d.service_id for d in registry.find(tag="premium")] == ["a"]
+        assert registry.find(provider="ACME", tag="nonexistent") == []
+
+    def test_find_requires_attribute(self):
+        registry = ServiceRegistry()
+        registry.publish(make_description("a", attributes=("reliability",)))
+        registry.publish(make_description("b", attributes=("cost",)))
+        found = registry.find(requires_attribute="cost")
+        assert [d.service_id for d in found] == ["b"]
+
+    def test_find_intersects_criteria(self):
+        registry = ServiceRegistry()
+        registry.publish(make_description("a", operation="x", provider="P"))
+        registry.publish(make_description("b", operation="x", provider="Q"))
+        found = registry.find(operation="x", provider="Q")
+        assert [d.service_id for d in found] == ["b"]
+
+    def test_unpublish(self):
+        registry = ServiceRegistry()
+        registry.publish(make_description())
+        removed = registry.unpublish("svc-1")
+        assert removed.service_id == "svc-1"
+        assert "svc-1" not in registry
+        assert registry.find(operation="compress") == []
+        with pytest.raises(RegistryError):
+            registry.unpublish("svc-1")
+
+    def test_operations_and_providers_listing(self):
+        registry = ServiceRegistry()
+        registry.publish(make_description("a", operation="x", provider="P"))
+        registry.publish(make_description("b", operation="y", provider="Q"))
+        assert registry.operations() == ["x", "y"]
+        assert registry.providers() == ["P", "Q"]
+
+    def test_results_sorted_by_service_id(self):
+        registry = ServiceRegistry()
+        registry.publish(make_description("z", operation="x"))
+        registry.publish(make_description("a", operation="x"))
+        found = registry.find(operation="x")
+        assert [d.service_id for d in found] == ["a", "z"]

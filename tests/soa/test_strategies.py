@@ -1,0 +1,179 @@
+"""Time-dependent concession tactics and the alternating-offers protocol."""
+
+import pytest
+
+from repro.constraints import Polynomial, integer_variable, polynomial_constraint
+from repro.sccp import interval
+from repro.soa.strategies import (
+    StrategyError,
+    Tactic,
+    alternating_offers,
+    boulware,
+    conceder,
+    concession_index,
+)
+
+
+@pytest.fixture
+def ladders(weighted):
+    """Provider relaxes x+5 → x+3 → x; client stiffens its demands the
+    other way (2x → x)."""
+    x = integer_variable("x", 10)
+
+    def poly(slope, const=0):
+        return polynomial_constraint(
+            weighted, [x], Polynomial.linear({"x": slope}, const)
+        )
+
+    provider_ladder = [poly(1, 5), poly(1, 3), poly(1, 0)]
+    client_ladder = [poly(2, 0), poly(1, 0)]
+    return provider_ladder, client_ladder
+
+
+class TestConcessionIndex:
+    def test_starts_strict_ends_lax(self):
+        assert concession_index(0, 10, 5, beta=1.0) == 0
+        assert concession_index(10, 10, 5, beta=1.0) == 4
+
+    def test_linear_midpoint(self):
+        assert concession_index(5, 10, 5, beta=1.0) == 2
+
+    def test_boulware_holds_longer(self):
+        linear = concession_index(5, 10, 5, beta=1.0)
+        stubborn = concession_index(5, 10, 5, beta=0.2)
+        assert stubborn < linear
+
+    def test_conceder_caves_earlier(self):
+        linear = concession_index(2, 10, 5, beta=1.0)
+        eager = concession_index(2, 10, 5, beta=4.0)
+        assert eager > linear
+
+    def test_monotone_in_time(self):
+        for beta in (0.3, 1.0, 3.0):
+            indices = [
+                concession_index(t, 20, 6, beta) for t in range(21)
+            ]
+            assert indices == sorted(indices)
+
+    def test_parameter_validation(self):
+        with pytest.raises(StrategyError):
+            concession_index(0, 0, 3, 1.0)
+        with pytest.raises(StrategyError):
+            concession_index(0, 5, 0, 1.0)
+        with pytest.raises(StrategyError):
+            concession_index(0, 5, 3, 0.0)
+
+
+class TestTactic:
+    def test_ladder_monotonicity_check(self, ladders):
+        provider_ladder, _ = ladders
+        tactic = Tactic("provider", provider_ladder)
+        assert tactic.validate_ladder_monotone()
+
+    def test_non_monotone_ladder_detected(self, ladders, weighted):
+        provider_ladder, _ = ladders
+        backwards = Tactic("oops", list(reversed(provider_ladder)))
+        assert not backwards.validate_ladder_monotone()
+
+    def test_factories_enforce_temperament(self, ladders):
+        provider_ladder, _ = ladders
+        with pytest.raises(StrategyError):
+            boulware("p", provider_ladder, beta=2.0)
+        with pytest.raises(StrategyError):
+            conceder("p", provider_ladder, beta=0.5)
+
+    def test_empty_ladder_rejected(self):
+        with pytest.raises(StrategyError):
+            Tactic("p", [])
+
+
+class TestAlternatingOffers:
+    def test_agreement_reached_before_deadline(self, weighted, ladders):
+        provider_ladder, client_ladder = ladders
+        provider = Tactic(
+            "P",
+            provider_ladder,
+            beta=1.0,
+            acceptance=interval(weighted, lower=10.0, upper=0.0),
+        )
+        client = Tactic(
+            "C",
+            client_ladder,
+            beta=1.0,
+            acceptance=interval(weighted, lower=4.0, upper=0.0),
+        )
+        outcome = alternating_offers(weighted, [provider, client], deadline=10)
+        assert outcome.agreed
+        # the strict opening offers cost 5 (> 4): some concession needed
+        assert outcome.at_step > 0
+        assert weighted.geq(outcome.agreed_level, 4.0)
+
+    def test_conceder_agrees_no_later_than_boulware(self, weighted, ladders):
+        provider_ladder, client_ladder = ladders
+        client_acc = interval(weighted, lower=4.0, upper=0.0)
+
+        def run(provider_tactic):
+            client = Tactic("C", client_ladder, beta=1.0, acceptance=client_acc)
+            return alternating_offers(
+                weighted, [provider_tactic, client], deadline=20
+            )
+
+        eager = run(conceder("P", provider_ladder, beta=4.0))
+        stubborn = run(boulware("P", provider_ladder, beta=0.2))
+        assert eager.agreed and stubborn.agreed
+        assert eager.at_step <= stubborn.at_step
+
+    def test_free_store_only_at_the_deadline(self, weighted, ladders):
+        """A client demanding a zero-cost store forces full concession:
+        agreement lands exactly at the deadline, when both ladders hit
+        their laxest rung (merged cost 0 at x = 0)."""
+        provider_ladder, client_ladder = ladders
+        hardnosed = Tactic(
+            "C",
+            client_ladder,
+            acceptance=interval(weighted, lower=0.0, upper=0.0),
+        )
+        provider = Tactic("P", provider_ladder)
+        outcome = alternating_offers(weighted, [provider, hardnosed], 8)
+        assert outcome.agreed
+        assert outcome.at_step == 8
+        assert outcome.agreed_level == 0.0
+        assert outcome.concession_curve() == [
+            5.0, 5.0, 5.0, 5.0, 3.0, 3.0, 3.0, 3.0, 0.0
+        ]
+
+    def test_unsatisfiable_acceptance_never_agrees(self, weighted, ladders):
+        provider_ladder, _ = ladders
+        x = integer_variable("x", 10)
+        from repro.constraints import polynomial_constraint, Polynomial
+
+        pricey = polynomial_constraint(
+            weighted, [x], Polynomial.linear({"x": 1}, 50)
+        )
+        greedy_client = Tactic(
+            "C",
+            [pricey],
+            acceptance=interval(weighted, lower=4.0, upper=0.0),
+        )
+        provider = Tactic("P", provider_ladder)
+        outcome = alternating_offers(weighted, [provider, greedy_client], 10)
+        assert not outcome.agreed
+        assert outcome.agreement is None
+
+    def test_concession_curve_is_recorded(self, weighted, ladders):
+        provider_ladder, client_ladder = ladders
+        provider = Tactic("P", provider_ladder)
+        client = Tactic(
+            "C",
+            client_ladder,
+            acceptance=interval(weighted, lower=4.0, upper=0.0),
+        )
+        outcome = alternating_offers(weighted, [provider, client], 10)
+        curve = outcome.concession_curve()
+        assert len(curve) == len(outcome.rounds)
+        # weighted consistencies cannot get worse as policies relax
+        assert curve == sorted(curve, reverse=True)
+
+    def test_needs_parties(self, weighted):
+        with pytest.raises(StrategyError):
+            alternating_offers(weighted, [], 5)

@@ -1,0 +1,92 @@
+"""α-cuts: threshold slicing into crisp problems."""
+
+import pytest
+
+from repro.constraints import TableConstraint, variable
+from repro.solver import (
+    SCSP,
+    ProblemError,
+    alpha_cut,
+    alpha_cut_problem,
+    consistency_level_among,
+    satisfiable_at,
+)
+
+
+@pytest.fixture
+def fuzzy_problem(fuzzy):
+    x = variable("x", [0, 1, 2])
+    c = TableConstraint(fuzzy, [x], {(0,): 0.2, (1,): 0.6, (2,): 0.9})
+    return SCSP([c]), c
+
+
+class TestAlphaCut:
+    def test_cut_keeps_tuples_at_or_above(self, fuzzy_problem):
+        _, c = fuzzy_problem
+        cut = alpha_cut(c, 0.6)
+        assert cut({"x": 0}) is False
+        assert cut({"x": 1}) is True
+        assert cut({"x": 2}) is True
+
+    def test_cut_at_zero_keeps_everything(self, fuzzy_problem, fuzzy):
+        _, c = fuzzy_problem
+        cut = alpha_cut(c, fuzzy.zero)
+        assert all(value for _, value in cut.items())
+
+    def test_cut_result_is_boolean(self, fuzzy_problem):
+        _, c = fuzzy_problem
+        assert alpha_cut(c, 0.5).semiring.name == "Classical"
+
+    def test_weighted_cut_uses_inverted_order(self, weighted):
+        x = variable("x", [0, 1])
+        c = TableConstraint(weighted, [x], {(0,): 3.0, (1,): 8.0})
+        cut = alpha_cut(c, 5.0)  # at least as good as cost 5
+        assert cut({"x": 0}) is True
+        assert cut({"x": 1}) is False
+
+    def test_partial_order_rejected(self, setbased):
+        x = variable("x", [0])
+        c = TableConstraint(setbased, [x], {(0,): frozenset({"read"})})
+        with pytest.raises(ProblemError, match="totally ordered"):
+            alpha_cut(c, frozenset())
+
+
+class TestCutProblem:
+    def test_idempotent_semiring_cut_problem_exact(self, fuzzy):
+        # With idempotent ×, per-constraint cuts are exact.
+        x = variable("x", [0, 1])
+        a = TableConstraint(fuzzy, [x], {(0,): 0.9, (1,): 0.4})
+        b = TableConstraint(fuzzy, [x], {(0,): 0.7, (1,): 0.9})
+        problem = SCSP([a, b])
+        cut = alpha_cut_problem(problem, 0.7)
+        assert cut.blevel() is True  # x=0 survives both cuts
+
+    def test_non_idempotent_cut_problem_is_only_necessary(self, probabilistic):
+        # 0.8 × 0.8 = 0.64 < 0.8: tuple-level cuts pass, combined fails.
+        x = variable("x", [0])
+        a = TableConstraint(probabilistic, [x], {(0,): 0.8})
+        b = TableConstraint(probabilistic, [x], {(0,): 0.8})
+        problem = SCSP([a, b])
+        assert alpha_cut_problem(problem, 0.8).blevel() is True
+        assert not satisfiable_at(problem, 0.8)  # exact check disagrees
+
+
+class TestSatisfiability:
+    def test_satisfiable_at_blevel(self, fuzzy_problem):
+        problem, _ = fuzzy_problem
+        assert satisfiable_at(problem, 0.9)
+        assert satisfiable_at(problem, 0.5)
+        assert not satisfiable_at(problem, 0.95)
+
+    def test_consistency_level_among(self, fuzzy_problem):
+        problem, _ = fuzzy_problem
+        best = consistency_level_among(problem, [0.3, 0.6, 0.9, 0.95])
+        assert best == 0.9
+
+    def test_consistency_level_among_weighted(self, weighted):
+        x = variable("x", [0, 1])
+        c = TableConstraint(weighted, [x], {(0,): 4.0, (1,): 9.0})
+        problem = SCSP([c])
+        # candidate cost budgets; the best reachable is 4
+        best = consistency_level_among(problem, [10.0, 5.0, 4.0, 3.0])
+        assert best == 4.0

@@ -1,0 +1,110 @@
+"""Soft arc consistency: solution-preserving tightening."""
+
+import pytest
+
+from repro.constraints import TableConstraint, variable
+from repro.solver import (
+    SCSP,
+    ProblemError,
+    enforce_arc_consistency,
+    prune_domains,
+    solve_exhaustive,
+)
+
+
+@pytest.fixture
+def fuzzy_chain(fuzzy):
+    a = variable("a", [0, 1, 2])
+    b = variable("b", [0, 1, 2])
+    c = variable("c", [0, 1, 2])
+    ca = TableConstraint(fuzzy, [a], {(0,): 0.3, (1,): 0.9, (2,): 0.0})
+    cab = TableConstraint(
+        fuzzy,
+        [a, b],
+        {(i, j): 1.0 if i <= j else 0.2 for i in range(3) for j in range(3)},
+    )
+    cbc = TableConstraint(
+        fuzzy,
+        [b, c],
+        {(i, j): 0.8 if i == j else 0.4 for i in range(3) for j in range(3)},
+    )
+    return SCSP([ca, cab, cbc])
+
+
+class TestArcConsistency:
+    def test_preserves_blevel(self, fuzzy_chain, fuzzy):
+        tightened, stats = enforce_arc_consistency(fuzzy_chain)
+        assert fuzzy.equiv(tightened.blevel(), fuzzy_chain.blevel())
+        assert stats.revisions > 0
+
+    def test_preserves_solution_table(self, fuzzy_chain):
+        tightened, _ = enforce_arc_consistency(fuzzy_chain)
+        original = solve_exhaustive(fuzzy_chain)
+        after = solve_exhaustive(tightened)
+        assert original.blevel == after.blevel
+        assert {tuple(sorted(d.items())) for d in original.optima[0]} == {
+            tuple(sorted(d.items())) for d in after.optima[0]
+        }
+
+    def test_unary_levels_only_tighten(self, fuzzy_chain, fuzzy):
+        tightened, _ = enforce_arc_consistency(fuzzy_chain)
+        # every unary constraint of the result is ⊑ the implied original
+        from repro.constraints import combine, constraint_leq
+
+        combined_before = combine(
+            list(fuzzy_chain.constraints), semiring=fuzzy
+        )
+        for constraint in tightened.constraints:
+            if len(constraint.scope) == 1:
+                name = constraint.scope[0].name
+                implied = combined_before.project([name])
+                assert constraint_leq(implied, constraint)
+
+    def test_rejects_non_idempotent_semirings(self, weighted):
+        x = variable("x", [0, 1])
+        c = TableConstraint(weighted, [x], {(0,): 1.0, (1,): 2.0})
+        with pytest.raises(ProblemError, match="idempotent"):
+            enforce_arc_consistency(SCSP([c]))
+
+    def test_boolean_arc_consistency(self, boolean):
+        # classic crisp AC: x < y over 0..2 removes x=2 and y=0
+        x = variable("x", [0, 1, 2])
+        y = variable("y", [0, 1, 2])
+        cxy = TableConstraint(
+            boolean,
+            [x, y],
+            {(i, j): i < j for i in range(3) for j in range(3)},
+        )
+        problem = SCSP([cxy])
+        tightened, stats = enforce_arc_consistency(problem)
+        unary = {
+            c.scope[0].name: c
+            for c in tightened.constraints
+            if len(c.scope) == 1
+        }
+        assert unary["x"].value({"x": 2}) is False
+        assert unary["y"].value({"y": 0}) is False
+        assert unary["x"].value({"x": 0}) is True
+        assert stats.changes >= 2
+
+
+class TestDomainPruning:
+    def test_prunes_zero_values(self, fuzzy_chain):
+        tightened, _ = enforce_arc_consistency(fuzzy_chain)
+        pruned, removed = prune_domains(tightened)
+        assert removed >= 1  # a=2 has unary level 0.0
+        names = {v.name: v for v in pruned.variables}
+        assert 2 not in names["a"].domain
+
+    def test_pruning_preserves_blevel(self, fuzzy_chain, fuzzy):
+        tightened, _ = enforce_arc_consistency(fuzzy_chain)
+        pruned, _ = prune_domains(tightened)
+        assert fuzzy.equiv(pruned.blevel(), fuzzy_chain.blevel())
+
+    def test_noop_without_zeros(self, fuzzy):
+        x = variable("x", [0, 1])
+        c = TableConstraint(fuzzy, [x], {(0,): 0.5, (1,): 0.9})
+        problem = SCSP([c])
+        pruned, removed = prune_domains(problem)
+        assert removed == 0
+        assert pruned is problem

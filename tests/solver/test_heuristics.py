@@ -1,0 +1,85 @@
+"""Variable-ordering heuristics."""
+
+import pytest
+
+from repro.constraints import TableConstraint, variable
+from repro.solver import (
+    ORDERINGS,
+    given_order,
+    max_degree_order,
+    min_degree_order,
+    min_domain_order,
+    resolve_ordering,
+)
+
+
+@pytest.fixture
+def star(fuzzy):
+    """hub connected to three leaves; hub has the largest domain."""
+    hub = variable("hub", range(4))
+    leaves = [variable(f"leaf{i}", range(2)) for i in range(3)]
+    constraints = [
+        TableConstraint(
+            fuzzy,
+            [hub, leaf],
+            {
+                (h, l): 0.5
+                for h in hub.domain
+                for l in leaf.domain
+            },
+        )
+        for leaf in leaves
+    ]
+    return [hub] + leaves, constraints
+
+
+class TestOrderings:
+    def test_given_order_is_identity(self, star):
+        variables, constraints = star
+        assert given_order(variables, constraints) == variables
+
+    def test_min_domain_puts_leaves_first(self, star):
+        variables, constraints = star
+        ordered = min_domain_order(variables, constraints)
+        assert ordered[-1].name == "hub"
+
+    def test_min_degree_eliminates_leaves_first(self, star):
+        variables, constraints = star
+        ordered = min_degree_order(variables, constraints)
+        # The hub (degree 3) cannot be eliminated before at least two
+        # leaves have dropped its degree to a tie.
+        assert ordered[0].name.startswith("leaf")
+        assert ordered[1].name.startswith("leaf")
+
+    def test_max_degree_branches_on_hub_first(self, star):
+        variables, constraints = star
+        ordered = max_degree_order(variables, constraints)
+        assert ordered[0].name == "hub"
+
+    def test_every_ordering_is_a_permutation(self, star):
+        variables, constraints = star
+        for name, ordering in ORDERINGS.items():
+            ordered = ordering(variables, constraints)
+            assert sorted(v.name for v in ordered) == sorted(
+                v.name for v in variables
+            ), name
+
+    def test_orderings_deterministic(self, star):
+        variables, constraints = star
+        for ordering in ORDERINGS.values():
+            assert ordering(variables, constraints) == ordering(
+                variables, constraints
+            )
+
+
+class TestResolve:
+    def test_resolve_by_name(self):
+        assert resolve_ordering("min-degree") is min_degree_order
+
+    def test_resolve_callable_passthrough(self):
+        fn = lambda vs, cs: list(vs)  # noqa: E731
+        assert resolve_ordering(fn) is fn
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError, match="known:"):
+            resolve_ordering("best-first-telepathy")

@@ -1,0 +1,139 @@
+"""Mini-bucket elimination: bound soundness and tightening."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.constraints import TableConstraint, variable
+from repro.semirings import (
+    FuzzySemiring,
+    ProbabilisticSemiring,
+    WeightedSemiring,
+)
+from repro.solver import SCSP, ProblemError, solve_exhaustive
+from repro.solver.minibucket import minibucket_bound, screening_test
+
+
+def random_problem(n_vars, domain, density, seed, semiring):
+    rng = random.Random(seed)
+    variables = [variable(f"v{i}", range(domain)) for i in range(n_vars)]
+
+    def level():
+        if isinstance(semiring, WeightedSemiring):
+            return float(rng.randint(0, 9))
+        return rng.choice((0.1, 0.3, 0.5, 0.7, 0.9, 1.0))
+
+    constraints = [
+        TableConstraint(semiring, [v], {(d,): level() for d in v.domain})
+        for v in variables
+    ]
+    for left, right in itertools.combinations(variables, 2):
+        if rng.random() < density:
+            constraints.append(
+                TableConstraint(
+                    semiring,
+                    [left, right],
+                    {
+                        key: level()
+                        for key in itertools.product(
+                            left.domain, right.domain
+                        )
+                    },
+                )
+            )
+    return SCSP(constraints)
+
+
+SEMIRINGS = [FuzzySemiring(), WeightedSemiring(), ProbabilisticSemiring()]
+
+
+class TestBoundSoundness:
+    @pytest.mark.parametrize("semiring", SEMIRINGS, ids=lambda s: s.name)
+    @pytest.mark.parametrize("seed", range(4))
+    def test_bound_never_below_blevel(self, semiring, seed):
+        problem = random_problem(6, 3, 0.5, seed, semiring)
+        exact = solve_exhaustive(problem).blevel
+        for i_bound in (1, 2, 3):
+            bound, _ = minibucket_bound(problem, i_bound)
+            assert semiring.geq(bound, exact) or semiring.equiv(bound, exact)
+
+    @pytest.mark.parametrize("semiring", SEMIRINGS, ids=lambda s: s.name)
+    def test_large_i_bound_is_exact(self, semiring):
+        problem = random_problem(5, 3, 0.5, seed=11, semiring=semiring)
+        exact = solve_exhaustive(problem).blevel
+        bound, _ = minibucket_bound(problem, i_bound=10)
+        assert semiring.equiv(bound, exact)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_bound_monotone_in_i_bound(self, seed):
+        semiring = WeightedSemiring()
+        problem = random_problem(7, 3, 0.5, seed + 50, semiring)
+        bounds = [
+            minibucket_bound(problem, i)[0] for i in (1, 2, 3, 4)
+        ]
+        # larger i_bound can only tighten: numerically non-decreasing
+        # costs, i.e. semiring-non-increasing (closer to the blevel).
+        for looser, tighter in zip(bounds, bounds[1:]):
+            assert semiring.geq(looser, tighter)
+
+    def test_invalid_i_bound(self):
+        problem = random_problem(3, 2, 1.0, 1, FuzzySemiring())
+        with pytest.raises(ProblemError):
+            minibucket_bound(problem, 0)
+
+    def test_work_capped_by_i_bound(self):
+        semiring = WeightedSemiring()
+        problem = random_problem(8, 3, 0.8, seed=3, semiring=semiring)
+        _, stats_small = minibucket_bound(problem, 2)
+        assert stats_small.largest_intermediate <= 3**2
+
+
+class TestScreening:
+    def test_never_rejects_satisfiable_levels(self):
+        semiring = FuzzySemiring()
+        for seed in range(5):
+            problem = random_problem(5, 3, 0.6, seed, semiring)
+            blevel = solve_exhaustive(problem).blevel
+            # the true blevel is reachable: screening must say "possible"
+            assert screening_test(problem, blevel, i_bound=2)
+
+    def test_rejects_impossible_levels(self):
+        semiring = FuzzySemiring()
+        x = variable("x", [0, 1])
+        c = TableConstraint(semiring, [x], {(0,): 0.3, (1,): 0.4})
+        problem = SCSP([c])
+        assert not screening_test(problem, 0.9, i_bound=3)
+
+    def test_screening_is_only_necessary(self):
+        """A screening pass can say 'possible' for an unreachable level —
+        that is the price of the bound (documented, not a bug).
+
+        Splitting the bucket of x decouples the two binary constraints:
+        each picks its own favourite x, overestimating the joint optimum.
+        """
+        semiring = ProbabilisticSemiring()
+        x = variable("x", [0, 1])
+        y = variable("y", [0, 1])
+        z = variable("z", [0, 1])
+        a = TableConstraint(
+            semiring,
+            [x, y],
+            {(0, 0): 0.9, (0, 1): 0.3, (1, 0): 0.3, (1, 1): 0.3},
+        )
+        b = TableConstraint(
+            semiring,
+            [x, z],
+            {(1, 0): 0.9, (0, 0): 0.3, (0, 1): 0.3, (1, 1): 0.3},
+        )
+        problem = SCSP([a, b])
+        exact = solve_exhaustive(problem).blevel
+        assert exact == pytest.approx(0.27)  # no x pleases both
+        # eliminate x first with a 2-variable cap → the {x,y,z} bucket
+        # must split and each half keeps its private best x
+        bound, _ = minibucket_bound(problem, 2, ordering="given")
+        assert bound == pytest.approx(0.81)
+        # screening therefore optimistically passes 0.8…
+        assert semiring.geq(bound, 0.8)
+        # …while the exact solver would reject it
+        assert not semiring.geq(exact, 0.8)

@@ -1,0 +1,72 @@
+"""SCSP definitions: Sol, blevel, α-consistency."""
+
+import pytest
+
+from repro.constraints import ConstantConstraint, FunctionConstraint, variable
+from repro.solver import SCSP, ProblemError
+
+
+class TestConstruction:
+    def test_fig1_problem(self, fig1):
+        problem = SCSP([fig1["c1"], fig1["c2"], fig1["c3"]], con=["X"])
+        assert len(problem.variables) == 2
+        assert problem.con == ("X",)
+        assert problem.semiring.name == "Weighted"
+
+    def test_con_defaults_to_all_variables(self, fig1):
+        problem = SCSP([fig1["c2"]])
+        assert problem.con == ("X", "Y")
+
+    def test_empty_constraints_rejected(self):
+        with pytest.raises(ProblemError):
+            SCSP([])
+
+    def test_mixed_semirings_rejected(self, fuzzy, weighted):
+        x = variable("x", [0])
+        with pytest.raises(ProblemError, match="share one semiring"):
+            SCSP(
+                [
+                    ConstantConstraint(fuzzy, 0.5),
+                    FunctionConstraint(weighted, (x,), lambda v: 1.0),
+                ]
+            )
+
+    def test_unknown_con_variable_rejected(self, fig1):
+        with pytest.raises(ProblemError, match="unknown"):
+            SCSP([fig1["c1"]], con=["Z"])
+
+    def test_con_accepts_variable_objects(self, fig1):
+        problem = SCSP([fig1["c1"], fig1["c2"]], con=[fig1["x"]])
+        assert problem.con == ("X",)
+
+
+class TestPaperSemantics:
+    def test_solution_matches_paper(self, fig1):
+        problem = SCSP([fig1["c1"], fig1["c2"], fig1["c3"]], con=["X"])
+        solution = problem.solution().materialize()
+        assert dict(solution.items()) == {("a",): 7, ("b",): 16}
+
+    def test_blevel_is_seven(self, fig1):
+        problem = SCSP([fig1["c1"], fig1["c2"], fig1["c3"]], con=["X"])
+        assert problem.blevel() == 7.0
+
+    def test_alpha_consistency(self, fig1):
+        problem = SCSP([fig1["c1"], fig1["c2"], fig1["c3"]], con=["X"])
+        assert problem.is_alpha_consistent(7.0)
+        assert not problem.is_alpha_consistent(6.0)
+
+    def test_consistency(self, fig1, weighted):
+        problem = SCSP([fig1["c1"], fig1["c2"], fig1["c3"]])
+        assert problem.is_consistent()
+        impossible = ConstantConstraint(weighted, weighted.zero)
+        assert not SCSP([impossible]).is_consistent()
+
+    def test_evaluate_complete_assignment(self, fig1):
+        problem = SCSP([fig1["c1"], fig1["c2"], fig1["c3"]])
+        assert problem.evaluate({"X": "a", "Y": "a"}) == 11.0
+        assert problem.evaluate({"X": "b", "Y": "b"}) == 16.0
+
+    def test_constraints_on(self, fig1):
+        problem = SCSP([fig1["c1"], fig1["c2"], fig1["c3"]])
+        assert len(problem.constraints_on("X")) == 2
+        assert len(problem.constraints_on("Y")) == 2

@@ -1,0 +1,114 @@
+"""Property-based differential testing of the solver backends.
+
+Hypothesis generates arbitrary small SCSPs; every exact backend must
+agree on the blevel and on the optimal con-assignments, and derived
+quantities (blevel vs solution table, consistency of SCSP.blevel with
+the backends) must stay coherent.
+"""
+
+import itertools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.constraints import TableConstraint, variable
+from repro.semirings import FuzzySemiring, WeightedSemiring
+from repro.solver import (
+    SCSP,
+    solve_branch_bound,
+    solve_elimination,
+    solve_exhaustive,
+)
+
+FUZZY = FuzzySemiring()
+WEIGHTED = WeightedSemiring()
+
+_VARS = [variable(f"v{i}", (0, 1, 2)) for i in range(3)]
+
+fuzzy_levels = st.sampled_from((0.0, 0.25, 0.5, 0.75, 1.0))
+weights = st.sampled_from((0.0, 1.0, 2.0, 5.0, 9.0))
+
+
+def problems(semiring, levels):
+    """Strategy producing SCSPs with 1–4 unary/binary constraints."""
+    scopes = st.sampled_from(
+        [(_VARS[0],), (_VARS[1],), (_VARS[2],)]
+        + [
+            (a, b)
+            for a, b in itertools.combinations(_VARS, 2)
+        ]
+    )
+
+    @st.composite
+    def build(draw):
+        n = draw(st.integers(1, 4))
+        constraints = []
+        for _ in range(n):
+            scope = draw(scopes)
+            keys = list(itertools.product(*[v.domain for v in scope]))
+            values = draw(
+                st.lists(levels, min_size=len(keys), max_size=len(keys))
+            )
+            constraints.append(
+                TableConstraint(semiring, scope, dict(zip(keys, values)))
+            )
+        used = sorted({name for c in constraints for name in c.support})
+        k = draw(st.integers(1, len(used)))
+        return SCSP(constraints, con=used[:k])
+
+    return build()
+
+
+@settings(max_examples=40, deadline=None)
+@given(problems(FUZZY, fuzzy_levels))
+def test_fuzzy_backends_agree(problem):
+    reference = solve_exhaustive(problem)
+    bnb = solve_branch_bound(problem)
+    elim = solve_elimination(problem)
+    assert FUZZY.equiv(reference.blevel, bnb.blevel)
+    assert FUZZY.equiv(reference.blevel, elim.blevel)
+    ref = {tuple(sorted(d.items())) for d in reference.optima[0]}
+    assert {tuple(sorted(d.items())) for d in elim.optima[0]} == ref
+    bnb_set = {tuple(sorted(d.items())) for d in bnb.optima[0]}
+    if reference.is_consistent:
+        assert bnb_set and bnb_set <= ref
+
+
+@settings(max_examples=40, deadline=None)
+@given(problems(WEIGHTED, weights))
+def test_weighted_backends_agree(problem):
+    reference = solve_exhaustive(problem)
+    bnb = solve_branch_bound(problem)
+    elim = solve_elimination(problem)
+    assert reference.blevel == bnb.blevel == elim.blevel
+
+
+@settings(max_examples=40, deadline=None)
+@given(problems(FUZZY, fuzzy_levels))
+def test_blevel_equals_solution_consistency(problem):
+    # blevel(P) = Sol(P) ⇓∅ — the paper's definition, both routes
+    assert FUZZY.equiv(problem.blevel(), problem.solution().consistency())
+
+
+@settings(max_examples=40, deadline=None)
+@given(problems(WEIGHTED, weights))
+def test_blevel_reachable_by_some_assignment(problem):
+    from repro.constraints import iter_assignments
+
+    blevel = problem.blevel()
+    achieved = [
+        problem.evaluate(a) for a in iter_assignments(problem.variables)
+    ]
+    # for total orders the blevel is attained exactly
+    assert blevel in achieved
+
+
+@settings(max_examples=40, deadline=None)
+@given(problems(FUZZY, fuzzy_levels))
+def test_minibucket_dominates_blevel(problem):
+    from repro.solver import minibucket_bound
+
+    exact = problem.blevel()
+    for i_bound in (1, 2):
+        bound, _ = minibucket_bound(problem, i_bound)
+        assert FUZZY.geq(bound, exact) or FUZZY.equiv(bound, exact)

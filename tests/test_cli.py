@@ -1,0 +1,175 @@
+"""The command-line interface, driven through its main() entry point."""
+
+import json
+
+import pytest
+
+from repro import serialization as ser
+from repro.cli import main
+from repro.coalitions import TrustNetwork
+from repro.constraints import TableConstraint, variable
+from repro.semirings import WeightedSemiring
+from repro.solver import SCSP
+
+
+@pytest.fixture
+def fig1_file(tmp_path, fig1):
+    problem = SCSP([fig1["c1"], fig1["c2"], fig1["c3"]], con=["X"], name="fig1")
+    path = tmp_path / "fig1.json"
+    path.write_text(ser.dumps(problem))
+    return path
+
+
+@pytest.fixture
+def network_file(tmp_path):
+    network = TrustNetwork(
+        ["a", "b", "c"],
+        {
+            ("a", "a"): 0.6, ("b", "b"): 0.6, ("c", "c"): 0.6,
+            ("a", "b"): 0.9, ("b", "a"): 0.9,
+            ("a", "c"): 0.2, ("c", "a"): 0.2,
+            ("b", "c"): 0.3, ("c", "b"): 0.3,
+        },
+    )
+    path = tmp_path / "net.json"
+    path.write_text(ser.dumps(network))
+    return path
+
+
+@pytest.fixture
+def market_file(tmp_path):
+    market = {
+        "kind": "market",
+        "services": [
+            {
+                "service_id": f"svc-{provider}",
+                "operation": "compress",
+                "qos": {
+                    "kind": "qos-document",
+                    "service_name": "compress",
+                    "provider": provider,
+                    "policies": [
+                        {"attribute": "cost", "variables": {}, "constant": cost}
+                    ],
+                },
+            }
+            for provider, cost in (("P1", 5.0), ("P2", 3.0))
+        ],
+        "request": {
+            "client": "cli-client",
+            "operation": "compress",
+            "attribute": "cost",
+            "acceptance": {"lower": 10.0, "upper": 0.0},
+        },
+    }
+    path = tmp_path / "market.json"
+    path.write_text(json.dumps(market))
+    return path
+
+
+class TestSolve:
+    def test_solves_fig1(self, fig1_file, capsys):
+        exit_code = main(["solve", str(fig1_file)])
+        out = json.loads(capsys.readouterr().out)
+        assert exit_code == 0
+        assert out["blevel"] == 7.0
+        assert out["consistent"] is True
+        assert out["optima"] == [[{"X": "a"}]]
+
+    def test_method_flag(self, fig1_file, capsys):
+        main(["solve", str(fig1_file), "--method", "elimination"])
+        out = json.loads(capsys.readouterr().out)
+        assert out["method"] == "elimination"
+
+    def test_inconsistent_problem_exit_1(self, tmp_path, capsys):
+        weighted = WeightedSemiring()
+        x = variable("x", [0])
+        dead = TableConstraint(weighted, [x], {})
+        path = tmp_path / "dead.json"
+        path.write_text(ser.dumps(SCSP([dead], name="dead")))
+        assert main(["solve", str(path)]) == 1
+
+    def test_unreadable_file(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["solve", str(tmp_path / "missing.json")])
+
+
+class TestCoalitions:
+    def test_exact(self, network_file, capsys):
+        exit_code = main(["coalitions", str(network_file)])
+        out = json.loads(capsys.readouterr().out)
+        assert exit_code == 0
+        assert out["found"] and out["stable"]
+        assert ["a", "b"] in out["partition"]
+
+    def test_local_search(self, network_file, capsys):
+        exit_code = main(
+            [
+                "coalitions",
+                str(network_file),
+                "--method",
+                "local-search",
+                "--seed",
+                "3",
+            ]
+        )
+        out = json.loads(capsys.readouterr().out)
+        assert exit_code == 0
+        assert out["method"] == "local-search"
+
+
+class TestNegotiate:
+    def test_best_provider_wins(self, market_file, capsys):
+        exit_code = main(["negotiate", str(market_file)])
+        out = json.loads(capsys.readouterr().out)
+        assert exit_code == 0
+        assert out["success"] is True
+        assert out["sla"]["providers"] == ["P2"]
+        assert out["sla"]["agreed_level"] == 3.0
+        assert len(out["evaluations"]) == 2
+
+    def test_failed_negotiation_exit_1(self, tmp_path, capsys):
+        market = {
+            "kind": "market",
+            "services": [],
+            "request": {"operation": "compress", "attribute": "cost"},
+        }
+        path = tmp_path / "empty.json"
+        path.write_text(json.dumps(market))
+        assert main(["negotiate", str(path)]) == 1
+
+    def test_non_market_payload_rejected(self, fig1_file):
+        with pytest.raises(SystemExit):
+            main(["negotiate", str(fig1_file)])
+
+
+class TestValidateSemiring:
+    def test_builtin_ok(self, capsys):
+        assert main(["validate-semiring", "fuzzy"]) == 0
+        out = json.loads(capsys.readouterr().out)
+        assert out["ok"] is True
+
+    def test_parameterized(self, capsys):
+        assert (
+            main(["validate-semiring", "set", "--universe", "r,w,x"]) == 0
+        )
+        assert (
+            main(["validate-semiring", "bounded-weighted", "--cap", "5"])
+            == 0
+        )
+
+
+class TestConsoleScript:
+    def test_installed_entry_point_works(self, fig1_file):
+        import subprocess
+        import sys
+
+        completed = subprocess.run(
+            [sys.executable, "-m", "repro.cli", "solve", str(fig1_file)],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert completed.returncode == 0, completed.stderr
+        payload = json.loads(completed.stdout)
+        assert payload["blevel"] == 7.0

@@ -1,0 +1,161 @@
+"""Cross-cutting edge cases not covered by the per-module suites."""
+
+import pytest
+
+from repro.constraints import (
+    ConstantConstraint,
+    FunctionConstraint,
+    TableConstraint,
+    variable,
+)
+from repro.semirings import (
+    FuzzySemiring,
+    ProductSemiring,
+    SetSemiring,
+    WeightedSemiring,
+)
+
+
+class TestSemiringGlb:
+    def test_idempotent_glb_is_times(self):
+        fuzzy = FuzzySemiring()
+        assert fuzzy.glb(0.3, 0.8) == 0.3
+        sets = SetSemiring({"a", "b"})
+        assert sets.glb(frozenset({"a"}), frozenset({"a", "b"})) == (
+            frozenset({"a"})
+        )
+
+    def test_total_order_glb_is_min(self):
+        weighted = WeightedSemiring()
+        # semiring-worse of (3, 8) is 8 (higher cost)
+        assert weighted.glb(3.0, 8.0) == 8.0
+
+    def test_partial_non_idempotent_glb_unsupported(self):
+        product = ProductSemiring([WeightedSemiring(), WeightedSemiring()])
+        with pytest.raises(NotImplementedError):
+            product.glb((1.0, 2.0), (2.0, 1.0))
+
+    def test_idempotent_product_glb_works(self):
+        product = ProductSemiring([FuzzySemiring(), FuzzySemiring()])
+        assert product.glb((0.3, 0.9), (0.8, 0.4)) == (0.3, 0.4)
+
+
+class TestConstraintScopeEdges:
+    def test_zero_arity_table(self, fuzzy):
+        # an empty-scope constant via ConstantConstraint, projected again
+        constant = ConstantConstraint(fuzzy, 0.7)
+        assert constant.project([]) is constant
+        assert constant.consistency() == 0.7
+
+    def test_projection_of_projection(self, fuzzy):
+        x = variable("x", [0, 1])
+        y = variable("y", [0, 1])
+        z = variable("z", [0, 1])
+        c = FunctionConstraint(
+            fuzzy, (x, y, z), lambda a, b, c_: (a + b + c_) / 3.0
+        )
+        via_two_steps = c.project(["x", "y"]).project(["x"])
+        direct = c.project(["x"])
+        from repro.constraints import constraints_equal
+
+        assert constraints_equal(via_two_steps, direct)
+
+    def test_hide_all_variables(self, fuzzy):
+        x = variable("x", [0, 1])
+        c = FunctionConstraint(fuzzy, (x,), lambda v: 0.5 + 0.2 * v)
+        hidden = c.hide("x")
+        assert hidden.scope == ()
+        assert hidden({}) == 0.7  # max over x
+
+    def test_single_value_domain(self, weighted):
+        x = variable("x", [42])
+        c = FunctionConstraint(weighted, (x,), lambda v: float(v))
+        assert c.consistency() == 42.0
+
+
+class TestManagerEventLog:
+    def test_event_str_format(self):
+        from repro.soa import ManagementEvent
+
+        event = ManagementEvent(tick=7, kind="rebound", detail="SLA#3")
+        text = str(event)
+        assert "7" in text and "rebound" in text and "SLA#3" in text
+
+
+class TestCapabilityProfiles:
+    def test_profile_count_is_power_of_two(self):
+        from repro.soa import policy
+
+        p = policy("p", must={"a"}, may={"b", "c", "d"})
+        assert len(p.admissible_profiles()) == 2**3
+
+    def test_no_may_single_profile(self):
+        from repro.soa import policy
+
+        p = policy("p", must={"a", "b"})
+        assert p.admissible_profiles() == [frozenset({"a", "b"})]
+
+
+class TestQueryTieBreaks:
+    def test_equal_levels_rank_shorter_plans_first(self):
+        from repro.soa import (
+            QoSDocument,
+            QoSPolicy,
+            QueryEngine,
+            ServiceDescription,
+            ServiceInterface,
+            ServiceQuery,
+            ServiceRegistry,
+        )
+
+        registry = ServiceRegistry()
+
+        def publish(service_id, inputs, outputs, reliability):
+            registry.publish(
+                ServiceDescription(
+                    service_id=service_id,
+                    name=service_id,
+                    provider=f"p-{service_id}",
+                    interface=ServiceInterface(
+                        operation=service_id,
+                        inputs=inputs,
+                        outputs=outputs,
+                    ),
+                    qos=QoSDocument(
+                        service_name=service_id,
+                        provider=f"p-{service_id}",
+                        policies=[
+                            QoSPolicy(
+                                attribute="reliability",
+                                constant=reliability,
+                            )
+                        ],
+                    ),
+                )
+            )
+
+        # a 1.0-reliable monolith and a 1.0·1.0 pipeline: same level
+        publish("mono", ("a",), ("c",), 1.0)
+        publish("s1", ("a",), ("b",), 1.0)
+        publish("s2", ("b",), ("c",), 1.0)
+        engine = QueryEngine(registry)
+        answer = engine.query(
+            ServiceQuery(
+                attribute="reliability",
+                produces=("c",),
+                consumes=("a",),
+                max_chain=2,
+            )
+        )
+        assert answer.best.plan.services() == ["mono"]  # shorter wins ties
+
+
+class TestStoreValueDelegation:
+    def test_store_value_matches_constraint(self, fuzzy):
+        from repro.constraints import empty_store
+
+        x = variable("x", [0, 1])
+        c = TableConstraint(fuzzy, [x], {(0,): 0.2, (1,): 0.9})
+        store = empty_store(fuzzy).tell(c)
+        assert store.value({"x": 1}) == 0.9
+        assert store.support == ("x",)

@@ -1,0 +1,205 @@
+"""JSON round-trips for problems, QoS documents and trust networks."""
+
+import math
+
+import pytest
+
+from repro import serialization as ser
+from repro.coalitions import TrustNetwork, figure9_network
+from repro.constraints import (
+    ConstantConstraint,
+    FunctionConstraint,
+    Polynomial,
+    TableConstraint,
+    constraints_equal,
+    integer_variable,
+    variable,
+)
+from repro.semirings import (
+    BooleanSemiring,
+    BoundedWeightedSemiring,
+    FuzzySemiring,
+    ProbabilisticSemiring,
+    ProductSemiring,
+    SetSemiring,
+    WeightedSemiring,
+)
+from repro.soa import QoSDocument, QoSPolicy
+from repro.solver import SCSP, solve
+
+
+class TestSemiringRoundTrip:
+    @pytest.mark.parametrize(
+        "semiring",
+        [
+            BooleanSemiring(),
+            FuzzySemiring(),
+            ProbabilisticSemiring(),
+            WeightedSemiring(),
+            WeightedSemiring(integral=True),
+            BoundedWeightedSemiring(cap=9.0),
+            SetSemiring({"a", "b"}),
+            ProductSemiring([WeightedSemiring(), FuzzySemiring()]),
+        ],
+        ids=lambda s: s.name,
+    )
+    def test_round_trip(self, semiring):
+        payload = ser.semiring_to_dict(semiring)
+        assert ser.semiring_from_dict(payload) == semiring
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ser.SerializationError):
+            ser.semiring_from_dict({"kind": "quantum"})
+
+
+class TestValueRoundTrip:
+    @pytest.mark.parametrize(
+        "value",
+        [0.5, True, math.inf, frozenset({"x", "y"}), (3.0, 0.5), "a"],
+    )
+    def test_round_trip(self, value):
+        assert ser.value_from_json(ser.value_to_json(value)) == value
+
+    def test_infinity_encoding(self):
+        assert ser.value_to_json(math.inf) == "inf"
+
+    def test_nested_tuple(self):
+        value = ((1.0, frozenset({"a"})), 2.0)
+        assert ser.value_from_json(ser.value_to_json(value)) == value
+
+
+class TestConstraintRoundTrip:
+    def test_table_constraint(self, fuzzy):
+        x = variable("x", [0, 1, 2])
+        constraint = TableConstraint(
+            fuzzy, [x], {(0,): 0.9, (1,): 0.4}, default=0.1, name="t"
+        )
+        clone = ser.constraint_from_dict(
+            ser.constraint_to_dict(constraint)
+        )
+        assert constraints_equal(constraint, clone)
+        assert clone.name == "t"
+
+    def test_weighted_table_with_infinity(self, weighted):
+        x = variable("x", [0, 1])
+        constraint = TableConstraint(
+            weighted, [x], {(0,): 3.0, (1,): weighted.zero}
+        )
+        clone = ser.constraint_from_dict(
+            ser.constraint_to_dict(constraint)
+        )
+        assert constraints_equal(constraint, clone)
+
+    def test_constant_constraint(self, probabilistic):
+        constraint = ConstantConstraint(probabilistic, 0.7)
+        clone = ser.constraint_from_dict(
+            ser.constraint_to_dict(constraint)
+        )
+        assert constraints_equal(constraint, clone)
+
+    def test_polynomial_constraint_stays_symbolic(self, weighted):
+        x = integer_variable("x", 10)
+        constraint = ser.serializable_polynomial_constraint(
+            weighted, [x], Polynomial.linear({"x": 2}, 2), name="2x+2"
+        )
+        payload = ser.constraint_to_dict(constraint)
+        assert payload["kind"] == "polynomial"
+        clone = ser.constraint_from_dict(payload)
+        assert constraints_equal(constraint, clone)
+
+    def test_function_constraint_materializes(self, fuzzy):
+        x = variable("x", [0, 1])
+        constraint = FunctionConstraint(fuzzy, (x,), lambda v: 0.5)
+        payload = ser.constraint_to_dict(constraint)
+        assert payload["kind"] == "table"
+        assert constraints_equal(
+            constraint, ser.constraint_from_dict(payload)
+        )
+
+
+class TestProblemRoundTrip:
+    def test_fig1_problem(self, fig1):
+        problem = SCSP(
+            [fig1["c1"], fig1["c2"], fig1["c3"]], con=["X"], name="fig1"
+        )
+        clone = ser.problem_from_dict(ser.problem_to_dict(problem))
+        assert clone.name == "fig1"
+        assert clone.con == ("X",)
+        assert solve(clone).blevel == solve(problem).blevel == 7.0
+
+    def test_dumps_loads_top_level(self, fig1):
+        problem = SCSP([fig1["c1"], fig1["c2"], fig1["c3"]], con=["X"])
+        text = ser.dumps(problem)
+        clone = ser.loads(text)
+        assert isinstance(clone, SCSP)
+        assert solve(clone).blevel == 7.0
+
+    def test_unsupported_object_rejected(self):
+        with pytest.raises(ser.SerializationError):
+            ser.dumps(object())
+
+
+class TestQoSRoundTrip:
+    def test_full_document(self):
+        document = QoSDocument(
+            service_name="compress",
+            provider="ACME",
+            policies=[
+                QoSPolicy(attribute="reliability", constant=0.97),
+                QoSPolicy(
+                    attribute="cost",
+                    variables={"jobs": range(0, 4)},
+                    polynomial=Polynomial.linear({"jobs": 1.5}, 2.0),
+                ),
+                QoSPolicy(
+                    attribute="fuzzy-reliability",
+                    variables={"tier": (0, 1)},
+                    table={(0,): 0.3, (1,): 0.9},
+                ),
+            ],
+        )
+        clone = ser.qos_document_from_dict(
+            ser.qos_document_to_dict(document)
+        )
+        assert clone.provider == "ACME"
+        assert clone.policy_for("reliability").constant == 0.97
+        assert clone.policy_for("cost").polynomial == Polynomial.linear(
+            {"jobs": 1.5}, 2.0
+        )
+        assert clone.policy_for("fuzzy-reliability").table[(1,)] == 0.9
+
+    def test_fn_policy_rejected(self):
+        document = QoSDocument(
+            service_name="x",
+            provider="P",
+            policies=[
+                QoSPolicy(
+                    attribute="cost",
+                    variables={"x": (0, 1)},
+                    fn=lambda x: float(x),
+                )
+            ],
+        )
+        with pytest.raises(ser.SerializationError, match="fn-based"):
+            ser.qos_document_to_dict(document)
+
+
+class TestTrustNetworkRoundTrip:
+    def test_figure9(self):
+        network = figure9_network()
+        clone = ser.trust_network_from_dict(
+            ser.trust_network_to_dict(network)
+        )
+        assert clone.agents == network.agents
+        assert clone.known_scores() == network.known_scores()
+        assert clone.default == network.default
+
+    def test_dumps_loads(self):
+        network = TrustNetwork(["a", "b"], {("a", "b"): 0.7})
+        clone = ser.loads(ser.dumps(network))
+        assert isinstance(clone, TrustNetwork)
+        assert clone.trust("a", "b") == 0.7
+
+    def test_unknown_payload_kind(self):
+        with pytest.raises(ser.SerializationError):
+            ser.loads('{"kind": "mystery"}')

@@ -1,0 +1,96 @@
+"""Property-based round-trip tests for the JSON wire format."""
+
+import itertools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import serialization as ser
+from repro.coalitions import TrustNetwork
+from repro.constraints import (
+    Polynomial,
+    TableConstraint,
+    constraints_equal,
+    variable,
+)
+from repro.semirings import FuzzySemiring, WeightedSemiring
+from repro.solver import SCSP, solve_exhaustive
+
+FUZZY = FuzzySemiring()
+WEIGHTED = WeightedSemiring()
+
+_X = variable("x", (0, 1, 2))
+_Y = variable("y", (0, 1))
+
+fuzzy_levels = st.sampled_from((0.0, 0.25, 0.5, 0.75, 1.0))
+weights = st.sampled_from((0.0, 1.0, 2.5, 7.0, float("inf")))
+
+
+def table_strategy(semiring, scope, values):
+    keys = list(itertools.product(*[v.domain for v in scope]))
+    return st.lists(values, min_size=len(keys), max_size=len(keys)).map(
+        lambda vs: TableConstraint(semiring, scope, dict(zip(keys, vs)))
+    )
+
+
+@settings(max_examples=50)
+@given(table_strategy(FUZZY, (_X, _Y), fuzzy_levels))
+def test_fuzzy_table_round_trip(constraint):
+    clone = ser.constraint_from_dict(ser.constraint_to_dict(constraint))
+    assert constraints_equal(constraint, clone)
+
+
+@settings(max_examples=50)
+@given(table_strategy(WEIGHTED, (_X,), weights))
+def test_weighted_table_round_trip_including_infinity(constraint):
+    clone = ser.constraint_from_dict(ser.constraint_to_dict(constraint))
+    assert constraints_equal(constraint, clone)
+
+
+@settings(max_examples=30)
+@given(
+    table_strategy(FUZZY, (_X,), fuzzy_levels),
+    table_strategy(FUZZY, (_X, _Y), fuzzy_levels),
+)
+def test_problem_round_trip_preserves_blevel_and_optima(unary, binary):
+    problem = SCSP([unary, binary], con=["x"])
+    clone = ser.problem_from_dict(ser.problem_to_dict(problem))
+    original = solve_exhaustive(problem)
+    reloaded = solve_exhaustive(clone)
+    assert original.blevel == reloaded.blevel
+    assert {tuple(sorted(d.items())) for d in original.optima[0]} == {
+        tuple(sorted(d.items())) for d in reloaded.optima[0]
+    }
+
+
+@settings(max_examples=50)
+@given(
+    st.dictionaries(
+        st.tuples(
+            st.sampled_from(("a", "b", "c")),
+            st.sampled_from(("a", "b", "c")),
+        ),
+        st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+        max_size=9,
+    )
+)
+def test_trust_network_round_trip(scores):
+    network = TrustNetwork(["a", "b", "c"], scores, default=0.5)
+    clone = ser.trust_network_from_dict(ser.trust_network_to_dict(network))
+    assert clone.known_scores() == network.known_scores()
+    assert clone.default == 0.5
+
+
+@settings(max_examples=40)
+@given(
+    st.dictionaries(
+        st.sampled_from(("x", "y")),
+        st.floats(min_value=-5, max_value=5, allow_nan=False),
+        max_size=2,
+    ),
+    st.floats(min_value=-10, max_value=10, allow_nan=False),
+)
+def test_polynomial_round_trip(terms, constant):
+    polynomial = Polynomial.linear(terms, constant)
+    clone = ser.polynomial_from_dict(ser.polynomial_to_dict(polynomial))
+    assert clone == polynomial

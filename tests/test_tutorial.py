@@ -1,0 +1,28 @@
+"""docs/tutorial.md is executable documentation — run every snippet."""
+
+import pathlib
+import re
+
+TUTORIAL = (
+    pathlib.Path(__file__).resolve().parents[1] / "docs" / "tutorial.md"
+)
+
+
+def test_tutorial_snippets_run_in_order(capsys):
+    text = TUTORIAL.read_text()
+    snippets = re.findall(r"```python\n(.*?)```", text, re.S)
+    assert len(snippets) >= 8, "tutorial lost its code"
+    namespace: dict = {}
+    for index, snippet in enumerate(snippets):
+        try:
+            exec(snippet, namespace)  # noqa: S102 - docs under test
+        except Exception as exc:  # pragma: no cover - diagnostic
+            raise AssertionError(
+                f"tutorial snippet {index} failed: {exc!r}\n{snippet}"
+            ) from exc
+
+    # the walkthrough's promised endings actually happened
+    assert namespace["negotiated"].sla.providers == ("Acme",)
+    run_report = namespace["run_report"]
+    assert run_report.rebindings >= 1
+    assert not run_report.gave_up
