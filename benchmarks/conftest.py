@@ -5,10 +5,21 @@ DESIGN.md E1–E8) or one of our scalability/ablation studies (E9–E12).
 ``report`` prints the same rows/series the paper reports so a run of
 ``pytest benchmarks/ --benchmark-only -s`` doubles as the reproduction
 log recorded in EXPERIMENTS.md.
+
+Telemetry: set ``REPRO_TELEMETRY=1`` to give every benchmark its own
+:mod:`repro.telemetry` session and dump the per-test metrics snapshot as
+``TELEMETRY_<test>.json`` next to the ``BENCH_*.json`` artifacts
+(``REPRO_TELEMETRY_DIR``, default ``benchmarks/telemetry``).  Left
+unset, benchmarks run against the null registry — the configuration the
+solver-scaling regression gate measures.
 """
 
 from __future__ import annotations
 
+import json
+import os
+import re
+from pathlib import Path
 from typing import Iterable, Sequence
 
 import pytest
@@ -28,6 +39,34 @@ def report(title: str, rows: Iterable[Sequence], headers: Sequence[str]):
     print("  ".join("-" * w for w in widths))
     for row in rows:
         print("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+
+
+@pytest.fixture(autouse=True)
+def _telemetry_dump(request):
+    """Per-benchmark telemetry session, gated on ``REPRO_TELEMETRY``."""
+    if not os.environ.get("REPRO_TELEMETRY"):
+        yield
+        return
+    from repro.telemetry import telemetry_session, write_snapshot
+
+    out_dir = Path(
+        os.environ.get("REPRO_TELEMETRY_DIR", "benchmarks/telemetry")
+    )
+    out_dir.mkdir(parents=True, exist_ok=True)
+    with telemetry_session() as session:
+        yield
+        safe = re.sub(r"[^A-Za-z0-9_.-]+", "_", request.node.nodeid)
+        write_snapshot(
+            out_dir / f"TELEMETRY_{safe}.json",
+            session.registry,
+            session.tracer,
+            session.events,
+        )
+
+
+def load_telemetry_snapshot(path):
+    """Read back one ``TELEMETRY_*.json`` dump (bench post-processing)."""
+    return json.loads(Path(path).read_text())
 
 
 @pytest.fixture

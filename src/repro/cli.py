@@ -12,6 +12,12 @@ Each command reads JSON and prints a JSON result on stdout, so the tools
 compose in shell pipelines.  Exit status 0 = the engine ran and found an
 answer; 1 = well-formed input but no solution (inconsistent problem,
 failed negotiation); 2 = bad input.
+
+Observability (any command): ``--telemetry`` collects metrics and spans
+for the run and embeds the snapshot under a ``"telemetry"`` key in the
+output; ``--trace-out PATH`` writes the span/event journal as JSON
+lines; ``--prometheus-out PATH`` writes the metrics in Prometheus text
+format.
 """
 
 from __future__ import annotations
@@ -20,7 +26,7 @@ import argparse
 import json
 import sys
 from pathlib import Path
-from typing import Any, Dict
+from typing import Any, Dict, Optional
 
 from . import serialization
 from .coalitions import solve_exact, solve_local_search
@@ -31,6 +37,17 @@ from .soa.broker import Broker, ClientRequest
 from .soa.registry import ServiceRegistry
 from .soa.service import ServiceDescription, ServiceInterface
 from .solver import solve
+from .telemetry import (
+    TelemetrySession,
+    snapshot as telemetry_snapshot,
+    telemetry_session,
+    write_prometheus,
+    write_trace_jsonl,
+)
+
+#: The session active for the current command (set by ``main``); when
+#: present, ``_emit`` attaches its snapshot to the printed payload.
+_session: Optional[TelemetrySession] = None
 
 
 def _read_json(path: str) -> Any:
@@ -41,6 +58,13 @@ def _read_json(path: str) -> Any:
 
 
 def _emit(payload: Dict[str, Any]) -> None:
+    if _session is not None:
+        payload = {
+            **payload,
+            "telemetry": telemetry_snapshot(
+                _session.registry, _session.tracer, _session.events
+            ),
+        }
     json.dump(payload, sys.stdout, indent=2, default=str)
     sys.stdout.write("\n")
 
@@ -147,7 +171,12 @@ def cmd_negotiate(args: argparse.Namespace) -> int:
         acceptance=acceptance,
     )
     broker = Broker(registry)
-    result = broker.negotiate(request)
+    result = broker.negotiate(
+        request,
+        verify_scheduler_independence=getattr(
+            args, "verify_independence", False
+        ),
+    )
     _emit(
         {
             "success": result.success,
@@ -204,9 +233,31 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Soft constraints for dependable SOAs — CLI",
     )
+    observability = argparse.ArgumentParser(add_help=False)
+    observability.add_argument(
+        "--telemetry",
+        action="store_true",
+        help="collect metrics/spans and embed the snapshot in the output",
+    )
+    observability.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="PATH",
+        help="write the span/event journal as JSON lines (implies "
+        "--telemetry)",
+    )
+    observability.add_argument(
+        "--prometheus-out",
+        default=None,
+        metavar="PATH",
+        help="write metrics in Prometheus text format (implies "
+        "--telemetry)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p_solve = sub.add_parser("solve", help="solve a JSON SCSP")
+    p_solve = sub.add_parser(
+        "solve", help="solve a JSON SCSP", parents=[observability]
+    )
     p_solve.add_argument("problem", help="path to an scsp JSON file")
     p_solve.add_argument(
         "--method",
@@ -216,7 +267,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_solve.set_defaults(fn=cmd_solve)
 
     p_coal = sub.add_parser(
-        "coalitions", help="partition a JSON trust network"
+        "coalitions",
+        help="partition a JSON trust network",
+        parents=[observability],
     )
     p_coal.add_argument("network", help="path to a trust-network JSON file")
     p_coal.add_argument(
@@ -230,13 +283,23 @@ def build_parser() -> argparse.ArgumentParser:
     p_coal.set_defaults(fn=cmd_coalitions)
 
     p_neg = sub.add_parser(
-        "negotiate", help="run the broker over a JSON market"
+        "negotiate",
+        help="run the broker over a JSON market",
+        parents=[observability],
     )
     p_neg.add_argument("market", help="path to a market JSON file")
+    p_neg.add_argument(
+        "--verify-independence",
+        action="store_true",
+        help="re-run the winner as nmsccp agents and certify the outcome "
+        "is scheduler-independent",
+    )
     p_neg.set_defaults(fn=cmd_negotiate)
 
     p_val = sub.add_parser(
-        "validate-semiring", help="check semiring laws on a sample"
+        "validate-semiring",
+        help="check semiring laws on a sample",
+        parents=[observability],
     )
     p_val.add_argument("name", help="registered semiring name")
     p_val.add_argument(
@@ -248,13 +311,30 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv=None) -> int:
+    global _session
     parser = build_parser()
     args = parser.parse_args(argv)
+    trace_out = getattr(args, "trace_out", None)
+    prometheus_out = getattr(args, "prometheus_out", None)
+    wants_telemetry = bool(
+        getattr(args, "telemetry", False) or trace_out or prometheus_out
+    )
     try:
-        return args.fn(args)
+        if not wants_telemetry:
+            return args.fn(args)
+        with telemetry_session() as session:
+            _session = session
+            code = args.fn(args)
+            if trace_out:
+                write_trace_jsonl(trace_out, session.tracer, session.events)
+            if prometheus_out:
+                write_prometheus(prometheus_out, session.registry)
+            return code
     except serialization.SerializationError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    finally:
+        _session = None
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via subprocess

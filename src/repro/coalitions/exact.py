@@ -13,7 +13,6 @@ from dataclasses import dataclass, field
 from typing import Iterator, List, Optional, Sequence
 
 from .coalition import (
-    Coalition,
     Partition,
     normalize_partition,
     partition_trust,

@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import Any, Iterable, Tuple
 
 from ..semirings.base import Semiring
+from ..telemetry.caching import DEFAULT_CACHE_SIZE, LRUCache
 from .constraint import ConstantConstraint, SoftConstraint
 from .operations import constraint_leq
 from .table import to_table
@@ -24,6 +25,25 @@ _MATERIALIZE_LIMIT = 200_000
 
 #: Sentinel marking a not-yet-computed cached consistency.
 _UNSET = object()
+
+#: Memo for ``σ ⊢ c`` checks.  Entailment is the hot premise of the R2/
+#: R6/R7 transitions and the exhaustive explorer re-derives it for the
+#: same ``(σ, c)`` pair along every interleaving, so the memo pays for
+#: itself quickly — but it used to be the kind of cache that grows
+#: without bound.  It is LRU-capped; keys are the *constraint objects*
+#: themselves (identity hashing — none of the constraint classes define
+#:  ``__eq__``), and holding strong references in the cache means a key
+#: can never be garbage-collected into an ambiguous identity.
+_entailment_cache = LRUCache(DEFAULT_CACHE_SIZE, name="store-entails")
+
+
+def set_entailment_cache_size(maxsize: int) -> None:
+    """Re-cap (and implicitly trim) the shared entailment memo."""
+    _entailment_cache.resize(maxsize)
+
+
+def entailment_cache_stats() -> dict:
+    return _entailment_cache.stats()
 
 
 class StoreError(Exception):
@@ -112,8 +132,11 @@ class ConstraintStore:
     # ------------------------------------------------------------------
 
     def entails(self, constraint: SoftConstraint) -> bool:
-        """``σ ⊢ c  ⇔  σ ⊑ c`` — the ask premise (rule R2)."""
-        return constraint_leq(self.constraint, constraint)
+        """``σ ⊢ c  ⇔  σ ⊑ c`` — the ask premise (rule R2), memoized."""
+        return _entailment_cache.get_or_compute(
+            (self.constraint, constraint),
+            lambda: constraint_leq(self.constraint, constraint),
+        )
 
     def consistency(self) -> Any:
         """``σ ⇓∅`` — the α-consistency level checked by C1–C4.

@@ -15,15 +15,26 @@ from typing import List, Optional
 
 from ..constraints.store import ConstraintStore, empty_store
 from ..semirings.base import Semiring
+from ..telemetry import get_registry, get_tracer
 from .procedures import EMPTY_PROCEDURES, ProcedureTable
 from .scheduler import DeterministicScheduler, Scheduler
 from .syntax import Agent
 from .traces import Trace
 from .transitions import (
+    RULES,
     Configuration,
     config_key,
     successors,
 )
+
+
+def _transition_counter(registry):
+    """The per-rule transition counter family, preseeded with R1–R10."""
+    return registry.counter(
+        "sccp_transitions_total",
+        "nmsccp transitions taken, by Fig. 4 rule.",
+        labelnames=("rule",),
+    ).preseed(RULES)
 
 
 class Status(Enum):
@@ -75,24 +86,60 @@ def run(
         store = empty_store(semiring)
     scheduler = scheduler or DeterministicScheduler()
 
+    registry = get_registry()
+    # Hoisted so the step loop pays one bool check when telemetry is off.
+    counting = registry.enabled
+    transitions = _transition_counter(registry) if counting else None
+
     configuration = Configuration(agent, store)
     trace = Trace()
     steps_taken = 0
-    while steps_taken < max_steps:
-        if configuration.is_terminal:
-            return RunResult(Status.SUCCESS, configuration, trace, steps_taken)
-        enabled = successors(configuration, procedures)
-        if not enabled:
-            return RunResult(
-                Status.DEADLOCK, configuration, trace, steps_taken
-            )
-        step = scheduler.choose(enabled)
-        trace.record(step)
-        configuration = step.configuration
-        steps_taken += 1
-    if configuration.is_terminal:
-        return RunResult(Status.SUCCESS, configuration, trace, steps_taken)
-    return RunResult(Status.EXHAUSTED, configuration, trace, steps_taken)
+    with get_tracer().span("sccp.run"):
+        while steps_taken < max_steps:
+            if configuration.is_terminal:
+                return _finish(
+                    Status.SUCCESS, configuration, trace, steps_taken, registry
+                )
+            enabled = successors(configuration, procedures)
+            if not enabled:
+                return _finish(
+                    Status.DEADLOCK,
+                    configuration,
+                    trace,
+                    steps_taken,
+                    registry,
+                )
+            step = scheduler.choose(enabled)
+            trace.record(step)
+            if counting:
+                transitions.labels(step.rule).inc()
+            configuration = step.configuration
+            steps_taken += 1
+        status = (
+            Status.SUCCESS if configuration.is_terminal else Status.EXHAUSTED
+        )
+        return _finish(status, configuration, trace, steps_taken, registry)
+
+
+def _finish(
+    status: Status,
+    configuration: Configuration,
+    trace: Trace,
+    steps: int,
+    registry,
+) -> RunResult:
+    if registry.enabled:
+        registry.counter(
+            "sccp_runs_total",
+            "Scheduled nmsccp executions, by final status.",
+            labelnames=("status",),
+        ).labels(status.value).inc()
+        registry.histogram(
+            "sccp_run_steps",
+            "Transitions per scheduled run.",
+            buckets=(1, 2, 5, 10, 25, 50, 100, 250, 1000, 10_000),
+        ).observe(steps)
+    return RunResult(status, configuration, trace, steps)
 
 
 @dataclass
@@ -144,6 +191,35 @@ def explore(
     queue = deque([initial])
     terminal_keys = set()
 
+    with get_tracer().span("sccp.explore"):
+        _explore_loop(result, seen, queue, terminal_keys, procedures,
+                      max_configurations)
+    registry = get_registry()
+    if registry.enabled:
+        registry.counter(
+            "sccp_configurations_visited_total",
+            "Configurations expanded by exhaustive exploration.",
+        ).inc(result.configurations_visited)
+        registry.counter(
+            "sccp_explorations_total",
+            "Exhaustive explorations, by verdict.",
+            labelnames=("verdict",),
+        ).labels(
+            "truncated"
+            if result.truncated
+            else ("always-succeeds" if result.always_succeeds else "mixed")
+        ).inc()
+    return result
+
+
+def _explore_loop(
+    result: ExplorationResult,
+    seen: set,
+    queue: deque,
+    terminal_keys: set,
+    procedures: ProcedureTable,
+    max_configurations: int,
+) -> None:
     while queue:
         if result.configurations_visited >= max_configurations:
             result.truncated = True
@@ -168,4 +244,3 @@ def explore(
             if key not in seen:
                 seen.add(key)
                 queue.append(step.configuration)
-    return result

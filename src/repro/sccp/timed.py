@@ -26,7 +26,7 @@ from typing import List, Mapping, Optional
 
 from ..constraints.store import ConstraintStore, empty_store
 from ..semirings.base import Semiring
-from .interpreter import RunResult, Status
+from .interpreter import Status
 from .procedures import EMPTY_PROCEDURES, ProcedureTable
 from .scheduler import DeterministicScheduler, Scheduler
 from .syntax import Agent, Ask, Nask, Success, SyntaxError_

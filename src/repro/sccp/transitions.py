@@ -32,6 +32,36 @@ from .syntax import (
 #: Generator of globally fresh variable names for the hiding rule (R9).
 _fresh_counter = itertools.count(1)
 
+#: Every rule label the transition system can emit (Fig. 4, R1–R10) —
+#: the telemetry layer preseeds its per-rule counters with these so a
+#: metrics snapshot always shows the complete family.
+RULES: Tuple[str, ...] = (
+    "R1-Tell",
+    "R2-Ask",
+    "R3-Parall1",
+    "R4-Parall2",
+    "R5-Nondet",
+    "R6-Nask",
+    "R7-Retract",
+    "R8-Update",
+    "R9-Hide",
+    "R10-PCall",
+)
+
+
+def _count_check_failure(rule: str) -> None:
+    """Record a transition blocked by its check (C1–C4) — failure path
+    only, so the enabled-transition fast path stays untouched."""
+    from ..telemetry import get_registry
+
+    registry = get_registry()
+    if registry.enabled:
+        registry.counter(
+            "sccp_check_failures_total",
+            "Transitions blocked by their check interval.",
+            labelnames=("rule",),
+        ).labels(rule).inc()
+
 
 def fresh_name(base: str) -> str:
     """A fresh variable name derived from ``base`` (never reused)."""
@@ -85,26 +115,32 @@ def _step(
                 "tell",
                 Configuration(agent.continuation, next_store),
             )
+        else:
+            _count_check_failure("R1-Tell")
         return
 
     if isinstance(agent, Ask):
         # R2: σ ⊢ c and check(σ).
-        if store.entails(agent.constraint) and (
-            agent.check is None or agent.check.holds(store)
-        ):
-            yield Step(
-                "R2-Ask", "ask", Configuration(agent.continuation, store)
-            )
+        if store.entails(agent.constraint):
+            if agent.check is None or agent.check.holds(store):
+                yield Step(
+                    "R2-Ask", "ask", Configuration(agent.continuation, store)
+                )
+            else:
+                _count_check_failure("R2-Ask")
         return
 
     if isinstance(agent, Nask):
         # R6: σ ⊬ c and check(σ).
-        if not store.entails(agent.constraint) and (
-            agent.check is None or agent.check.holds(store)
-        ):
-            yield Step(
-                "R6-Nask", "nask", Configuration(agent.continuation, store)
-            )
+        if not store.entails(agent.constraint):
+            if agent.check is None or agent.check.holds(store):
+                yield Step(
+                    "R6-Nask",
+                    "nask",
+                    Configuration(agent.continuation, store),
+                )
+            else:
+                _count_check_failure("R6-Nask")
         return
 
     if isinstance(agent, Retract):
@@ -117,6 +153,8 @@ def _step(
                     "retract",
                     Configuration(agent.continuation, next_store),
                 )
+            else:
+                _count_check_failure("R7-Retract")
         return
 
     if isinstance(agent, Update):
@@ -128,6 +166,8 @@ def _step(
                 "update",
                 Configuration(agent.continuation, next_store),
             )
+        else:
+            _count_check_failure("R8-Update")
         return
 
     if isinstance(agent, Sum):

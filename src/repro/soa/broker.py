@@ -17,10 +17,12 @@ the per-attribute aggregation rules.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..constraints.constraint import FunctionConstraint, SoftConstraint
+from ..telemetry import get_events, get_registry, get_tracer
 from ..constraints.operations import combine
 from ..constraints.store import empty_store
 from ..constraints.variables import Variable
@@ -173,15 +175,48 @@ class Broker:
         request: ClientRequest,
         verify_scheduler_independence: bool = False,
     ) -> NegotiationResult:
-        """Select the semiring-best provider for one operation."""
-        self._clock += 1
-        semiring = request.resolved_semiring()
-        self._post(request.client, "negotiate-request", request.operation)
+        """Select the semiring-best provider for one operation.
 
-        candidates = self.registry.find(
-            operation=request.operation, requires_attribute=request.attribute
-        )
-        self._post(self.name, "registry-query", len(candidates))
+        Each of the paper's five computation steps (Fig. 6) runs under
+        its own telemetry span, all children of one ``broker.request``
+        root; the result outcome is counted per class.
+        """
+        tracer = get_tracer()
+        with tracer.span(
+            "broker.request",
+            client=request.client,
+            operation=request.operation,
+            attribute=request.attribute,
+        ):
+            result = self._negotiate_steps(
+                request, verify_scheduler_independence, tracer
+            )
+        self._count_request(result)
+        return result
+
+    def _negotiate_steps(
+        self,
+        request: ClientRequest,
+        verify_scheduler_independence: bool,
+        tracer: Any,
+    ) -> NegotiationResult:
+        self._clock += 1
+
+        # Step 1: the client requests a binding, stating the required QoS.
+        with tracer.span("broker.step1-request"):
+            semiring = request.resolved_semiring()
+            self._post(
+                request.client, "negotiate-request", request.operation
+            )
+
+        # Step 2: the broker searches the registry for providers.
+        with tracer.span("broker.step2-registry-search") as span:
+            candidates = self.registry.find(
+                operation=request.operation,
+                requires_attribute=request.attribute,
+            )
+            span.set_attribute("candidates", len(candidates))
+            self._post(self.name, "registry-query", len(candidates))
         if not candidates:
             return NegotiationResult(
                 request,
@@ -192,31 +227,36 @@ class Broker:
                 f"{request.attribute!r}",
             )
 
-        evaluations: List[CandidateEvaluation] = []
-        for description in candidates:
-            evaluations.append(
-                self._evaluate(description, request, semiring)
-            )
+        # Step 3: QoS negotiation — one SCSP per candidate on the
+        # broker's store.
+        with tracer.span("broker.step3-negotiation"):
+            evaluations: List[CandidateEvaluation] = []
+            for description in candidates:
+                evaluations.append(
+                    self._evaluate(description, request, semiring)
+                )
 
-        accepted = [e for e in evaluations if e.accepted]
-        if not accepted:
-            self._post(self.name, "negotiate-reject", request.client)
-            return NegotiationResult(
-                request,
-                success=False,
-                sla=None,
-                evaluations=evaluations,
-                detail="no candidate satisfies the client's acceptance interval",
-            )
-
-        best = accepted[0]
-        for evaluation in accepted[1:]:
-            if semiring.gt(evaluation.blevel, best.blevel):
-                best = evaluation
-
-        outcome = self._confirm(best, request, semiring) if (
-            verify_scheduler_independence
-        ) else None
+        # Step 4: offered vs required QoS determine the agreed QoS.
+        with tracer.span("broker.step4-compare") as span:
+            accepted = [e for e in evaluations if e.accepted]
+            span.set_attribute("accepted", len(accepted))
+            if not accepted:
+                self._post(self.name, "negotiate-reject", request.client)
+                return NegotiationResult(
+                    request,
+                    success=False,
+                    sla=None,
+                    evaluations=evaluations,
+                    detail="no candidate satisfies the client's "
+                    "acceptance interval",
+                )
+            best = accepted[0]
+            for evaluation in accepted[1:]:
+                if semiring.gt(evaluation.blevel, best.blevel):
+                    best = evaluation
+            outcome = self._confirm(best, request, semiring) if (
+                verify_scheduler_independence
+            ) else None
         if outcome is not None and not outcome.success:
             return NegotiationResult(
                 request,
@@ -227,8 +267,19 @@ class Broker:
                 detail="nmsccp confirmation run failed",
             )
 
-        sla = self._sign(best, request, semiring)
-        self._post(self.name, "sla-created", sla.sla_id)
+        # Step 5: the SLA binding is created and both parties informed.
+        with tracer.span("broker.step5-sla") as span:
+            sla = self._sign(best, request, semiring)
+            span.set_attribute("sla_id", sla.sla_id)
+            self._post(self.name, "sla-created", sla.sla_id)
+        get_events().emit(
+            "broker.sla-created",
+            sla_id=sla.sla_id,
+            client=request.client,
+            provider=best.description.provider,
+            service_id=best.description.service_id,
+            attribute=request.attribute,
+        )
         return NegotiationResult(
             request,
             success=True,
@@ -237,6 +288,28 @@ class Broker:
             outcome=outcome,
             detail=f"bound to {best.description.service_id!r}",
         )
+
+    def _count_request(self, result: NegotiationResult) -> None:
+        registry = get_registry()
+        if not registry.enabled:
+            return
+        if result.success:
+            outcome = "success"
+        elif not result.evaluations:
+            outcome = "no-provider"
+        elif result.outcome is not None and not result.outcome.success:
+            outcome = "confirmation-failed"
+        else:
+            outcome = "rejected"
+        registry.counter(
+            "broker_requests_total",
+            "Client binding requests, by outcome.",
+            labelnames=("outcome",),
+        ).labels(outcome).inc()
+        registry.counter(
+            "broker_candidates_evaluated_total",
+            "Per-candidate SCSP evaluations performed.",
+        ).inc(len(result.evaluations))
 
     def _evaluate(
         self,
@@ -257,7 +330,17 @@ class Broker:
             return CandidateEvaluation(description, semiring.zero, False, None)
         constraints = list(request.requirements) + offer
         problem = SCSP(constraints, name=description.service_id)
-        result = solve(problem)
+        started = time.perf_counter()
+        with get_tracer().span(
+            "broker.candidate-solve",
+            service_id=description.service_id,
+            provider=description.provider,
+        ):
+            result = solve(problem)
+        get_registry().histogram(
+            "broker_candidate_solve_seconds",
+            "Per-candidate SCSP solve wall time.",
+        ).observe(time.perf_counter() - started)
 
         if request.acceptance is not None:
             store = empty_store(semiring).tell(
@@ -349,6 +432,26 @@ class Broker:
         Returns ``(sla, plan, diagnostics)``; ``sla`` is ``None`` when no
         selection reaches ``minimum_level``.
         """
+        with get_tracer().span(
+            "broker.composition",
+            client=client,
+            slots=len(slots),
+            attribute=attribute,
+            pattern=pattern,
+        ):
+            return self._negotiate_composition(
+                client, slots, attribute, pattern, minimum_level, rule
+            )
+
+    def _negotiate_composition(
+        self,
+        client: str,
+        slots: Sequence[str],
+        attribute: str,
+        pattern: str,
+        minimum_level: Any,
+        rule: Optional[AggregationRule],
+    ) -> Tuple[Optional[SLA], Optional[Plan], Dict[str, Any]]:
         self._clock += 1
         semiring = resolve_attribute(attribute).semiring()
         if rule is None:
@@ -439,6 +542,13 @@ class Broker:
         )
         self.slas.add(sla)
         self._post(self.name, "composition-sla", sla.sla_id)
+        get_events().emit(
+            "broker.composition-sla",
+            sla_id=sla.sla_id,
+            client=client,
+            attribute=attribute,
+            service_ids=list(chosen_ids),
+        )
         return sla, plan, diagnostics
 
     # ------------------------------------------------------------------

@@ -15,6 +15,8 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
+from ..telemetry import get_events, get_registry
+
 
 @dataclass(frozen=True)
 class InjectedFault:
@@ -95,6 +97,21 @@ class FaultInjector:
             fault = model.apply(tick, self._rng)
             if fault is not None:
                 self.injected.append((tick, service_id, fault.kind))
+                registry = get_registry()
+                if registry.enabled:
+                    registry.counter(
+                        "faults_injected_total",
+                        "Faults injected between engine and services.",
+                        labelnames=("kind",),
+                    ).labels(fault.kind).inc()
+                    get_events().emit(
+                        "fault.injected",
+                        service_id=service_id,
+                        tick=tick,
+                        kind=fault.kind,
+                        fail=fault.fail,
+                        extra_latency_ms=fault.extra_latency_ms,
+                    )
                 return fault
         return None
 

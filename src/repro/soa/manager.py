@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, List, Optional, Sequence, Tuple
 
+from ..telemetry import get_events, get_registry
 from .broker import Broker
 from .composition import Plan
 from .execution import ExecutionEngine, ExecutionReport
@@ -243,3 +244,16 @@ class DependabilityManager:
         event = ManagementEvent(tick, kind, detail)
         outcome.events.append(event)
         self.events.append(event)
+        registry = get_registry()
+        if registry.enabled:
+            # One counter family mirrors the audit log, so renegotiation
+            # statistics (rebound/gave-up rates vs violations) fall out
+            # of a metrics snapshot without parsing event text.
+            registry.counter(
+                "manager_events_total",
+                "Dependability-manager decisions, by kind.",
+                labelnames=("kind",),
+            ).labels(kind).inc()
+            get_events().emit(
+                "manager." + kind, tick=tick, detail=detail
+            )

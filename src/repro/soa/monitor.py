@@ -11,8 +11,9 @@ between negotiation (Sec. 4) and monitoring.
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Deque, List, Optional
+from typing import Any, Callable, Deque, List, Optional
 
+from ..telemetry import get_events, get_registry
 from .execution import ExecutionReport
 from .sla import SLA, SLAViolation
 
@@ -35,6 +36,7 @@ class SLAMonitor:
         min_samples: int = 5,
         on_violation: Optional[Callable[[SLAViolation], None]] = None,
         threshold: Optional[float] = None,
+        registry: Optional[Any] = None,
     ) -> None:
         if window <= 0:
             raise ValueError("window must be positive")
@@ -42,6 +44,10 @@ class SLAMonitor:
         self.window = window
         self.min_samples = min(min_samples, window)
         self.on_violation = on_violation
+        #: Metrics sink.  ``None`` defers to the process-wide session at
+        #: observation time, so a monitor built before telemetry was
+        #: enabled still reports.
+        self._registry = registry
         #: The enforced level.  Defaults to the SLA's agreed level; a
         #: client may monitor against a looser contractual floor instead
         #: (e.g. the minimum it asked the broker for), so that ordinary
@@ -56,6 +62,10 @@ class SLAMonitor:
         self._samples: Deque[ExecutionReport] = deque(maxlen=window)
         self.violations: List[SLAViolation] = []
         self._observed = 0
+        #: Reports that arrived before the window held ``min_samples``
+        #: entries.  These used to vanish silently; they are now counted
+        #: here and in the ``sla_reports_total`` metric (phase="warmup").
+        self.early_reports = 0
 
     # ------------------------------------------------------------------
     # Feeding
@@ -65,7 +75,19 @@ class SLAMonitor:
         """Record one run; returns a violation if this run trips one."""
         self._samples.append(report)
         self._observed += 1
-        if len(self._samples) < self.min_samples:
+        warming_up = len(self._samples) < self.min_samples
+        if warming_up:
+            self.early_reports += 1
+        registry = self._registry or get_registry()
+        if registry.enabled:
+            registry.counter(
+                "sla_reports_total",
+                "Execution reports fed to SLA monitors.",
+                labelnames=("attribute", "phase"),
+            ).labels(
+                self.sla.attribute, "warmup" if warming_up else "active"
+            ).inc()
+        if warming_up:
             return None
         observed_level = self.current_level()
         if observed_level is None:
@@ -81,6 +103,20 @@ class SLAMonitor:
             detail=f"(window={len(self._samples)})",
         )
         self.violations.append(violation)
+        if registry.enabled:
+            registry.counter(
+                "sla_violations_total",
+                "SLA violations raised by monitors.",
+                labelnames=("attribute",),
+            ).labels(self.sla.attribute).inc()
+            get_events().emit(
+                "sla.violation",
+                sla_id=self.sla.sla_id,
+                attribute=self.sla.attribute,
+                expected=self.threshold,
+                observed=observed_level,
+                tick=report.tick,
+            )
         if self.on_violation is not None:
             self.on_violation(violation)
         return violation

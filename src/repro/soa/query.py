@@ -23,10 +23,11 @@ level).  The engine:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+from typing import Any, List, Optional, Sequence, Set, Tuple
 
 from ..semirings.base import Semiring
 from ..solver import SCSP, solve
+from ..telemetry.caching import DEFAULT_CACHE_SIZE, LRUCache
 from .capabilities import CapabilityPolicy, compose_policies
 from .composition import AGGREGATION_RULES, AggregationRule, Invoke, Pipeline, Plan
 from .qos import compile_document, resolve_attribute
@@ -98,11 +99,21 @@ class QueryAnswer:
 
 
 class QueryEngine:
-    """Answers :class:`ServiceQuery` objects against a registry."""
+    """Answers :class:`ServiceQuery` objects against a registry.
 
-    def __init__(self, registry: ServiceRegistry) -> None:
+    The per-(service, attribute) offer-level memo used to grow without
+    bound as the registry churned; it is now an LRU capped at
+    ``cache_size`` entries, with hit/miss counters on the telemetry
+    registry (``cache_hits_total{cache="query-offer-level"}``).
+    """
+
+    def __init__(
+        self,
+        registry: ServiceRegistry,
+        cache_size: int = DEFAULT_CACHE_SIZE,
+    ) -> None:
         self.registry = registry
-        self._level_cache: Dict[Tuple[str, str], Any] = {}
+        self._level_cache = LRUCache(cache_size, name="query-offer-level")
 
     # ------------------------------------------------------------------
     # Public API
@@ -241,18 +252,19 @@ class QueryEngine:
     def _offer_level(
         self, service_id: str, attribute: str, semiring: Semiring
     ) -> Optional[Any]:
-        key = (service_id, attribute)
-        if key not in self._level_cache:
+        def compute() -> Optional[Any]:
             description = self.registry.get(service_id)
             constraints = compile_document(
                 description.qos, attribute, semiring, {}
             )
             if not constraints:
-                self._level_cache[key] = None
-            else:
-                problem = SCSP(constraints, name=service_id)
-                self._level_cache[key] = solve(problem).blevel
-        return self._level_cache[key]
+                return None
+            problem = SCSP(constraints, name=service_id)
+            return solve(problem).blevel
+
+        return self._level_cache.get_or_compute(
+            (service_id, attribute), compute
+        )
 
     def _score(
         self,

@@ -12,12 +12,20 @@ elimination.
 
 from __future__ import annotations
 
+import time
 from typing import Any, Dict, List
 
 from ..constraints.constraint import SoftConstraint
 from ..constraints.variables import Variable
+from ..telemetry import get_tracer
 from .heuristics import OrderingFn, resolve_ordering
-from .problem import SCSP, ProblemError, SolverResult, SolverStats
+from .problem import (
+    SCSP,
+    ProblemError,
+    SolverResult,
+    SolverStats,
+    record_solve_metrics,
+)
 
 
 def solve_branch_bound(
@@ -37,6 +45,7 @@ def solve_branch_bound(
         raise ProblemError(
             f"branch & bound needs a total order; {semiring.name} is partial"
         )
+    started = time.perf_counter()
 
     order = resolve_ordering(ordering)(problem.variables, problem.constraints)
     stats = SolverStats()
@@ -91,6 +100,7 @@ def solve_branch_bound(
             stats.leaves_evaluated += 1
             if semiring.gt(accumulated, incumbent):
                 incumbent = accumulated
+                stats.incumbent_improvements += 1
                 witnesses = [dict(assignment)]
             elif accumulated == incumbent and incumbent != semiring.zero:
                 witnesses.append(dict(assignment))
@@ -111,7 +121,13 @@ def solve_branch_bound(
                 descend(depth + 1, node_value)
             del assignment[var.name]
 
-    descend(0, base_value)
+    with get_tracer().span(
+        "solver.solve", method="branch-bound", problem=problem.name
+    ):
+        descend(0, base_value)
+    record_solve_metrics(
+        "branch-bound", stats, time.perf_counter() - started
+    )
 
     blevel = incumbent
     seen: set = set()

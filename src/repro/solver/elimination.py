@@ -10,13 +10,20 @@ ablation compares the heuristics of :mod:`repro.solver.heuristics`.
 
 from __future__ import annotations
 
+import time
 from typing import Any, Dict, List
 
 from ..constraints.operations import combine
 from ..constraints.table import TableConstraint, to_table
 from ..constraints.variables import assignment_space_size
+from ..telemetry import get_tracer
 from .heuristics import OrderingFn, resolve_ordering
-from .problem import SCSP, SolverResult, SolverStats
+from .problem import (
+    SCSP,
+    SolverResult,
+    SolverStats,
+    record_solve_metrics,
+)
 
 
 def eliminate(
@@ -62,7 +69,14 @@ def solve_elimination(
 ) -> SolverResult:
     """Solve via bucket elimination; exact for partial orders too."""
     semiring = problem.semiring
-    table, stats = eliminate(problem, ordering)
+    started = time.perf_counter()
+    with get_tracer().span(
+        "solver.solve", method="elimination", problem=problem.name
+    ):
+        table, stats = eliminate(problem, ordering)
+    record_solve_metrics(
+        "elimination", stats, time.perf_counter() - started
+    )
 
     values: Dict[tuple, Any] = {}
     names = table.support

@@ -8,10 +8,12 @@ and the ground truth the other backends are tested against.
 
 from __future__ import annotations
 
+import time
 from typing import Any, Dict, List
 
 from ..constraints.variables import iter_assignments
-from .problem import SCSP, SolverResult, SolverStats
+from ..telemetry import get_tracer
+from .problem import SCSP, SolverResult, SolverStats, record_solve_metrics
 
 
 def solve_exhaustive(problem: SCSP) -> SolverResult:
@@ -24,21 +26,26 @@ def solve_exhaustive(problem: SCSP) -> SolverResult:
     """
     semiring = problem.semiring
     stats = SolverStats()
+    started = time.perf_counter()
 
     # value of Sol(P) per con-assignment (key: sorted tuple of items)
     solution_values: Dict[tuple, Any] = {}
     con_set = set(problem.con)
 
     blevel = semiring.zero
-    for assignment in iter_assignments(problem.variables):
-        stats.leaves_evaluated += 1
-        value = problem.evaluate(assignment)
-        blevel = semiring.plus(blevel, value)
-        key = tuple(
-            sorted((k, v) for k, v in assignment.items() if k in con_set)
-        )
-        previous = solution_values.get(key, semiring.zero)
-        solution_values[key] = semiring.plus(previous, value)
+    with get_tracer().span(
+        "solver.solve", method="exhaustive", problem=problem.name
+    ):
+        for assignment in iter_assignments(problem.variables):
+            stats.leaves_evaluated += 1
+            value = problem.evaluate(assignment)
+            blevel = semiring.plus(blevel, value)
+            key = tuple(
+                sorted((k, v) for k, v in assignment.items() if k in con_set)
+            )
+            previous = solution_values.get(key, semiring.zero)
+            solution_values[key] = semiring.plus(previous, value)
+    record_solve_metrics("exhaustive", stats, time.perf_counter() - started)
 
     frontier = semiring.max_elements(solution_values.values())
     optima: List[List[Dict[str, Any]]] = [

@@ -130,6 +130,7 @@ class SolverStats:
     prunes: int = 0
     buckets_processed: int = 0
     largest_intermediate: int = 0
+    incumbent_improvements: int = 0
 
     def merge(self, other: "SolverStats") -> "SolverStats":
         return SolverStats(
@@ -141,7 +142,69 @@ class SolverStats:
             largest_intermediate=max(
                 self.largest_intermediate, other.largest_intermediate
             ),
+            incumbent_improvements=self.incumbent_improvements
+            + other.incumbent_improvements,
         )
+
+
+def record_solve_metrics(
+    method: str, stats: SolverStats, seconds: float
+) -> None:
+    """Report one finished solve to the active telemetry registry.
+
+    Called once per solve (never inside the search loop), so the search
+    itself carries zero telemetry overhead; with telemetry disabled this
+    is one attribute check.
+    """
+    from ..telemetry import get_registry
+
+    registry = get_registry()
+    if not registry.enabled:
+        return
+    labels = ("method",)
+    registry.counter(
+        "solver_solves_total", "Finished SCSP solves.", labels
+    ).labels(method).inc()
+    registry.histogram(
+        "solver_solve_seconds", "Wall time per SCSP solve.", labels
+    ).labels(method).observe(seconds)
+    for counter_name, help_text, amount in (
+        (
+            "solver_nodes_expanded_total",
+            "Search-tree nodes expanded.",
+            stats.nodes_expanded,
+        ),
+        (
+            "solver_prunes_total",
+            "Subtrees pruned by the bound.",
+            stats.prunes,
+        ),
+        (
+            "solver_leaves_evaluated_total",
+            "Complete assignments evaluated.",
+            stats.leaves_evaluated,
+        ),
+        (
+            "solver_blevel_improvements_total",
+            "Times the incumbent blevel improved.",
+            stats.incumbent_improvements,
+        ),
+        (
+            "solver_buckets_processed_total",
+            "Bucket-elimination buckets processed.",
+            stats.buckets_processed,
+        ),
+    ):
+        # inc(0) still registers the sample, so snapshots always show the
+        # full counter set even for searches that never pruned.
+        registry.counter(counter_name, help_text, labels).labels(
+            method
+        ).inc(amount)
+    if stats.largest_intermediate:
+        registry.gauge(
+            "solver_largest_intermediate",
+            "Largest intermediate table (assignment-space size) seen.",
+        ).set_max(stats.largest_intermediate)
 
 
 @dataclass

@@ -1,0 +1,91 @@
+"""Structured event log: append-only, JSON-lines on disk.
+
+Events are small dicts (``ts`` + ``kind`` + free-form fields) recording
+discrete facts the metrics aggregate away — *which* SLA was violated,
+*which* provider got blacklisted, *which* fault fired.  The log is
+bounded (a deque) so a long-running broker cannot grow without limit.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections import deque
+from pathlib import Path
+from typing import Any, Deque, Dict, Iterator, List, Optional, Union
+
+
+class EventLog:
+    """Bounded in-memory event journal with a JSONL exporter."""
+
+    enabled = True
+
+    def __init__(self, maxlen: Optional[int] = 100_000) -> None:
+        self._events: Deque[Dict[str, Any]] = deque(maxlen=maxlen)
+        self.dropped = 0
+
+    def emit(self, kind: str, **fields: Any) -> Dict[str, Any]:
+        event = {"ts": time.time(), "kind": kind, **fields}
+        if (
+            self._events.maxlen is not None
+            and len(self._events) == self._events.maxlen
+        ):
+            self.dropped += 1
+        self._events.append(event)
+        return event
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[Dict[str, Any]]:
+        return iter(self._events)
+
+    def of_kind(self, kind: str) -> List[Dict[str, Any]]:
+        return [event for event in self._events if event["kind"] == kind]
+
+    def to_jsonl(self) -> str:
+        return "\n".join(
+            json.dumps(event, default=str, sort_keys=True)
+            for event in self._events
+        )
+
+    def write_jsonl(self, path: Union[str, Path]) -> int:
+        """Write every event as one JSON line; returns the event count."""
+        text = self.to_jsonl()
+        Path(path).write_text(text + "\n" if text else "")
+        return len(self._events)
+
+    def clear(self) -> None:
+        self._events.clear()
+        self.dropped = 0
+
+
+class NullEventLog:
+    """The disabled event log."""
+
+    enabled = False
+    dropped = 0
+
+    def emit(self, kind: str, **fields: Any) -> Dict[str, Any]:
+        return {}
+
+    def __len__(self) -> int:
+        return 0
+
+    def __iter__(self) -> Iterator[Dict[str, Any]]:
+        return iter(())
+
+    def of_kind(self, kind: str) -> List[Dict[str, Any]]:
+        return []
+
+    def to_jsonl(self) -> str:
+        return ""
+
+    def write_jsonl(self, path: Union[str, Path]) -> int:
+        return 0
+
+    def clear(self) -> None:
+        pass
+
+
+NULL_EVENT_LOG = NullEventLog()

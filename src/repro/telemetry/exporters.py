@@ -1,0 +1,116 @@
+"""Turning collected telemetry into files and wire formats.
+
+Two formats:
+
+* ``snapshot(...)`` — one JSON-able dict with every metric sample, the
+  finished span trees and the event count; what the CLI's ``--telemetry``
+  embeds in its output and the bench harness writes next to its
+  ``BENCH_*.json`` artifacts.
+* ``to_prometheus(registry)`` — the Prometheus text exposition format
+  (``# HELP``/``# TYPE`` + samples), so a scrape endpoint needs nothing
+  beyond serving this string.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+
+def snapshot(
+    registry: Any, tracer: Any = None, events: Any = None
+) -> Dict[str, Any]:
+    """One JSON-able dict for the whole session."""
+    out: Dict[str, Any] = registry.snapshot()
+    if tracer is not None:
+        out["spans"] = tracer.to_dicts()
+    if events is not None:
+        out["events_total"] = len(events)
+        out["events_dropped"] = events.dropped
+    return out
+
+
+def write_snapshot(
+    path: Union[str, Path],
+    registry: Any,
+    tracer: Any = None,
+    events: Any = None,
+) -> Dict[str, Any]:
+    payload = snapshot(registry, tracer, events)
+    Path(path).write_text(json.dumps(payload, indent=2, default=str) + "\n")
+    return payload
+
+
+def _format_value(value: float) -> str:
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value)
+
+
+def _format_labels(labels: Dict[str, Any]) -> str:
+    if not labels:
+        return ""
+    body = ",".join(
+        f'{key}="{str(value)}"' for key, value in sorted(labels.items())
+    )
+    return "{" + body + "}"
+
+
+def to_prometheus(registry: Any) -> str:
+    """The registry in Prometheus text exposition format."""
+    lines = []
+    for metric in registry.metrics():
+        info = metric.to_dict()
+        name, kind = info["name"], info["kind"]
+        if info["help"]:
+            lines.append(f"# HELP {name} {info['help']}")
+        lines.append(f"# TYPE {name} {kind}")
+        for sample in info["samples"]:
+            labels = sample["labels"]
+            if kind == "histogram":
+                for bound, count in sample["buckets"].items():
+                    bucket_labels = {**labels, "le": bound}
+                    lines.append(
+                        f"{name}_bucket{_format_labels(bucket_labels)} "
+                        f"{count}"
+                    )
+                lines.append(
+                    f"{name}_sum{_format_labels(labels)} "
+                    f"{_format_value(sample['sum'])}"
+                )
+                lines.append(
+                    f"{name}_count{_format_labels(labels)} {sample['count']}"
+                )
+            else:
+                lines.append(
+                    f"{name}{_format_labels(labels)} "
+                    f"{_format_value(sample['value'])}"
+                )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_prometheus(path: Union[str, Path], registry: Any) -> str:
+    text = to_prometheus(registry)
+    Path(path).write_text(text)
+    return text
+
+
+def write_trace_jsonl(
+    path: Union[str, Path], tracer: Any, events: Optional[Any] = None
+) -> int:
+    """Spans (and, optionally, events) as JSON lines; returns line count.
+
+    Each line is tagged ``{"record": "span" | "event", ...}`` so one file
+    can hold both streams in arrival order.
+    """
+    lines = []
+    for record in tracer.to_dicts():
+        lines.append(json.dumps({"record": "span", **record}, default=str))
+    if events is not None:
+        for event in events:
+            lines.append(
+                json.dumps({"record": "event", **event}, default=str)
+            )
+    Path(path).write_text("\n".join(lines) + ("\n" if lines else ""))
+    return len(lines)

@@ -1,0 +1,405 @@
+"""Process-local metrics: counters, gauges, fixed-bucket histograms.
+
+A :class:`MetricsRegistry` is the single entry point: instrumented code
+asks it for a metric by name (get-or-create, idempotent) and increments
+the returned instrument.  Metrics may carry labels — ``counter.labels``
+returns (and memoizes) one child instrument per label-value tuple, the
+same family model Prometheus clients use.
+
+The disabled path is :class:`NullRegistry`: every lookup returns one
+shared null instrument whose methods are no-ops, so instrumentation left
+in a hot path costs an attribute lookup and an empty call when telemetry
+is off.  Code that wants literally zero per-iteration cost can hoist
+``registry.enabled`` out of the loop.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+#: Default histogram buckets (seconds): wide enough for μs-scale semiring
+#: ops up to multi-second exhaustive solves.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.0001,
+    0.00025,
+    0.0005,
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+)
+
+
+class MetricsError(Exception):
+    """Raised on inconsistent metric registration (name/kind clashes)."""
+
+
+class _Timer:
+    """Context manager that observes elapsed wall time on a histogram."""
+
+    __slots__ = ("_histogram", "_start")
+
+    def __init__(self, histogram: "Histogram") -> None:
+        self._histogram = histogram
+        self._start = 0.0
+
+    def __enter__(self) -> "_Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self._histogram.observe(time.perf_counter() - self._start)
+
+
+class _Metric:
+    """Shared family/child mechanics for every metric kind."""
+
+    kind = "metric"
+
+    def __init__(
+        self, name: str, help: str = "", labelnames: Sequence[str] = ()
+    ) -> None:
+        self.name = name
+        self.help = help
+        self.labelnames: Tuple[str, ...] = tuple(labelnames)
+        self._children: Dict[Tuple[Any, ...], "_Metric"] = {}
+
+    # -- family ---------------------------------------------------------
+
+    def labels(self, *values: Any, **by_name: Any) -> Any:
+        """The child instrument for one label-value combination."""
+        if not self.labelnames:
+            raise MetricsError(f"{self.name} takes no labels")
+        if by_name:
+            if values:
+                raise MetricsError(
+                    "pass label values positionally or by name, not both"
+                )
+            try:
+                values = tuple(by_name[n] for n in self.labelnames)
+            except KeyError as exc:
+                raise MetricsError(
+                    f"{self.name} misses label {exc.args[0]!r}"
+                ) from None
+        if len(values) != len(self.labelnames):
+            raise MetricsError(
+                f"{self.name} needs {len(self.labelnames)} label value(s), "
+                f"got {len(values)}"
+            )
+        child = self._children.get(values)
+        if child is None:
+            child = self._make_child()
+            self._children[values] = child
+        return child
+
+    def preseed(self, combinations: Iterable[Any]) -> "_Metric":
+        """Ensure children exist (at zero) for every combination given.
+
+        Accepts single values for one-label families or tuples otherwise;
+        lets exporters show a complete family (e.g. all ten nmsccp rules)
+        before anything fired.
+        """
+        for combo in combinations:
+            if not isinstance(combo, tuple):
+                combo = (combo,)
+            self.labels(*combo)
+        return self
+
+    def _make_child(self) -> "_Metric":
+        return type(self)(self.name, self.help)
+
+    # -- export ---------------------------------------------------------
+
+    def samples(self) -> List[Dict[str, Any]]:
+        """Flat sample dicts (one per child, or one for the bare metric)."""
+        if self.labelnames:
+            return [
+                {
+                    "labels": dict(zip(self.labelnames, values)),
+                    **child._sample_value(),
+                }
+                for values, child in sorted(
+                    self._children.items(), key=lambda kv: repr(kv[0])
+                )
+            ]
+        return [{"labels": {}, **self._sample_value()}]
+
+    def _sample_value(self) -> Dict[str, Any]:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "help": self.help,
+            "labelnames": list(self.labelnames),
+            "samples": self.samples(),
+        }
+
+
+class Counter(_Metric):
+    """A monotonically increasing count."""
+
+    kind = "counter"
+
+    def __init__(
+        self, name: str, help: str = "", labelnames: Sequence[str] = ()
+    ) -> None:
+        super().__init__(name, help, labelnames)
+        self._value = 0.0
+
+    def inc(self, amount: float = 1) -> None:
+        if amount < 0:
+            raise MetricsError("counters only go up")
+        self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def _sample_value(self) -> Dict[str, Any]:
+        return {"value": self._value}
+
+
+class Gauge(_Metric):
+    """A value that can go up and down (or track a running maximum)."""
+
+    kind = "gauge"
+
+    def __init__(
+        self, name: str, help: str = "", labelnames: Sequence[str] = ()
+    ) -> None:
+        super().__init__(name, help, labelnames)
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        self._value = value
+
+    def set_max(self, value: float) -> None:
+        if value > self._value:
+            self._value = value
+
+    def inc(self, amount: float = 1) -> None:
+        self._value += amount
+
+    def dec(self, amount: float = 1) -> None:
+        self._value -= amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def _sample_value(self) -> Dict[str, Any]:
+        return {"value": self._value}
+
+
+class Histogram(_Metric):
+    """Fixed-bucket histogram (cumulative bucket counts, à la Prometheus)."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> None:
+        super().__init__(name, help, labelnames)
+        bounds = tuple(sorted(buckets))
+        if not bounds:
+            raise MetricsError("a histogram needs at least one bucket")
+        self.buckets: Tuple[float, ...] = bounds
+        self._counts = [0] * (len(bounds) + 1)  # +1 for the +Inf bucket
+        self._sum = 0.0
+        self._count = 0
+
+    def _make_child(self) -> "Histogram":
+        return Histogram(self.name, self.help, buckets=self.buckets)
+
+    def observe(self, value: float) -> None:
+        self._sum += value
+        self._count += 1
+        for index, bound in enumerate(self.buckets):
+            if value <= bound:
+                self._counts[index] += 1
+                return
+        self._counts[-1] += 1
+
+    def time(self) -> _Timer:
+        return _Timer(self)
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    def cumulative_counts(self) -> List[int]:
+        """Cumulative per-bucket counts, Prometheus ``le`` semantics."""
+        out: List[int] = []
+        running = 0
+        for count in self._counts:
+            running += count
+            out.append(running)
+        return out
+
+    def _sample_value(self) -> Dict[str, Any]:
+        return {
+            "count": self._count,
+            "sum": self._sum,
+            "buckets": dict(
+                zip(
+                    [*map(str, self.buckets), "+Inf"],
+                    self.cumulative_counts(),
+                )
+            ),
+        }
+
+
+class MetricsRegistry:
+    """Named, process-local metric store (get-or-create semantics)."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, _Metric] = {}
+        self._lock = threading.Lock()
+
+    def _get_or_create(
+        self, cls: type, name: str, help: str, labelnames: Sequence[str], **kw: Any
+    ) -> Any:
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = cls(name, help, labelnames=labelnames, **kw)
+                self._metrics[name] = metric
+                return metric
+        if not isinstance(metric, cls):
+            raise MetricsError(
+                f"{name!r} already registered as a {metric.kind}"
+            )
+        if tuple(labelnames) != metric.labelnames:
+            raise MetricsError(
+                f"{name!r} already registered with labels "
+                f"{metric.labelnames!r}"
+            )
+        return metric
+
+    def counter(
+        self, name: str, help: str = "", labelnames: Sequence[str] = ()
+    ) -> Counter:
+        return self._get_or_create(Counter, name, help, labelnames)
+
+    def gauge(
+        self, name: str, help: str = "", labelnames: Sequence[str] = ()
+    ) -> Gauge:
+        return self._get_or_create(Gauge, name, help, labelnames)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        return self._get_or_create(
+            Histogram, name, help, labelnames, buckets=buckets
+        )
+
+    def get(self, name: str) -> Optional[_Metric]:
+        return self._metrics.get(name)
+
+    def metrics(self) -> List[_Metric]:
+        return [self._metrics[name] for name in sorted(self._metrics)]
+
+    def snapshot(self) -> Dict[str, Any]:
+        """A JSON-able dump of every metric and sample."""
+        return {"metrics": [metric.to_dict() for metric in self.metrics()]}
+
+
+class _NullInstrument:
+    """One object that absorbs the whole instrument API as no-ops."""
+
+    __slots__ = ()
+
+    def labels(self, *values: Any, **by_name: Any) -> "_NullInstrument":
+        return self
+
+    def preseed(self, combinations: Iterable[Any]) -> "_NullInstrument":
+        return self
+
+    def inc(self, amount: float = 1) -> None:
+        pass
+
+    def dec(self, amount: float = 1) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def set_max(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def time(self) -> "_NullInstrument":
+        return self
+
+    def __enter__(self) -> "_NullInstrument":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        pass
+
+    @property
+    def value(self) -> float:
+        return 0.0
+
+    @property
+    def count(self) -> int:
+        return 0
+
+
+NULL_INSTRUMENT = _NullInstrument()
+
+
+class NullRegistry:
+    """The disabled registry: every lookup returns the null instrument."""
+
+    enabled = False
+
+    def counter(self, *args: Any, **kwargs: Any) -> _NullInstrument:
+        return NULL_INSTRUMENT
+
+    def gauge(self, *args: Any, **kwargs: Any) -> _NullInstrument:
+        return NULL_INSTRUMENT
+
+    def histogram(self, *args: Any, **kwargs: Any) -> _NullInstrument:
+        return NULL_INSTRUMENT
+
+    def get(self, name: str) -> None:
+        return None
+
+    def metrics(self) -> List[_Metric]:
+        return []
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {"metrics": []}
+
+
+NULL_REGISTRY = NullRegistry()

@@ -10,7 +10,6 @@ from repro.coalitions.propagation import (
     trust_between,
 )
 from repro.semirings import (
-    FuzzySemiring,
     ProbabilisticSemiring,
     SetSemiring,
 )

@@ -25,7 +25,6 @@ from repro.soa import (
     ServicePool,
     ServiceRegistry,
     SLAMonitor,
-    pipeline,
 )
 
 EXAMPLES = sorted(

@@ -10,7 +10,6 @@ import pytest
 from repro.constraints import (
     FunctionConstraint,
     Polynomial,
-    TableConstraint,
     constraints_equal,
     integer_variable,
     polynomial_constraint,

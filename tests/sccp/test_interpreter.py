@@ -5,7 +5,6 @@ import pytest
 from repro.constraints import (
     ConstantConstraint,
     FunctionConstraint,
-    empty_store,
     variable,
 )
 from repro.sccp import (

@@ -1,6 +1,5 @@
 """The paper's negotiation Examples 1–3, verbatim (Sec. 4.1)."""
 
-import pytest
 
 from repro.constraints import (
     Polynomial,

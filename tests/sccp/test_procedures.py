@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.constraints import FunctionConstraint, empty_store, variable
+from repro.constraints import FunctionConstraint, variable
 from repro.sccp import (
     ProcedureError,
     ProcedureTable,

@@ -11,7 +11,6 @@ from hypothesis import strategies as st
 from repro.constraints import TableConstraint, constraints_equal, variable
 from repro.sccp import (
     SUCCESS,
-    DeterministicScheduler,
     RandomScheduler,
     Status,
     ask,

@@ -6,7 +6,6 @@ from repro.constraints import ConstantConstraint, FunctionConstraint, variable
 from repro.sccp import (
     SUCCESS,
     Ask,
-    Nask,
     Parallel,
     Sum,
     SyntaxError_,
@@ -17,7 +16,6 @@ from repro.sccp import (
     exists,
     nask,
     parallel,
-    retract,
     sequence,
     tell,
     update,

@@ -3,9 +3,7 @@
 import pytest
 
 from repro.constraints import (
-    ConstantConstraint,
     FunctionConstraint,
-    TableConstraint,
     empty_store,
     integer_variable,
     variable,

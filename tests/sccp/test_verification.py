@@ -4,8 +4,6 @@ import pytest
 
 from repro.constraints import (
     FunctionConstraint,
-    Polynomial,
-    polynomial_constraint,
     variable,
 )
 from repro.sccp import (

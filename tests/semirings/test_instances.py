@@ -1,6 +1,5 @@
 """Instance-specific behaviour of each shipped semiring."""
 
-import math
 
 import pytest
 

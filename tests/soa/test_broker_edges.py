@@ -1,7 +1,6 @@
 """Broker edge paths: failed confirmations, semiring tie-breaks,
 update-style repeated negotiations."""
 
-import pytest
 
 from repro.constraints import Polynomial, integer_variable, polynomial_constraint
 from repro.sccp import interval

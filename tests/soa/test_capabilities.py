@@ -5,7 +5,6 @@ import pytest
 from repro.semirings import SetSemiring
 from repro.soa.capabilities import (
     CapabilityError,
-    CapabilityPolicy,
     compose_in_semiring,
     compose_policies,
     policy,

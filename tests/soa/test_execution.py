@@ -11,7 +11,6 @@ from repro.soa import (
     ExecutionEngine,
     FaultInjector,
     Invoke,
-    Pipeline,
     QoSDocument,
     QoSPolicy,
     RandomDelay,

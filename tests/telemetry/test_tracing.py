@@ -1,0 +1,256 @@
+"""Tracing, the event log, the runtime session, and exporter round-trips."""
+
+import json
+
+import pytest
+
+from repro.telemetry import (
+    EventLog,
+    MetricsRegistry,
+    NULL_EVENT_LOG,
+    NULL_REGISTRY,
+    NULL_TRACER,
+    TelemetrySession,
+    Tracer,
+    enabled,
+    get_events,
+    get_registry,
+    get_tracer,
+    install,
+    snapshot,
+    telemetry_session,
+    uninstall,
+    write_snapshot,
+    write_trace_jsonl,
+)
+from repro.telemetry.tracing import NULL_SPAN
+
+
+class TestSpanNesting:
+    def test_children_attach_to_the_enclosing_span(self):
+        tracer = Tracer()
+        with tracer.span("root") as root:
+            with tracer.span("child-1") as child1:
+                with tracer.span("grandchild"):
+                    pass
+            with tracer.span("child-2"):
+                pass
+        assert [c.name for c in root.children] == ["child-1", "child-2"]
+        assert [c.name for c in child1.children] == ["grandchild"]
+        assert child1.parent is root
+        assert tracer.span_names() == [
+            "root",
+            "child-1",
+            "grandchild",
+            "child-2",
+        ]
+
+    def test_only_roots_accumulate_on_finished(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+        with tracer.span("c"):
+            pass
+        assert [s.name for s in tracer.finished] == ["a", "c"]
+
+    def test_durations_and_attributes(self):
+        tracer = Tracer()
+        with tracer.span("op", method="bb") as span:
+            assert not span.finished
+            span.set_attribute("candidates", 3)
+        assert span.finished
+        assert span.duration_s >= 0
+        assert span.attributes == {"method": "bb", "candidates": 3}
+
+    def test_current_tracks_the_stack(self):
+        tracer = Tracer()
+        assert tracer.current is None
+        with tracer.span("outer") as outer:
+            assert tracer.current is outer
+            with tracer.span("inner") as inner:
+                assert tracer.current is inner
+            assert tracer.current is outer
+        assert tracer.current is None
+
+    def test_exception_closes_span_and_marks_error(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("doomed") as span:
+                raise RuntimeError("boom")
+        assert span.finished
+        assert span.attributes["error"] == "RuntimeError"
+        assert tracer.current is None
+
+    def test_exception_closes_dangling_descendants(self):
+        # An exception that escapes an outer span must finish inner spans
+        # its unwinding skipped.
+        tracer = Tracer()
+        inner_ctx = None
+        with pytest.raises(RuntimeError):
+            with tracer.span("outer"):
+                inner_ctx = tracer.span("inner")
+                inner_ctx.__enter__()  # never __exit__-ed
+                raise RuntimeError("boom")
+        (root,) = tracer.finished
+        (inner,) = root.children
+        assert inner.finished
+        assert tracer.current is None
+
+    def test_to_dicts_flattens_with_parent_names(self):
+        tracer = Tracer()
+        with tracer.span("root"):
+            with tracer.span("leaf"):
+                pass
+        records = tracer.to_dicts()
+        assert [(r["name"], r["parent"]) for r in records] == [
+            ("root", None),
+            ("leaf", "root"),
+        ]
+        json.dumps(records)  # JSON-able as-is
+
+    def test_clear(self):
+        tracer = Tracer()
+        with tracer.span("x"):
+            pass
+        tracer.clear()
+        assert tracer.finished == []
+
+
+class TestNullTracer:
+    def test_span_is_shared_noop(self):
+        assert NULL_TRACER.enabled is False
+        ctx = NULL_TRACER.span("anything", attr=1)
+        assert ctx is NULL_SPAN
+        with ctx as span:
+            span.set_attribute("k", "v")  # absorbed
+        assert NULL_TRACER.span_names() == []
+        assert NULL_TRACER.to_dicts() == []
+        assert NULL_TRACER.current is None
+
+
+class TestEventLog:
+    def test_emit_stamps_ts_and_kind(self):
+        log = EventLog()
+        event = log.emit("sla.violation", attribute="cost", sla_id=7)
+        assert event["kind"] == "sla.violation"
+        assert event["ts"] > 0
+        assert event["sla_id"] == 7
+        assert len(log) == 1
+        assert log.of_kind("sla.violation") == [event]
+        assert log.of_kind("other") == []
+
+    def test_bounded_log_counts_drops(self):
+        log = EventLog(maxlen=2)
+        for i in range(5):
+            log.emit("tick", i=i)
+        assert len(log) == 2
+        assert log.dropped == 3
+        assert [e["i"] for e in log] == [3, 4]
+
+    def test_jsonl_round_trip(self, tmp_path):
+        log = EventLog()
+        log.emit("a", x=1)
+        log.emit("b", y="two")
+        path = tmp_path / "events.jsonl"
+        assert log.write_jsonl(path) == 2
+        lines = path.read_text().splitlines()
+        assert [json.loads(line)["kind"] for line in lines] == ["a", "b"]
+
+    def test_empty_log_writes_empty_file(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        assert EventLog().write_jsonl(path) == 0
+        assert path.read_text() == ""
+
+    def test_null_log_absorbs_everything(self):
+        assert NULL_EVENT_LOG.emit("anything", a=1) == {}
+        assert len(NULL_EVENT_LOG) == 0
+        assert NULL_EVENT_LOG.to_jsonl() == ""
+
+
+class TestRuntime:
+    def test_defaults_are_null(self):
+        assert get_registry() is NULL_REGISTRY
+        assert get_tracer() is NULL_TRACER
+        assert get_events() is NULL_EVENT_LOG
+        assert enabled() is False
+
+    def test_install_uninstall(self):
+        session = install()
+        try:
+            assert get_registry() is session.registry
+            assert get_tracer() is session.tracer
+            assert get_events() is session.events
+            assert enabled() is True
+        finally:
+            uninstall()
+        assert get_registry() is NULL_REGISTRY
+        assert enabled() is False
+
+    def test_sessions_nest_and_restore(self):
+        with telemetry_session() as outer:
+            assert get_registry() is outer.registry
+            with telemetry_session() as inner:
+                assert inner is not outer
+                assert get_registry() is inner.registry
+            assert get_registry() is outer.registry
+        assert get_registry() is NULL_REGISTRY
+
+    def test_session_restores_after_exception(self):
+        with pytest.raises(ValueError):
+            with telemetry_session():
+                raise ValueError
+        assert get_registry() is NULL_REGISTRY
+
+    def test_explicit_session_object_is_installed(self):
+        session = TelemetrySession()
+        with telemetry_session(session) as active:
+            assert active is session
+            assert get_registry() is session.registry
+
+
+class TestExporterRoundTrip:
+    def _populated_session(self):
+        session = TelemetrySession()
+        session.registry.counter(
+            "ops_total", "Ops.", labelnames=("kind",)
+        ).labels("solve").inc(2)
+        with session.tracer.span("root", who="test"):
+            with session.tracer.span("leaf"):
+                pass
+        session.events.emit("probe", detail="x")
+        return session
+
+    def test_snapshot_combines_all_surfaces(self):
+        session = self._populated_session()
+        snap = snapshot(session.registry, session.tracer, session.events)
+        assert snap["metrics"][0]["name"] == "ops_total"
+        assert snap["spans"][0]["name"] == "root"
+        assert snap["events_total"] == 1
+        assert snap["events_dropped"] == 0
+        assert snap == session.snapshot()
+
+    def test_write_snapshot_round_trips_through_json(self, tmp_path):
+        session = self._populated_session()
+        path = tmp_path / "snap.json"
+        written = write_snapshot(
+            path, session.registry, session.tracer, session.events
+        )
+        assert json.loads(path.read_text()) == json.loads(
+            json.dumps(written, default=str)
+        )
+
+    def test_write_trace_jsonl_tags_records(self, tmp_path):
+        session = self._populated_session()
+        path = tmp_path / "trace.jsonl"
+        count = write_trace_jsonl(path, session.tracer, session.events)
+        records = [
+            json.loads(line) for line in path.read_text().splitlines()
+        ]
+        assert count == len(records) == 3  # two spans + one event
+        assert [r["record"] for r in records] == ["span", "span", "event"]
+
+    def test_snapshot_without_tracer_or_events(self):
+        registry = MetricsRegistry()
+        snap = snapshot(registry)
+        assert snap == {"metrics": []}
