@@ -1,0 +1,142 @@
+"""E13 — runtime serving throughput (ours).
+
+Series: delivered requests/second and end-to-end latency percentiles of
+the concurrent runtime under open-loop (Poisson) and closed-loop load,
+plus the overload regime where admission control sheds excess arrivals.
+Shape expectations: completed+degraded throughput tracks the offered
+rate until the worker pool saturates; beyond the queue bound the
+overload counter grows instead of the latency tail (bounded admission
+trades waiting for typed rejection).
+
+Quick mode (the default, CI-sized) serves ~40 sessions per case; set
+``REPRO_BENCH_FULL=1`` for the paper-sized run — 500 clients at 200
+req/s, the acceptance load of the runtime subsystem.
+"""
+
+import os
+
+import pytest
+from conftest import report
+
+from repro.runtime import (
+    LoadGenerator,
+    LoadProfile,
+    RuntimeConfig,
+    RuntimeServer,
+    synthesize_market,
+    synthetic_request_factory,
+)
+from repro.soa import Broker
+
+FULL = bool(os.environ.get("REPRO_BENCH_FULL"))
+
+#: (clients, requests, open-loop rate) per mode.
+SCALE = {
+    "quick": {"clients": 20, "requests": 40, "rate": 400.0},
+    "full": {"clients": 500, "requests": 500, "rate": 200.0},
+}[("full" if FULL else "quick")]
+
+
+def make_server(workers=4, max_queue_depth=256, seed=11):
+    registry = synthesize_market(seed=seed)
+    return RuntimeServer(
+        Broker(registry),
+        RuntimeConfig(
+            workers=workers, max_queue_depth=max_queue_depth, seed=seed
+        ),
+    )
+
+
+def run_load(mode, rate=None, **overrides):
+    profile = LoadProfile(
+        clients=SCALE["clients"],
+        requests=SCALE["requests"],
+        mode=mode,
+        rate=rate if rate is not None else SCALE["rate"],
+        seed=7,
+    )
+    server = overrides.pop("server", None) or make_server(**overrides)
+    generator = LoadGenerator(
+        server, profile, synthetic_request_factory()
+    )
+    return generator.run_sync()
+
+
+def latency_row(label, summary):
+    return (
+        label,
+        f"{summary['p50'] * 1000:.2f}",
+        f"{summary['p95'] * 1000:.2f}",
+        f"{summary['p99'] * 1000:.2f}",
+        f"{summary['max'] * 1000:.2f}",
+    )
+
+
+@pytest.mark.parametrize("mode", ("open", "closed"))
+def test_throughput_by_mode(benchmark, mode):
+    reports = []
+
+    def one_run():
+        load = run_load(mode)
+        reports.append(load)
+        return load
+
+    load = benchmark.pedantic(one_run, rounds=1, iterations=1)
+    assert load.offered == SCALE["requests"]
+    assert load.completed + load.degraded == load.offered
+    assert load.throughput_rps > 0
+    report(
+        f"E13 runtime throughput — {mode} loop "
+        f"({'full' if FULL else 'quick'} mode)",
+        [
+            (
+                load.offered,
+                f"{load.duration_s:.3f}",
+                f"{load.throughput_rps:.1f}",
+                load.retries_total,
+                dict(load.outcomes),
+            )
+        ],
+        headers=("offered", "duration_s", "req/s", "retries", "outcomes"),
+    )
+    report(
+        f"E13 latency percentiles (ms) — {mode} loop",
+        [
+            latency_row("end-to-end", load.latency_s),
+            latency_row("queue wait", load.queue_wait_s),
+        ],
+        headers=("series", "p50", "p95", "p99", "max"),
+    )
+
+
+def test_overload_sheds_load_instead_of_queueing(benchmark):
+    """A deliberately starved server (1 worker, shallow queue) under a
+    hot open loop: admission control bounces the excess instead of
+    letting the queue wait tail grow without bound."""
+
+    def one_run():
+        # Arrivals far above what one worker can absorb (~1 ms/solve).
+        return run_load(
+            "open",
+            rate=20_000.0,
+            server=make_server(workers=1, max_queue_depth=4),
+        )
+
+    load = benchmark.pedantic(one_run, rounds=1, iterations=1)
+    assert load.offered == SCALE["requests"]
+    assert load.overloaded > 0
+    assert load.completed > 0
+    # nothing silently lost: every offered session got a typed outcome
+    assert sum(load.outcomes.values()) == load.offered
+    report(
+        "E13 overload regime (1 worker, queue=4)",
+        [
+            (
+                load.offered,
+                load.completed,
+                load.overloaded,
+                f"{load.queue_wait_s['p99'] * 1000:.2f}",
+            )
+        ],
+        headers=("offered", "completed", "overloaded", "queue p99 (ms)"),
+    )

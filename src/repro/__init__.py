@@ -22,6 +22,10 @@ Subpackages
 ``repro.soa``
     Services, registry, message bus, broker, SLAs, composition patterns,
     execution with fault injection, SLA monitoring.
+``repro.runtime``
+    Concurrent serving layer: bounded admission, worker pool with
+    executor-offloaded solves, deadlines, retry/backoff, graceful
+    degradation, and an open/closed-loop load generator.
 ``repro.dependability``
     Attribute taxonomy, integrity-as-refinement (Defs. 1–2), quantitative
     reliability analysis, classical dependability arithmetic.
@@ -34,6 +38,7 @@ from . import (
     coalitions,
     constraints,
     dependability,
+    runtime,
     sccp,
     semirings,
     serialization,
@@ -49,6 +54,7 @@ __all__ = [
     "solver",
     "sccp",
     "soa",
+    "runtime",
     "dependability",
     "coalitions",
     "serialization",

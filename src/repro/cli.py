@@ -6,6 +6,10 @@ Exposes the library's main flows over JSON files (the wire format of
 * ``solve PROBLEM.json``        — solve an SCSP, print blevel + optima;
 * ``coalitions NETWORK.json``   — best (stable) partition of a trust net;
 * ``negotiate MARKET.json``     — run the broker over a market spec;
+* ``runtime MARKET.json``       — serve concurrent sessions of a market
+  through the asyncio runtime (admission, deadlines, retry, faults);
+* ``loadgen``                   — drive the runtime with a synthetic
+  client population and report throughput + latency percentiles;
 * ``validate-semiring NAME``    — check the semiring laws on a sample.
 
 Each command reads JSON and prints a JSON result on stdout, so the tools
@@ -130,11 +134,8 @@ def cmd_coalitions(args: argparse.Namespace) -> int:
     return 0 if solution.found else 1
 
 
-def cmd_negotiate(args: argparse.Namespace) -> int:
-    market = _read_json(args.market)
-    if market.get("kind") != "market":
-        raise SystemExit("error: payload is not a market spec")
-
+def _market_registry(market: Dict[str, Any]) -> ServiceRegistry:
+    """Publish every service of a market spec into a fresh registry."""
     registry = ServiceRegistry()
     for entry in market.get("services", []):
         document = serialization.qos_document_from_dict(entry["qos"])
@@ -148,7 +149,11 @@ def cmd_negotiate(args: argparse.Namespace) -> int:
                 tags=tuple(entry.get("tags", ())),
             )
         )
+    return registry
 
+
+def _market_request(market: Dict[str, Any]) -> ClientRequest:
+    """The client request of a market spec."""
     spec = market["request"]
     from .soa.qos import resolve_attribute
 
@@ -164,12 +169,25 @@ def cmd_negotiate(args: argparse.Namespace) -> int:
                 spec["acceptance"].get("upper")
             ),
         )
-    request = ClientRequest(
+    return ClientRequest(
         client=spec.get("client", "cli"),
         operation=spec["operation"],
         attribute=spec["attribute"],
         acceptance=acceptance,
     )
+
+
+def _load_market(path: str) -> Dict[str, Any]:
+    market = _read_json(path)
+    if market.get("kind") != "market":
+        raise SystemExit("error: payload is not a market spec")
+    return market
+
+
+def cmd_negotiate(args: argparse.Namespace) -> int:
+    market = _load_market(args.market)
+    registry = _market_registry(market)
+    request = _market_request(market)
     broker = Broker(registry)
     result = broker.negotiate(
         request,
@@ -203,6 +221,166 @@ def cmd_negotiate(args: argparse.Namespace) -> int:
         }
     )
     return 0 if result.success else 1
+
+
+def _build_injector(
+    args: argparse.Namespace, registry: ServiceRegistry
+) -> Optional["FaultInjector"]:
+    """Fault injector from the ``--fault-*`` flags, attached to every
+    published service; ``None`` when no fault flag was given."""
+    from .soa.faults import (
+        BernoulliCrash,
+        BurstOutage,
+        FaultInjector,
+        RandomDelay,
+    )
+
+    models = []
+    if args.fault_crash is not None:
+        models.append(BernoulliCrash(args.fault_crash))
+    if args.fault_outage is not None:
+        try:
+            start, length = (int(p) for p in args.fault_outage.split(":"))
+        except ValueError:
+            raise SystemExit(
+                "error: --fault-outage expects START:LENGTH (integers)"
+            )
+        models.append(BurstOutage(start, length))
+    if args.fault_delay is not None:
+        try:
+            prob, extra_ms = (float(p) for p in args.fault_delay.split(":"))
+        except ValueError:
+            raise SystemExit(
+                "error: --fault-delay expects PROB:MILLISECONDS"
+            )
+        models.append(RandomDelay(prob, extra_ms))
+    if not models:
+        return None
+    injector = FaultInjector(seed=args.seed)
+    for description in registry.find():
+        for model in models:
+            injector.attach(description.service_id, model)
+    return injector
+
+
+def _runtime_config(args: argparse.Namespace) -> "RuntimeConfig":
+    from .runtime import RetryPolicy, RuntimeConfig
+
+    return RuntimeConfig(
+        workers=args.workers,
+        max_queue_depth=args.queue,
+        deadline_s=args.deadline if args.deadline > 0 else None,
+        retry=RetryPolicy(
+            max_attempts=args.max_attempts,
+            base_backoff_s=args.base_backoff,
+        ),
+        seed=args.seed,
+        verify_independence=getattr(args, "verify_independence", False),
+    )
+
+
+def _session_summary(result: "SessionResult") -> Dict[str, Any]:
+    return {
+        "index": result.index,
+        "client": result.request.client,
+        "status": result.status.value,
+        "attempts": result.attempts,
+        "retries": result.retries,
+        "sla_id": None if result.sla is None else result.sla.sla_id,
+        "agreed_level": None
+        if result.sla is None
+        else serialization.value_to_json(result.sla.agreed_level),
+        "queue_wait_s": round(result.queue_wait_s, 6),
+        "latency_s": round(result.latency_s, 6),
+        "detail": result.detail,
+    }
+
+
+def cmd_runtime(args: argparse.Namespace) -> int:
+    """Serve N copies of a market's request through the runtime."""
+    from .runtime import RuntimeServer, SessionStatus
+
+    market = _load_market(args.market)
+    registry = _market_registry(market)
+    request = _market_request(market)
+    injector = _build_injector(args, registry)
+    server = RuntimeServer(
+        Broker(registry), _runtime_config(args), injector=injector
+    )
+    template = request
+    requests = [
+        ClientRequest(
+            client=f"{template.client}-{index}",
+            operation=template.operation,
+            attribute=template.attribute,
+            requirements=template.requirements,
+            acceptance=template.acceptance,
+        )
+        for index in range(args.requests)
+    ]
+    results = server.run(requests)
+    outcomes: Dict[str, int] = {}
+    for result in results:
+        key = result.status.value
+        outcomes[key] = outcomes.get(key, 0) + 1
+    served = outcomes.get(SessionStatus.COMPLETED.value, 0) + outcomes.get(
+        SessionStatus.DEGRADED.value, 0
+    )
+    _emit(
+        {
+            "requests": len(results),
+            "outcomes": outcomes,
+            "retries_total": sum(result.retries for result in results),
+            "sessions": [_session_summary(result) for result in results],
+        }
+    )
+    return 0 if served == len(results) else 1
+
+
+def cmd_loadgen(args: argparse.Namespace) -> int:
+    """Measure the runtime under a synthetic client population."""
+    from .runtime import (
+        LoadGenerator,
+        LoadProfile,
+        RuntimeServer,
+        synthesize_market,
+        synthetic_request_factory,
+    )
+
+    if args.market is not None:
+        market = _load_market(args.market)
+        registry = _market_registry(market)
+        template = _market_request(market)
+
+        def factory(client: str, index: int) -> ClientRequest:
+            return ClientRequest(
+                client=client,
+                operation=template.operation,
+                attribute=template.attribute,
+                requirements=template.requirements,
+                acceptance=template.acceptance,
+            )
+
+    else:
+        registry = synthesize_market(seed=args.seed)
+        factory = synthetic_request_factory()
+
+    injector = _build_injector(args, registry)
+    server = RuntimeServer(
+        Broker(registry), _runtime_config(args), injector=injector
+    )
+    profile = LoadProfile(
+        clients=args.clients,
+        requests=args.requests,
+        mode=args.mode,
+        rate=args.rate,
+        think_time_s=args.think_time,
+        seed=args.seed,
+    )
+    generator = LoadGenerator(server, profile, factory)
+    report = generator.run_sync()
+    _emit(report.to_dict())
+    return 0 if report.completed + report.degraded > 0 else 1
 
 
 def cmd_validate_semiring(args: argparse.Namespace) -> int:
@@ -295,6 +473,120 @@ def build_parser() -> argparse.ArgumentParser:
         "is scheduler-independent",
     )
     p_neg.set_defaults(fn=cmd_negotiate)
+
+    serving = argparse.ArgumentParser(add_help=False)
+    serving.add_argument(
+        "--workers", type=int, default=4, help="worker pool size"
+    )
+    serving.add_argument(
+        "--queue",
+        type=int,
+        default=256,
+        metavar="DEPTH",
+        help="admission queue bound (full queue ⇒ typed overload)",
+    )
+    serving.add_argument(
+        "--deadline",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="per-session deadline; 0 disables it",
+    )
+    serving.add_argument(
+        "--max-attempts",
+        type=int,
+        default=3,
+        help="attempts per session before degradation",
+    )
+    serving.add_argument(
+        "--base-backoff",
+        type=float,
+        default=0.05,
+        metavar="SECONDS",
+        help="first retry backoff (doubles per attempt, jittered)",
+    )
+    serving.add_argument(
+        "--seed", type=int, default=None, help="master RNG seed"
+    )
+    serving.add_argument(
+        "--fault-crash",
+        type=float,
+        default=None,
+        metavar="PROB",
+        help="attach BernoulliCrash(PROB) to every service",
+    )
+    serving.add_argument(
+        "--fault-outage",
+        default=None,
+        metavar="START:LENGTH",
+        help="attach BurstOutage over admission-order ticks",
+    )
+    serving.add_argument(
+        "--fault-delay",
+        default=None,
+        metavar="PROB:MS",
+        help="attach RandomDelay(PROB, MS) to every service",
+    )
+
+    p_rt = sub.add_parser(
+        "runtime",
+        help="serve concurrent sessions of a JSON market",
+        parents=[observability, serving],
+    )
+    p_rt.add_argument("market", help="path to a market JSON file")
+    p_rt.add_argument(
+        "--requests",
+        type=int,
+        default=10,
+        metavar="N",
+        help="concurrent sessions to serve",
+    )
+    p_rt.add_argument(
+        "--verify-independence",
+        action="store_true",
+        help="certify each winner as scheduler-independent (slow)",
+    )
+    p_rt.set_defaults(fn=cmd_runtime)
+
+    p_lg = sub.add_parser(
+        "loadgen",
+        help="measure the runtime under synthetic load",
+        parents=[observability, serving],
+    )
+    p_lg.add_argument(
+        "--market",
+        default=None,
+        metavar="PATH",
+        help="market JSON to serve (default: synthetic 4-provider market)",
+    )
+    p_lg.add_argument(
+        "--clients", type=int, default=10, help="client population size"
+    )
+    p_lg.add_argument(
+        "--requests",
+        type=int,
+        default=None,
+        metavar="N",
+        help="total sessions (default: one per client)",
+    )
+    p_lg.add_argument(
+        "--mode", default="open", choices=("open", "closed")
+    )
+    p_lg.add_argument(
+        "--rate",
+        type=float,
+        default=50.0,
+        metavar="RPS",
+        help="open loop: mean Poisson arrival rate",
+    )
+    p_lg.add_argument(
+        "--think-time",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="closed loop: pause between a client's requests",
+    )
+    p_lg.set_defaults(fn=cmd_loadgen)
 
     p_val = sub.add_parser(
         "validate-semiring",

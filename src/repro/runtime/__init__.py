@@ -1,0 +1,57 @@
+"""repro.runtime — the concurrent serving layer over the broker.
+
+An asyncio runtime that accepts many concurrent client sessions and
+drives the five-step broker lifecycle per session (paper Sec. 4: the
+broker mediates nmsccp agents executing in parallel on one store):
+bounded admission with typed :class:`Overloaded` backpressure, a worker
+pool that offloads CPU-bound SCSP solves off the event loop, per-session
+deadlines, retry with seeded exponential backoff, graceful degradation
+to the last-known SLA, and a load generator with open/closed-loop client
+populations.  Everything reports through :mod:`repro.telemetry`.
+"""
+
+from .loadgen import (
+    LoadGenError,
+    LoadGenerator,
+    LoadProfile,
+    LoadReport,
+    RequestFactory,
+    percentile,
+    summarize,
+    synthesize_market,
+    synthetic_request_factory,
+)
+from .retry import NO_RETRY, RetryError, RetryPolicy
+from .server import (
+    LATENCY_BUCKETS,
+    Overloaded,
+    RuntimeConfig,
+    RuntimeServer,
+    SESSION_OUTCOMES,
+    SessionResult,
+    SessionStatus,
+    TransientFault,
+)
+
+__all__ = [
+    "RuntimeServer",
+    "RuntimeConfig",
+    "SessionResult",
+    "SessionStatus",
+    "Overloaded",
+    "TransientFault",
+    "SESSION_OUTCOMES",
+    "LATENCY_BUCKETS",
+    "RetryPolicy",
+    "RetryError",
+    "NO_RETRY",
+    "LoadGenerator",
+    "LoadProfile",
+    "LoadReport",
+    "LoadGenError",
+    "RequestFactory",
+    "percentile",
+    "summarize",
+    "synthesize_market",
+    "synthetic_request_factory",
+]

@@ -1,0 +1,597 @@
+"""The concurrent broker runtime: admission, deadlines, retries.
+
+The paper's broker (Sec. 4, Fig. 6) is a concurrent mediator — nmsccp
+agents negotiate in parallel (``‖``) on a shared store — but
+:class:`~repro.soa.broker.Broker` drives one request at a time.  This
+module adds the serving layer around it:
+
+* :class:`RuntimeServer` accepts many concurrent
+  :class:`~repro.soa.broker.ClientRequest` sessions through a *bounded*
+  admission queue.  When the queue is full, a session is rejected
+  immediately with a typed :class:`Overloaded` result — explicit
+  backpressure instead of unbounded buffering.
+* A pool of async workers drains the queue; the CPU-bound SCSP solves
+  inside ``Broker.negotiate`` are offloaded to a thread-pool executor
+  via ``run_in_executor`` so the event loop never blocks on a solve.
+* Each session carries a deadline; sessions that exceed it are
+  cancelled and reported as ``DEADLINE_EXCEEDED``.
+* Failed attempts (injected provider faults) are re-driven under a
+  :class:`~repro.runtime.retry.RetryPolicy` with exponential backoff and
+  seeded jitter; when retries are exhausted, the server degrades
+  gracefully to the client's last-known SLA from the broker's
+  :class:`~repro.soa.sla.SLARepository` (``DEGRADED``) before giving up
+  (``FAILED``).
+
+Reproducibility: the server owns one master :class:`random.Random`
+(``config.seed``) and derives an independent child RNG per session *in
+admission order* — backoff jitter and fault decisions draw from the
+session's own stream, so a single seed reproduces a whole concurrent
+run regardless of how workers interleave.
+
+Fault injection: when a :class:`~repro.soa.faults.FaultInjector` is
+attached, it is consulted once per attempt for the *chosen* provider,
+with ``tick = session index`` — so ``BurstOutage(start, length)`` models
+an incident window over admission order and Bernoulli models redraw per
+attempt (which is what makes retries worth taking).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextvars
+import random
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Iterable, List, Optional
+
+from ..soa.broker import Broker, BrokerError, ClientRequest, NegotiationResult
+from ..soa.faults import FaultInjector
+from ..soa.sla import SLA
+from ..telemetry import get_events, get_registry, get_tracer
+from .retry import RetryPolicy
+
+#: Buckets tuned for serving latencies: sub-ms queue waits up to
+#: multi-second retried sessions.
+LATENCY_BUCKETS = (
+    0.0005,
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+    30.0,
+)
+
+
+class RuntimeError_(Exception):
+    """Raised on runtime misuse (submit before start, bad config)."""
+
+
+class TransientFault(Exception):
+    """An attempt failed for a reason worth retrying (injected fault)."""
+
+
+class SessionStatus(Enum):
+    """How one client session ended."""
+
+    COMPLETED = "completed"  # negotiation succeeded, SLA signed
+    DEGRADED = "degraded"  # retries exhausted, last-known SLA served
+    REJECTED = "rejected"  # negotiation failed for a permanent reason
+    FAILED = "failed"  # retries exhausted, nothing to degrade to
+    OVERLOADED = "overloaded"  # bounced at admission, queue full
+    DEADLINE_EXCEEDED = "deadline-exceeded"
+
+
+#: Preseeded so a metrics snapshot always shows the complete family.
+SESSION_OUTCOMES = tuple(status.value for status in SessionStatus)
+
+
+@dataclass
+class SessionResult:
+    """The runtime's answer for one submitted request."""
+
+    request: ClientRequest
+    status: SessionStatus
+    negotiation: Optional[NegotiationResult] = None
+    sla: Optional[SLA] = None
+    attempts: int = 0
+    retries: int = 0
+    queue_wait_s: float = 0.0
+    latency_s: float = 0.0
+    detail: str = ""
+    #: Admission-order session number (−1 for bounced admissions).
+    index: int = -1
+
+    @property
+    def ok(self) -> bool:
+        """Whether the client walked away with a usable SLA."""
+        return self.status in (
+            SessionStatus.COMPLETED,
+            SessionStatus.DEGRADED,
+        )
+
+    @property
+    def degraded(self) -> bool:
+        return self.status is SessionStatus.DEGRADED
+
+
+@dataclass
+class Overloaded(SessionResult):
+    """Typed admission rejection: the queue was full on arrival."""
+
+    def __post_init__(self) -> None:
+        self.status = SessionStatus.OVERLOADED
+
+
+@dataclass(frozen=True)
+class RuntimeConfig:
+    """Knobs of the serving layer."""
+
+    workers: int = 4
+    max_queue_depth: int = 256
+    deadline_s: Optional[float] = 30.0
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    seed: Optional[int] = None
+    verify_independence: bool = False
+    #: Event-loop responsiveness probe period; 0 disables the probe.
+    probe_interval_s: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise RuntimeError_("workers must be at least 1")
+        if self.max_queue_depth < 1:
+            raise RuntimeError_("max_queue_depth must be at least 1")
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise RuntimeError_("deadline_s must be positive (or None)")
+
+
+@dataclass
+class _Session:
+    """One admitted request waiting in (or moving through) the queue."""
+
+    index: int
+    request: ClientRequest
+    future: "asyncio.Future[SessionResult]"
+    rng: random.Random
+    submitted_at: float
+    deadline_s: Optional[float]
+
+
+class RuntimeServer:
+    """Serves concurrent negotiation sessions over one broker."""
+
+    def __init__(
+        self,
+        broker: Broker,
+        config: Optional[RuntimeConfig] = None,
+        injector: Optional[FaultInjector] = None,
+    ) -> None:
+        self.broker = broker
+        self.config = config or RuntimeConfig()
+        self.injector = injector
+        self.results: List[SessionResult] = []
+        self._rng = random.Random(self.config.seed)
+        self._queue: Optional["asyncio.Queue[_Session]"] = None
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._workers: List["asyncio.Task[None]"] = []
+        self._probe: Optional["asyncio.Task[None]"] = None
+        self._sessions_submitted = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def started(self) -> bool:
+        return bool(self._workers)
+
+    async def start(self) -> None:
+        if self.started:
+            return
+        self._queue = asyncio.Queue(maxsize=self.config.max_queue_depth)
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.config.workers,
+            thread_name_prefix="repro-runtime",
+        )
+        self._workers = [
+            asyncio.create_task(self._worker(), name=f"runtime-worker-{i}")
+            for i in range(self.config.workers)
+        ]
+        if self.config.probe_interval_s > 0:
+            self._probe = asyncio.create_task(
+                self._probe_loop(), name="runtime-loop-probe"
+            )
+
+    async def stop(self) -> None:
+        """Cancel workers and release the executor (pending sessions in
+        the queue are abandoned; ``serve`` drains before stopping)."""
+        for task in self._workers:
+            task.cancel()
+        if self._probe is not None:
+            self._probe.cancel()
+        pending = [*self._workers, *([self._probe] if self._probe else [])]
+        for task in pending:
+            try:
+                await task
+            except asyncio.CancelledError:
+                pass
+        self._workers = []
+        self._probe = None
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+        self._queue = None
+
+    async def __aenter__(self) -> "RuntimeServer":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info: Any) -> None:
+        await self.stop()
+
+    # ------------------------------------------------------------------
+    # Admission
+    # ------------------------------------------------------------------
+
+    def submit(
+        self,
+        request: ClientRequest,
+        deadline_s: Optional[float] = None,
+    ) -> "asyncio.Future[SessionResult]":
+        """Admit one request; resolves to its :class:`SessionResult`.
+
+        Admission control happens *here*, synchronously: a full queue
+        resolves the future immediately with a typed
+        :class:`Overloaded` result instead of buffering without bound.
+        ``deadline_s`` overrides the configured per-session deadline.
+        """
+        if not self.started or self._queue is None:
+            raise RuntimeError_("submit() before start()")
+        loop = asyncio.get_running_loop()
+        future: "asyncio.Future[SessionResult]" = loop.create_future()
+        index = self._sessions_submitted
+        self._sessions_submitted += 1
+        session = _Session(
+            index=index,
+            request=request,
+            future=future,
+            # One child stream per session, derived in admission order:
+            # reproducible under any worker interleaving.
+            rng=random.Random(self._rng.getrandbits(64)),
+            submitted_at=time.perf_counter(),
+            deadline_s=(
+                deadline_s if deadline_s is not None
+                else self.config.deadline_s
+            ),
+        )
+        try:
+            self._queue.put_nowait(session)
+        except asyncio.QueueFull:
+            result = Overloaded(
+                request=request,
+                status=SessionStatus.OVERLOADED,
+                detail=(
+                    f"admission queue full "
+                    f"({self.config.max_queue_depth} waiting)"
+                ),
+                index=index,
+            )
+            self._finish(result)
+            future.set_result(result)
+            return future
+        get_registry().gauge(
+            "runtime_queue_depth",
+            "Admitted sessions waiting for a worker.",
+        ).set(self._queue.qsize())
+        return future
+
+    async def serve(
+        self, requests: Iterable[ClientRequest]
+    ) -> List[SessionResult]:
+        """Submit every request and await all results (starting and
+        stopping the server when not already running)."""
+        owns_lifecycle = not self.started
+        if owns_lifecycle:
+            await self.start()
+        try:
+            futures = [self.submit(request) for request in requests]
+            return list(await asyncio.gather(*futures))
+        finally:
+            if owns_lifecycle:
+                await self.stop()
+
+    def run(self, requests: Iterable[ClientRequest]) -> List[SessionResult]:
+        """Synchronous convenience wrapper around :meth:`serve`."""
+        return asyncio.run(self.serve(requests))
+
+    # ------------------------------------------------------------------
+    # Workers
+    # ------------------------------------------------------------------
+
+    async def _worker(self) -> None:
+        assert self._queue is not None
+        registry = get_registry()
+        inflight = registry.gauge(
+            "runtime_inflight_sessions",
+            "Sessions currently being driven by a worker.",
+        )
+        queue_depth = registry.gauge(
+            "runtime_queue_depth",
+            "Admitted sessions waiting for a worker.",
+        )
+        while True:
+            session = await self._queue.get()
+            queue_depth.set(self._queue.qsize())
+            inflight.inc()
+            try:
+                result = await self._run_session(session)
+            except Exception as exc:  # defensive: never kill the worker
+                result = SessionResult(
+                    request=session.request,
+                    status=SessionStatus.FAILED,
+                    detail=f"internal error: {exc}",
+                )
+                result.latency_s = time.perf_counter() - session.submitted_at
+            finally:
+                inflight.dec()
+                self._queue.task_done()
+            result.index = session.index
+            self._finish(result)
+            if not session.future.done():
+                session.future.set_result(result)
+
+    async def _run_session(self, session: _Session) -> SessionResult:
+        registry = get_registry()
+        queue_wait = time.perf_counter() - session.submitted_at
+        registry.histogram(
+            "runtime_queue_wait_seconds",
+            "Time between admission and a worker picking the session up.",
+            buckets=LATENCY_BUCKETS,
+        ).observe(queue_wait)
+
+        request = session.request
+        with get_tracer().span(
+            "runtime.session",
+            index=session.index,
+            client=request.client,
+            operation=request.operation,
+            attribute=request.attribute,
+        ) as span:
+            span.set_attribute("queue_wait_s", queue_wait)
+            budget: Optional[float] = None
+            if session.deadline_s is not None:
+                budget = session.deadline_s - queue_wait
+            if budget is not None and budget <= 0:
+                result = SessionResult(
+                    request=request,
+                    status=SessionStatus.DEADLINE_EXCEEDED,
+                    queue_wait_s=queue_wait,
+                    detail="deadline expired while queued",
+                )
+            else:
+                try:
+                    result = await asyncio.wait_for(
+                        self._attempts(session), timeout=budget
+                    )
+                except asyncio.TimeoutError:
+                    result = SessionResult(
+                        request=request,
+                        status=SessionStatus.DEADLINE_EXCEEDED,
+                        queue_wait_s=queue_wait,
+                        detail=(
+                            f"deadline of {session.deadline_s:.3f}s "
+                            "exceeded mid-session"
+                        ),
+                    )
+            result.queue_wait_s = queue_wait
+            result.latency_s = time.perf_counter() - session.submitted_at
+            span.set_attribute("outcome", result.status.value)
+            span.set_attribute("attempts", result.attempts)
+        registry.histogram(
+            "runtime_session_seconds",
+            "End-to-end session latency (submission to result).",
+            buckets=LATENCY_BUCKETS,
+        ).observe(result.latency_s)
+        return result
+
+    async def _attempts(self, session: _Session) -> SessionResult:
+        """Drive the five-step lifecycle with retries and degradation."""
+        request = session.request
+        registry = get_registry()
+        events = get_events()
+        policy = self.config.retry
+        last_error = ""
+        attempt = 0
+        while attempt < policy.max_attempts:
+            attempt += 1
+            try:
+                negotiation = await self._negotiate_offloaded(request)
+            except BrokerError as exc:
+                return SessionResult(
+                    request=request,
+                    status=SessionStatus.REJECTED,
+                    attempts=attempt,
+                    retries=attempt - 1,
+                    detail=f"broker error: {exc}",
+                )
+            if not negotiation.success:
+                # A failed negotiation is a property of the market, not
+                # of a flaky provider: retrying cannot change it.
+                return SessionResult(
+                    request=request,
+                    status=SessionStatus.REJECTED,
+                    negotiation=negotiation,
+                    attempts=attempt,
+                    retries=attempt - 1,
+                    detail=negotiation.detail,
+                )
+            try:
+                await self._apply_faults(session, negotiation)
+            except TransientFault as exc:
+                last_error = str(exc)
+                if attempt >= policy.max_attempts:
+                    break
+                backoff = policy.backoff(attempt, session.rng)
+                registry.counter(
+                    "runtime_retries_total",
+                    "Session attempts re-driven after transient faults.",
+                ).inc()
+                registry.histogram(
+                    "runtime_backoff_seconds",
+                    "Backoff slept between attempts.",
+                    buckets=LATENCY_BUCKETS,
+                ).observe(backoff)
+                events.emit(
+                    "runtime.retry",
+                    client=request.client,
+                    operation=request.operation,
+                    session=session.index,
+                    attempt=attempt,
+                    backoff_s=backoff,
+                    reason=last_error,
+                )
+                await asyncio.sleep(backoff)
+                continue
+            return SessionResult(
+                request=request,
+                status=SessionStatus.COMPLETED,
+                negotiation=negotiation,
+                sla=negotiation.sla,
+                attempts=attempt,
+                retries=attempt - 1,
+                detail=negotiation.detail,
+            )
+        return self._degrade(session, attempt, last_error)
+
+    async def _negotiate_offloaded(
+        self, request: ClientRequest
+    ) -> NegotiationResult:
+        """One broker lifecycle on the executor, never on the loop.
+
+        The context is copied so broker spans opened in the worker
+        thread nest under this session's ``runtime.session`` span.
+        """
+        assert self._executor is not None
+        loop = asyncio.get_running_loop()
+        ctx = contextvars.copy_context()
+        return await loop.run_in_executor(
+            self._executor,
+            lambda: ctx.run(
+                self.broker.negotiate,
+                request,
+                self.config.verify_independence,
+            ),
+        )
+
+    async def _apply_faults(
+        self, session: _Session, negotiation: NegotiationResult
+    ) -> None:
+        """Consult the injector for the chosen provider; a ``fail``
+        fault sinks this attempt, a delay fault slows it down."""
+        if self.injector is None or negotiation.sla is None:
+            return
+        for service_id in negotiation.sla.service_ids:
+            fault = self.injector.decide(
+                service_id, tick=session.index, rng=session.rng
+            )
+            if fault is None:
+                continue
+            if fault.extra_latency_ms:
+                await asyncio.sleep(fault.extra_latency_ms / 1000.0)
+            if fault.fail:
+                raise TransientFault(
+                    f"injected {fault.kind} on {service_id!r}"
+                )
+
+    def _degrade(
+        self, session: _Session, attempts: int, last_error: str
+    ) -> SessionResult:
+        """Retries exhausted: serve the last-known SLA when one exists."""
+        request = session.request
+        known = [
+            sla
+            for sla in self.broker.slas.for_client(request.client)
+            if sla.attribute == request.attribute and sla.active
+        ]
+        if not known:
+            return SessionResult(
+                request=request,
+                status=SessionStatus.FAILED,
+                attempts=attempts,
+                retries=attempts - 1,
+                detail=f"retries exhausted ({last_error}); no known SLA",
+            )
+        sla = known[-1]
+        get_registry().counter(
+            "runtime_degraded_total",
+            "Sessions degraded to the last-known SLA after retries.",
+        ).inc()
+        get_events().emit(
+            "runtime.degraded",
+            client=request.client,
+            operation=request.operation,
+            session=session.index,
+            sla_id=sla.sla_id,
+            reason=last_error,
+        )
+        return SessionResult(
+            request=request,
+            status=SessionStatus.DEGRADED,
+            sla=sla,
+            attempts=attempts,
+            retries=attempts - 1,
+            detail=(
+                f"retries exhausted ({last_error}); "
+                f"serving last-known SLA#{sla.sla_id}"
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+
+    def _finish(self, result: SessionResult) -> None:
+        self.results.append(result)
+        registry = get_registry()
+        registry.counter(
+            "runtime_sessions_total",
+            "Runtime sessions served, by outcome.",
+            labelnames=("outcome",),
+        ).preseed(SESSION_OUTCOMES).labels(result.status.value).inc()
+        if result.status is SessionStatus.OVERLOADED:
+            registry.counter(
+                "runtime_overloaded_total",
+                "Sessions bounced at admission (queue full).",
+            ).inc()
+            get_events().emit(
+                "runtime.overloaded",
+                client=result.request.client,
+                operation=result.request.operation,
+            )
+
+    async def _probe_loop(self) -> None:
+        """Measure event-loop scheduling lag: if a solver ever ran on
+        the loop, this histogram's tail would show it."""
+        interval = self.config.probe_interval_s
+        histogram = get_registry().histogram(
+            "runtime_loop_lag_seconds",
+            "Extra delay of a timed sleep on the event loop — "
+            "spikes mean something blocked the loop.",
+            buckets=LATENCY_BUCKETS,
+        )
+        while True:
+            started = time.perf_counter()
+            await asyncio.sleep(interval)
+            histogram.observe(
+                max(0.0, time.perf_counter() - started - interval)
+            )

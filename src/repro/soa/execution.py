@@ -34,17 +34,29 @@ class ExecutionReport:
 
 
 class ExecutionEngine:
-    """Drives plans over the service pool under fault injection."""
+    """Drives plans over the service pool under fault injection.
+
+    One engine ``seed`` determines *every* random draw of a run — the
+    ``Choose`` branch picks and, unless the injector was built with its
+    own seed/rng, the fault decisions too: an injector constructed with
+    neither shares the engine's stream, so
+    ``ExecutionEngine(pool, FaultInjector(), seed=7)`` is reproducible
+    end to end (the satellite fix for ``execute_many`` runs whose fault
+    pattern drifted from the engine seed).
+    """
 
     def __init__(
         self,
         pool: ServicePool,
         injector: Optional[FaultInjector] = None,
         seed: Optional[int] = None,
+        rng: Optional[random.Random] = None,
     ) -> None:
         self.pool = pool
         self.injector = injector
-        self._rng = random.Random(seed)
+        self._rng = rng if rng is not None else random.Random(seed)
+        if injector is not None:
+            injector.adopt_rng_if_unseeded(self._rng)
         self._tick = 0
         self.reports: List[ExecutionReport] = []
 

@@ -81,20 +81,54 @@ class RandomDelay(FaultModel):
 
 
 class FaultInjector:
-    """Routes fault models to services; owns the seeded RNG."""
+    """Routes fault models to services; owns the seeded RNG.
 
-    def __init__(self, seed: Optional[int] = None) -> None:
+    Pass ``rng`` to share one seeded :class:`random.Random` with the
+    caller (the execution engine, or a runtime session) so that a single
+    seed reproduces the whole run — fault decisions included.  Callers
+    that manage per-session randomness (the concurrent runtime, where
+    a shared stream would make draw order depend on worker interleaving)
+    can instead override the stream per decision via ``decide(rng=…)``.
+    """
+
+    def __init__(
+        self,
+        seed: Optional[int] = None,
+        rng: Optional[random.Random] = None,
+    ) -> None:
         self._models: Dict[str, List[FaultModel]] = {}
-        self._rng = random.Random(seed)
+        self._rng = rng if rng is not None else random.Random(seed)
+        self._explicitly_seeded = seed is not None or rng is not None
         self.injected: List[tuple] = []
+
+    def adopt_rng_if_unseeded(self, rng: random.Random) -> bool:
+        """Share the caller's stream unless deliberately seeded already.
+
+        Lets one master seed govern engine choices *and* fault decisions
+        without overriding an injector the caller configured on purpose.
+        """
+        if self._explicitly_seeded:
+            return False
+        self._rng = rng
+        self._explicitly_seeded = True
+        return True
 
     def attach(self, service_id: str, model: FaultModel) -> None:
         self._models.setdefault(service_id, []).append(model)
 
-    def decide(self, service_id: str, tick: int) -> Optional[InjectedFault]:
+    def models_for(self, service_id: str) -> List[FaultModel]:
+        return list(self._models.get(service_id, ()))
+
+    def decide(
+        self,
+        service_id: str,
+        tick: int,
+        rng: Optional[random.Random] = None,
+    ) -> Optional[InjectedFault]:
         """First applicable fault among the service's models (if any)."""
+        draw = rng if rng is not None else self._rng
         for model in self._models.get(service_id, ()):  # ordered
-            fault = model.apply(tick, self._rng)
+            fault = model.apply(tick, draw)
             if fault is not None:
                 self.injected.append((tick, service_id, fault.kind))
                 registry = get_registry()
@@ -108,7 +142,7 @@ class FaultInjector:
                         "fault.injected",
                         service_id=service_id,
                         tick=tick,
-                        kind=fault.kind,
+                        fault=fault.kind,
                         fail=fault.fail,
                         extra_latency_ms=fault.extra_latency_ms,
                     )

@@ -74,6 +74,9 @@ class _Metric:
         self.help = help
         self.labelnames: Tuple[str, ...] = tuple(labelnames)
         self._children: Dict[Tuple[Any, ...], "_Metric"] = {}
+        # Guards child creation and value mutation: the runtime serves
+        # sessions from several worker threads against one registry.
+        self._lock = threading.Lock()
 
     # -- family ---------------------------------------------------------
 
@@ -99,8 +102,11 @@ class _Metric:
             )
         child = self._children.get(values)
         if child is None:
-            child = self._make_child()
-            self._children[values] = child
+            with self._lock:
+                child = self._children.get(values)
+                if child is None:
+                    child = self._make_child()
+                    self._children[values] = child
         return child
 
     def preseed(self, combinations: Iterable[Any]) -> "_Metric":
@@ -162,7 +168,8 @@ class Counter(_Metric):
     def inc(self, amount: float = 1) -> None:
         if amount < 0:
             raise MetricsError("counters only go up")
-        self._value += amount
+        with self._lock:
+            self._value += amount
 
     @property
     def value(self) -> float:
@@ -184,17 +191,21 @@ class Gauge(_Metric):
         self._value = 0.0
 
     def set(self, value: float) -> None:
-        self._value = value
-
-    def set_max(self, value: float) -> None:
-        if value > self._value:
+        with self._lock:
             self._value = value
 
+    def set_max(self, value: float) -> None:
+        with self._lock:
+            if value > self._value:
+                self._value = value
+
     def inc(self, amount: float = 1) -> None:
-        self._value += amount
+        with self._lock:
+            self._value += amount
 
     def dec(self, amount: float = 1) -> None:
-        self._value -= amount
+        with self._lock:
+            self._value -= amount
 
     @property
     def value(self) -> float:
@@ -229,13 +240,14 @@ class Histogram(_Metric):
         return Histogram(self.name, self.help, buckets=self.buckets)
 
     def observe(self, value: float) -> None:
-        self._sum += value
-        self._count += 1
-        for index, bound in enumerate(self.buckets):
-            if value <= bound:
-                self._counts[index] += 1
-                return
-        self._counts[-1] += 1
+        with self._lock:
+            self._sum += value
+            self._count += 1
+            for index, bound in enumerate(self.buckets):
+                if value <= bound:
+                    self._counts[index] += 1
+                    return
+            self._counts[-1] += 1
 
     def time(self) -> _Timer:
         return _Timer(self)

@@ -6,14 +6,22 @@ instrumentation (broker step → per-candidate solve → solver backend)
 composes into a tree without any explicit plumbing.  Finished root spans
 accumulate on ``tracer.finished`` for export.
 
+The open-span stack lives in a :class:`~contextvars.ContextVar`, so
+concurrent asyncio tasks (one per runtime session) and executor threads
+each see their own lineage: a worker that copies its context before
+offloading a solve gets the session span as parent, while sibling
+sessions never nest under one another.
+
 The disabled path is :class:`NullTracer`, whose ``span`` returns a
 shared no-op context manager.
 """
 
 from __future__ import annotations
 
+import threading
 import time
-from typing import Any, Dict, Iterator, List, Optional
+from contextvars import ContextVar
+from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 
 class Span:
@@ -93,36 +101,50 @@ class _SpanContext:
 
 
 class Tracer:
-    """Builds span trees; keeps finished roots for export."""
+    """Builds span trees; keeps finished roots for export.
+
+    Safe under concurrency: the open-span stack is context-local (one
+    per task/thread context) and the finished-roots list is guarded by a
+    lock, so sessions served in parallel produce disjoint trees.
+    """
 
     enabled = True
 
     def __init__(self) -> None:
         self.finished: List[Span] = []
-        self._stack: List[Span] = []
+        self._lock = threading.Lock()
+        self._stack_var: ContextVar[Tuple[Span, ...]] = ContextVar(
+            "repro_trace_stack", default=()
+        )
 
     def span(self, name: str, **attributes: Any) -> _SpanContext:
-        parent = self._stack[-1] if self._stack else None
+        stack = self._stack_var.get()
+        parent = stack[-1] if stack else None
         span = Span(name, attributes, parent)
         if parent is not None:
             parent.children.append(span)
-        self._stack.append(span)
+        self._stack_var.set(stack + (span,))
         return _SpanContext(self, span)
 
     def _close(self, span: Span) -> None:
         # Close any dangling descendants left open by an exception.
-        while self._stack and self._stack[-1] is not span:
-            dangling = self._stack.pop()
+        stack = self._stack_var.get()
+        while stack and stack[-1] is not span:
+            dangling = stack[-1]
+            stack = stack[:-1]
             if dangling.duration_s is None:
                 dangling.duration_s = time.perf_counter() - dangling._t0
-        if self._stack and self._stack[-1] is span:
-            self._stack.pop()
+        if stack and stack[-1] is span:
+            stack = stack[:-1]
+        self._stack_var.set(stack)
         if span.parent is None:
-            self.finished.append(span)
+            with self._lock:
+                self.finished.append(span)
 
     @property
     def current(self) -> Optional[Span]:
-        return self._stack[-1] if self._stack else None
+        stack = self._stack_var.get()
+        return stack[-1] if stack else None
 
     def iter_spans(self) -> Iterator[Span]:
         """Every finished span, roots first, depth-first."""
@@ -148,8 +170,9 @@ class Tracer:
         return records
 
     def clear(self) -> None:
-        self.finished.clear()
-        self._stack.clear()
+        with self._lock:
+            self.finished.clear()
+        self._stack_var.set(())
 
 
 class _NullSpanContext:

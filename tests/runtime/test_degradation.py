@@ -1,0 +1,122 @@
+"""Graceful degradation: retries exhausted ⇒ last-known SLA served."""
+
+import random
+
+from repro.runtime import (
+    RetryPolicy,
+    RuntimeConfig,
+    RuntimeServer,
+    SessionStatus,
+)
+from repro.runtime.server import _Session
+from repro.soa import BurstOutage, FaultInjector
+from repro.telemetry import telemetry_session
+
+ALL_SERVICES = ("filter-P1", "filter-P2", "filter-P3")
+
+
+def always_down_injector():
+    injector = FaultInjector(seed=0)
+    for sid in ALL_SERVICES:
+        injector.attach(sid, BurstOutage(start=0, length=10_000))
+    return injector
+
+
+class TestDegradation:
+    def test_faulted_provider_degrades_to_last_known_sla(
+        self, broker, make_request
+    ):
+        config = RuntimeConfig(
+            workers=1,
+            seed=3,
+            retry=RetryPolicy(max_attempts=3, base_backoff_s=0.001),
+        )
+        server = RuntimeServer(
+            broker, config, injector=always_down_injector()
+        )
+        (result,) = server.run([make_request(client="C")])
+        assert result.status is SessionStatus.DEGRADED
+        assert result.ok and result.degraded
+        assert result.attempts == 3
+        assert result.retries == 2
+        # The served SLA is the client's last-known one from the broker's
+        # repository — signed during negotiation even though the provider
+        # then failed to deliver.
+        assert result.sla is not None
+        assert result.sla in broker.slas.for_client("C")
+        assert "serving last-known SLA" in result.detail
+
+    def test_degradation_increments_counter_and_emits_event(
+        self, broker, make_request
+    ):
+        config = RuntimeConfig(
+            workers=1,
+            seed=3,
+            retry=RetryPolicy(max_attempts=2, base_backoff_s=0.001),
+        )
+        with telemetry_session() as session:
+            server = RuntimeServer(
+                broker, config, injector=always_down_injector()
+            )
+            results = server.run(
+                [make_request(client=f"c{i}") for i in range(3)]
+            )
+        assert all(r.status is SessionStatus.DEGRADED for r in results)
+        counter = session.registry.get("runtime_degraded_total")
+        assert counter is not None and counter.value == 3
+        events = session.events.of_kind("runtime.degraded")
+        assert len(events) == 3
+        assert {e["client"] for e in events} == {"c0", "c1", "c2"}
+        assert all(e["sla_id"] is not None for e in events)
+        # the outcome-labelled session counter agrees
+        sessions_total = session.registry.get("runtime_sessions_total")
+        by_outcome = {
+            s["labels"]["outcome"]: s["value"]
+            for s in sessions_total.samples()
+        }
+        assert by_outcome["degraded"] == 3
+        assert by_outcome["completed"] == 0
+
+    def test_nothing_to_degrade_to_fails(self, broker, make_request):
+        """A client with no usable SLA on file ends FAILED, not DEGRADED."""
+        server = RuntimeServer(broker, RuntimeConfig(seed=1))
+        session = _Session(
+            index=0,
+            request=make_request(client="stranger"),
+            future=None,
+            rng=random.Random(0),
+            submitted_at=0.0,
+            deadline_s=None,
+        )
+        result = server._degrade(session, attempts=3, last_error="outage")
+        assert result.status is SessionStatus.FAILED
+        assert result.sla is None
+        assert not result.ok
+        assert "no known SLA" in result.detail
+
+    def test_degradation_ignores_other_attributes(self, broker, make_request):
+        """Last-known lookup must match the requested attribute."""
+        # Seed an SLA for client C (attribute "cost") the normal way.
+        (first,) = RuntimeServer(
+            broker, RuntimeConfig(seed=1)
+        ).run([make_request(client="C")])
+        assert first.status is SessionStatus.COMPLETED
+
+        server = RuntimeServer(broker, RuntimeConfig(seed=1))
+        request = make_request(client="C")
+        mismatched = type(request)(
+            client="C",
+            operation=request.operation,
+            attribute="reliability",
+            requirements=request.requirements,
+        )
+        session = _Session(
+            index=1,
+            request=mismatched,
+            future=None,
+            rng=random.Random(0),
+            submitted_at=0.0,
+            deadline_s=None,
+        )
+        result = server._degrade(session, attempts=2, last_error="outage")
+        assert result.status is SessionStatus.FAILED

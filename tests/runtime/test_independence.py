@@ -1,0 +1,43 @@
+"""Scheduler independence under concurrency (satellite of PR 2).
+
+The paper's negotiation semantics is nondeterministic; the broker can
+certify (by exhaustive nmsccp exploration) that an outcome holds under
+*every* scheduler.  Here we check the property survives the concurrent
+runtime: many sessions served in parallel, each certificate positive,
+and the agreed levels identical to a sequential reference run.
+"""
+
+from repro.runtime import RuntimeConfig, RuntimeServer, SessionStatus
+from repro.soa import Broker
+
+
+class TestSchedulerIndependenceUnderLoad:
+    def test_concurrent_sessions_are_certified_independent(
+        self, market, make_request
+    ):
+        config = RuntimeConfig(workers=3, seed=1, verify_independence=True)
+        server = RuntimeServer(Broker(market), config)
+        results = server.run(
+            [make_request(client=f"c{i}") for i in range(6)]
+        )
+        assert all(r.status is SessionStatus.COMPLETED for r in results)
+        for result in results:
+            outcome = result.negotiation.outcome
+            assert outcome is not None
+            assert outcome.scheduler_independent is True
+
+    def test_concurrent_levels_match_sequential_reference(
+        self, market, make_request
+    ):
+        reference = Broker(market).negotiate(
+            make_request(client="ref"), verify_scheduler_independence=True
+        )
+        assert reference.success
+
+        config = RuntimeConfig(workers=4, seed=2, verify_independence=True)
+        server = RuntimeServer(Broker(market), config)
+        results = server.run(
+            [make_request(client=f"c{i}") for i in range(8)]
+        )
+        levels = {r.sla.agreed_level for r in results}
+        assert levels == {reference.sla.agreed_level}

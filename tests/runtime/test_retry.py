@@ -1,0 +1,77 @@
+"""Retry policy: exponential growth, caps, seeded jitter."""
+
+import random
+
+import pytest
+
+from repro.runtime import NO_RETRY, RetryError, RetryPolicy
+
+
+class TestValidation:
+    def test_rejects_zero_attempts(self):
+        with pytest.raises(RetryError):
+            RetryPolicy(max_attempts=0)
+
+    def test_rejects_negative_backoff(self):
+        with pytest.raises(RetryError):
+            RetryPolicy(base_backoff_s=-0.1)
+
+    def test_rejects_shrinking_multiplier(self):
+        with pytest.raises(RetryError):
+            RetryPolicy(multiplier=0.5)
+
+    def test_rejects_jitter_outside_unit_interval(self):
+        with pytest.raises(RetryError):
+            RetryPolicy(jitter=1.5)
+
+    def test_rejects_zeroth_attempt(self):
+        with pytest.raises(RetryError):
+            RetryPolicy().raw_backoff(0)
+
+
+class TestBackoff:
+    def test_raw_backoff_grows_exponentially(self):
+        policy = RetryPolicy(
+            max_attempts=5, base_backoff_s=0.1, multiplier=2.0,
+            max_backoff_s=100.0,
+        )
+        assert [policy.raw_backoff(a) for a in (1, 2, 3)] == [
+            0.1,
+            0.2,
+            0.4,
+        ]
+
+    def test_raw_backoff_caps_at_max(self):
+        policy = RetryPolicy(
+            max_attempts=10, base_backoff_s=1.0, multiplier=10.0,
+            max_backoff_s=5.0,
+        )
+        assert policy.raw_backoff(4) == 5.0
+
+    def test_jitter_stays_within_spread(self):
+        policy = RetryPolicy(base_backoff_s=1.0, jitter=0.5)
+        rng = random.Random(7)
+        for _ in range(200):
+            delay = policy.backoff(1, rng)
+            assert 0.5 <= delay <= 1.5
+
+    def test_same_seed_same_schedule(self):
+        policy = RetryPolicy(max_attempts=6, base_backoff_s=0.2)
+        first = policy.schedule(random.Random(42))
+        second = policy.schedule(random.Random(42))
+        assert first == second
+        assert len(first) == policy.max_retries == 5
+
+    def test_zero_jitter_is_deterministic_without_rng_draws(self):
+        policy = RetryPolicy(jitter=0.0, base_backoff_s=0.3)
+        rng = random.Random(1)
+        before = rng.getstate()
+        assert policy.backoff(1, rng) == 0.3
+        assert rng.getstate() == before  # no draw consumed
+
+
+class TestNoRetry:
+    def test_single_attempt_no_waits(self):
+        assert NO_RETRY.max_attempts == 1
+        assert NO_RETRY.max_retries == 0
+        assert NO_RETRY.schedule(random.Random(0)) == []

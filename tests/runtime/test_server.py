@@ -1,0 +1,250 @@
+"""RuntimeServer: admission, workers, deadlines, retries, seeds."""
+
+import asyncio
+
+import pytest
+
+from repro.runtime import (
+    Overloaded,
+    RetryPolicy,
+    RuntimeConfig,
+    RuntimeServer,
+    SessionStatus,
+)
+from repro.runtime.server import RuntimeError_
+from repro.soa import BernoulliCrash, ClientRequest, FaultInjector
+from repro.telemetry import telemetry_session
+
+
+def sessions_for(broker, make_request, count):
+    return [make_request(client=f"c{i}") for i in range(count)]
+
+
+class TestServing:
+    def test_serves_concurrent_sessions(self, broker, make_request):
+        server = RuntimeServer(broker, RuntimeConfig(workers=3, seed=1))
+        results = server.run(sessions_for(broker, make_request, 8))
+        assert len(results) == 8
+        assert all(r.status is SessionStatus.COMPLETED for r in results)
+        assert all(r.sla is not None for r in results)
+        assert all(r.attempts == 1 for r in results)
+        # results come back in submission order with their admission index
+        assert [r.index for r in results] == list(range(8))
+
+    def test_each_client_gets_its_own_sla(self, broker, make_request):
+        server = RuntimeServer(broker, RuntimeConfig(seed=1))
+        results = server.run(sessions_for(broker, make_request, 5))
+        assert len({r.sla.sla_id for r in results}) == 5
+
+    def test_rejected_when_no_provider_matches(self, broker):
+        server = RuntimeServer(broker, RuntimeConfig(seed=1))
+        impossible = ClientRequest(
+            client="C", operation="no-such-op", attribute="cost"
+        )
+        (result,) = server.run([impossible])
+        assert result.status is SessionStatus.REJECTED
+        assert result.attempts == 1  # permanent: not worth retrying
+        assert not result.ok
+
+    def test_submit_before_start_raises(self, broker, make_request):
+        server = RuntimeServer(broker)
+        with pytest.raises(RuntimeError_):
+            asyncio.run(self._submit_unstarted(server, make_request()))
+
+    @staticmethod
+    async def _submit_unstarted(server, request):
+        server.submit(request)
+
+
+class TestAdmissionControl:
+    def test_queue_overflow_yields_typed_overload(self, broker, make_request):
+        async def flood():
+            config = RuntimeConfig(
+                workers=1, max_queue_depth=2, seed=1, probe_interval_s=0
+            )
+            async with RuntimeServer(broker, config) as server:
+                # Submit synchronously without yielding: the single
+                # worker cannot drain, so the 3rd+ submissions bounce.
+                futures = [
+                    server.submit(make_request(client=f"c{i}"))
+                    for i in range(6)
+                ]
+                return await asyncio.gather(*futures)
+
+        results = asyncio.run(flood())
+        bounced = [r for r in results if isinstance(r, Overloaded)]
+        assert len(bounced) >= 3
+        assert all(
+            r.status is SessionStatus.OVERLOADED and "queue full" in r.detail
+            for r in bounced
+        )
+        served = [r for r in results if not isinstance(r, Overloaded)]
+        assert served and all(
+            r.status is SessionStatus.COMPLETED for r in served
+        )
+
+    def test_bounced_sessions_never_occupy_a_worker(
+        self, broker, make_request
+    ):
+        async def flood():
+            config = RuntimeConfig(workers=1, max_queue_depth=1, seed=1)
+            async with RuntimeServer(broker, config) as server:
+                futures = [
+                    server.submit(make_request(client=f"c{i}"))
+                    for i in range(4)
+                ]
+                return await asyncio.gather(*futures)
+
+        results = asyncio.run(flood())
+        assert all(
+            r.attempts == 0
+            for r in results
+            if r.status is SessionStatus.OVERLOADED
+        )
+
+
+class TestDeadlines:
+    def test_zero_budget_expires_in_queue(self, broker, make_request):
+        server = RuntimeServer(broker, RuntimeConfig(workers=1, seed=1))
+
+        async def submit_with_tiny_deadline():
+            async with server:
+                future = server.submit(make_request(), deadline_s=1e-9)
+                return await future
+
+        result = asyncio.run(submit_with_tiny_deadline())
+        assert result.status is SessionStatus.DEADLINE_EXCEEDED
+        assert not result.ok
+
+    def test_generous_deadline_completes(self, broker, make_request):
+        server = RuntimeServer(
+            broker, RuntimeConfig(deadline_s=30.0, seed=1)
+        )
+        (result,) = server.run([make_request()])
+        assert result.status is SessionStatus.COMPLETED
+
+
+class TestRetries:
+    def test_transient_faults_are_retried(self, broker, make_request):
+        injector = FaultInjector(seed=5)
+        for sid in ("filter-P1", "filter-P2", "filter-P3"):
+            injector.attach(sid, BernoulliCrash(0.6))
+        config = RuntimeConfig(
+            workers=2,
+            seed=5,
+            retry=RetryPolicy(
+                max_attempts=5, base_backoff_s=0.001, jitter=0.5
+            ),
+        )
+        server = RuntimeServer(broker, config, injector=injector)
+        results = server.run(sessions_for(broker, make_request, 12))
+        assert sum(r.retries for r in results) > 0
+        assert all(r.ok for r in results)  # retried or degraded, never lost
+
+    def test_retry_metrics_and_events(self, broker, make_request):
+        injector = FaultInjector(seed=5)
+        for sid in ("filter-P1", "filter-P2", "filter-P3"):
+            injector.attach(sid, BernoulliCrash(0.6))
+        config = RuntimeConfig(
+            workers=2,
+            seed=5,
+            retry=RetryPolicy(max_attempts=5, base_backoff_s=0.001),
+        )
+        with telemetry_session() as session:
+            server = RuntimeServer(broker, config, injector=injector)
+            results = server.run(sessions_for(broker, make_request, 12))
+        retries = sum(r.retries for r in results)
+        assert retries > 0
+        counter = session.registry.get("runtime_retries_total")
+        assert counter is not None and counter.value == retries
+        retry_events = session.events.of_kind("runtime.retry")
+        assert len(retry_events) == retries
+        assert all(e["backoff_s"] >= 0 for e in retry_events)
+
+
+class TestReproducibility:
+    def run_with_seed(self, broker_factory, make_request, seed):
+        broker = broker_factory()
+        injector = FaultInjector(seed=seed)
+        for sid in ("filter-P1", "filter-P2", "filter-P3"):
+            injector.attach(sid, BernoulliCrash(0.5))
+        config = RuntimeConfig(
+            workers=3,
+            seed=seed,
+            retry=RetryPolicy(max_attempts=4, base_backoff_s=0.001),
+        )
+        server = RuntimeServer(broker, config, injector=injector)
+        results = server.run(
+            [make_request(client=f"c{i}") for i in range(10)]
+        )
+        return [(r.status, r.attempts, r.retries) for r in results]
+
+    def test_one_seed_reproduces_a_concurrent_run(
+        self, market, make_request
+    ):
+        from repro.soa import Broker
+
+        first = self.run_with_seed(lambda: Broker(market), make_request, 9)
+        second = self.run_with_seed(lambda: Broker(market), make_request, 9)
+        assert first == second
+
+    def test_different_seeds_diverge(self, market, make_request):
+        from repro.soa import Broker
+
+        runs = {
+            tuple(
+                self.run_with_seed(lambda: Broker(market), make_request, s)
+            )
+            for s in range(6)
+        }
+        assert len(runs) > 1  # the seed actually steers fault decisions
+
+
+class TestOffloading:
+    def test_solves_never_block_the_event_loop(self, broker, make_request):
+        """While the workers grind CPU-bound solves, a loop-side task
+        must keep ticking — solves run on executor threads."""
+
+        async def scenario():
+            ticks = 0
+
+            async def ticker():
+                nonlocal ticks
+                while True:
+                    await asyncio.sleep(0.001)
+                    ticks += 1
+
+            config = RuntimeConfig(workers=2, seed=1)
+            async with RuntimeServer(broker, config) as server:
+                probe = asyncio.create_task(ticker())
+                futures = [
+                    server.submit(make_request(client=f"c{i}"))
+                    for i in range(10)
+                ]
+                results = await asyncio.gather(*futures)
+                probe.cancel()
+                return results, ticks
+
+        results, ticks = asyncio.run(scenario())
+        assert all(r.status is SessionStatus.COMPLETED for r in results)
+        assert ticks > 0
+
+    def test_broker_spans_nest_under_session_spans(
+        self, broker, make_request
+    ):
+        with telemetry_session() as session:
+            server = RuntimeServer(broker, RuntimeConfig(workers=3, seed=1))
+            server.run([make_request(client=f"c{i}") for i in range(3)])
+        roots = session.tracer.finished
+        assert [r.name for r in roots].count("runtime.session") == 3
+        for root in roots:
+            assert root.name == "runtime.session"
+            (child,) = root.children
+            assert child.name == "broker.request"
+            assert [c.name for c in child.children] == [
+                "broker.step1-request",
+                "broker.step2-registry-search",
+                "broker.step3-negotiation",
+                "broker.step4-compare",
+                "broker.step5-sla",
+            ]

@@ -1,0 +1,134 @@
+"""Round-robin fairness: no agent starves, ever (PR 2 satellite).
+
+The paper's ‖ is fair only if the scheduler is: a scheduler that always
+favours the leftmost enabled step can starve the right agent for the
+whole run.  :class:`RoundRobinScheduler` rotates its pick, so over N
+steps with k simultaneously enabled steps every position is chosen
+⌊N/k⌋ or ⌈N/k⌉ times — and in a parallel composition of always-enabled
+agents, progress interleaves step for step.
+"""
+
+from collections import Counter
+
+import pytest
+
+from repro.constraints import FunctionConstraint, variable
+from repro.sccp import (
+    DeterministicScheduler,
+    RoundRobinScheduler,
+    Status,
+    parallel,
+    run,
+    sequence,
+    tell,
+)
+from repro.sccp.syntax import SUCCESS
+
+
+def flag(fuzzy, name):
+    var = variable(name, [0, 1])
+    return FunctionConstraint(
+        fuzzy, (var,), lambda v: 1.0 if v == 1 else 0.0, name=name
+    )
+
+
+def tell_chain(constraint, length):
+    agent = SUCCESS
+    for _ in range(length):
+        agent = sequence(tell(constraint), agent)
+    return agent
+
+
+class TestChoiceFairness:
+    def test_constant_step_set_is_shared_evenly(self):
+        scheduler = RoundRobinScheduler()
+        steps = ["s0", "s1", "s2"]  # choose() only indexes the sequence
+        picks = Counter(scheduler.choose(steps) for _ in range(300))
+        assert picks == Counter({"s0": 100, "s1": 100, "s2": 100})
+
+    def test_uneven_rounds_differ_by_at_most_one(self):
+        scheduler = RoundRobinScheduler()
+        steps = ["s0", "s1", "s2", "s3"]
+        picks = Counter(scheduler.choose(steps) for _ in range(10))
+        assert set(picks) == set(steps)  # nobody starved
+        assert max(picks.values()) - min(picks.values()) <= 1
+
+    def test_no_position_starves_over_many_steps(self):
+        scheduler = RoundRobinScheduler()
+        n, k = 1000, 7
+        steps = list(range(k))
+        picks = Counter(scheduler.choose(steps) for _ in range(n))
+        for position in steps:
+            assert picks[position] >= n // k
+
+    def test_single_step_always_picked(self):
+        scheduler = RoundRobinScheduler()
+        assert all(scheduler.choose(["only"]) == "only" for _ in range(5))
+
+
+class TestParallelFairness:
+    @pytest.fixture
+    def fuzzy(self):
+        from repro.semirings import FuzzySemiring
+
+        return FuzzySemiring()
+
+    @staticmethod
+    def remaining_work(agent_after):
+        """Per-branch pending tells of "(left ‖ right)" descriptions."""
+        if "‖" not in agent_after:
+            return None
+        left, right = agent_after.split("‖", 1)
+        return left.count("tell"), right.count("tell")
+
+    def test_round_robin_interleaves_two_tell_chains(self, fuzzy):
+        """Both branches stay always-enabled, so round robin must
+        alternate: pending work never diverges by more than one step."""
+        chain_a = tell_chain(flag(fuzzy, "a"), 6)
+        chain_b = tell_chain(flag(fuzzy, "b"), 6)
+        result = run(
+            parallel(chain_a, chain_b),
+            semiring=fuzzy,
+            scheduler=RoundRobinScheduler(),
+        )
+        assert result.status is Status.SUCCESS
+        gaps = [
+            abs(left - right)
+            for event in result.trace
+            if (work := self.remaining_work(event.agent_after)) is not None
+            for left, right in [work]
+        ]
+        assert gaps and max(gaps) <= 1
+
+    def test_deterministic_scheduler_starves_the_right_agent(self, fuzzy):
+        """The contrast case: leftmost-first drains agent A completely
+        before agent B moves — the starvation round robin prevents."""
+        chain_a = tell_chain(flag(fuzzy, "a"), 6)
+        chain_b = tell_chain(flag(fuzzy, "b"), 6)
+        result = run(
+            parallel(chain_a, chain_b),
+            semiring=fuzzy,
+            scheduler=DeterministicScheduler(),
+        )
+        assert result.status is Status.SUCCESS
+        gaps = [
+            abs(left - right)
+            for event in result.trace
+            if (work := self.remaining_work(event.agent_after)) is not None
+            for left, right in [work]
+        ]
+        # A ran 5 steps ahead before B ever moved (the ‖ collapses when
+        # A's chain finishes, so the 6-step gap itself is never printed).
+        assert max(gaps) == 5
+
+    def test_many_agents_all_progress_each_cycle(self, fuzzy):
+        """With k parallel chains, every agent advances before any
+        advances twice (tells are always enabled)."""
+        chains = [tell_chain(flag(fuzzy, f"f{i}"), 3) for i in range(4)]
+        result = run(
+            parallel(*chains),
+            semiring=fuzzy,
+            scheduler=RoundRobinScheduler(),
+            max_steps=200,
+        )
+        assert result.status is Status.SUCCESS

@@ -163,6 +163,50 @@ class TestFaults:
             RandomDelay(probability=2.0, extra_ms=1.0)
 
 
+class TestSeedPlumbing:
+    """One engine seed must reproduce the whole run, faults included."""
+
+    def run_outcomes(self, seed):
+        pool = ServicePool()
+        for sid in ("s1", "s2"):
+            pool.add(make_service(sid))
+        injector = FaultInjector()  # unseeded: adopts the engine's stream
+        injector.attach("s1", BernoulliCrash(0.4))
+        injector.attach("s2", BernoulliCrash(0.2))
+        engine = ExecutionEngine(pool, injector=injector, seed=seed)
+        plan = Choose(
+            children=(pipeline("s1", "s2"), pipeline("s2", "s1"))
+        )
+        reports = engine.execute_many(plan, runs=40)
+        return [(r.success, tuple(r.services_touched)) for r in reports]
+
+    def test_same_seed_reproduces_choices_and_faults(self):
+        assert self.run_outcomes(7) == self.run_outcomes(7)
+
+    def test_different_seeds_diverge(self):
+        assert len({tuple(self.run_outcomes(s)) for s in range(5)}) > 1
+
+    def test_unseeded_injector_adopts_engine_stream(self):
+        injector = FaultInjector()
+        engine = ExecutionEngine(ServicePool(), injector=injector, seed=3)
+        assert injector._rng is engine._rng
+
+    def test_explicitly_seeded_injector_keeps_its_stream(self):
+        injector = FaultInjector(seed=99)
+        engine = ExecutionEngine(ServicePool(), injector=injector, seed=3)
+        assert injector._rng is not engine._rng
+
+    def test_shared_rng_object_spans_both(self):
+        import random
+
+        stream = random.Random(11)
+        injector = FaultInjector(rng=stream)
+        engine = ExecutionEngine(
+            ServicePool(), injector=injector, rng=stream
+        )
+        assert injector._rng is engine._rng is stream
+
+
 def availability_sla(level=0.95):
     semiring = ProbabilisticSemiring()
     return SLA(

@@ -117,6 +117,78 @@ class TestSpanNesting:
         assert tracer.finished == []
 
 
+class TestConcurrentLineage:
+    """The span stack is per-context: concurrent tasks and executor
+    threads each see their own lineage (what the runtime relies on)."""
+
+    def test_asyncio_tasks_do_not_interleave_spans(self):
+        import asyncio
+
+        tracer = Tracer()
+
+        async def session(name):
+            with tracer.span(f"root-{name}"):
+                await asyncio.sleep(0)
+                with tracer.span(f"child-{name}"):
+                    await asyncio.sleep(0)
+
+        async def scenario():
+            await asyncio.gather(*(session(str(i)) for i in range(3)))
+
+        asyncio.run(scenario())
+        assert len(tracer.finished) == 3
+        for root in sorted(tracer.finished, key=lambda s: s.name):
+            suffix = root.name.split("-", 1)[1]
+            (child,) = root.children
+            assert child.name == f"child-{suffix}"
+
+    def test_copied_context_parents_executor_spans(self):
+        """A span opened in a worker thread under ``ctx.run`` nests
+        beneath the span active when the context was copied."""
+        import contextvars
+        from concurrent.futures import ThreadPoolExecutor
+
+        tracer = Tracer()
+
+        def offloaded():
+            with tracer.span("offloaded"):
+                pass
+
+        with ThreadPoolExecutor(max_workers=1) as pool:
+            with tracer.span("session"):
+                ctx = contextvars.copy_context()
+                pool.submit(lambda: ctx.run(offloaded)).result()
+        (root,) = tracer.finished
+        assert root.name == "session"
+        assert [c.name for c in root.children] == ["offloaded"]
+
+    def test_plain_threads_have_independent_stacks(self):
+        import threading
+
+        tracer = Tracer()
+        errors = []
+
+        def worker(name):
+            try:
+                with tracer.span(name):
+                    assert tracer.current.name == name
+            except Exception as exc:  # pragma: no cover - diagnostic
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(f"t{i}",))
+            for i in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert sorted(s.name for s in tracer.finished) == [
+            "t0", "t1", "t2", "t3",
+        ]
+
+
 class TestNullTracer:
     def test_span_is_shared_noop(self):
         assert NULL_TRACER.enabled is False

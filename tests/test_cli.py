@@ -143,6 +143,147 @@ class TestNegotiate:
             main(["negotiate", str(fig1_file)])
 
 
+class TestRuntime:
+    def test_serves_market_sessions(self, market_file, capsys):
+        exit_code = main(
+            ["runtime", str(market_file), "--requests", "4", "--seed", "1"]
+        )
+        out = json.loads(capsys.readouterr().out)
+        assert exit_code == 0
+        assert out["requests"] == 4
+        assert out["outcomes"] == {"completed": 4}
+        assert len(out["sessions"]) == 4
+        assert all(s["sla_id"] is not None for s in out["sessions"])
+
+    def test_outage_faults_trigger_retries_and_degradation(
+        self, market_file, capsys
+    ):
+        exit_code = main(
+            [
+                "runtime",
+                str(market_file),
+                "--requests",
+                "6",
+                "--seed",
+                "1",
+                "--fault-outage",
+                "1:2",
+                "--base-backoff",
+                "0.001",
+            ]
+        )
+        out = json.loads(capsys.readouterr().out)
+        assert exit_code == 0
+        assert out["retries_total"] > 0
+        assert out["outcomes"].get("degraded", 0) >= 1
+        degraded = [
+            s for s in out["sessions"] if s["status"] == "degraded"
+        ]
+        assert all(s["attempts"] > 1 for s in degraded)
+
+    def test_fault_run_logs_retries_and_degradation_events(
+        self, market_file, capsys, tmp_path
+    ):
+        trace = tmp_path / "trace.jsonl"
+        main(
+            [
+                "runtime",
+                str(market_file),
+                "--requests",
+                "6",
+                "--seed",
+                "1",
+                "--fault-outage",
+                "1:2",
+                "--base-backoff",
+                "0.001",
+                "--trace-out",
+                str(trace),
+            ]
+        )
+        capsys.readouterr()
+        kinds = [
+            json.loads(line).get("kind")
+            for line in trace.read_text().splitlines()
+        ]
+        assert "runtime.retry" in kinds
+        assert "fault.injected" in kinds
+        assert "runtime.degraded" in kinds
+
+    def test_bad_fault_flag_rejected(self, market_file):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "runtime",
+                    str(market_file),
+                    "--fault-outage",
+                    "not-a-window",
+                ]
+            )
+
+
+class TestLoadgen:
+    def test_synthetic_market_by_default(self, capsys):
+        exit_code = main(
+            [
+                "loadgen",
+                "--clients",
+                "8",
+                "--rate",
+                "2000",
+                "--seed",
+                "3",
+            ]
+        )
+        out = json.loads(capsys.readouterr().out)
+        assert exit_code == 0
+        assert out["offered"] == 8
+        assert out["outcomes"] == {"completed": 8}
+        assert out["throughput_rps"] > 0
+        assert out["latency_s"]["p99"] >= out["latency_s"]["p50"]
+
+    def test_explicit_market_and_closed_loop(self, market_file, capsys):
+        exit_code = main(
+            [
+                "loadgen",
+                "--market",
+                str(market_file),
+                "--clients",
+                "3",
+                "--requests",
+                "6",
+                "--mode",
+                "closed",
+                "--seed",
+                "3",
+            ]
+        )
+        out = json.loads(capsys.readouterr().out)
+        assert exit_code == 0
+        assert out["offered"] == 6
+        assert out["outcomes"]["completed"] == 6
+
+    def test_telemetry_snapshot_shows_queue_wait_histogram(self, capsys):
+        exit_code = main(
+            [
+                "loadgen",
+                "--clients",
+                "5",
+                "--rate",
+                "2000",
+                "--seed",
+                "3",
+                "--telemetry",
+            ]
+        )
+        out = json.loads(capsys.readouterr().out)
+        assert exit_code == 0
+        names = {m["name"] for m in out["telemetry"]["metrics"]}
+        assert "runtime_queue_wait_seconds" in names
+        assert "runtime_session_seconds" in names
+        assert "runtime_sessions_total" in names
+
+
 class TestValidateSemiring:
     def test_builtin_ok(self, capsys):
         assert main(["validate-semiring", "fuzzy"]) == 0
