@@ -69,6 +69,29 @@ def load_telemetry_snapshot(path):
     return json.loads(Path(path).read_text())
 
 
+def record_bench_artifact(section: str, payload: dict) -> Path:
+    """Merge ``payload`` under ``section`` in the bench JSON artifact.
+
+    The artifact (``REPRO_BENCH_JSON``, default
+    ``benchmarks/BENCH_PR3.json``) accumulates one section per
+    benchmark — the CI bench job uploads the merged file, so the
+    dict-vs-dense and cold-vs-warm medians travel with every PR run.
+    """
+    path = Path(
+        os.environ.get("REPRO_BENCH_JSON", "benchmarks/BENCH_PR3.json")
+    )
+    path.parent.mkdir(parents=True, exist_ok=True)
+    merged = {}
+    if path.exists():
+        try:
+            merged = json.loads(path.read_text())
+        except json.JSONDecodeError:
+            merged = {}
+    merged[section] = payload
+    path.write_text(json.dumps(merged, indent=2, sort_keys=True) + "\n")
+    return path
+
+
 @pytest.fixture
 def weighted():
     from repro.semirings import WeightedSemiring

@@ -14,9 +14,10 @@ req/s, the acceptance load of the runtime subsystem.
 """
 
 import os
+import statistics
 
 import pytest
-from conftest import report
+from conftest import record_bench_artifact, report
 
 from repro.runtime import (
     LoadGenerator,
@@ -37,10 +38,10 @@ SCALE = {
 }[("full" if FULL else "quick")]
 
 
-def make_server(workers=4, max_queue_depth=256, seed=11):
+def make_server(workers=4, max_queue_depth=256, seed=11, **broker_kwargs):
     registry = synthesize_market(seed=seed)
     return RuntimeServer(
-        Broker(registry),
+        Broker(registry, **broker_kwargs),
         RuntimeConfig(
             workers=workers, max_queue_depth=max_queue_depth, seed=seed
         ),
@@ -106,6 +107,77 @@ def test_throughput_by_mode(benchmark, mode):
             latency_row("queue wait", load.queue_wait_s),
         ],
         headers=("series", "p50", "p95", "p99", "max"),
+    )
+
+
+def test_solve_cache_warm_vs_cold_throughput(benchmark):
+    """PR3 acceptance: warm solve-cache throughput beats cold.
+
+    Closed-loop load (the solve-bound regime — no arrival-rate ceiling):
+    *cold* serves with the broker cache disabled, so every session pays
+    a full SCSP solve; *warm* keeps the default cache, primed by one
+    untimed run, so sessions hit fingerprint-identical entries.  Medians
+    of 3 runs each land in ``BENCH_PR3.json``.
+    """
+
+    def compare():
+        cold_server = make_server(solve_cache=False)
+        warm_server = make_server()
+        run_load("closed", server=warm_server)  # prime the cache
+        cold_rps, warm_rps = [], []
+        for _ in range(3):
+            cold_rps.append(
+                run_load("closed", server=cold_server).throughput_rps
+            )
+            warm_rps.append(
+                run_load("closed", server=warm_server).throughput_rps
+            )
+        return (
+            statistics.median(cold_rps),
+            statistics.median(warm_rps),
+            warm_server,
+        )
+
+    cold, warm, warm_server = benchmark.pedantic(
+        compare, rounds=1, iterations=1
+    )
+    cache_stats = warm_server.broker.solve_cache.stats()
+    report(
+        f"PR3 — solve cache cold vs warm (closed loop, "
+        f"{'full' if FULL else 'quick'} mode, median of 3)",
+        [
+            (
+                f"{cold:.1f}",
+                f"{warm:.1f}",
+                f"{warm / cold:.2f}x",
+                cache_stats["hits"],
+                cache_stats["misses"],
+            )
+        ],
+        headers=(
+            "cold req/s",
+            "warm req/s",
+            "ratio",
+            "cache hits",
+            "cache misses",
+        ),
+    )
+    record_bench_artifact(
+        "runtime_throughput_cold_vs_warm",
+        {
+            "mode": "closed",
+            "scale": SCALE,
+            "median_cold_rps": cold,
+            "median_warm_rps": warm,
+            "ratio": warm / cold,
+            "cache_hits": cache_stats["hits"],
+            "cache_misses": cache_stats["misses"],
+        },
+    )
+    assert cache_stats["hits"] > 0
+    assert warm > cold, (
+        f"warm cache ({warm:.1f} req/s) not faster than cold "
+        f"({cold:.1f} req/s)"
     )
 
 

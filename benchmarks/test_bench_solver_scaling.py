@@ -8,12 +8,14 @@ and bucket elimination's intermediate tables stay polynomial on chains.
 
 import itertools
 import random
+import statistics
+import time
 
 import pytest
-from conftest import report
+from conftest import record_bench_artifact, report
 
 from repro.constraints import TableConstraint, variable
-from repro.semirings import WeightedSemiring
+from repro.semirings import FuzzySemiring, WeightedSemiring
 from repro.solver import (
     SCSP,
     solve_branch_bound,
@@ -108,6 +110,108 @@ def test_search_effort_series(benchmark):
         assert table <= 3**2 * 3  # never materializes more than a bucket
     # pruning advantage grows with n
     assert rows[-1][1] / rows[-1][2] > rows[0][1] / rows[0][2]
+
+
+def dense_chain_problem(semiring, n_vars=14, domain=12, seed=0) -> SCSP:
+    """The largest quick-mode instance: a wide-domain weighted/fuzzy
+    chain whose per-bucket tables are big enough for vectorization to
+    dominate interpreter overhead."""
+    rng = random.Random(seed)
+    is_fuzzy = isinstance(semiring, FuzzySemiring)
+
+    def draw():
+        return round(rng.random(), 6) if is_fuzzy else float(
+            rng.randint(0, 99)
+        )
+
+    variables = [variable(f"v{i}", range(domain)) for i in range(n_vars)]
+    constraints = []
+    for var in variables:
+        constraints.append(
+            TableConstraint(
+                semiring, [var], {(d,): draw() for d in var.domain}
+            )
+        )
+    for left, right in zip(variables, variables[1:]):
+        constraints.append(
+            TableConstraint(
+                semiring,
+                [left, right],
+                {
+                    key: draw()
+                    for key in itertools.product(
+                        left.domain, right.domain
+                    )
+                },
+            )
+        )
+    return SCSP(constraints, con=[variables[0].name])
+
+
+def _median_seconds(fn, rounds=5):
+    samples = []
+    for _ in range(rounds):
+        started = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - started)
+    return statistics.median(samples)
+
+
+@pytest.mark.parametrize(
+    "semiring",
+    (WeightedSemiring(), FuzzySemiring()),
+    ids=lambda s: s.name,
+)
+def test_dense_vs_dict_elimination(benchmark, semiring):
+    """Acceptance gate: dense kernels ≥5× faster than the dict path on
+    the largest quick-mode instance, with bit-identical results."""
+    problem = dense_chain_problem(semiring)
+
+    def compare():
+        # One untimed solve per backend warms the to_table/DenseFactor
+        # memos — the steady state the broker hot path runs in.
+        dict_result = solve_elimination(problem, backend="dict")
+        dense_result = solve_elimination(problem, backend="dense")
+        dict_s = _median_seconds(
+            lambda: solve_elimination(problem, backend="dict")
+        )
+        dense_s = _median_seconds(
+            lambda: solve_elimination(problem, backend="dense")
+        )
+        return dict_result, dense_result, dict_s, dense_s
+
+    dict_result, dense_result, dict_s, dense_s = benchmark.pedantic(
+        compare, rounds=1, iterations=1
+    )
+    assert dense_result.blevel == dict_result.blevel
+    assert dense_result.frontier == dict_result.frontier
+    assert dense_result.optima == dict_result.optima
+    speedup = dict_s / dense_s
+    report(
+        f"PR3 — dict vs dense bucket elimination ({semiring.name}, "
+        "chain n=14 |D|=12, median of 5)",
+        [
+            (
+                f"{dict_s * 1000:.2f}",
+                f"{dense_s * 1000:.2f}",
+                f"{speedup:.1f}x",
+            )
+        ],
+        headers=("dict (ms)", "dense (ms)", "speedup"),
+    )
+    record_bench_artifact(
+        f"solver_scaling_dense_vs_dict_{semiring.name.lower()}",
+        {
+            "instance": {"n_vars": 14, "domain": 12, "kind": "chain"},
+            "median_dict_s": dict_s,
+            "median_dense_s": dense_s,
+            "speedup": speedup,
+            "blevel_identical": dense_result.blevel == dict_result.blevel,
+        },
+    )
+    assert speedup >= 5.0, (
+        f"dense gave only {speedup:.1f}x over dict on {semiring.name}"
+    )
 
 
 def test_semiring_operation_microbench(benchmark):

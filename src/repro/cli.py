@@ -80,7 +80,9 @@ def _emit(payload: Dict[str, Any]) -> None:
 
 def cmd_solve(args: argparse.Namespace) -> int:
     problem = serialization.problem_from_dict(_read_json(args.problem))
-    result = solve(problem, method=args.method)
+    result = solve(
+        problem, method=args.method, backend=args.solver_backend
+    )
     _emit(
         {
             "problem": problem.name,
@@ -188,7 +190,7 @@ def cmd_negotiate(args: argparse.Namespace) -> int:
     market = _load_market(args.market)
     registry = _market_registry(market)
     request = _market_request(market)
-    broker = Broker(registry)
+    broker = _broker(args, registry)
     result = broker.negotiate(
         request,
         verify_scheduler_independence=getattr(
@@ -221,6 +223,17 @@ def cmd_negotiate(args: argparse.Namespace) -> int:
         }
     )
     return 0 if result.success else 1
+
+
+def _broker(
+    args: argparse.Namespace, registry: ServiceRegistry
+) -> Broker:
+    """A broker honouring the ``--solver-backend``/``--solve-cache`` flags."""
+    return Broker(
+        registry,
+        solve_cache=args.solve_cache,
+        solver_backend=args.solver_backend,
+    )
 
 
 def _build_injector(
@@ -305,7 +318,7 @@ def cmd_runtime(args: argparse.Namespace) -> int:
     request = _market_request(market)
     injector = _build_injector(args, registry)
     server = RuntimeServer(
-        Broker(registry), _runtime_config(args), injector=injector
+        _broker(args, registry), _runtime_config(args), injector=injector
     )
     template = request
     requests = [
@@ -367,7 +380,7 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
 
     injector = _build_injector(args, registry)
     server = RuntimeServer(
-        Broker(registry), _runtime_config(args), injector=injector
+        _broker(args, registry), _runtime_config(args), injector=injector
     )
     profile = LoadProfile(
         clients=args.clients,
@@ -431,10 +444,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="write metrics in Prometheus text format (implies "
         "--telemetry)",
     )
+    solver_opts = argparse.ArgumentParser(add_help=False)
+    solver_opts.add_argument(
+        "--solver-backend",
+        default="auto",
+        choices=("auto", "dict", "dense"),
+        help="factor representation for the solver hot loop: dict tuple "
+        "tables, dense ndarray kernels, or auto (dense whenever the "
+        "semiring lowers)",
+    )
+    broker_opts = argparse.ArgumentParser(add_help=False)
+    broker_opts.add_argument(
+        "--solve-cache",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="memoize broker solves under a canonical problem fingerprint",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_solve = sub.add_parser(
-        "solve", help="solve a JSON SCSP", parents=[observability]
+        "solve",
+        help="solve a JSON SCSP",
+        parents=[observability, solver_opts],
     )
     p_solve.add_argument("problem", help="path to an scsp JSON file")
     p_solve.add_argument(
@@ -463,7 +494,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_neg = sub.add_parser(
         "negotiate",
         help="run the broker over a JSON market",
-        parents=[observability],
+        parents=[observability, solver_opts, broker_opts],
     )
     p_neg.add_argument("market", help="path to a market JSON file")
     p_neg.add_argument(
@@ -531,7 +562,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_rt = sub.add_parser(
         "runtime",
         help="serve concurrent sessions of a JSON market",
-        parents=[observability, serving],
+        parents=[observability, serving, solver_opts, broker_opts],
     )
     p_rt.add_argument("market", help="path to a market JSON file")
     p_rt.add_argument(
@@ -551,7 +582,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_lg = sub.add_parser(
         "loadgen",
         help="measure the runtime under synthetic load",
-        parents=[observability, serving],
+        parents=[observability, serving, solver_opts, broker_opts],
     )
     p_lg.add_argument(
         "--market",

@@ -70,10 +70,26 @@ class TableConstraint(SoftConstraint):
 
     def items(self):
         """Yield every ``(tuple, value)`` over the full assignment space
-        (including defaulted tuples)."""
+        (including defaulted tuples).
+
+        This enumerates ``∏ |domain|`` tuples — *exponential* in scope
+        size, regardless of how few tuples are stored explicitly.  When
+        defaulted tuples are irrelevant (e.g. the table was produced by
+        :func:`to_table`, which makes every tuple explicit), iterate
+        :meth:`sparse_items` instead and pay only for what is stored.
+        """
         for assignment in iter_assignments(self.scope):
             key = assignment_key(assignment, self.scope)
             yield key, self.table.get(key, self.default)
+
+    def sparse_items(self):
+        """Yield only the explicitly stored ``(tuple, value)`` pairs.
+
+        Defaulted tuples are skipped, so this is O(stored tuples) rather
+        than O(assignment space); callers that need default coverage must
+        use :meth:`items`.
+        """
+        yield from self.table.items()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         label = f" {self.name!r}" if self.name else ""
@@ -89,17 +105,28 @@ def to_table(constraint: SoftConstraint, name: str = "") -> TableConstraint:
     Enumerates the full assignment space of the constraint's scope —
     exponential in scope size, which is exactly the price the paper's
     projection operator pays; callers control scope growth.
+
+    The result is memoized on the constraint object, so repeated solves
+    over the same constraint objects (the broker/runtime hot path)
+    materialize each constraint once.  Constraints are semantically
+    immutable functions, which is what makes the memo sound; the ``name``
+    of a memoized table is the one given on first materialization.
     """
     if isinstance(constraint, TableConstraint):
         return constraint
+    cached = getattr(constraint, "_table_memo", None)
+    if cached is not None:
+        return cached
     table: dict[Tuple[Any, ...], Any] = {}
     for assignment in iter_assignments(constraint.scope):
         key = assignment_key(assignment, constraint.scope)
         table[key] = constraint.value(assignment)
-    return TableConstraint(
+    materialized = TableConstraint(
         constraint.semiring,
         constraint.scope,
         table,
         default=constraint.semiring.zero,
         name=name,
     )
+    constraint._table_memo = materialized
+    return materialized

@@ -28,7 +28,7 @@ from ..constraints.store import empty_store
 from ..constraints.variables import Variable
 from ..semirings.base import Semiring
 from ..sccp.check import CheckSpec
-from ..solver import SCSP, solve
+from ..solver import SCSP, SolveCache, solve
 from .composition import (
     AGGREGATION_RULES,
     AggregationRule,
@@ -148,7 +148,14 @@ class MulticriteriaResult:
 
 
 class Broker:
-    """The negotiation orchestrator with an embedded SCSP solver."""
+    """The negotiation orchestrator with an embedded SCSP solver.
+
+    ``solve_cache`` (on by default) memoizes candidate-SCSP solves under
+    a canonical problem fingerprint, so a market's repeated negotiations
+    hit warm entries instead of re-running the solver;
+    ``solver_backend`` selects the factor representation
+    (``auto``/``dict``/``dense``, see :mod:`repro.solver.kernels`).
+    """
 
     ENDPOINT = "broker"
 
@@ -157,14 +164,72 @@ class Broker:
         registry: ServiceRegistry,
         bus: Optional[MessageBus] = None,
         name: str = "broker",
+        solve_cache: bool = True,
+        solver_backend: str = "auto",
     ) -> None:
         self.registry = registry
         self.bus = bus
         self.name = name
         self.slas = SLARepository()
+        self.solve_cache: Optional[SolveCache] = (
+            SolveCache() if solve_cache else None
+        )
+        self.solver_backend = solver_backend
+        #: (qos-doc id, attribute, semiring, pool identities) → compiled
+        #: offer constraints + the variables compiling added to the pool.
+        self._offer_memo: Dict[tuple, tuple] = {}
         self._clock = 0
         if bus is not None:
             bus.register(self.ENDPOINT)
+
+    def _solve(self, problem: SCSP, **options) -> Any:
+        """One SCSP solve through the broker's cache and backend."""
+        return solve(
+            problem,
+            backend=self.solver_backend,
+            cache=self.solve_cache,
+            **options,
+        )
+
+    def _compile_offer(
+        self,
+        description: ServiceDescription,
+        attribute: str,
+        semiring: Semiring,
+        pool: Dict[str, Variable],
+    ) -> List[SoftConstraint]:
+        """``compile_document``, memoized per document/attribute/pool.
+
+        Repeated negotiations over the same registry re-present the same
+        QoS documents and (via shared requirement objects) the same pool
+        variables, so the compiled constraint *objects* are reused — and
+        with them their materialized-table, dense-factor and fingerprint
+        memos: the warm path never re-materializes anything.  Keying on
+        object identities makes staleness impossible — republishing a
+        service or sending different requirement variables produces a
+        fresh key.  (A racing duplicate compile is benign: both threads
+        build equal constraints and one memo entry wins.)
+        """
+        key = (
+            id(description.qos),
+            attribute,
+            semiring,
+            tuple(sorted((name, id(var)) for name, var in pool.items())),
+        )
+        hit = self._offer_memo.get(key)
+        if hit is not None:
+            constraints, added = hit
+            pool.update(added)
+            return list(constraints)
+        before = set(pool)
+        constraints = compile_document(
+            description.qos, attribute, semiring, pool
+        )
+        added = {
+            name: var for name, var in pool.items() if name not in before
+        }
+        self._offer_memo[key] = (tuple(constraints), added)
+        return constraints
 
     # ------------------------------------------------------------------
     # Single-service selection (steps 1–5)
@@ -323,8 +388,8 @@ class Broker:
             for constraint in request.requirements
             for var in constraint.scope
         }
-        offer = compile_document(
-            description.qos, request.attribute, semiring, pool
+        offer = self._compile_offer(
+            description, request.attribute, semiring, pool
         )
         if not offer:
             return CandidateEvaluation(description, semiring.zero, False, None)
@@ -336,7 +401,7 @@ class Broker:
             service_id=description.service_id,
             provider=description.provider,
         ):
-            result = solve(problem)
+            result = self._solve(problem)
         get_registry().histogram(
             "broker_candidate_solve_seconds",
             "Per-candidate SCSP solve wall time.",
@@ -366,8 +431,8 @@ class Broker:
             for constraint in request.requirements
             for var in constraint.scope
         }
-        offer = compile_document(
-            evaluation.description.qos, request.attribute, semiring, pool
+        offer = self._compile_offer(
+            evaluation.description, request.attribute, semiring, pool
         )
         provider = Party(
             evaluation.description.provider, offer, acceptance=None
@@ -476,11 +541,13 @@ class Broker:
             slot_candidates.append(candidates)
             for description in candidates:
                 if description.service_id not in offer_level:
-                    constraints = compile_document(
-                        description.qos, attribute, semiring, {}
+                    constraints = self._compile_offer(
+                        description, attribute, semiring, {}
                     )
                     problem = SCSP(constraints, name=description.service_id)
-                    offer_level[description.service_id] = solve(problem).blevel
+                    offer_level[description.service_id] = self._solve(
+                        problem
+                    ).blevel
 
         # One selection variable per slot, domain = candidate service ids.
         selection_vars = [
@@ -503,7 +570,7 @@ class Broker:
             semiring, selection_vars, aggregated, name=f"compose-{attribute}"
         )
         problem = SCSP([objective], name="composition")
-        result = solve(problem)
+        result = self._solve(problem)
 
         diagnostics = {
             "offer_levels": dict(offer_level),

@@ -15,6 +15,11 @@ from .alphacut import (
     satisfiable_at,
 )
 from .branch_bound import solve_branch_bound
+from .cache import (
+    DEFAULT_SOLVE_CACHE_SIZE,
+    SolveCache,
+    problem_fingerprint,
+)
 from .consistency import (
     PropagationStats,
     enforce_arc_consistency,
@@ -22,6 +27,15 @@ from .consistency import (
 )
 from .elimination import eliminate, solve_elimination
 from .exhaustive import solve_exhaustive
+from .kernels import (
+    DenseFactor,
+    KernelError,
+    Lowering,
+    best_over_variable,
+    combine_factors,
+    lower_semiring,
+    resolve_lowering,
+)
 from .minibucket import minibucket_bound, screening_test
 from .heuristics import (
     ORDERINGS,
@@ -40,11 +54,25 @@ _METHODS = {
 }
 
 
-def solve(problem: SCSP, method: str = "auto", **options) -> SolverResult:
+#: Methods whose hot loop can run over dense ndarray kernels.
+_BACKEND_AWARE = ("branch-bound", "elimination")
+
+
+def solve(
+    problem: SCSP,
+    method: str = "auto",
+    backend: str = "auto",
+    cache: "SolveCache | None" = None,
+    **options,
+) -> SolverResult:
     """Solve an SCSP with the requested backend.
 
     ``method="auto"`` picks branch & bound for totally ordered semirings
-    and bucket elimination otherwise.
+    and bucket elimination otherwise.  ``backend`` selects the factor
+    representation for the methods that support it (``auto``/``dict``/
+    ``dense``, see :mod:`repro.solver.kernels`).  When ``cache`` is given
+    the solve is keyed by :func:`~repro.solver.cache.problem_fingerprint`
+    and answered from a warm entry when one exists.
     """
     if method == "auto":
         method = (
@@ -53,13 +81,24 @@ def solve(problem: SCSP, method: str = "auto", **options) -> SolverResult:
             else "elimination"
         )
     try:
-        backend = _METHODS[method]
+        backend_fn = _METHODS[method]
     except KeyError:
         known = ", ".join(sorted(_METHODS) + ["auto"])
         raise ProblemError(
             f"unknown solve method {method!r}; known: {known}"
         ) from None
-    return backend(problem, **options)
+    call_options = dict(options)
+    if method in _BACKEND_AWARE:
+        call_options["backend"] = backend
+    if cache is not None:
+        key = problem_fingerprint(problem, method, backend, options)
+        hit = cache.fetch(key, problem)
+        if hit is not None:
+            return hit
+    result = backend_fn(problem, **call_options)
+    if cache is not None:
+        cache.store(key, result)
+    return result
 
 
 __all__ = [
@@ -67,6 +106,16 @@ __all__ = [
     "ProblemError",
     "SolverResult",
     "SolverStats",
+    "SolveCache",
+    "DEFAULT_SOLVE_CACHE_SIZE",
+    "problem_fingerprint",
+    "DenseFactor",
+    "KernelError",
+    "Lowering",
+    "lower_semiring",
+    "resolve_lowering",
+    "combine_factors",
+    "best_over_variable",
     "solve",
     "solve_exhaustive",
     "solve_branch_bound",

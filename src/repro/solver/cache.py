@@ -1,0 +1,180 @@
+"""A bounded, fingerprint-keyed cache of SCSP solve results.
+
+The broker's hot path (one SCSP per candidate per negotiation) re-solves
+the *same* problem over and over: a market's clients keep asking for the
+same operation/attribute pairs, so ``required ⊗ offered`` is identical
+across sessions.  :class:`SolveCache` memoizes
+:class:`~repro.solver.problem.SolverResult` payloads under a canonical
+*problem fingerprint* — a SHA-256 over the semiring, every constraint's
+scope/domains and materialized table bytes, the ``con`` set and the solve
+method/options — so a warm entry is provably the same problem, not just a
+same-named one.
+
+Invalidation is structural: any change to a constraint table, domain,
+``con`` set or solve option changes the fingerprint, so stale entries are
+never *returned* — they simply age out of the LRU.  The cache is safe
+under the runtime's worker threads (one lock around the LRU) and feeds
+the standard ``cache_hits_total``/``cache_misses_total{cache="solve"}``
+telemetry counters.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from dataclasses import dataclass, replace
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from ..constraints.table import to_table
+from ..telemetry.caching import LRUCache
+from .problem import SCSP, SolverResult, SolverStats
+
+#: Default number of distinct problems kept warm (satellite spec: bounded).
+DEFAULT_SOLVE_CACHE_SIZE = 2048
+
+
+def _canon(value: Any) -> str:
+    """A deterministic token for a semiring value or domain element.
+
+    ``repr`` round-trips floats exactly; unordered containers are sorted
+    so two equal sets always hash identically.
+    """
+    if isinstance(value, (frozenset, set)):
+        return "{" + ",".join(sorted(repr(v) for v in value)) + "}"
+    if isinstance(value, tuple):
+        return "(" + ",".join(_canon(v) for v in value) + ")"
+    return repr(value)
+
+
+def problem_fingerprint(
+    problem: SCSP,
+    method: str,
+    backend: Optional[str] = None,
+    options: Optional[Mapping[str, Any]] = None,
+) -> str:
+    """A canonical digest identifying a solve call's full input.
+
+    Constraint digests are *sorted*, so two problems listing the same
+    constraints in a different order share one entry.  Materialization
+    reuses each constraint's memoized table, so fingerprinting a problem
+    the broker has seen before costs hashing, not enumeration.
+    """
+    digests: List[str] = [
+        _constraint_digest(constraint) for constraint in problem.constraints
+    ]
+
+    head = hashlib.sha256()
+    head.update(f"semiring {problem.semiring!r};".encode())
+    for digest in sorted(digests):
+        head.update(digest.encode())
+    head.update(f"con {sorted(problem.con)};".encode())
+    head.update(f"method {method};backend {backend};".encode())
+    head.update(
+        f"options {sorted((options or {}).items())!r};".encode()
+    )
+    return head.hexdigest()
+
+
+def _constraint_digest(constraint: Any) -> str:
+    """One constraint's extensional digest, memoized on the object.
+
+    Constraints are semantically immutable, so the digest is computed
+    (materializing the table) at most once per object — re-fingerprinting
+    a problem built from pooled constraint objects is pure hashing.
+    """
+    memo = getattr(constraint, "_digest_memo", None)
+    if memo is not None:
+        return memo
+    table = to_table(constraint)
+    piece = hashlib.sha256()
+    for var in table.scope:
+        piece.update(f"var {var.name}:{_canon(var.domain)};".encode())
+    piece.update(f"default {_canon(table.default)};".encode())
+    for key in sorted(table.table, key=repr):
+        piece.update(
+            f"{_canon(key)}->{_canon(table.table[key])};".encode()
+        )
+    digest = piece.hexdigest()
+    constraint._digest_memo = digest
+    return digest
+
+
+@dataclass(frozen=True)
+class _CacheEntry:
+    """The problem-independent payload of a solved SCSP."""
+
+    blevel: Any
+    frontier: Tuple[Any, ...]
+    optima: Tuple[Tuple[Dict[str, Any], ...], ...]
+    method: str
+    stats: SolverStats
+
+    def result_for(self, problem: SCSP) -> SolverResult:
+        """A fresh :class:`SolverResult` bound to ``problem`` — deep
+        copies of the mutable parts, so callers can edit what they get
+        back without corrupting the cache."""
+        return SolverResult(
+            problem=problem,
+            blevel=self.blevel,
+            frontier=list(self.frontier),
+            optima=[
+                [dict(assignment) for assignment in group]
+                for group in self.optima
+            ],
+            method=self.method,
+            stats=replace(self.stats),
+        )
+
+    @classmethod
+    def from_result(cls, result: SolverResult) -> "_CacheEntry":
+        return cls(
+            blevel=result.blevel,
+            frontier=tuple(result.frontier),
+            optima=tuple(
+                tuple(dict(assignment) for assignment in group)
+                for group in result.optima
+            ),
+            method=result.method,
+            stats=replace(result.stats),
+        )
+
+
+class SolveCache:
+    """Bounded LRU of solve results, keyed by problem fingerprint.
+
+    Thread-safe (the runtime's worker pool solves concurrently); hit and
+    miss traffic flows into the telemetry registry through the underlying
+    :class:`~repro.telemetry.caching.LRUCache` under ``cache="solve"``.
+    """
+
+    def __init__(self, maxsize: int = DEFAULT_SOLVE_CACHE_SIZE) -> None:
+        self._lru = LRUCache(maxsize, name="solve")
+        self._lock = threading.Lock()
+
+    def fetch(self, key: str, problem: SCSP) -> Optional[SolverResult]:
+        """The cached result rebound to ``problem``, or ``None``."""
+        with self._lock:
+            entry: Optional[_CacheEntry] = self._lru.get(key)
+        if entry is None:
+            return None
+        return entry.result_for(problem)
+
+    def store(self, key: str, result: SolverResult) -> None:
+        entry = _CacheEntry.from_result(result)
+        with self._lock:
+            self._lru.put(key, entry)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._lru.clear()
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return self._lru.stats()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._lru)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SolveCache({self._lru!r})"

@@ -6,20 +6,36 @@ only the constraints that mention it and projecting it out (distributivity
 of ``×`` over ``+`` makes this exact for any c-semiring, total or partial).
 Intermediate-table width depends on the elimination order — the E12
 ablation compares the heuristics of :mod:`repro.solver.heuristics`.
+
+Backends: when the semiring lowers to NumPy ufuncs (see
+:mod:`repro.solver.kernels`) the same bucket schedule runs over
+:class:`~repro.solver.kernels.DenseFactor` arrays — one broadcast ``⊗``
+and one axis-reduction ``⇓`` per bucket instead of a Python loop per
+assignment tuple.  The elimination ``ordering``, the statistics and the
+resulting table are identical on both backends (bit-identical for the
+four lowered semirings); partial orders transparently keep the dict path.
 """
 
 from __future__ import annotations
 
 import time
-from typing import Any, Dict, List
+from typing import Any, Dict, List, Optional
 
 from ..constraints.operations import combine
 from ..constraints.table import TableConstraint, to_table
-from ..constraints.variables import assignment_space_size
+from ..constraints.variables import Variable, assignment_space_size
 from ..telemetry import get_tracer
 from .heuristics import OrderingFn, resolve_ordering
+from .kernels import (
+    DenseFactor,
+    KernelError,
+    Lowering,
+    combine_factors,
+    resolve_lowering,
+)
 from .problem import (
     SCSP,
+    ProblemError,
     SolverResult,
     SolverStats,
     record_solve_metrics,
@@ -27,12 +43,25 @@ from .problem import (
 
 
 def eliminate(
-    problem: SCSP, ordering: str | OrderingFn = "min-degree"
+    problem: SCSP,
+    ordering: str | OrderingFn = "min-degree",
+    backend: str = "auto",
 ) -> tuple[TableConstraint, SolverStats]:
-    """Return ``Sol(P)`` as an explicit table plus work statistics."""
+    """Return ``Sol(P)`` as an explicit table plus work statistics.
+
+    ``backend`` selects the bucket representation: ``"dict"`` forces the
+    tuple-table path, ``"dense"`` requires the vectorized kernels (and
+    raises :class:`ProblemError` when the semiring does not lower), and
+    ``"auto"`` uses dense whenever possible.
+    """
     semiring = problem.semiring
     stats = SolverStats()
     con_set = set(problem.con)
+
+    try:
+        lowering = resolve_lowering(semiring, backend)
+    except KernelError as exc:
+        raise ProblemError(str(exc)) from None
 
     order_fn = resolve_ordering(ordering)
     to_eliminate = [
@@ -40,7 +69,21 @@ def eliminate(
         for var in order_fn(problem.variables, problem.constraints)
         if var.name not in con_set
     ]
+    if lowering is not None:
+        table = _eliminate_dense(problem, to_eliminate, lowering, stats)
+    else:
+        table = _eliminate_dict(problem, to_eliminate, stats)
+    stats.largest_intermediate = max(
+        stats.largest_intermediate, assignment_space_size(table.scope)
+    )
+    return table, stats
 
+
+def _eliminate_dict(
+    problem: SCSP, to_eliminate: List[Variable], stats: SolverStats
+) -> TableConstraint:
+    """The reference dict-of-tuples bucket schedule."""
+    semiring = problem.semiring
     pool: List[TableConstraint] = [to_table(c) for c in problem.constraints]
     for var in to_eliminate:
         bucket = [c for c in pool if var.name in c.support]
@@ -55,32 +98,70 @@ def eliminate(
         )
         eliminated = to_table(combined.hide(var.name))
         pool = rest + [eliminated]
-
     solution = combine(pool, semiring=semiring).project(problem.con)
-    table = to_table(solution)
-    stats.largest_intermediate = max(
-        stats.largest_intermediate, assignment_space_size(table.scope)
-    )
-    return table, stats
+    return to_table(solution)
+
+
+def _eliminate_dense(
+    problem: SCSP,
+    to_eliminate: List[Variable],
+    lowering: Lowering,
+    stats: SolverStats,
+) -> TableConstraint:
+    """The same bucket schedule over broadcast ndarray factors."""
+    pool: List[DenseFactor] = [
+        DenseFactor.from_constraint(c, lowering)
+        for c in problem.constraints
+    ]
+    for var in to_eliminate:
+        bucket = [f for f in pool if var.name in f.support]
+        rest = [f for f in pool if var.name not in f.support]
+        if not bucket:
+            continue
+        stats.buckets_processed += 1
+        combined = combine_factors(bucket)
+        stats.largest_intermediate = max(
+            stats.largest_intermediate,
+            assignment_space_size(combined.scope),
+        )
+        pool = rest + [combined.hide(var.name)]
+    solution = combine_factors(pool).project(problem.con)
+    return solution.to_table()
 
 
 def solve_elimination(
-    problem: SCSP, ordering: str | OrderingFn = "min-degree"
+    problem: SCSP,
+    ordering: str | OrderingFn = "min-degree",
+    backend: str = "auto",
 ) -> SolverResult:
     """Solve via bucket elimination; exact for partial orders too."""
     semiring = problem.semiring
+    used_backend = _backend_label(semiring, backend)
     started = time.perf_counter()
     with get_tracer().span(
         "solver.solve", method="elimination", problem=problem.name
     ):
-        table, stats = eliminate(problem, ordering)
+        table, stats = eliminate(problem, ordering, backend=backend)
     record_solve_metrics(
-        "elimination", stats, time.perf_counter() - started
+        "elimination",
+        stats,
+        time.perf_counter() - started,
+        backend=used_backend,
     )
 
     values: Dict[tuple, Any] = {}
     names = table.support
-    for key, value in table.items():
+    # The solution table normally comes out of `to_table`/
+    # `DenseFactor.to_table` with every tuple explicit, so defaults are
+    # irrelevant and the sparse walk avoids re-enumerating the assignment
+    # space.  A degenerate problem (single table, nothing eliminated or
+    # projected) can surface the user's sparse table unchanged — only
+    # then do defaulted tuples matter.
+    if len(table.table) == assignment_space_size(table.scope):
+        entries = table.sparse_items()
+    else:
+        entries = table.items()
+    for key, value in entries:
         values[key] = value
     blevel = semiring.sum(values.values())
     frontier = semiring.max_elements(values.values())
@@ -100,3 +181,12 @@ def solve_elimination(
         method="elimination",
         stats=stats,
     )
+
+
+def _backend_label(semiring: Any, backend: str) -> str:
+    """Which representation a solve with ``backend`` will actually use."""
+    try:
+        lowering: Optional[Lowering] = resolve_lowering(semiring, backend)
+    except KernelError:
+        return "dense"  # about to raise in eliminate(); label is moot
+    return "dict" if lowering is None else "dense"

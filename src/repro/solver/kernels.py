@@ -1,0 +1,331 @@
+"""Vectorized dense-factor kernels for totally ordered c-semirings.
+
+The dict-of-tuples :class:`~repro.constraints.table.TableConstraint` pays
+one virtual ``semiring.times`` call per assignment tuple.  For the four
+classical totally ordered instances both semiring operations are NumPy
+ufuncs, so a constraint can be *lowered* to an ndarray with one axis per
+scope variable and the paper's two operators become broadcast array ops:
+
+* ``⊗`` (:meth:`DenseFactor.combine`) — align scopes by broadcasting and
+  apply the times-ufunc elementwise;
+* ``⇓`` (:meth:`DenseFactor.project` / :meth:`DenseFactor.hide`) —
+  ``plus_ufunc.reduce`` over the eliminated axes.
+
+This is the standard lowering used by factor-graph and bucket-elimination
+engines (cf. Dechter's bucket elimination); distributivity of ``×`` over
+``+`` is what makes the axis-reduction exact.  The lowering table:
+
+==============  =======  ==============  ==============
+semiring        dtype    ``+`` (plus)    ``×`` (times)
+==============  =======  ==============  ==============
+Weighted        float64  ``minimum``     ``add``
+Fuzzy           float64  ``maximum``     ``minimum``
+Probabilistic   float64  ``maximum``     ``multiply``
+Classical       bool     ``logical_or``  ``logical_and``
+==============  =======  ==============  ==============
+
+Set-based, product and bounded-weighted semirings do not lower (their
+``×`` is not a plain ufunc, or their order is partial):
+:func:`lower_semiring` returns ``None`` and callers fall back to the
+dict path.  All four lowered operations are bit-identical to their
+pure-Python counterparts — ``min``/``max`` select an operand, and
+float64 ``add``/``multiply`` are the same IEEE-754 operations CPython
+floats use — which is what lets the solvers switch backends without
+changing any result.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Any, Callable, Iterable, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..constraints.table import TableConstraint, to_table
+from ..constraints.constraint import SoftConstraint
+from ..constraints.variables import Variable, merge_scopes, scope_names
+from ..semirings.base import Semiring
+from ..semirings.boolean import BooleanSemiring
+from ..semirings.fuzzy import FuzzySemiring
+from ..semirings.probabilistic import ProbabilisticSemiring
+from ..semirings.weighted import WeightedSemiring
+
+
+class KernelError(Exception):
+    """Raised when a semiring cannot be lowered but dense was requested."""
+
+
+@dataclass(frozen=True)
+class Lowering:
+    """How one semiring maps onto NumPy: dtype plus the two ufuncs.
+
+    ``unlift`` converts an array scalar back into the carrier's native
+    Python type (``float``/``bool``) so tables round-tripped through a
+    :class:`DenseFactor` compare equal to dict-path tables.
+    """
+
+    semiring: Semiring
+    dtype: Any
+    plus: np.ufunc
+    times: np.ufunc
+    unlift: Callable[[Any], Any]
+
+
+#: semiring type → (dtype, plus ufunc, times ufunc, unlift)
+_LOWERING_TABLE = {
+    WeightedSemiring: (np.float64, np.minimum, np.add, float),
+    FuzzySemiring: (np.float64, np.maximum, np.minimum, float),
+    ProbabilisticSemiring: (np.float64, np.maximum, np.multiply, float),
+    BooleanSemiring: (np.bool_, np.logical_or, np.logical_and, bool),
+}
+
+
+@lru_cache(maxsize=None)
+def lower_semiring(semiring: Semiring) -> Optional[Lowering]:
+    """The :class:`Lowering` of ``semiring``, or ``None`` when it has no
+    ufunc pair (Set-based, products, bounded-weighted saturation)."""
+    entry = _LOWERING_TABLE.get(type(semiring))
+    if entry is None:
+        return None
+    dtype, plus, times, unlift = entry
+    return Lowering(
+        semiring=semiring, dtype=dtype, plus=plus, times=times, unlift=unlift
+    )
+
+
+def resolve_lowering(
+    semiring: Semiring, backend: str = "auto"
+) -> Optional[Lowering]:
+    """Map a ``--solver-backend`` choice onto a lowering (or ``None``).
+
+    ``"dict"`` always returns ``None``; ``"dense"`` raises
+    :class:`KernelError` when the semiring does not lower; ``"auto"``
+    lowers opportunistically.
+    """
+    if backend not in ("auto", "dict", "dense"):
+        raise KernelError(
+            f"unknown solver backend {backend!r}; known: auto, dict, dense"
+        )
+    if backend == "dict":
+        return None
+    lowering = lower_semiring(semiring)
+    if lowering is None and backend == "dense":
+        raise KernelError(
+            f"semiring {semiring.name} does not lower to dense kernels "
+            "(no ufunc pair); use the dict backend"
+        )
+    return lowering
+
+
+class DenseFactor:
+    """A soft constraint as an ndarray indexed by per-variable domain axes.
+
+    ``array.shape == tuple(var.size for var in scope)``; axis ``i`` of the
+    array enumerates ``scope[i].domain`` in domain order.  Factors are
+    immutable: every operation returns a new factor and never writes into
+    an existing array (which is what makes the per-table conversion memo
+    safe to share).
+    """
+
+    __slots__ = ("semiring", "lowering", "scope", "array")
+
+    def __init__(
+        self,
+        lowering: Lowering,
+        scope: Sequence[Variable],
+        array: np.ndarray,
+    ) -> None:
+        self.lowering = lowering
+        self.semiring = lowering.semiring
+        self.scope: Tuple[Variable, ...] = tuple(scope)
+        self.array = array
+
+    # ------------------------------------------------------------------
+    # Converters
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_table(
+        cls, table: TableConstraint, lowering: Lowering
+    ) -> "DenseFactor":
+        """Lower an extensional table: default-filled array plus the
+        explicit tuples scattered in."""
+        scope = table.scope
+        shape = tuple(var.size for var in scope)
+        array = np.full(shape, table.default, dtype=lowering.dtype)
+        if table.table:
+            indices = [
+                {value: i for i, value in enumerate(var.domain)}
+                for var in scope
+            ]
+            for key, value in table.table.items():
+                idx = tuple(
+                    index[part] for index, part in zip(indices, key)
+                )
+                array[idx] = value
+        return cls(lowering, scope, array)
+
+    @classmethod
+    def from_constraint(
+        cls, constraint: SoftConstraint, lowering: Lowering
+    ) -> "DenseFactor":
+        """Lower any constraint, memoizing the conversion on the
+        materialized table so repeated solves over the same constraint
+        objects (the broker/runtime hot path) lower exactly once."""
+        if isinstance(constraint, DenseFactor):  # pragma: no cover - guard
+            return constraint
+        table = to_table(constraint)
+        memo = getattr(table, "_dense_memo", None)
+        if memo is not None and memo.lowering is lowering:
+            return memo
+        factor = cls.from_table(table, lowering)
+        table._dense_memo = factor
+        return factor
+
+    def to_table(self, name: str = "") -> TableConstraint:
+        """Raise back to an extensionally equal :class:`TableConstraint`.
+
+        Every tuple is emitted explicitly (like
+        :func:`~repro.constraints.table.to_table`), in row-major order —
+        the same order ``iter_assignments`` enumerates — so downstream
+        consumers observe identical iteration order on both backends.
+        """
+        unlift = self.lowering.unlift
+        flat = self.array.reshape(-1)
+        table: dict[Tuple[Any, ...], Any] = {}
+        for position, key in enumerate(_iter_keys(self.scope)):
+            table[key] = unlift(flat[position])
+        return TableConstraint(
+            self.semiring,
+            self.scope,
+            table,
+            default=self.semiring.zero,
+            name=name,
+        )
+
+    # ------------------------------------------------------------------
+    # Scope helpers
+    # ------------------------------------------------------------------
+
+    @property
+    def support(self) -> Tuple[str, ...]:
+        return scope_names(self.scope)
+
+    def _aligned(self, scope: Tuple[Variable, ...]) -> np.ndarray:
+        """A view of the array broadcastable over ``scope`` (a superset
+        of this factor's scope, in any order)."""
+        position = {var.name: i for i, var in enumerate(scope)}
+        mine = set(self.support)
+        order = sorted(
+            range(len(self.scope)),
+            key=lambda axis: position[self.scope[axis].name],
+        )
+        array = self.array
+        if order != list(range(len(self.scope))):
+            array = array.transpose(order)
+        shape = tuple(
+            var.size if var.name in mine else 1 for var in scope
+        )
+        return array.reshape(shape)
+
+    # ------------------------------------------------------------------
+    # The paper's two operators, vectorized
+    # ------------------------------------------------------------------
+
+    def combine(self, other: "DenseFactor") -> "DenseFactor":
+        """``c1 ⊗ c2`` — broadcast both arrays over the merged scope and
+        apply the times-ufunc elementwise."""
+        scope = merge_scopes(self.scope, other.scope)
+        array = self.lowering.times(
+            self._aligned(scope), other._aligned(scope)
+        )
+        return DenseFactor(self.lowering, scope, array)
+
+    def project(self, keep: Iterable[str | Variable]) -> "DenseFactor":
+        """``c ⇓ keep`` — plus-ufunc reduction over the eliminated axes.
+
+        Names in ``keep`` that are not in scope are ignored, mirroring
+        :meth:`SoftConstraint.project`.
+        """
+        keep_names = {
+            item.name if isinstance(item, Variable) else item
+            for item in keep
+        }
+        axes = tuple(
+            i
+            for i, var in enumerate(self.scope)
+            if var.name not in keep_names
+        )
+        if not axes:
+            return self
+        kept = tuple(
+            var for var in self.scope if var.name in keep_names
+        )
+        array = self.lowering.plus.reduce(self.array, axis=axes)
+        return DenseFactor(self.lowering, kept, array)
+
+    def hide(self, *names: str | Variable) -> "DenseFactor":
+        """``∃x.c`` — project the named variables *out*."""
+        hidden = {
+            item.name if isinstance(item, Variable) else item
+            for item in names
+        }
+        return self.project(
+            [var for var in self.scope if var.name not in hidden]
+        )
+
+    def consistency(self) -> Any:
+        """``c ⇓∅`` — plus-reduce every axis down to one scalar."""
+        array = self.array
+        if array.ndim:
+            array = self.lowering.plus.reduce(
+                array, axis=tuple(range(array.ndim))
+            )
+        return self.lowering.unlift(array[()])
+
+    def value(self, assignment: dict) -> Any:
+        """Point lookup (used by tests; solvers index the array directly)."""
+        idx = tuple(
+            var.domain.index(assignment[var.name]) for var in self.scope
+        )
+        return self.lowering.unlift(self.array[idx])
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"DenseFactor(scope={self.support!r}, shape={self.array.shape}, "
+            f"semiring={self.semiring.name})"
+        )
+
+
+def combine_factors(factors: Sequence[DenseFactor]) -> DenseFactor:
+    """``⊗`` over a non-empty sequence, folded pairwise left-to-right —
+    the same association order as
+    :func:`repro.constraints.operations.combine`, so non-idempotent
+    ``×`` (Weighted's float add) rounds identically on both backends."""
+    if not factors:
+        raise KernelError("combine_factors needs at least one factor")
+    combined = factors[0]
+    for factor in factors[1:]:
+        combined = combined.combine(factor)
+    return combined
+
+
+def best_over_variable(
+    constraint: SoftConstraint, pending: Variable, lowering: Lowering
+) -> TableConstraint:
+    """``c ⇓ (scope ∖ {pending})`` as an O(1)-lookup table.
+
+    The branch & bound lookahead needs, per partially assigned
+    constraint, its best value over the single unassigned variable; one
+    plus-ufunc reduction precomputes that for every context at once.
+    """
+    factor = DenseFactor.from_constraint(constraint, lowering)
+    return factor.hide(pending.name).to_table()
+
+
+def _iter_keys(scope: Tuple[Variable, ...]):
+    """Row-major tuples over the scope's domains (last variable fastest) —
+    the same order ``iter_assignments`` walks and ndarrays flatten to."""
+    return itertools.product(*(var.domain for var in scope))

@@ -148,13 +148,15 @@ class SolverStats:
 
 
 def record_solve_metrics(
-    method: str, stats: SolverStats, seconds: float
+    method: str, stats: SolverStats, seconds: float, backend: str = "dict"
 ) -> None:
     """Report one finished solve to the active telemetry registry.
 
     Called once per solve (never inside the search loop), so the search
     itself carries zero telemetry overhead; with telemetry disabled this
-    is one attribute check.
+    is one attribute check.  ``backend`` records which representation the
+    hot loop ran over (``dict`` tuple tables vs ``dense`` ndarray
+    kernels).
     """
     from ..telemetry import get_registry
 
@@ -165,6 +167,11 @@ def record_solve_metrics(
     registry.counter(
         "solver_solves_total", "Finished SCSP solves.", labels
     ).labels(method).inc()
+    registry.counter(
+        "solver_backend_solves_total",
+        "Finished SCSP solves by backend representation.",
+        labelnames=("method", "backend"),
+    ).labels(method, backend).inc()
     registry.histogram(
         "solver_solve_seconds", "Wall time per SCSP solve.", labels
     ).labels(method).observe(seconds)

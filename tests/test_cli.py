@@ -81,6 +81,20 @@ class TestSolve:
         out = json.loads(capsys.readouterr().out)
         assert out["method"] == "elimination"
 
+    def test_solver_backend_flag(self, fig1_file, capsys):
+        for backend in ("dict", "dense"):
+            exit_code = main(
+                ["solve", str(fig1_file), "--solver-backend", backend]
+            )
+            out = json.loads(capsys.readouterr().out)
+            assert exit_code == 0
+            assert out["blevel"] == 7.0
+            assert out["optima"] == [[{"X": "a"}]]
+
+    def test_rejects_unknown_backend(self, fig1_file):
+        with pytest.raises(SystemExit):
+            main(["solve", str(fig1_file), "--solver-backend", "bogus"])
+
     def test_inconsistent_problem_exit_1(self, tmp_path, capsys):
         weighted = WeightedSemiring()
         x = variable("x", [0])
@@ -127,6 +141,20 @@ class TestNegotiate:
         assert out["sla"]["providers"] == ["P2"]
         assert out["sla"]["agreed_level"] == 3.0
         assert len(out["evaluations"]) == 2
+
+    def test_solver_flags_accepted(self, market_file, capsys):
+        exit_code = main(
+            [
+                "negotiate",
+                str(market_file),
+                "--solver-backend",
+                "dense",
+                "--no-solve-cache",
+            ]
+        )
+        out = json.loads(capsys.readouterr().out)
+        assert exit_code == 0
+        assert out["sla"]["providers"] == ["P2"]
 
     def test_failed_negotiation_exit_1(self, tmp_path, capsys):
         market = {
