@@ -69,17 +69,21 @@ def load_telemetry_snapshot(path):
     return json.loads(Path(path).read_text())
 
 
-def record_bench_artifact(section: str, payload: dict) -> Path:
+def record_bench_artifact(
+    section: str, payload: dict, path: "str | Path | None" = None
+) -> Path:
     """Merge ``payload`` under ``section`` in the bench JSON artifact.
 
-    The artifact (``REPRO_BENCH_JSON``, default
+    The default artifact (``REPRO_BENCH_JSON``, falling back to
     ``benchmarks/BENCH_PR3.json``) accumulates one section per
     benchmark — the CI bench job uploads the merged file, so the
     dict-vs-dense and cold-vs-warm medians travel with every PR run.
+    Benchmarks introduced by later PRs pass an explicit ``path`` (e.g.
+    ``benchmarks/BENCH_PR4.json``) so each PR's artifact stays separate.
     """
-    path = Path(
-        os.environ.get("REPRO_BENCH_JSON", "benchmarks/BENCH_PR3.json")
-    )
+    if path is None:
+        path = os.environ.get("REPRO_BENCH_JSON", "benchmarks/BENCH_PR3.json")
+    path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     merged = {}
     if path.exists():

@@ -34,6 +34,7 @@ from typing import Any, Dict, Optional
 
 from . import serialization
 from .coalitions import solve_exact, solve_local_search
+from .constraints.store import STORE_BACKENDS, set_default_store_backend
 from .sccp.check import CheckSpec
 from .semirings.properties import validate_semiring
 from .semirings.registry import get_semiring
@@ -228,11 +229,18 @@ def cmd_negotiate(args: argparse.Namespace) -> int:
 def _broker(
     args: argparse.Namespace, registry: ServiceRegistry
 ) -> Broker:
-    """A broker honouring the ``--solver-backend``/``--solve-cache`` flags."""
+    """A broker honouring the ``--solver-backend``/``--solve-cache``/
+    ``--store-backend`` flags."""
+    backend = getattr(args, "store_backend", None)
+    if backend is not None:
+        # Sessions the broker does not build itself (negotiate() internals,
+        # nmsccp runs kicked off by handlers) follow the same choice.
+        set_default_store_backend(backend)
     return Broker(
         registry,
         solve_cache=args.solve_cache,
         solver_backend=args.solver_backend,
+        store_backend=backend,
     )
 
 
@@ -459,6 +467,14 @@ def build_parser() -> argparse.ArgumentParser:
         action=argparse.BooleanOptionalAction,
         default=True,
         help="memoize broker solves under a canonical problem fingerprint",
+    )
+    broker_opts.add_argument(
+        "--store-backend",
+        default="auto",
+        choices=STORE_BACKENDS,
+        help="constraint-store representation: the eagerly-combined "
+        "monolith, the structurally-shared factor set, or auto "
+        "(factored)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 

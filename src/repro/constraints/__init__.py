@@ -28,8 +28,19 @@ from .operations import (
     entails,
     project,
 )
+from .digest import constraint_digest
 from .polynomial import Polynomial, polynomial_constraint
-from .store import ConstraintStore, StoreError, empty_store
+from .store import (
+    STORE_BACKENDS,
+    ConstraintStore,
+    FactoredStore,
+    MonolithStore,
+    StoreError,
+    clear_store_caches,
+    empty_store,
+    get_default_store_backend,
+    set_default_store_backend,
+)
 from .table import TableConstraint, to_table
 from .variables import (
     Variable,
@@ -69,8 +80,15 @@ __all__ = [
     "Polynomial",
     "polynomial_constraint",
     "ConstraintStore",
+    "MonolithStore",
+    "FactoredStore",
     "StoreError",
     "empty_store",
+    "STORE_BACKENDS",
+    "set_default_store_backend",
+    "get_default_store_backend",
+    "clear_store_caches",
+    "constraint_digest",
     "Variable",
     "VariableError",
     "variable",

@@ -86,9 +86,12 @@ def entails(
 ) -> bool:
     """``C ⊢ c  ⇔  ⊗C ⊑ c`` — the entailment relation of Sec. 2.
 
-    ``store`` may be a single (already combined) constraint or an iterable
-    of constraints.
+    ``store`` may be a single (already combined) constraint, an iterable
+    of constraints, or a :class:`~repro.constraints.store.ConstraintStore`
+    (which answers through its own solver-backed, memoized query path).
     """
+    if hasattr(store, "entails") and not isinstance(store, SoftConstraint):
+        return store.entails(constraint)
     if isinstance(store, SoftConstraint):
         combined = store
     else:
@@ -96,8 +99,10 @@ def entails(
     return constraint_leq(combined, constraint)
 
 
-def blevel(constraint: SoftConstraint) -> Any:
-    """``c ⇓∅`` — the best level of consistency of a combined constraint."""
+def blevel(constraint: SoftConstraint | Any) -> Any:
+    """``c ⇓∅`` — the best level of consistency of a combined constraint
+    (or of a :class:`~repro.constraints.store.ConstraintStore`, which
+    routes the query through the solver)."""
     return constraint.consistency()
 
 

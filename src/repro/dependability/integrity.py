@@ -16,15 +16,31 @@ is allowed by ``R`` *at the interface*:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, List, Optional, Sequence
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Union
 
 from ..constraints.constraint import (
     ConstantConstraint,
     SoftConstraint,
 )
 from ..constraints.operations import combine
+from ..constraints.store import ConstraintStore
 from ..constraints.variables import Variable, iter_assignments, merge_scopes
 from ..semirings.base import Semiring
+
+#: A refinement check accepts either a bare constraint or a whole store —
+#: a broker session *is* an implementation, and routing the projection
+#: through :meth:`ConstraintStore.project` lets the factored backend use
+#: its solver-backed (and cached) elimination instead of materializing
+#: the full combination first.
+Implementation = Union[SoftConstraint, ConstraintStore]
+
+
+def _interface_view(
+    subject: Implementation, names: Sequence[str]
+) -> SoftConstraint:
+    """``subject ⇓ names`` as an honest constraint, store- or
+    constraint-shaped input alike."""
+    return subject.project(names)
 
 
 @dataclass
@@ -47,22 +63,24 @@ class RefinementReport:
 
 
 def locally_refines(
-    implementation: SoftConstraint,
-    requirement: SoftConstraint,
+    implementation: Implementation,
+    requirement: Implementation,
     interface: Iterable[str | Variable],
     max_witnesses: int = 5,
 ) -> RefinementReport:
     """Def. 1: ``S ⇓V ⊑ R ⇓V`` through the interface ``V``.
 
-    Returns a report rather than a bare bool so failed checks carry the
-    interface assignments that break the requirement.
+    Either side may be a :class:`ConstraintStore` (the running broker
+    session) instead of a bare constraint.  Returns a report rather than
+    a bare bool so failed checks carry the interface assignments that
+    break the requirement.
     """
     names = tuple(
         item.name if isinstance(item, Variable) else item for item in interface
     )
     semiring = implementation.semiring
-    s_view = implementation.project(names)
-    r_view = requirement.project(names)
+    s_view = _interface_view(implementation, names)
+    r_view = _interface_view(requirement, names)
     scope = merge_scopes(s_view.scope, r_view.scope)
 
     report = RefinementReport(holds=True, interface=names)
@@ -76,8 +94,8 @@ def locally_refines(
 
 
 def dependably_safe(
-    implementation: SoftConstraint,
-    requirement: SoftConstraint,
+    implementation: Implementation,
+    requirement: Implementation,
     interface: Iterable[str | Variable],
     max_witnesses: int = 5,
 ) -> RefinementReport:

@@ -132,7 +132,7 @@ class CheckSpec:
         if self.lower is not None:
             if isinstance(self.lower, SoftConstraint):
                 # σ ⊒ φ1 — the store is at least as good as φ1.
-                if not constraint_leq(self.lower, store.constraint):
+                if not store.refines(self.lower):
                     return False
             else:
                 consistency = store.consistency()
@@ -142,8 +142,9 @@ class CheckSpec:
 
         if self.upper is not None:
             if isinstance(self.upper, SoftConstraint):
-                # σ ⊑ φ2 — the store is no better than φ2.
-                if not constraint_leq(store.constraint, self.upper):
+                # σ ⊑ φ2 — the store is no better than φ2 (routed through
+                # the store's memoized, solver-backed entailment).
+                if not store.entails(self.upper):
                     return False
             else:
                 if consistency is None:

@@ -13,7 +13,6 @@ from dataclasses import dataclass
 from typing import Iterator, List, Tuple
 
 from ..constraints.store import ConstraintStore
-from ..constraints.table import to_table
 from .procedures import EMPTY_PROCEDURES, ProcedureTable
 from .syntax import (
     Agent,
@@ -237,12 +236,15 @@ def _step(
 
 
 def store_fingerprint(store: ConstraintStore) -> Tuple:
-    """A hashable extensional summary of σ (scope names + value table)."""
-    table = to_table(store.constraint)
-    return (
-        table.support,
-        frozenset(table.items()),
-    )
+    """A hashable summary of σ, delegated to the store backend.
+
+    The monolith summarizes extensionally (scope names + value table);
+    the factored backend answers with its incremental multiset digest,
+    which never materializes the union scope.  A digest distinguishes
+    differently-factored-but-equal stores — that only costs the explorer
+    extra states, never wrong answers.
+    """
+    return store.fingerprint()
 
 
 def config_key(config: Configuration) -> Tuple:

@@ -159,6 +159,26 @@ class Semiring(ABC, Generic[A]):
         """Whether ``≤S`` is a total order (enables branch & bound)."""
         return False
 
+    def supports_exact_retract(self) -> bool:
+        """Whether ``(a × b) ÷ b = a`` holds *bitwise* on the exact-value
+        subset described by :meth:`exact_retract_value`.
+
+        When true, a factored store may implement ``retract`` of a told
+        factor by simply dropping it from the factor set instead of
+        materializing the residuated division — sound only if dropping
+        and dividing agree bit-for-bit, which idempotent ``×`` (Fuzzy,
+        Boolean, Set: ``a × a = a`` loses information) and rounding
+        float products (Probabilistic) or saturating sums
+        (BoundedWeighted) rule out.  Default ``False``; subclasses with
+        a cancellative, exactly-representable ``×`` opt in.
+        """
+        return False
+
+    def exact_retract_value(self, a: A) -> bool:
+        """Whether ``a`` lies in the subset where retract-by-removal is
+        bitwise exact (see :meth:`supports_exact_retract`)."""
+        return False
+
     def sample_elements(self) -> tuple[A, ...]:
         """A small, fixed tuple of representative carrier elements.
 

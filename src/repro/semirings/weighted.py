@@ -85,6 +85,15 @@ class WeightedSemiring(TotallyOrderedSemiring[float]):
     def sample_elements(self) -> tuple[float, ...]:
         return (INFINITY, 7.0, 3.0, 1.0, 0.0)
 
+    def supports_exact_retract(self) -> bool:
+        # + over ℕ is cancellative and exact in binary64 up to 2⁵³, so
+        # dropping a told integer-cost factor equals dividing it out,
+        # bit for bit.  ∞ is excluded: divide(∞, ∞) = 0 ≠ ∞ − anything.
+        return True
+
+    def exact_retract_value(self, a: float) -> bool:
+        return a != INFINITY and abs(a) <= 2.0**50 and float(a).is_integer()
+
     def check_element(self, a: Any) -> float:
         if not self.is_element(a):
             raise SemiringError(f"{a!r} is not a non-negative cost")

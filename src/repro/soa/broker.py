@@ -154,7 +154,11 @@ class Broker:
     a canonical problem fingerprint, so a market's repeated negotiations
     hit warm entries instead of re-running the solver;
     ``solver_backend`` selects the factor representation
-    (``auto``/``dict``/``dense``, see :mod:`repro.solver.kernels`).
+    (``auto``/``dict``/``dense``, see :mod:`repro.solver.kernels`);
+    ``store_backend`` selects the constraint-store representation for
+    acceptance checks and nmsccp confirmation runs
+    (``auto``/``monolith``/``factored``, see
+    :mod:`repro.constraints.store`).
     """
 
     ENDPOINT = "broker"
@@ -166,6 +170,7 @@ class Broker:
         name: str = "broker",
         solve_cache: bool = True,
         solver_backend: str = "auto",
+        store_backend: Optional[str] = None,
     ) -> None:
         self.registry = registry
         self.bus = bus
@@ -175,6 +180,7 @@ class Broker:
             SolveCache() if solve_cache else None
         )
         self.solver_backend = solver_backend
+        self.store_backend = store_backend
         #: (qos-doc id, attribute, semiring, pool identities) → compiled
         #: offer constraints + the variables compiling added to the pool.
         self._offer_memo: Dict[tuple, tuple] = {}
@@ -408,9 +414,12 @@ class Broker:
         ).observe(time.perf_counter() - started)
 
         if request.acceptance is not None:
-            store = empty_store(semiring).tell(
-                combine(constraints, semiring=semiring)
-            )
+            # Told factor by factor: on the factored backend the store
+            # stays a factor set and the acceptance check routes through
+            # the solver instead of materializing the union scope.
+            store = empty_store(semiring, backend=self.store_backend)
+            for constraint in constraints:
+                store = store.tell(constraint)
             accepted = request.acceptance.holds(store)
         else:
             accepted = result.is_consistent
@@ -444,6 +453,7 @@ class Broker:
             [provider, client],
             semiring,
             verify_scheduler_independence=True,
+            store_backend=self.store_backend,
         )
 
     def _sign(

@@ -13,6 +13,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Any, Callable, Deque, List, Optional
 
+from ..constraints.constraint import SoftConstraint
 from ..telemetry import get_events, get_registry
 from .execution import ExecutionReport
 from .sla import SLA, SLAViolation
@@ -167,3 +168,15 @@ class SLAMonitor:
         if self._observed == 0:
             return 0.0
         return len(self.violations) / self._observed
+
+    def covered_by_agreement(
+        self, constraint: SoftConstraint, store_backend: Optional[str] = None
+    ) -> bool:
+        """Whether a proposed tightening is already guaranteed.
+
+        Rebuilds the agreed store (``SLA.as_store``) and asks ``σ ⊑ c``
+        through the store's solver-backed entailment; a ``True`` answer
+        means a renegotiation for ``constraint`` would be a no-op, so the
+        monitor can suppress the escalation.
+        """
+        return self.sla.as_store(backend=store_backend).entails(constraint)

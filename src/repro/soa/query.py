@@ -27,7 +27,7 @@ from typing import Any, List, Optional, Sequence, Set, Tuple
 
 from ..semirings.base import Semiring
 from ..solver import SCSP, solve
-from ..telemetry.caching import DEFAULT_CACHE_SIZE, LRUCache
+from ..caching import DEFAULT_CACHE_SIZE, LRUCache
 from .capabilities import CapabilityPolicy, compose_policies
 from .composition import AGGREGATION_RULES, AggregationRule, Invoke, Pipeline, Plan
 from .qos import compile_document, resolve_attribute

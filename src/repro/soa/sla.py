@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Tuple
 
 from ..constraints.constraint import SoftConstraint
+from ..constraints.store import ConstraintStore, empty_store
 from ..semirings.base import Semiring
 
 _sla_ids = itertools.count(1)
@@ -46,6 +47,16 @@ class SLA:
                 f"agreed level {self.agreed_level!r} is not a "
                 f"{self.semiring.name} element"
             )
+
+    def as_store(self, backend: str | None = None) -> ConstraintStore:
+        """The agreement as a constraint store — the final σ of the
+        negotiation, rebuilt so later checks (monitoring, renegotiation)
+        can reuse the store algebra: ``entails`` for "is this tightening
+        already guaranteed?", ``tell`` for drafting amendments.
+        """
+        return empty_store(self.semiring, backend=backend).tell(
+            self.agreed_constraint
+        )
 
     def satisfied_by(self, observed_level: Any) -> bool:
         """Whether an observed quality honours the agreement.

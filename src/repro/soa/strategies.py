@@ -137,12 +137,13 @@ def alternating_offers(
     semiring: Semiring,
     parties: Sequence[Tactic],
     deadline: int,
+    store_backend: Optional[str] = None,
 ) -> ProtocolOutcome:
     """Run the rounds until every acceptance interval holds, or time out.
 
-    At round ``t`` each party offers its tactic's rung; the combined
-    store must satisfy *every* party's acceptance check (a missing check
-    accepts anything consistent).
+    At round ``t`` each party offers its tactic's rung; the round's store
+    (one told factor per offer) must satisfy *every* party's acceptance
+    check (a missing check accepts anything consistent).
     """
     if not parties:
         raise StrategyError("alternating_offers needs parties")
@@ -158,7 +159,9 @@ def alternating_offers(
             for p in parties
         ]
         merged = combine(list(offers), semiring=semiring)
-        store = empty_store(semiring).tell(merged)
+        store = empty_store(semiring, backend=store_backend)
+        for offer in offers:
+            store = store.tell(offer)
         consistency = store.consistency()
         acceptable = all(
             party.acceptance is None or party.acceptance.holds(store)

@@ -12,38 +12,31 @@ same-named one.
 
 Invalidation is structural: any change to a constraint table, domain,
 ``con`` set or solve option changes the fingerprint, so stale entries are
-never *returned* — they simply age out of the LRU.  The cache is safe
-under the runtime's worker threads (one lock around the LRU) and feeds
-the standard ``cache_hits_total``/``cache_misses_total{cache="solve"}``
-telemetry counters.
+never *returned* — they simply age out of the LRU.  The cache rides the
+shared :class:`~repro.caching.LRUCache` in threadsafe mode (the runtime's
+worker pool solves concurrently) and feeds the standard
+``cache_hits_total``/``cache_misses_total{cache="solve"}`` telemetry
+counters.
 """
 
 from __future__ import annotations
 
 import hashlib
-import threading
 from dataclasses import dataclass, replace
 from typing import Any, Dict, List, Mapping, Optional, Tuple
 
-from ..constraints.table import to_table
-from ..telemetry.caching import LRUCache
+from ..caching import LRUCache
+from ..constraints.digest import canon_value, constraint_digest
 from .problem import SCSP, SolverResult, SolverStats
 
 #: Default number of distinct problems kept warm (satellite spec: bounded).
 DEFAULT_SOLVE_CACHE_SIZE = 2048
 
-
-def _canon(value: Any) -> str:
-    """A deterministic token for a semiring value or domain element.
-
-    ``repr`` round-trips floats exactly; unordered containers are sorted
-    so two equal sets always hash identically.
-    """
-    if isinstance(value, (frozenset, set)):
-        return "{" + ",".join(sorted(repr(v) for v in value)) + "}"
-    if isinstance(value, tuple):
-        return "(" + ",".join(_canon(v) for v in value) + ")"
-    return repr(value)
+# Canonical digest helpers live in repro.constraints.digest (shared with
+# the factored store's incremental digest); these aliases keep the old
+# import paths working.
+_canon = canon_value
+_constraint_digest = constraint_digest
 
 
 def problem_fingerprint(
@@ -60,7 +53,7 @@ def problem_fingerprint(
     the broker has seen before costs hashing, not enumeration.
     """
     digests: List[str] = [
-        _constraint_digest(constraint) for constraint in problem.constraints
+        constraint_digest(constraint) for constraint in problem.constraints
     ]
 
     head = hashlib.sha256()
@@ -73,30 +66,6 @@ def problem_fingerprint(
         f"options {sorted((options or {}).items())!r};".encode()
     )
     return head.hexdigest()
-
-
-def _constraint_digest(constraint: Any) -> str:
-    """One constraint's extensional digest, memoized on the object.
-
-    Constraints are semantically immutable, so the digest is computed
-    (materializing the table) at most once per object — re-fingerprinting
-    a problem built from pooled constraint objects is pure hashing.
-    """
-    memo = getattr(constraint, "_digest_memo", None)
-    if memo is not None:
-        return memo
-    table = to_table(constraint)
-    piece = hashlib.sha256()
-    for var in table.scope:
-        piece.update(f"var {var.name}:{_canon(var.domain)};".encode())
-    piece.update(f"default {_canon(table.default)};".encode())
-    for key in sorted(table.table, key=repr):
-        piece.update(
-            f"{_canon(key)}->{_canon(table.table[key])};".encode()
-        )
-    digest = piece.hexdigest()
-    constraint._digest_memo = digest
-    return digest
 
 
 @dataclass(frozen=True)
@@ -142,39 +111,32 @@ class _CacheEntry:
 class SolveCache:
     """Bounded LRU of solve results, keyed by problem fingerprint.
 
-    Thread-safe (the runtime's worker pool solves concurrently); hit and
-    miss traffic flows into the telemetry registry through the underlying
-    :class:`~repro.telemetry.caching.LRUCache` under ``cache="solve"``.
+    Thread-safe (the runtime's worker pool solves concurrently) via the
+    shared LRU's ``threadsafe`` mode; hit and miss traffic flows into the
+    telemetry registry under ``cache="solve"``.
     """
 
     def __init__(self, maxsize: int = DEFAULT_SOLVE_CACHE_SIZE) -> None:
-        self._lru = LRUCache(maxsize, name="solve")
-        self._lock = threading.Lock()
+        self._lru = LRUCache(maxsize, name="solve", threadsafe=True)
 
     def fetch(self, key: str, problem: SCSP) -> Optional[SolverResult]:
         """The cached result rebound to ``problem``, or ``None``."""
-        with self._lock:
-            entry: Optional[_CacheEntry] = self._lru.get(key)
+        entry: Optional[_CacheEntry] = self._lru.get(key)
         if entry is None:
             return None
         return entry.result_for(problem)
 
     def store(self, key: str, result: SolverResult) -> None:
-        entry = _CacheEntry.from_result(result)
-        with self._lock:
-            self._lru.put(key, entry)
+        self._lru.put(key, _CacheEntry.from_result(result))
 
     def clear(self) -> None:
-        with self._lock:
-            self._lru.clear()
+        self._lru.clear()
 
     def stats(self) -> Dict[str, int]:
-        with self._lock:
-            return self._lru.stats()
+        return self._lru.stats()
 
     def __len__(self) -> int:
-        with self._lock:
-            return len(self._lru)
+        return len(self._lru)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"SolveCache({self._lru!r})"

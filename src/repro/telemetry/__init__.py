@@ -13,7 +13,7 @@ bench hook, or test turns collection on:
         print(t.snapshot()["metrics"])
 """
 
-from .caching import DEFAULT_CACHE_SIZE, LRUCache
+from .caching import DEFAULT_CACHE_SIZE, LRUCache, cache_stats
 from .events import NULL_EVENT_LOG, EventLog, NullEventLog
 from .exporters import (
     snapshot,
@@ -62,6 +62,7 @@ __all__ = [
     "NULL_EVENT_LOG",
     "LRUCache",
     "DEFAULT_CACHE_SIZE",
+    "cache_stats",
     "TelemetrySession",
     "get_registry",
     "get_tracer",

@@ -1,125 +1,13 @@
-"""A bounded LRU map whose hit/miss traffic feeds the metrics registry.
+"""Back-compat shim — the bounded LRU now lives in :mod:`repro.caching`.
 
-Used to cap the memo caches that used to grow without bound (the query
-engine's offer-level cache, the store's entailment memo).  Counter
-children are re-resolved only when the active registry changes, so the
-per-access telemetry cost is one identity comparison.
+Every cache in the tree (this one, the store's entailment memo, the
+solver's result cache) shares that single implementation and its
+``cache_stats()`` interface.  Import from :mod:`repro.caching` in new
+code.
 """
 
 from __future__ import annotations
 
-from collections import OrderedDict
-from typing import Any, Callable, Dict, Hashable, Tuple
+from ..caching import DEFAULT_CACHE_SIZE, LRUCache, _MISSING, cache_stats
 
-from .runtime import get_registry
-
-_MISSING = object()
-
-#: Default capacity for library caches (satellite spec).
-DEFAULT_CACHE_SIZE = 4096
-
-
-class LRUCache:
-    """Least-recently-used mapping with a hard capacity.
-
-    Keys are kept with strong references, so identity-keyed callers
-    (e.g. caching per-constraint-object results) never see an id reused
-    by the garbage collector while the entry is alive.
-    """
-
-    def __init__(
-        self, maxsize: int = DEFAULT_CACHE_SIZE, name: str = "cache"
-    ) -> None:
-        if maxsize <= 0:
-            raise ValueError("maxsize must be positive")
-        self.maxsize = maxsize
-        self.name = name
-        self._data: "OrderedDict[Hashable, Any]" = OrderedDict()
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
-        self._bound: Tuple[Any, Any, Any] = (None, None, None)
-
-    # -- telemetry ------------------------------------------------------
-
-    def _counters(self) -> Tuple[Any, Any]:
-        registry, hit, miss = self._bound
-        active = get_registry()
-        if registry is not active:
-            hit = active.counter(
-                "cache_hits_total",
-                "Cache lookups answered from the cache.",
-                labelnames=("cache",),
-            ).labels(self.name)
-            miss = active.counter(
-                "cache_misses_total",
-                "Cache lookups that had to be computed.",
-                labelnames=("cache",),
-            ).labels(self.name)
-            self._bound = (active, hit, miss)
-        return hit, miss
-
-    # -- mapping --------------------------------------------------------
-
-    def get(self, key: Hashable, default: Any = None) -> Any:
-        hit, miss = self._counters()
-        value = self._data.get(key, _MISSING)
-        if value is _MISSING:
-            self.misses += 1
-            miss.inc()
-            return default
-        self._data.move_to_end(key)
-        self.hits += 1
-        hit.inc()
-        return value
-
-    def put(self, key: Hashable, value: Any) -> None:
-        data = self._data
-        if key in data:
-            data.move_to_end(key)
-        data[key] = value
-        if len(data) > self.maxsize:
-            data.popitem(last=False)
-            self.evictions += 1
-
-    def get_or_compute(
-        self, key: Hashable, compute: Callable[[], Any]
-    ) -> Any:
-        value = self.get(key, _MISSING)
-        if value is _MISSING:
-            value = compute()
-            self.put(key, value)
-        return value
-
-    def __contains__(self, key: Hashable) -> bool:
-        return key in self._data
-
-    def __len__(self) -> int:
-        return len(self._data)
-
-    def clear(self) -> None:
-        self._data.clear()
-
-    def resize(self, maxsize: int) -> None:
-        """Change capacity, evicting the LRU tail if shrinking."""
-        if maxsize <= 0:
-            raise ValueError("maxsize must be positive")
-        self.maxsize = maxsize
-        while len(self._data) > maxsize:
-            self._data.popitem(last=False)
-            self.evictions += 1
-
-    def stats(self) -> Dict[str, int]:
-        return {
-            "size": len(self._data),
-            "maxsize": self.maxsize,
-            "hits": self.hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
-        }
-
-    def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return (
-            f"LRUCache({self.name!r}, {len(self._data)}/{self.maxsize}, "
-            f"{self.hits} hit(s), {self.misses} miss(es))"
-        )
+__all__ = ["DEFAULT_CACHE_SIZE", "LRUCache", "cache_stats", "_MISSING"]

@@ -265,6 +265,26 @@ class TestMonitor:
         monitor.observe_many(engine.execute_many(pipeline("s1"), runs=10))
         assert seen == monitor.violations
 
+    def test_covered_by_agreement_routes_through_the_store(self):
+        semiring = ProbabilisticSemiring()
+        sla = SLA(
+            client="C",
+            providers=("P",),
+            attribute="availability",
+            semiring=semiring,
+            agreed_constraint=ConstantConstraint(semiring, 0.9),
+            agreed_level=0.9,
+        )
+        monitor = SLAMonitor(sla, window=5, min_samples=3)
+        # a weaker constraint (admits up to 0.95) is already entailed …
+        assert monitor.covered_by_agreement(
+            ConstantConstraint(semiring, 0.95)
+        )
+        # … but one the agreed store exceeds (caps at 0.5) is not.
+        assert not monitor.covered_by_agreement(
+            ConstantConstraint(semiring, 0.5)
+        )
+
     def test_latency_sla_uses_inverted_order(self, pool):
         semiring = WeightedSemiring()
         sla = SLA(

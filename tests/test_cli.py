@@ -156,6 +156,34 @@ class TestNegotiate:
         assert exit_code == 0
         assert out["sla"]["providers"] == ["P2"]
 
+    @pytest.mark.parametrize("backend", ["auto", "monolith", "factored"])
+    def test_store_backend_flag(self, market_file, capsys, backend):
+        from repro.constraints.store import (
+            get_default_store_backend,
+            set_default_store_backend,
+        )
+
+        previous = get_default_store_backend()
+        try:
+            exit_code = main(
+                ["negotiate", str(market_file), "--store-backend", backend]
+            )
+            # The flag also rebinds the process-wide default, so nmsccp
+            # sessions the broker spawns internally follow it.
+            assert get_default_store_backend() == backend
+        finally:
+            set_default_store_backend(previous)
+        out = json.loads(capsys.readouterr().out)
+        assert exit_code == 0
+        assert out["sla"]["providers"] == ["P2"]
+        assert out["sla"]["agreed_level"] == 3.0
+
+    def test_unknown_store_backend_rejected(self, market_file):
+        with pytest.raises(SystemExit):
+            main(
+                ["negotiate", str(market_file), "--store-backend", "quantum"]
+            )
+
     def test_failed_negotiation_exit_1(self, tmp_path, capsys):
         market = {
             "kind": "market",
