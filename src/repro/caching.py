@@ -59,12 +59,20 @@ class LRUCache:
         maxsize: int = DEFAULT_CACHE_SIZE,
         name: str = "cache",
         threadsafe: bool = False,
+        telemetry: bool = True,
     ) -> None:
         if maxsize <= 0:
             raise ValueError("maxsize must be positive")
         self.maxsize = maxsize
         self.name = name
         self.threadsafe = threadsafe
+        #: ``telemetry=False`` skips the per-access metrics emission —
+        #: for caches on paths hot enough that even the null-registry
+        #: resolution shows up (the coalition engine's scorer does a few
+        #: hundred lookups per candidate).  ``hits``/``misses`` and
+        #: :func:`cache_stats` still work; callers surface totals
+        #: through their own counters instead.
+        self.telemetry = telemetry
         self._lock = threading.RLock() if threadsafe else _NullLock()
         self._data: "OrderedDict[Hashable, Any]" = OrderedDict()
         self.hits = 0
@@ -97,6 +105,15 @@ class LRUCache:
     # -- mapping --------------------------------------------------------
 
     def get(self, key: Hashable, default: Any = None) -> Any:
+        if not self.telemetry:
+            with self._lock:
+                value = self._data.get(key, _MISSING)
+                if value is _MISSING:
+                    self.misses += 1
+                    return default
+                self._data.move_to_end(key)
+                self.hits += 1
+            return value
         hit, miss = self._counters()
         with self._lock:
             value = self._data.get(key, _MISSING)

@@ -15,7 +15,7 @@ Exposes the library's main flows over JSON files (the wire format of
 Each command reads JSON and prints a JSON result on stdout, so the tools
 compose in shell pipelines.  Exit status 0 = the engine ran and found an
 answer; 1 = well-formed input but no solution (inconsistent problem,
-failed negotiation); 2 = bad input.
+failed negotiation, no stable partition found); 2 = bad input.
 
 Observability (any command): ``--telemetry`` collects metrics and spans
 for the run and embeds the snapshot under a ``"telemetry"`` key in the
@@ -33,7 +33,7 @@ from pathlib import Path
 from typing import Any, Dict, Optional
 
 from . import serialization
-from .coalitions import solve_exact, solve_local_search
+from .coalitions import solve_engine, solve_exact, solve_local_search
 from .constraints.store import STORE_BACKENDS, set_default_store_backend
 from .sccp.check import CheckSpec
 from .semirings.properties import validate_semiring
@@ -118,23 +118,33 @@ def cmd_coalitions(args: argparse.Namespace) -> int:
         solution = solve_exact(
             network, op=args.op, aggregate=args.aggregate
         )
+    elif args.method == "engine":
+        solution = solve_engine(
+            network,
+            op=args.op,
+            aggregate=args.aggregate,
+            seed=args.seed,
+            restarts=args.restarts,
+            max_iterations=args.max_iterations,
+            neighbour_sample=args.neighbour_sample,
+            workers=args.workers,
+        )
     else:
         solution = solve_local_search(
-            network, op=args.op, aggregate=args.aggregate, seed=args.seed
+            network,
+            op=args.op,
+            aggregate=args.aggregate,
+            seed=args.seed,
+            restarts=args.restarts,
+            max_iterations=args.max_iterations,
+            neighbour_sample=args.neighbour_sample,
         )
-    _emit(
-        {
-            "method": solution.method,
-            "found": solution.found,
-            "stable": solution.stable,
-            "trust": solution.trust,
-            "partition": [
-                sorted(group) for group in (solution.partition or ())
-            ],
-            "partitions_examined": solution.partitions_examined,
-        }
-    )
-    return 0 if solution.found else 1
+    _emit(serialization.coalition_solution_to_dict(solution))
+    # "No solution" covers the heuristics ending on an unstable local
+    # optimum, not just exact search proving no stable partition exists
+    # — a partition with blocking coalitions is not a valid Def. 4
+    # answer, merely the best one seen.
+    return 0 if solution.found and solution.stable else 1
 
 
 def _market_registry(market: Dict[str, Any]) -> ServiceRegistry:
@@ -498,13 +508,37 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_coal.add_argument("network", help="path to a trust-network JSON file")
     p_coal.add_argument(
-        "--method", default="exact", choices=("exact", "local-search")
+        "--method",
+        default="exact",
+        choices=("exact", "local-search", "engine"),
     )
     p_coal.add_argument("--op", default="avg", choices=("min", "avg", "max"))
     p_coal.add_argument(
         "--aggregate", default="min", choices=("min", "avg", "max")
     )
     p_coal.add_argument("--seed", type=int, default=0)
+    p_coal.add_argument(
+        "--restarts", type=int, default=3, help="hill-climb restarts"
+    )
+    p_coal.add_argument(
+        "--max-iterations",
+        type=int,
+        default=200,
+        help="climb steps per restart",
+    )
+    p_coal.add_argument(
+        "--neighbour-sample",
+        type=int,
+        default=64,
+        help="candidate moves scored per step",
+    )
+    p_coal.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="portfolio threads for --method engine "
+        "(the result is worker-count independent)",
+    )
     p_coal.set_defaults(fn=cmd_coalitions)
 
     p_neg = sub.add_parser(

@@ -3,7 +3,8 @@
 Trust networks, coalition trustworthiness (Def. 3), blocking-coalition
 stability (Def. 4), the Sec. 6.1 SCSP encoding, an exact
 partition-enumeration solver, greedy individually/socially oriented
-baselines, and a seeded local search for larger agent counts.
+baselines, a seeded local search for larger agent counts, and the
+incremental parallel engine that scales the search far past Fig. 9.
 """
 
 from .coalition import (
@@ -30,6 +31,7 @@ from .exact import (
     singletons,
     solve_exact,
 )
+from .engine import IncrementalScorer, solve_engine
 from .greedy import individually_oriented, socially_oriented
 from .local_search import solve_local_search
 from .propagation import (
@@ -93,6 +95,8 @@ __all__ = [
     "individually_oriented",
     "socially_oriented",
     "solve_local_search",
+    "solve_engine",
+    "IncrementalScorer",
     "propagate_trust",
     "propagation_closure",
     "trust_between",

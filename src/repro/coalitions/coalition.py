@@ -35,7 +35,11 @@ def coalition_trust(
     "nothing speaks against it".
     """
     fold = resolve_op(op)
-    group = list(members)
+    # Sorted so the fold order is a function of the coalition, not of
+    # the iteration order of whatever set object carries it — equal
+    # frozensets built differently may iterate differently, and ``avg``
+    # sums floats, where order shifts the last ulp.
+    group = sorted(members)
     levels: List[float] = []
     for source in group:
         for target in group:
@@ -64,7 +68,7 @@ def member_view(
     fold = resolve_op(op)
     levels = [
         value
-        for other in others
+        for other in sorted(others)
         if (value := network.trust(agent, other)) is not None
     ]
     if not levels:

@@ -13,7 +13,7 @@ Vassileva, AAMAS 2002).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from .coalition import (
     Partition,
@@ -29,6 +29,7 @@ from .trust import CompositionOp, TrustNetwork
 def individually_oriented(
     network: TrustNetwork,
     op: str | CompositionOp = "min",
+    aggregate: str | CompositionOp = "min",
 ) -> CoalitionSolution:
     """Union-find over each agent's single best outgoing relationship.
 
@@ -64,7 +65,7 @@ def individually_oriented(
     partition = normalize_partition(clusters.values())
     return CoalitionSolution(
         partition=partition,
-        trust=partition_trust(partition, network, op),
+        trust=partition_trust(partition, network, op, aggregate),
         stable=is_stable(partition, network, op),
         partitions_examined=1,
         method="individually-oriented",
@@ -80,7 +81,9 @@ def socially_oriented(
 
     Starts from singletons; each round evaluates every pairwise merge and
     applies the best strictly improving one (ties broken towards the
-    merge whose own coalition trust is higher, then lexicographically).
+    merge whose own coalition trust is higher, then lexicographically on
+    the merged coalition's sorted members — so the winner never depends
+    on how the candidate merges happen to be enumerated).
     """
     current: Partition = singletons(network)
     current_score = partition_trust(current, network, op, aggregate)
@@ -90,8 +93,8 @@ def socially_oriented(
     while improved and len(current) > 1:
         improved = False
         best_merge: Optional[Partition] = None
-        best_score = current_score
-        best_tiebreak = -1.0
+        best_key: Optional[Tuple[float, float]] = None
+        best_lex: Tuple[str, ...] = ()
         groups: List[frozenset] = list(current)
         for i in range(len(groups)):
             for j in range(i + 1, len(groups)):
@@ -102,18 +105,19 @@ def socially_oriented(
                 )
                 examined += 1
                 score = partition_trust(candidate, network, op, aggregate)
-                tiebreak = coalition_trust(merged, network, op)
-                if score > best_score or (
-                    score == best_score
-                    and best_merge is not None
-                    and tiebreak > best_tiebreak
+                if score <= current_score:
+                    continue
+                key = (score, coalition_trust(merged, network, op))
+                lex = tuple(sorted(merged))
+                if (
+                    best_key is None
+                    or key > best_key
+                    or (key == best_key and lex < best_lex)
                 ):
-                    best_merge = candidate
-                    best_score = score
-                    best_tiebreak = tiebreak
-        if best_merge is not None and best_score > current_score:
+                    best_merge, best_key, best_lex = candidate, key, lex
+        if best_merge is not None and best_key is not None:
             current = best_merge
-            current_score = best_score
+            current_score = best_key[0]
             improved = True
 
     return CoalitionSolution(

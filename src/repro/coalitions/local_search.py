@@ -6,19 +6,33 @@ The objective is lexicographic: *first* minimize the number of blocking
 witnesses (stability is mandatory in the paper), *then* maximize the
 fuzzy partition trust — so the search walks unstable structures but
 always prefers repairing them.
+
+Reproducibility mirrors :mod:`repro.runtime`'s per-session RNG scheme:
+one master ``random.Random(seed)`` derives an independent child stream
+per restart *in restart order* (:func:`derive_restart_seeds`), so a
+single seed pins down every restart's trajectory regardless of whether
+the restarts run sequentially here or as a parallel portfolio in
+:mod:`repro.coalitions.engine`.  The climb loop itself
+(:func:`climb`) is shared with the engine and parameterized by the
+scorer — this module scores naively (a full ``blocking_pairs`` +
+``partition_trust`` pass per candidate), the engine incrementally.
 """
 
 from __future__ import annotations
 
 import random
-from typing import List, Optional, Tuple
+from typing import Callable, List, Optional, Tuple
 
+from ..telemetry import get_registry
 from .coalition import Partition, normalize_partition, partition_trust
 from .exact import CoalitionSolution, singletons
 from .stability import blocking_pairs
 from .trust import CompositionOp, TrustNetwork
 
 Score = Tuple[int, float]  # (-blocking count is encoded as minimization)
+
+#: A scorer maps a canonical partition to its lexicographic objective.
+Scorer = Callable[[Partition], Score]
 
 
 def _score(
@@ -32,18 +46,61 @@ def _score(
     return (-blocking, trust)
 
 
+def derive_restart_seeds(
+    seed: Optional[int], restarts: int
+) -> List[int]:
+    """One child seed per restart, drawn from the master in restart
+    order — the same derivation discipline as the runtime's per-session
+    RNGs, so portfolio execution order cannot change any trajectory."""
+    master = random.Random(seed)
+    return [master.getrandbits(64) for _ in range(max(1, restarts))]
+
+
+def restart_partition(
+    restart: int,
+    network: TrustNetwork,
+    rng: random.Random,
+    initial: Optional[Partition] = None,
+) -> Partition:
+    """The start structure of one restart: the caller's ``initial`` on
+    restart 0, singletons on even restarts, a random bucketing drawn
+    from the restart's own stream on odd ones."""
+    if initial is not None and restart == 0:
+        return normalize_partition(initial)
+    if restart % 2 == 0:
+        return singletons(network)
+    agents = list(network.agents)
+    shuffled = agents[:]
+    rng.shuffle(shuffled)
+    k = rng.randint(1, len(agents))
+    buckets: List[set] = [set() for _ in range(k)]
+    for index, agent in enumerate(shuffled):
+        buckets[index % k].add(agent)
+    return normalize_partition(b for b in buckets if b)
+
+
 def _neighbours(
     partition: Partition, rng: random.Random, sample: int
 ) -> List[Partition]:
-    """A sample of move/merge/split neighbours of ``partition``."""
-    groups = [set(g) for g in partition]
+    """A sample of move/merge/split neighbours of ``partition``.
+
+    Identity candidates are filtered: "moving" a singleton's agent into
+    a fresh singleton reproduces the current partition, and scoring it
+    would waste a full evaluation per iteration while inflating
+    ``partitions_examined``.
+    """
+    base = normalize_partition(partition)
+    groups = [set(g) for g in base]
     agents = sorted(a for g in groups for a in g)
     neighbours: List[Partition] = []
 
     def push(candidate_groups) -> None:
         cleaned = [g for g in candidate_groups if g]
-        if cleaned:
-            neighbours.append(normalize_partition(cleaned))
+        if not cleaned:
+            return
+        candidate = normalize_partition(cleaned)
+        if candidate != base:
+            neighbours.append(candidate)
 
     # Moves: one agent to another coalition or to a new singleton.
     for agent in agents:
@@ -87,6 +144,37 @@ def _neighbours(
     return unique
 
 
+def climb(
+    start: Partition,
+    rng: random.Random,
+    scorer: Scorer,
+    neighbour_sample: int,
+    max_iterations: int,
+) -> Tuple[Partition, Score, int]:
+    """Hill-climb from ``start``; returns (partition, score, examined).
+
+    Deterministic given ``rng``'s state and a pure scorer: candidates
+    are generated and accepted in a fixed order, so two scorers that
+    agree on every partition produce identical trajectories — the
+    property the engine-vs-naive equivalence suite pins down.
+    """
+    current = start
+    current_score = scorer(current)
+    examined = 1
+    for _ in range(max_iterations):
+        candidates = _neighbours(current, rng, neighbour_sample)
+        examined += len(candidates)
+        improved = False
+        for candidate in candidates:
+            score = scorer(candidate)
+            if score > current_score:
+                current, current_score = candidate, score
+                improved = True
+        if not improved:
+            break
+    return current, current_score, examined
+
+
 def solve_local_search(
     network: TrustNetwork,
     op: str | CompositionOp = "min",
@@ -98,45 +186,32 @@ def solve_local_search(
     initial: Optional[Partition] = None,
 ) -> CoalitionSolution:
     """Hill-climb with restarts; deterministic under a fixed seed."""
-    rng = random.Random(seed)
-    agents = list(network.agents)
+
+    def scorer(partition: Partition) -> Score:
+        return _score(partition, network, op, aggregate)
 
     best_partition: Optional[Partition] = None
     best_score: Optional[Score] = None
     examined = 0
 
-    for restart in range(max(1, restarts)):
-        if initial is not None and restart == 0:
-            current = normalize_partition(initial)
-        elif restart % 2 == 0:
-            current = singletons(network)
-        else:
-            shuffled = agents[:]
-            rng.shuffle(shuffled)
-            k = rng.randint(1, len(agents))
-            buckets: List[set] = [set() for _ in range(k)]
-            for index, agent in enumerate(shuffled):
-                buckets[index % k].add(agent)
-            current = normalize_partition(b for b in buckets if b)
-        current_score = _score(current, network, op, aggregate)
-        examined += 1
-
-        for _ in range(max_iterations):
-            candidates = _neighbours(current, rng, neighbour_sample)
-            examined += len(candidates)
-            improved = False
-            for candidate in candidates:
-                score = _score(candidate, network, op, aggregate)
-                if score > current_score:
-                    current, current_score = candidate, score
-                    improved = True
-            if not improved:
-                break
-
-        if best_score is None or current_score > best_score:
-            best_partition, best_score = current, current_score
+    for restart, restart_seed in enumerate(
+        derive_restart_seeds(seed, restarts)
+    ):
+        rng = random.Random(restart_seed)
+        start = restart_partition(restart, network, rng, initial)
+        partition, score, climbed = climb(
+            start, rng, scorer, neighbour_sample, max_iterations
+        )
+        examined += climbed
+        if best_score is None or score > best_score:
+            best_partition, best_score = partition, score
 
     assert best_partition is not None and best_score is not None
+    get_registry().counter(
+        "coalition_candidates_total",
+        "Coalition structures scored during search, by method.",
+        labelnames=("method",),
+    ).labels("local-search").inc(examined)
     return CoalitionSolution(
         partition=best_partition,
         trust=best_score[1],

@@ -10,7 +10,7 @@ partitioning of the agents."
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple
 
 from .coalition import (
     Coalition,
@@ -48,17 +48,31 @@ def blocking_witness(
     source: Coalition,
     network: TrustNetwork,
     op: str | CompositionOp = "min",
+    trust_fn: Optional[Callable[[Coalition], float]] = None,
+    view_fn: Optional[Callable[[str, Coalition], float]] = None,
 ) -> Optional[BlockingWitness]:
     """Def. 4 for an ordered pair ``(Cu=target, Cv=source)``: the first
-    ``xk ∈ source`` making them blocking, or ``None``."""
-    target_trust = coalition_trust(target, network, op)
+    ``xk ∈ source`` making them blocking, or ``None``.
+
+    ``trust_fn`` overrides how ``T(C)`` is computed and ``view_fn`` how
+    an agent rates a coalition — the incremental engine passes its
+    frozenset-memoized versions here so repeated witness checks share
+    one trust table instead of recomputing Def. 3 from scratch.
+    """
+    if trust_fn is None:
+        trust_fn = lambda c: coalition_trust(c, network, op)  # noqa: E731
+    if view_fn is None:
+        view_fn = (  # noqa: E731
+            lambda agent, group: member_view(agent, group, network, op)
+        )
+    target_trust = trust_fn(target)
     for candidate in sorted(source):
-        own_fellows = [a for a in source if a != candidate]
-        rating_target = member_view(candidate, target, network, op)
-        rating_own = member_view(candidate, own_fellows, network, op)
+        own_fellows = frozenset(a for a in source if a != candidate)
+        rating_target = view_fn(candidate, target)
+        rating_own = view_fn(candidate, own_fellows)
         if rating_target <= rating_own:
             continue
-        joined = coalition_trust(target | {candidate}, network, op)
+        joined = trust_fn(frozenset(target | {candidate}))
         if joined > target_trust:
             return BlockingWitness(
                 defector=candidate,

@@ -23,6 +23,8 @@ from .loadgen import (
 )
 from .retry import NO_RETRY, RetryError, RetryPolicy
 from .server import (
+    COALITION_OUTCOMES,
+    CoalitionQuery,
     LATENCY_BUCKETS,
     Overloaded,
     RuntimeConfig,
@@ -40,6 +42,8 @@ __all__ = [
     "SessionStatus",
     "Overloaded",
     "TransientFault",
+    "CoalitionQuery",
+    "COALITION_OUTCOMES",
     "SESSION_OUTCOMES",
     "LATENCY_BUCKETS",
     "RetryPolicy",

@@ -46,6 +46,9 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Any, Iterable, List, Optional
 
+from ..coalitions.engine import solve_engine
+from ..coalitions.exact import CoalitionSolution
+from ..coalitions.trust import CompositionOp, TrustNetwork
 from ..soa.broker import Broker, BrokerError, ClientRequest, NegotiationResult
 from ..soa.faults import FaultInjector
 from ..soa.sla import SLA
@@ -153,6 +156,30 @@ class RuntimeConfig:
             raise RuntimeError_("max_queue_depth must be at least 1")
         if self.deadline_s is not None and self.deadline_s <= 0:
             raise RuntimeError_("deadline_s must be positive (or None)")
+
+
+@dataclass(frozen=True)
+class CoalitionQuery:
+    """One offloadable Sec. 6 coalition-formation request.
+
+    The runtime treats these like negotiation sessions: the CPU-bound
+    search runs on the worker executor, never on the event loop, and a
+    seedless query draws its seed from the server's master RNG — so a
+    single ``RuntimeConfig.seed`` reproduces a whole mixed workload of
+    negotiations and coalition queries.
+    """
+
+    network: TrustNetwork
+    op: "str | CompositionOp" = "min"
+    aggregate: "str | CompositionOp" = "min"
+    seed: Optional[int] = None
+    restarts: int = 3
+    max_iterations: int = 200
+    neighbour_sample: int = 64
+
+
+#: Preseeded so a metrics snapshot always shows the complete family.
+COALITION_OUTCOMES = ("stable", "unstable")
 
 
 @dataclass
@@ -492,6 +519,84 @@ class RuntimeServer:
                 self.config.verify_independence,
             ),
         )
+
+    # ------------------------------------------------------------------
+    # Coalition queries
+    # ------------------------------------------------------------------
+
+    async def solve_coalitions(
+        self, query: CoalitionQuery
+    ) -> CoalitionSolution:
+        """Serve one coalition query on the worker executor.
+
+        The seed is drawn (for seedless queries) synchronously before
+        the offload, so issuing queries in a fixed order reproduces
+        their results regardless of how the executor interleaves them.
+        The engine itself runs single-threaded here — the runtime's
+        parallelism budget is the worker pool, and one portfolio per
+        worker keeps mixed negotiation/coalition workloads fair.
+        """
+        if not self.started or self._executor is None:
+            raise RuntimeError_("solve_coalitions() before start()")
+        seed = (
+            query.seed
+            if query.seed is not None
+            else self._rng.getrandbits(64)
+        )
+        loop = asyncio.get_running_loop()
+        ctx = contextvars.copy_context()
+
+        def run() -> CoalitionSolution:
+            with get_tracer().span(
+                "runtime.coalitions",
+                agents=len(query.network),
+                restarts=query.restarts,
+            ):
+                return solve_engine(
+                    query.network,
+                    op=query.op,
+                    aggregate=query.aggregate,
+                    seed=seed,
+                    restarts=query.restarts,
+                    max_iterations=query.max_iterations,
+                    neighbour_sample=query.neighbour_sample,
+                    workers=1,
+                )
+
+        solution = await loop.run_in_executor(
+            self._executor, lambda: ctx.run(run)
+        )
+        get_registry().counter(
+            "runtime_coalition_queries_total",
+            "Coalition queries served by the runtime, by outcome.",
+            labelnames=("outcome",),
+        ).preseed(COALITION_OUTCOMES).labels(
+            "stable" if solution.stable else "unstable"
+        ).inc()
+        return solution
+
+    def run_coalitions(
+        self, queries: Iterable[CoalitionQuery]
+    ) -> List[CoalitionSolution]:
+        """Synchronous convenience wrapper: serve a batch of coalition
+        queries concurrently, starting and stopping the server when not
+        already running."""
+
+        async def drive() -> List[CoalitionSolution]:
+            owns_lifecycle = not self.started
+            if owns_lifecycle:
+                await self.start()
+            try:
+                tasks = [
+                    asyncio.ensure_future(self.solve_coalitions(query))
+                    for query in queries
+                ]
+                return list(await asyncio.gather(*tasks))
+            finally:
+                if owns_lifecycle:
+                    await self.stop()
+
+        return asyncio.run(drive())
 
     async def _apply_faults(
         self, session: _Session, negotiation: NegotiationResult

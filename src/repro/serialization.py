@@ -21,6 +21,7 @@ import json
 import math
 from typing import Any, Dict, List
 
+from .coalitions.exact import CoalitionSolution
 from .coalitions.trust import TrustNetwork
 from .constraints.constraint import (
     ConstantConstraint,
@@ -357,6 +358,32 @@ def trust_network_from_dict(payload: Dict[str, Any]) -> TrustNetwork:
     )
 
 
+def coalition_solution_to_dict(
+    solution: CoalitionSolution,
+) -> Dict[str, Any]:
+    """JSON view of a coalition search result, shared by the CLI and the
+    runtime so both surfaces report the same shape.
+
+    ``stable_partitions`` is only meaningful for exact enumeration (the
+    heuristics never count the stable universe), so it is included only
+    when the method actually measured it.
+    """
+    payload: Dict[str, Any] = {
+        "kind": "coalition-solution",
+        "method": solution.method,
+        "found": solution.found,
+        "stable": solution.stable,
+        "trust": solution.trust,
+        "partition": [
+            sorted(group) for group in (solution.partition or ())
+        ],
+        "partitions_examined": solution.partitions_examined,
+    }
+    if solution.method == "exact":
+        payload["stable_partitions"] = solution.stable_partitions
+    return payload
+
+
 # ----------------------------------------------------------------------
 # Top-level convenience
 # ----------------------------------------------------------------------
@@ -365,6 +392,7 @@ _DUMPERS = {
     SCSP: problem_to_dict,
     QoSDocument: qos_document_to_dict,
     TrustNetwork: trust_network_to_dict,
+    CoalitionSolution: coalition_solution_to_dict,
 }
 
 _LOADERS = {

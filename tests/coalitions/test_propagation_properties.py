@@ -1,0 +1,89 @@
+"""Property-based checks of the semiring trust-propagation closure."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.coalitions import TrustNetwork, propagation_closure
+from repro.semirings import FuzzySemiring, ProbabilisticSemiring
+
+AGENTS = ["a", "b", "c", "d", "e"]
+
+trust_levels = st.sampled_from((0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0))
+
+
+@st.composite
+def sparse_networks(draw, agents=tuple(AGENTS)):
+    scores = {}
+    for source in agents:
+        for target in agents:
+            if source != target and draw(st.booleans()):
+                scores[(source, target)] = draw(trust_levels)
+    return TrustNetwork(list(agents), scores, default=None)
+
+
+@st.composite
+def chain_scores(draw, min_hops=2, max_hops=4):
+    hops = draw(st.integers(min_value=min_hops, max_value=max_hops))
+    return [draw(trust_levels) for _ in range(hops)]
+
+
+@settings(max_examples=60)
+@given(sparse_networks())
+def test_closure_is_a_fixpoint(network):
+    # Floyd–Warshall over an absorptive semiring converges: running the
+    # closure over its own result must change nothing.
+    semiring = FuzzySemiring()
+    once = propagation_closure(network, semiring)
+    again = TrustNetwork(list(network.agents), dict(once), default=None)
+    assert propagation_closure(again, semiring) == once
+
+
+@settings(max_examples=60)
+@given(sparse_networks())
+def test_closure_dominates_direct_scores(network):
+    # ``+`` (max) only aggregates more paths on top of the direct edge,
+    # so indirect trust never drops below a stated judgement.
+    closure = propagation_closure(network, FuzzySemiring())
+    for pair, direct in network.known_scores().items():
+        assert closure[pair] >= direct
+
+
+@settings(max_examples=60)
+@given(chain_scores())
+def test_chain_bottleneck_fuzzy(scores):
+    # On a pure chain a→b→c→… the only path is the chain itself: fuzzy
+    # propagation must yield exactly the weakest hop.
+    agents = [f"n{i}" for i in range(len(scores) + 1)]
+    network = TrustNetwork(
+        agents,
+        {
+            (agents[i], agents[i + 1]): value
+            for i, value in enumerate(scores)
+        },
+        default=None,
+    )
+    closure = propagation_closure(network, FuzzySemiring())
+    assert closure[(agents[0], agents[-1])] == min(scores)
+    # No judgement flows against the chain's direction.
+    assert closure[(agents[-1], agents[0])] == 0.0
+
+
+@settings(max_examples=60)
+@given(chain_scores())
+def test_chain_product_probabilistic(scores):
+    # Probabilistic ⟨[0,1], max, ×⟩: each hop independently dilutes, so
+    # the chain's endpoints see the product of the hops.
+    agents = [f"n{i}" for i in range(len(scores) + 1)]
+    network = TrustNetwork(
+        agents,
+        {
+            (agents[i], agents[i + 1]): value
+            for i, value in enumerate(scores)
+        },
+        default=None,
+    )
+    closure = propagation_closure(network, ProbabilisticSemiring())
+    expected = 1.0
+    for value in scores:
+        expected *= value
+    assert abs(closure[(agents[0], agents[-1])] - expected) < 1e-12

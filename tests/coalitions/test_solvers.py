@@ -1,5 +1,7 @@
 """Exact, greedy and local-search coalition-structure generation."""
 
+import random
+
 import pytest
 
 from repro.coalitions import (
@@ -105,6 +107,26 @@ class TestGreedy:
         solution = socially_oriented(network, "avg")
         assert solution.trust >= start
 
+    def test_socially_oriented_lexicographic_tie_break(self):
+        # Merges {a,b} and {a,c} tie exactly — same partition score,
+        # same merged-coalition trust — so the documented tie-break must
+        # pick the lexicographically smaller coalition {a,b}.  (b↔c is
+        # hostile enough that the grand coalition never forms.)
+        network = TrustNetwork(
+            ["a", "b", "c"],
+            {
+                ("a", "a"): 0.4, ("b", "b"): 0.4, ("c", "c"): 0.4,
+                ("a", "b"): 0.8, ("b", "a"): 0.8,
+                ("a", "c"): 0.8, ("c", "a"): 0.8,
+                ("b", "c"): 0.0, ("c", "b"): 0.0,
+            },
+        )
+        solution = socially_oriented(network, op="avg", aggregate="avg")
+        assert solution.partition == (
+            frozenset({"a", "b"}),
+            frozenset({"c"}),
+        )
+
     def test_exact_dominates_greedy(self, network):
         exact = solve_exact(network, op="avg", aggregate="min")
         for greedy in (
@@ -149,3 +171,38 @@ class TestLocalSearch:
             network.agents
         )
         assert solution.partitions_examined < bell_number(10)
+
+
+class TestNeighbourhood:
+    def test_no_identity_neighbours(self):
+        # "Moving" a singleton's agent into a fresh singleton used to
+        # re-emit the current partition as its own neighbour, wasting a
+        # full scoring pass per iteration on a candidate that can never
+        # improve.
+        from repro.coalitions.local_search import _neighbours
+
+        network = random_trust_network(6, seed=2)
+        rng = random.Random(0)
+        for partition in (
+            singletons(network),
+            grand_coalition(network),
+            (
+                frozenset({"a0", "a1"}),
+                frozenset({"a2"}),
+                frozenset({"a3", "a4", "a5"}),
+            ),
+        ):
+            for _ in range(5):
+                neighbours = _neighbours(partition, rng, sample=256)
+                assert partition not in neighbours
+                assert len(set(neighbours)) == len(neighbours)
+
+    def test_neighbours_are_valid_partitions(self):
+        from repro.coalitions.local_search import _neighbours
+
+        network = random_trust_network(5, seed=4)
+        rng = random.Random(1)
+        agents = sorted(network.agents)
+        start = singletons(network)
+        for candidate in _neighbours(start, rng, sample=64):
+            assert sorted(a for g in candidate for a in g) == agents

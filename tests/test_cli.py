@@ -115,6 +115,8 @@ class TestCoalitions:
         assert exit_code == 0
         assert out["found"] and out["stable"]
         assert ["a", "b"] in out["partition"]
+        # Exact enumeration counts the stable universe and reports it.
+        assert out["stable_partitions"] >= 1
 
     def test_local_search(self, network_file, capsys):
         exit_code = main(
@@ -130,6 +132,51 @@ class TestCoalitions:
         out = json.loads(capsys.readouterr().out)
         assert exit_code == 0
         assert out["method"] == "local-search"
+        assert out["stable"] is True
+        assert "stable_partitions" not in out
+
+    def test_engine(self, network_file, capsys):
+        exit_code = main(
+            [
+                "coalitions",
+                str(network_file),
+                "--method",
+                "engine",
+                "--seed",
+                "3",
+                "--workers",
+                "2",
+            ]
+        )
+        out = json.loads(capsys.readouterr().out)
+        assert exit_code == 0
+        assert out["method"] == "engine"
+        assert out["stable"] is True
+        assert ["a", "b"] in out["partition"]
+
+    @pytest.mark.parametrize("method", ["local-search", "engine"])
+    def test_unstable_result_exits_nonzero(
+        self, method, network_file, capsys
+    ):
+        # A zero-iteration climb returns its (unstable) singleton start:
+        # the result is *found* but carries blocking coalitions, which
+        # is not a Def. 4 answer.  The CLI used to report success here.
+        exit_code = main(
+            [
+                "coalitions",
+                str(network_file),
+                "--method",
+                method,
+                "--restarts",
+                "1",
+                "--max-iterations",
+                "0",
+            ]
+        )
+        out = json.loads(capsys.readouterr().out)
+        assert out["found"] is True
+        assert out["stable"] is False
+        assert exit_code == 1
 
 
 class TestNegotiate:

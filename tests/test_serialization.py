@@ -203,3 +203,36 @@ class TestTrustNetworkRoundTrip:
     def test_unknown_payload_kind(self):
         with pytest.raises(ser.SerializationError):
             ser.loads('{"kind": "mystery"}')
+
+
+class TestCoalitionSolution:
+    def test_exact_solution_includes_stable_universe(self):
+        from repro.coalitions import solve_exact
+
+        solution = solve_exact(figure9_network(), op="avg")
+        payload = ser.coalition_solution_to_dict(solution)
+        assert payload["kind"] == "coalition-solution"
+        assert payload["method"] == "exact"
+        assert payload["found"] is True
+        assert payload["stable_partitions"] >= 1
+        assert all(
+            group == sorted(group) for group in payload["partition"]
+        )
+
+    def test_heuristic_solution_omits_stable_universe(self):
+        from repro.coalitions import solve_engine
+
+        solution = solve_engine(figure9_network(), op="avg", seed=3)
+        payload = ser.coalition_solution_to_dict(solution)
+        assert payload["method"] == "engine"
+        assert "stable_partitions" not in payload
+        assert payload["partitions_examined"] > 0
+
+    def test_dumps_dispatches(self):
+        import json
+
+        from repro.coalitions import solve_exact
+
+        solution = solve_exact(figure9_network(), op="avg")
+        payload = json.loads(ser.dumps(solution))
+        assert payload["kind"] == "coalition-solution"
