@@ -10,6 +10,8 @@ Exposes the library's main flows over JSON files (the wire format of
   through the asyncio runtime (admission, deadlines, retry, faults);
 * ``loadgen``                   — drive the runtime with a synthetic
   client population and report throughput + latency percentiles;
+* ``fleet``                     — serve the same load through a sharded
+  multi-broker fleet (consistent-hash routing, two-tier solve cache);
 * ``validate-semiring NAME``    — check the semiring laws on a sample.
 
 Each command reads JSON and prints a JSON result on stdout, so the tools
@@ -414,6 +416,75 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
     return 0 if report.completed + report.degraded > 0 else 1
 
 
+def cmd_fleet(args: argparse.Namespace) -> int:
+    """Measure a sharded broker fleet under synthetic load."""
+    from .fleet import FleetConfig, FleetFrontend, FleetLoadGenerator
+    from .runtime import (
+        LoadProfile,
+        RetryPolicy,
+        synthesize_market,
+        synthetic_request_factory,
+    )
+
+    if args.market is not None:
+        market = _load_market(args.market)
+        registry = _market_registry(market)
+        template = _market_request(market)
+
+        def factory(client: str, index: int) -> ClientRequest:
+            return ClientRequest(
+                client=client,
+                operation=template.operation,
+                attribute=template.attribute,
+                requirements=template.requirements,
+                acceptance=template.acceptance,
+            )
+
+    else:
+        registry = synthesize_market(seed=args.seed)
+        factory = synthetic_request_factory()
+
+    if args.store_backend is not None:
+        set_default_store_backend(args.store_backend)
+    config = FleetConfig(
+        shards=args.shards,
+        vnodes=args.vnodes,
+        workers_per_shard=args.workers,
+        ingress_depth=args.queue,
+        dispatch_depth=args.dispatch_depth,
+        deadline_s=args.deadline if args.deadline > 0 else None,
+        retry=RetryPolicy(
+            max_attempts=args.max_attempts,
+            base_backoff_s=args.base_backoff,
+        ),
+        seed=args.seed,
+        l2_cache=args.l2_cache,
+        route_by=args.route_by,
+        solver_backend=args.solver_backend,
+        store_backend=args.store_backend,
+    )
+    # Every shard gets its own injector built from the same flags, so
+    # fault behaviour stays keyed to the session, not the shard.
+    frontend = FleetFrontend(
+        registry,
+        config,
+        injector_factory=lambda shard_id: _build_injector(args, registry),
+    )
+    profile = LoadProfile(
+        clients=args.clients,
+        requests=args.requests,
+        mode=args.mode,
+        rate=args.rate,
+        think_time_s=args.think_time,
+        seed=args.seed,
+    )
+    generator = FleetLoadGenerator(frontend, profile, factory)
+    report = generator.run_sync()
+    _emit(report.to_dict())
+    fleet = report.fleet
+    return 0 if fleet.completed + fleet.degraded > 0 else 1
+
+
 def cmd_validate_semiring(args: argparse.Namespace) -> int:
     kwargs: Dict[str, Any] = {}
     if args.universe:
@@ -629,45 +700,84 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_rt.set_defaults(fn=cmd_runtime)
 
-    p_lg = sub.add_parser(
-        "loadgen",
-        help="measure the runtime under synthetic load",
-        parents=[observability, serving, solver_opts, broker_opts],
-    )
-    p_lg.add_argument(
+    loadshape = argparse.ArgumentParser(add_help=False)
+    loadshape.add_argument(
         "--market",
         default=None,
         metavar="PATH",
         help="market JSON to serve (default: synthetic 4-provider market)",
     )
-    p_lg.add_argument(
+    loadshape.add_argument(
         "--clients", type=int, default=10, help="client population size"
     )
-    p_lg.add_argument(
+    loadshape.add_argument(
         "--requests",
         type=int,
         default=None,
         metavar="N",
         help="total sessions (default: one per client)",
     )
-    p_lg.add_argument(
+    loadshape.add_argument(
         "--mode", default="open", choices=("open", "closed")
     )
-    p_lg.add_argument(
+    loadshape.add_argument(
         "--rate",
         type=float,
         default=50.0,
         metavar="RPS",
         help="open loop: mean Poisson arrival rate",
     )
-    p_lg.add_argument(
+    loadshape.add_argument(
         "--think-time",
         type=float,
         default=0.0,
         metavar="SECONDS",
         help="closed loop: pause between a client's requests",
     )
+
+    p_lg = sub.add_parser(
+        "loadgen",
+        help="measure the runtime under synthetic load",
+        parents=[observability, serving, loadshape, solver_opts, broker_opts],
+    )
     p_lg.set_defaults(fn=cmd_loadgen)
+
+    p_fleet = sub.add_parser(
+        "fleet",
+        help="measure a sharded broker fleet under synthetic load",
+        parents=[observability, serving, loadshape, solver_opts, broker_opts],
+    )
+    p_fleet.add_argument(
+        "--shards", type=int, default=2, help="broker shard count"
+    )
+    p_fleet.add_argument(
+        "--vnodes",
+        type=int,
+        default=64,
+        help="virtual nodes per shard on the consistent-hash ring",
+    )
+    p_fleet.add_argument(
+        "--dispatch-depth",
+        type=int,
+        default=64,
+        metavar="DEPTH",
+        help="per-shard dispatch queue bound",
+    )
+    p_fleet.add_argument(
+        "--l2-cache",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="share one fleet-wide L2 solve cache across shards "
+        "(per-shard L1s become a two-tier stack)",
+    )
+    p_fleet.add_argument(
+        "--route-by",
+        default="session",
+        choices=("session", "operation"),
+        help="ring routing key: per-session spread or per-operation "
+        "ownership",
+    )
+    p_fleet.set_defaults(fn=cmd_fleet)
 
     p_val = sub.add_parser(
         "validate-semiring",

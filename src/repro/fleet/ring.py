@@ -1,0 +1,139 @@
+"""Consistent-hash ring: stable key→shard assignment with vnodes.
+
+The fleet partitions its session space (and, optionally, the service
+registry by operation) across broker shards.  A naive ``hash(key) % N``
+reassigns almost every key when ``N`` changes; the classic
+consistent-hashing construction (the *sharding pattern* of the
+scalability-patterns catalogue) bounds that movement: each shard owns
+``vnodes`` pseudo-random arcs of a 64-bit ring, a key belongs to the
+shard whose point follows it clockwise, and adding one shard to an
+``N``-shard ring moves only the keys falling into the new shard's arcs
+— about ``K/(N+1)`` of ``K`` keys, never the rest.
+
+Determinism: every point position is a SHA-256 of
+``(seed, shard, replica)`` and key placement is a SHA-256 of the key —
+no :mod:`random` state anywhere, so two rings built with the same seed
+and shard set agree on every assignment, across processes and Python
+versions (``PYTHONHASHSEED`` does not matter).
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Dict, Iterable, List, Tuple
+
+#: Virtual nodes per shard; more vnodes → better balance, slower builds.
+DEFAULT_VNODES = 64
+
+
+class RingError(Exception):
+    """Raised on malformed rings (no shards, duplicate ids, …)."""
+
+
+def _point(seed: int, shard: str, replica: int) -> int:
+    """The 64-bit ring position of one virtual node."""
+    digest = hashlib.sha256(
+        f"vnode:{seed}:{shard}:{replica}".encode()
+    ).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+def hash_key(key: str) -> int:
+    """The 64-bit ring position of a routing key."""
+    digest = hashlib.sha256(f"key:{key}".encode()).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class HashRing:
+    """Seeded consistent-hash ring over named shards.
+
+    ``assign`` is pure: the same ``(seed, shard set, key)`` triple gives
+    the same shard forever.  ``add_shard``/``remove_shard`` mutate the
+    ring in place and bump :attr:`version`, which the fleet front-end
+    uses to detect a reshard racing an in-flight dispatch.
+    """
+
+    def __init__(
+        self,
+        shards: Iterable[str] = (),
+        vnodes: int = DEFAULT_VNODES,
+        seed: int = 0,
+    ) -> None:
+        if vnodes < 1:
+            raise RingError("vnodes must be at least 1")
+        self.vnodes = vnodes
+        self.seed = seed
+        self.version = 0
+        #: Sorted ``(position, shard)`` points; ties (astronomically
+        #: unlikely 64-bit collisions) break lexicographically on the
+        #: shard id, keeping assignment total and deterministic.
+        self._points: List[Tuple[int, str]] = []
+        self._positions: List[int] = []
+        self._shards: Dict[str, None] = {}  # insertion-ordered set
+        for shard in shards:
+            self.add_shard(shard)
+
+    # ------------------------------------------------------------------
+    # Membership
+    # ------------------------------------------------------------------
+
+    @property
+    def shards(self) -> List[str]:
+        """Shard ids in insertion order."""
+        return list(self._shards)
+
+    def __len__(self) -> int:
+        return len(self._shards)
+
+    def __contains__(self, shard: str) -> bool:
+        return shard in self._shards
+
+    def add_shard(self, shard: str) -> None:
+        """Join a shard: it takes over the keys its vnodes cover."""
+        if shard in self._shards:
+            raise RingError(f"shard {shard!r} already on the ring")
+        self._shards[shard] = None
+        for replica in range(self.vnodes):
+            entry = (_point(self.seed, shard, replica), shard)
+            bisect.insort(self._points, entry)
+        self._positions = [position for position, _ in self._points]
+        self.version += 1
+
+    def remove_shard(self, shard: str) -> None:
+        """Leave a shard: its keys fall to their next-clockwise owner."""
+        if shard not in self._shards:
+            raise RingError(f"shard {shard!r} not on the ring")
+        del self._shards[shard]
+        self._points = [
+            point for point in self._points if point[1] != shard
+        ]
+        self._positions = [position for position, _ in self._points]
+        self.version += 1
+
+    # ------------------------------------------------------------------
+    # Assignment
+    # ------------------------------------------------------------------
+
+    def assign(self, key: str) -> str:
+        """The shard owning ``key``: first vnode clockwise of its hash."""
+        if not self._points:
+            raise RingError("cannot assign on an empty ring")
+        index = bisect.bisect_right(self._positions, hash_key(key))
+        if index == len(self._points):  # wrap past 2^64 − 1
+            index = 0
+        return self._points[index][1]
+
+    def spread(self, keys: Iterable[str]) -> Dict[str, int]:
+        """How many of ``keys`` land on each shard (balance probes and
+        capacity planning; every shard reports, even at zero)."""
+        counts = {shard: 0 for shard in self._shards}
+        for key in keys:
+            counts[self.assign(key)] += 1
+        return counts
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"HashRing({len(self._shards)} shard(s) × {self.vnodes} "
+            f"vnode(s), seed={self.seed}, v{self.version})"
+        )

@@ -16,6 +16,8 @@ from .loadgen import (
     LoadProfile,
     LoadReport,
     RequestFactory,
+    build_report,
+    merge_reports,
     percentile,
     summarize,
     synthesize_market,
@@ -33,6 +35,7 @@ from .server import (
     SessionResult,
     SessionStatus,
     TransientFault,
+    derive_session_seed,
 )
 
 __all__ = [
@@ -46,9 +49,12 @@ __all__ = [
     "COALITION_OUTCOMES",
     "SESSION_OUTCOMES",
     "LATENCY_BUCKETS",
+    "derive_session_seed",
     "RetryPolicy",
     "RetryError",
     "NO_RETRY",
+    "build_report",
+    "merge_reports",
     "LoadGenerator",
     "LoadProfile",
     "LoadReport",

@@ -25,7 +25,7 @@ import math
 import random
 import time
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from ..constraints.polynomial import Polynomial, polynomial_constraint
 from ..constraints.variables import integer_variable
@@ -220,24 +220,59 @@ class LoadGenerator:
     def _report(
         self, results: List[SessionResult], duration: float
     ) -> LoadReport:
-        outcomes: Dict[str, int] = {}
-        for result in results:
-            key = result.status.value
-            outcomes[key] = outcomes.get(key, 0) + 1
-        served = [result for result in results if result.attempts > 0]
-        finished = outcomes.get(SessionStatus.COMPLETED.value, 0) + outcomes.get(
-            SessionStatus.DEGRADED.value, 0
-        )
-        return LoadReport(
-            offered=len(results),
-            duration_s=duration,
-            throughput_rps=finished / duration if duration > 0 else 0.0,
-            outcomes=outcomes,
-            retries_total=sum(result.retries for result in results),
-            latency_s=summarize([r.latency_s for r in served]),
-            queue_wait_s=summarize([r.queue_wait_s for r in served]),
-            results=results,
-        )
+        return build_report(results, duration)
+
+
+def build_report(
+    results: List[SessionResult], duration: float
+) -> LoadReport:
+    """Digest raw session results into one :class:`LoadReport`.
+
+    Module-level so callers that group results themselves (per-shard
+    fleet reports) produce digests with exactly the generator's shape.
+    """
+    outcomes: Dict[str, int] = {}
+    for result in results:
+        key = result.status.value
+        outcomes[key] = outcomes.get(key, 0) + 1
+    served = [result for result in results if result.attempts > 0]
+    finished = outcomes.get(SessionStatus.COMPLETED.value, 0) + outcomes.get(
+        SessionStatus.DEGRADED.value, 0
+    )
+    return LoadReport(
+        offered=len(results),
+        duration_s=duration,
+        throughput_rps=finished / duration if duration > 0 else 0.0,
+        outcomes=outcomes,
+        retries_total=sum(result.retries for result in results),
+        latency_s=summarize([r.latency_s for r in served]),
+        queue_wait_s=summarize([r.queue_wait_s for r in served]),
+        results=results,
+    )
+
+
+def merge_reports(reports: Sequence[LoadReport]) -> LoadReport:
+    """Merge per-shard reports into one fleet report.
+
+    Percentiles are *recomputed from the concatenated raw samples* —
+    averaging per-shard percentiles is statistically wrong (the p99 of
+    a fleet is not the mean of per-shard p99s), so every report to be
+    merged must still carry its raw ``results``.  Shard runs overlap in
+    wall-clock time, so the merged duration is the longest shard window
+    and the merged throughput is total finished work over that window.
+    """
+    if not reports:
+        raise LoadGenError("merge_reports needs at least one report")
+    for report in reports:
+        if report.offered != len(report.results):
+            raise LoadGenError(
+                "cannot merge a report without its raw results "
+                f"(offered={report.offered}, "
+                f"samples={len(report.results)})"
+            )
+    merged = [result for report in reports for result in report.results]
+    duration = max(report.duration_s for report in reports)
+    return build_report(merged, duration)
 
 
 # ----------------------------------------------------------------------

@@ -26,7 +26,13 @@ Reproducibility: the server owns one master :class:`random.Random`
 (``config.seed``) and derives an independent child RNG per session *in
 admission order* — backoff jitter and fault decisions draw from the
 session's own stream, so a single seed reproduces a whole concurrent
-run regardless of how workers interleave.
+run regardless of how workers interleave.  Callers that split one
+logical workload across *several* servers (the sharded fleet of
+:mod:`repro.fleet`) instead pass an explicit ``session_key`` to
+:meth:`RuntimeServer.submit`: the session RNG is then derived from
+``(master seed, session key)`` by :func:`derive_session_seed`, so a
+session's random stream — and with it every fault and backoff draw — is
+identical no matter which shard (or how many shards) served it.
 
 Fault injection: when a :class:`~repro.soa.faults.FaultInjector` is
 attached, it is consulted once per attempt for the *chosen* provider,
@@ -39,6 +45,7 @@ from __future__ import annotations
 
 import asyncio
 import contextvars
+import hashlib
 import random
 import time
 from concurrent.futures import ThreadPoolExecutor
@@ -80,6 +87,21 @@ class RuntimeError_(Exception):
     """Raised on runtime misuse (submit before start, bad config)."""
 
 
+def derive_session_seed(
+    master_seed: Optional[int], session_key: str
+) -> int:
+    """A stable 64-bit seed for one keyed session.
+
+    Hash-derived (not drawn from the master stream), so it depends only
+    on the pair ``(master seed, session key)`` — never on admission
+    order or on which server of a fleet the session landed on.
+    """
+    digest = hashlib.sha256(
+        f"{master_seed}:{session_key}".encode()
+    ).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
 class TransientFault(Exception):
     """An attempt failed for a reason worth retrying (injected fault)."""
 
@@ -114,6 +136,8 @@ class SessionResult:
     detail: str = ""
     #: Admission-order session number (−1 for bounced admissions).
     index: int = -1
+    #: The caller-supplied session key for keyed (fleet) sessions.
+    session_key: Optional[str] = None
 
     @property
     def ok(self) -> bool:
@@ -192,6 +216,12 @@ class _Session:
     rng: random.Random
     submitted_at: float
     deadline_s: Optional[float]
+    #: Fleet routing/reproducibility key (None for plain sessions).
+    key: Optional[str] = None
+    #: Fault-injection tick override; defaults to the admission index.
+    #: The fleet passes its global ingress sequence number, so outage
+    #: windows span fleet-wide admission order, not per-shard order.
+    tick: Optional[int] = None
 
 
 class RuntimeServer:
@@ -239,9 +269,17 @@ class RuntimeServer:
                 self._probe_loop(), name="runtime-loop-probe"
             )
 
-    async def stop(self) -> None:
-        """Cancel workers and release the executor (pending sessions in
-        the queue are abandoned; ``serve`` drains before stopping)."""
+    async def stop(self, drain: bool = False) -> None:
+        """Cancel workers and release the executor.
+
+        By default pending sessions in the queue are abandoned
+        (``serve`` awaits every submitted future before stopping);
+        ``drain=True`` first waits for the admission queue to empty and
+        every picked-up session to finish — the graceful shutdown the
+        fleet uses when decommissioning a shard.
+        """
+        if drain and self._queue is not None:
+            await self._queue.join()
         for task in self._workers:
             task.cancel()
         if self._probe is not None:
@@ -274,6 +312,8 @@ class RuntimeServer:
         self,
         request: ClientRequest,
         deadline_s: Optional[float] = None,
+        session_key: Optional[str] = None,
+        tick: Optional[int] = None,
     ) -> "asyncio.Future[SessionResult]":
         """Admit one request; resolves to its :class:`SessionResult`.
 
@@ -281,6 +321,12 @@ class RuntimeServer:
         resolves the future immediately with a typed
         :class:`Overloaded` result instead of buffering without bound.
         ``deadline_s`` overrides the configured per-session deadline.
+
+        ``session_key`` switches the session to *keyed* reproducibility:
+        its RNG derives from ``(config.seed, session_key)`` instead of
+        the master stream in admission order, so a fleet run is
+        shard-count-independent.  ``tick`` overrides the fault-injection
+        tick (default: the per-server admission index).
         """
         if not self.started or self._queue is None:
             raise RuntimeError_("submit() before start()")
@@ -288,18 +334,27 @@ class RuntimeServer:
         future: "asyncio.Future[SessionResult]" = loop.create_future()
         index = self._sessions_submitted
         self._sessions_submitted += 1
+        if session_key is not None:
+            # Keyed stream: identical whichever server gets the session.
+            rng = random.Random(
+                derive_session_seed(self.config.seed, session_key)
+            )
+        else:
+            # One child stream per session, derived in admission order:
+            # reproducible under any worker interleaving.
+            rng = random.Random(self._rng.getrandbits(64))
         session = _Session(
             index=index,
             request=request,
             future=future,
-            # One child stream per session, derived in admission order:
-            # reproducible under any worker interleaving.
-            rng=random.Random(self._rng.getrandbits(64)),
+            rng=rng,
             submitted_at=time.perf_counter(),
             deadline_s=(
                 deadline_s if deadline_s is not None
                 else self.config.deadline_s
             ),
+            key=session_key,
+            tick=tick,
         )
         try:
             self._queue.put_nowait(session)
@@ -312,6 +367,7 @@ class RuntimeServer:
                     f"({self.config.max_queue_depth} waiting)"
                 ),
                 index=index,
+                session_key=session_key,
             )
             self._finish(result)
             future.set_result(result)
@@ -373,6 +429,7 @@ class RuntimeServer:
                 inflight.dec()
                 self._queue.task_done()
             result.index = session.index
+            result.session_key = session.key
             self._finish(result)
             if not session.future.done():
                 session.future.set_result(result)
@@ -605,9 +662,10 @@ class RuntimeServer:
         fault sinks this attempt, a delay fault slows it down."""
         if self.injector is None or negotiation.sla is None:
             return
+        tick = session.tick if session.tick is not None else session.index
         for service_id in negotiation.sla.service_ids:
             fault = self.injector.decide(
-                service_id, tick=session.index, rng=session.rng
+                service_id, tick=tick, rng=session.rng
             )
             if fault is None:
                 continue

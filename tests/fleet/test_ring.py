@@ -1,0 +1,150 @@
+"""Consistent-hash ring properties: determinism, balance, minimal
+disruption (the guarantees `repro.fleet` routing rests on)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fleet import DEFAULT_VNODES, HashRing, RingError, hash_key
+
+KEYS = [f"key-{i}" for i in range(600)]
+
+shard_counts = st.integers(min_value=1, max_value=8)
+seeds = st.integers(min_value=0, max_value=2**32 - 1)
+
+
+def build(n, seed=0, vnodes=DEFAULT_VNODES):
+    return HashRing(
+        [f"shard-{i}" for i in range(n)], vnodes=vnodes, seed=seed
+    )
+
+
+class TestConstruction:
+    def test_rejects_empty_assign(self):
+        with pytest.raises(RingError):
+            HashRing().assign("k")
+
+    def test_rejects_duplicate_shards(self):
+        ring = build(2)
+        with pytest.raises(RingError):
+            ring.add_shard("shard-0")
+
+    def test_rejects_unknown_removal(self):
+        with pytest.raises(RingError):
+            build(2).remove_shard("shard-9")
+
+    def test_rejects_zero_vnodes(self):
+        with pytest.raises(RingError):
+            HashRing(["a"], vnodes=0)
+
+    def test_membership_and_len(self):
+        ring = build(3)
+        assert len(ring) == 3
+        assert "shard-1" in ring
+        assert ring.shards == ["shard-0", "shard-1", "shard-2"]
+
+    def test_version_bumps_on_reshard(self):
+        ring = build(2)
+        version = ring.version
+        ring.add_shard("extra")
+        assert ring.version == version + 1
+        ring.remove_shard("extra")
+        assert ring.version == version + 2
+
+    def test_hash_key_is_stable(self):
+        # Pinned: assignment must not depend on PYTHONHASHSEED or the
+        # Python version (SHA-256, not hash()).
+        assert hash_key("key-0") == hash_key("key-0")
+        assert hash_key("key-0") != hash_key("key-1")
+
+
+class TestDeterminism:
+    @given(n=shard_counts, seed=seeds)
+    @settings(max_examples=25, deadline=None)
+    def test_same_seed_same_assignments(self, n, seed):
+        first, second = build(n, seed), build(n, seed)
+        for key in KEYS[:100]:
+            assert first.assign(key) == second.assign(key)
+
+    def test_insertion_order_does_not_matter(self):
+        forward = HashRing(["a", "b", "c"], seed=3)
+        backward = HashRing(["c", "b", "a"], seed=3)
+        for key in KEYS:
+            assert forward.assign(key) == backward.assign(key)
+
+
+class TestBalance:
+    @given(n=st.integers(min_value=2, max_value=8), seed=seeds)
+    @settings(max_examples=20, deadline=None)
+    def test_every_shard_owns_keys(self, n, seed):
+        counts = build(n, seed).spread(KEYS)
+        assert sum(counts.values()) == len(KEYS)
+        assert all(count > 0 for count in counts.values())
+
+    @given(seed=seeds)
+    @settings(max_examples=20, deadline=None)
+    def test_max_load_is_bounded(self, seed):
+        # With 64 vnodes the worst shard stays within ~2.5× the mean —
+        # loose enough to never flake, tight enough to catch a broken
+        # point distribution (a naive ring without vnodes fails this).
+        counts = build(4, seed).spread(KEYS)
+        mean = len(KEYS) / 4
+        assert max(counts.values()) <= 2.5 * mean
+
+    def test_more_vnodes_tighten_balance(self):
+        coarse = build(4, seed=11, vnodes=4).spread(KEYS)
+        fine = build(4, seed=11, vnodes=256).spread(KEYS)
+
+        def imbalance(counts):
+            mean = sum(counts.values()) / len(counts)
+            return max(abs(c - mean) for c in counts.values())
+
+        assert imbalance(fine) <= imbalance(coarse)
+
+
+class TestMinimalDisruption:
+    @given(n=st.integers(min_value=1, max_value=7), seed=seeds)
+    @settings(max_examples=25, deadline=None)
+    def test_add_shard_moves_only_keys_to_the_newcomer(self, n, seed):
+        ring = build(n, seed)
+        before = {key: ring.assign(key) for key in KEYS}
+        ring.add_shard("newcomer")
+        moved = 0
+        for key in KEYS:
+            after = ring.assign(key)
+            if after != before[key]:
+                # consistent hashing: a moved key can only move TO the
+                # shard that just joined, never between old shards
+                assert after == "newcomer"
+                moved += 1
+        # expected K/(N+1); allow generous slack for hash variance
+        expected = len(KEYS) / (n + 1)
+        assert moved <= 2.5 * expected + 10
+
+    @given(n=st.integers(min_value=2, max_value=8), seed=seeds)
+    @settings(max_examples=25, deadline=None)
+    def test_remove_shard_moves_only_its_keys(self, n, seed):
+        ring = build(n, seed)
+        victim = "shard-0"
+        before = {key: ring.assign(key) for key in KEYS}
+        ring.remove_shard(victim)
+        for key in KEYS:
+            if before[key] != victim:
+                # keys on surviving shards do not move at all
+                assert ring.assign(key) == before[key]
+            else:
+                assert ring.assign(key) != victim
+
+    def test_add_then_remove_restores_assignments(self):
+        ring = build(3, seed=5)
+        before = {key: ring.assign(key) for key in KEYS}
+        ring.add_shard("transient")
+        ring.remove_shard("transient")
+        assert {key: ring.assign(key) for key in KEYS} == before
+
+
+class TestSpread:
+    def test_reports_zero_for_idle_shards(self):
+        ring = build(2, seed=0)
+        counts = ring.spread([])
+        assert counts == {"shard-0": 0, "shard-1": 0}

@@ -5,10 +5,23 @@ certify (by exhaustive nmsccp exploration) that an outcome holds under
 *every* scheduler.  Here we check the property survives the concurrent
 runtime: many sessions served in parallel, each certificate positive,
 and the agreed levels identical to a sequential reference run.
+
+Keyed sessions extend the same idea across *placements*: a session
+submitted with an explicit ``session_key`` draws its RNG from
+``(master seed, key)`` — not from admission order or worker
+interleaving — which is what lets the fleet prove shard-count
+independence on top of this layer.
 """
 
-from repro.runtime import RuntimeConfig, RuntimeServer, SessionStatus
-from repro.soa import Broker
+import asyncio
+
+from repro.runtime import (
+    RuntimeConfig,
+    RuntimeServer,
+    SessionStatus,
+    derive_session_seed,
+)
+from repro.soa import BernoulliCrash, Broker, FaultInjector
 
 
 class TestSchedulerIndependenceUnderLoad:
@@ -41,3 +54,114 @@ class TestSchedulerIndependenceUnderLoad:
         )
         levels = {r.sla.agreed_level for r in results}
         assert levels == {reference.sla.agreed_level}
+
+
+class TestDeriveSessionSeed:
+    def test_deterministic_and_key_sensitive(self):
+        assert derive_session_seed(7, "s0/c0/op") == derive_session_seed(
+            7, "s0/c0/op"
+        )
+        assert derive_session_seed(7, "s0/c0/op") != derive_session_seed(
+            7, "s1/c0/op"
+        )
+        assert derive_session_seed(7, "s0/c0/op") != derive_session_seed(
+            8, "s0/c0/op"
+        )
+
+    def test_none_master_seed_still_derives(self):
+        # An unseeded server can still serve keyed sessions
+        # reproducibly relative to its own (None) master.
+        assert derive_session_seed(None, "k") == derive_session_seed(
+            None, "k"
+        )
+
+
+class TestKeyedSessions:
+    def crashy(self, market):
+        injector = FaultInjector(seed=11)
+        for description in market.find():
+            injector.attach(description.service_id, BernoulliCrash(0.5))
+        return injector
+
+    def run_keyed(self, market, make_request, workers, order):
+        from repro.runtime import RetryPolicy
+
+        server = RuntimeServer(
+            Broker(market),
+            RuntimeConfig(
+                workers=workers,
+                seed=9,
+                retry=RetryPolicy(max_attempts=3, base_backoff_s=0.0),
+                deadline_s=None,
+            ),
+            injector=self.crashy(market),
+        )
+
+        async def drive():
+            async with server:
+                futures = {
+                    key: server.submit(
+                        make_request(client=key),
+                        session_key=f"key-{key}",
+                        tick=tick,
+                    )
+                    for tick, key in enumerate(order)
+                }
+                return {
+                    key: await future
+                    for key, future in futures.items()
+                }
+
+        return {
+            key: (result.status, result.attempts)
+            for key, result in asyncio.run(drive()).items()
+        }
+
+    def test_outcome_depends_on_key_not_placement(
+        self, market, make_request
+    ):
+        order = [f"c{i}" for i in range(12)]
+        narrow = self.run_keyed(market, make_request, 1, order)
+        wide = self.run_keyed(market, make_request, 4, order)
+        assert narrow == wide
+        assert any(
+            attempts > 1 for _, attempts in narrow.values()
+        )  # faults actually fired
+
+    def test_results_carry_their_session_key(self, market, make_request):
+        server = RuntimeServer(
+            Broker(market), RuntimeConfig(seed=1, deadline_s=None)
+        )
+
+        async def drive():
+            async with server:
+                return await server.submit(
+                    make_request(), session_key="the-key"
+                )
+
+        result = asyncio.run(drive())
+        assert result.session_key == "the-key"
+        assert result.status is SessionStatus.COMPLETED
+
+
+class TestDrainingStop:
+    def test_drain_finishes_queued_sessions(self, market, make_request):
+        server = RuntimeServer(
+            Broker(market),
+            RuntimeConfig(workers=2, seed=3, deadline_s=None),
+        )
+
+        async def drive():
+            await server.start()
+            futures = [
+                server.submit(make_request(client=f"c{i}"))
+                for i in range(8)
+            ]
+            await server.stop(drain=True)
+            return futures
+
+        futures = asyncio.run(drive())
+        assert all(f.done() for f in futures)
+        assert all(
+            f.result().status is SessionStatus.COMPLETED for f in futures
+        )

@@ -212,6 +212,7 @@ class TestLRUCache:
             "hits": 3,
             "misses": 1,
             "evictions": 1,
+            "expirations": 0,
         }
 
     def test_get_or_compute_computes_once(self):
@@ -247,8 +248,8 @@ class TestLRUCache:
             cache.get("k")
             hits = session.registry.get("cache_hits_total")
             misses = session.registry.get("cache_misses_total")
-            assert hits.labels("probe").value == 1
-            assert misses.labels("probe").value == 1
+            assert hits.labels("probe", "").value == 1
+            assert misses.labels("probe", "").value == 1
         # outside the session the cache keeps working, counters go nowhere
         cache.get("k")
         assert cache.hits == 2
@@ -261,4 +262,4 @@ class TestLRUCache:
             cache.get("nope")
         for session in (first, second):
             misses = session.registry.get("cache_misses_total")
-            assert misses.labels("probe").value == 1
+            assert misses.labels("probe", "").value == 1

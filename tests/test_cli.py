@@ -387,6 +387,82 @@ class TestLoadgen:
         assert "runtime_sessions_total" in names
 
 
+class TestFleet:
+    def test_synthetic_market_over_shards(self, capsys):
+        exit_code = main(
+            [
+                "fleet",
+                "--shards",
+                "3",
+                "--clients",
+                "6",
+                "--requests",
+                "12",
+                "--mode",
+                "closed",
+                "--seed",
+                "5",
+            ]
+        )
+        out = json.loads(capsys.readouterr().out)
+        assert exit_code == 0
+        assert out["shards"] == 3
+        assert out["fleet"]["offered"] == 12
+        assert out["fleet"]["outcomes"]["completed"] == 12
+        assert sum(
+            row["offered"] for row in out["per_shard"].values()
+        ) == 12
+        assert out["cache"]["l2"] is not None
+
+    def test_no_l2_cache_flag(self, market_file, capsys):
+        exit_code = main(
+            [
+                "fleet",
+                "--market",
+                str(market_file),
+                "--shards",
+                "2",
+                "--clients",
+                "2",
+                "--requests",
+                "4",
+                "--mode",
+                "closed",
+                "--seed",
+                "5",
+                "--no-l2-cache",
+            ]
+        )
+        out = json.loads(capsys.readouterr().out)
+        assert exit_code == 0
+        assert out["cache"]["l2"] is None
+        assert out["fleet"]["outcomes"]["completed"] == 4
+
+    def test_telemetry_snapshot_shows_fleet_metrics(self, capsys):
+        exit_code = main(
+            [
+                "fleet",
+                "--shards",
+                "2",
+                "--clients",
+                "4",
+                "--requests",
+                "8",
+                "--mode",
+                "closed",
+                "--seed",
+                "5",
+                "--telemetry",
+            ]
+        )
+        out = json.loads(capsys.readouterr().out)
+        assert exit_code == 0
+        names = {m["name"] for m in out["telemetry"]["metrics"]}
+        assert "fleet_sessions_total" in names
+        assert "fleet_shards" in names
+        assert "fleet_solve_cache_requests_total" in names
+
+
 class TestValidateSemiring:
     def test_builtin_ok(self, capsys):
         assert main(["validate-semiring", "fuzzy"]) == 0
