@@ -12,7 +12,14 @@ Exposes the library's main flows over JSON files (the wire format of
   client population and report throughput + latency percentiles;
 * ``fleet``                     — serve the same load through a sharded
   multi-broker fleet (consistent-hash routing, two-tier solve cache);
+* ``dlq``                       — inspect or replay a dead-letter file
+  captured by a resilient serving run;
 * ``validate-semiring NAME``    — check the semiring laws on a sample.
+
+The serving commands (``runtime``/``loadgen``/``fleet``) accept the
+resilience flags (``--resilience``, ``--breaker-*``, ``--bulkhead-*``,
+``--health-*``, ``--hedge-*``, ``--dlq``/``--dlq-out``) described in
+``docs/resilience.md``.
 
 Each command reads JSON and prints a JSON result on stdout, so the tools
 compose in shell pipelines.  Exit status 0 = the engine ran and found an
@@ -296,6 +303,75 @@ def _build_injector(
     return injector
 
 
+def _resilience_config(
+    args: argparse.Namespace,
+) -> "Optional[ResilienceConfig]":
+    """Resilience layer from the ``--breaker-*``/``--bulkhead-*``/
+    ``--health-*``/``--hedge-*``/``--dlq*`` flags.
+
+    ``--resilience`` turns every pattern on at its defaults; otherwise
+    each pattern activates when one of its own flags is given.  Returns
+    ``None`` (the exact pre-resilience serving path) when nothing asked
+    for it.
+    """
+    from .resilience import (
+        BreakerConfig,
+        BulkheadConfig,
+        DLQConfig,
+        HealthConfig,
+        HedgeConfig,
+        ResilienceConfig,
+    )
+
+    everything = args.resilience
+    breaker = None
+    if everything or args.breaker_threshold or args.breaker_recovery:
+        breaker = BreakerConfig(
+            failure_threshold=args.breaker_threshold or 3,
+            recovery_s=(
+                args.breaker_recovery
+                if args.breaker_recovery is not None
+                else 0.25
+            ),
+        )
+    bulkhead = None
+    if everything or args.bulkhead_limit:
+        bulkhead = BulkheadConfig(default_limit=args.bulkhead_limit or 16)
+    health = None
+    if everything or args.health_interval or args.health_unhealthy_after:
+        health = HealthConfig(
+            interval_s=args.health_interval or 0.05,
+            unhealthy_after=args.health_unhealthy_after or 2,
+        )
+    hedge = None
+    if everything or args.hedge_delay or args.hedge_percentile:
+        hedge = HedgeConfig(
+            delay_s=(
+                args.hedge_delay if args.hedge_delay is not None else 0.1
+            ),
+            percentile=args.hedge_percentile or 95.0,
+        )
+    dlq = None
+    if everything or args.dlq or args.dlq_out:
+        dlq = DLQConfig()
+    if not any((breaker, bulkhead, health, hedge, dlq)):
+        return None
+    return ResilienceConfig(
+        breaker=breaker,
+        bulkhead=bulkhead,
+        health=health,
+        hedge=hedge,
+        dlq=dlq,
+    )
+
+
+def _write_dlq(args: argparse.Namespace, dlq: Any) -> Optional[str]:
+    """Persist the captured dead letters when ``--dlq-out`` was given."""
+    if dlq is None or not getattr(args, "dlq_out", None):
+        return None
+    return str(dlq.to_jsonl(args.dlq_out))
+
+
 def _runtime_config(args: argparse.Namespace) -> "RuntimeConfig":
     from .runtime import RetryPolicy, RuntimeConfig
 
@@ -338,7 +414,10 @@ def cmd_runtime(args: argparse.Namespace) -> int:
     request = _market_request(market)
     injector = _build_injector(args, registry)
     server = RuntimeServer(
-        _broker(args, registry), _runtime_config(args), injector=injector
+        _broker(args, registry),
+        _runtime_config(args),
+        injector=injector,
+        resilience=_resilience_config(args),
     )
     template = request
     requests = [
@@ -359,14 +438,18 @@ def cmd_runtime(args: argparse.Namespace) -> int:
     served = outcomes.get(SessionStatus.COMPLETED.value, 0) + outcomes.get(
         SessionStatus.DEGRADED.value, 0
     )
-    _emit(
-        {
-            "requests": len(results),
-            "outcomes": outcomes,
-            "retries_total": sum(result.retries for result in results),
-            "sessions": [_session_summary(result) for result in results],
-        }
-    )
+    payload = {
+        "requests": len(results),
+        "outcomes": outcomes,
+        "retries_total": sum(result.retries for result in results),
+        "sessions": [_session_summary(result) for result in results],
+    }
+    if server.resilience.config.any_enabled:
+        payload["resilience"] = server.resilience.snapshot()
+        dlq_path = _write_dlq(args, server.resilience.dlq)
+        if dlq_path is not None:
+            payload["dlq_out"] = dlq_path
+    _emit(payload)
     return 0 if served == len(results) else 1
 
 
@@ -400,7 +483,10 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
 
     injector = _build_injector(args, registry)
     server = RuntimeServer(
-        _broker(args, registry), _runtime_config(args), injector=injector
+        _broker(args, registry),
+        _runtime_config(args),
+        injector=injector,
+        resilience=_resilience_config(args),
     )
     profile = LoadProfile(
         clients=args.clients,
@@ -412,7 +498,13 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
     )
     generator = LoadGenerator(server, profile, factory)
     report = generator.run_sync()
-    _emit(report.to_dict())
+    payload = report.to_dict()
+    if server.resilience.config.any_enabled:
+        payload["resilience"] = server.resilience.snapshot()
+        dlq_path = _write_dlq(args, server.resilience.dlq)
+        if dlq_path is not None:
+            payload["dlq_out"] = dlq_path
+    _emit(payload)
     return 0 if report.completed + report.degraded > 0 else 1
 
 
@@ -462,6 +554,7 @@ def cmd_fleet(args: argparse.Namespace) -> int:
         route_by=args.route_by,
         solver_backend=args.solver_backend,
         store_backend=args.store_backend,
+        resilience=_resilience_config(args),
     )
     # Every shard gets its own injector built from the same flags, so
     # fault behaviour stays keyed to the session, not the shard.
@@ -480,9 +573,53 @@ def cmd_fleet(args: argparse.Namespace) -> int:
     )
     generator = FleetLoadGenerator(frontend, profile, factory)
     report = generator.run_sync()
-    _emit(report.to_dict())
+    payload = report.to_dict()
+    if config.resilience is not None:
+        payload["resilience"] = frontend.resilience_snapshot()
+        dlq_path = _write_dlq(args, frontend.dlq)
+        if dlq_path is not None:
+            payload["dlq_out"] = dlq_path
+    _emit(payload)
     fleet = report.fleet
     return 0 if fleet.completed + fleet.degraded > 0 else 1
+
+
+def cmd_dlq(args: argparse.Namespace) -> int:
+    """Inspect or replay a dead-letter JSONL file.
+
+    ``inspect`` summarizes the envelopes; ``replay`` re-drives every
+    replayable one against the (recovered) market's broker and reports
+    the agreement each session would have signed.
+    """
+    from .resilience import DeadLetterQueue
+
+    queue = DeadLetterQueue.from_jsonl(args.file)
+    if args.action == "inspect":
+        _emit(
+            {
+                "file": args.file,
+                "stats": queue.stats(),
+                "letters": [letter.to_dict() for letter in queue],
+            }
+        )
+        return 0
+    if args.market is None:
+        raise SystemExit("error: replay requires --market")
+    market = _load_market(args.market)
+    registry = _market_registry(market)
+    broker = _broker(args, registry)
+    rows = queue.replay(broker)
+    completed = sum(1 for row in rows if row["outcome"] == "completed")
+    replayable = sum(1 for letter in queue if letter.replayable)
+    _emit(
+        {
+            "file": args.file,
+            "replayed": len(rows),
+            "completed": completed,
+            "results": rows,
+        }
+    )
+    return 0 if rows and completed == replayable else 1
 
 
 def cmd_validate_semiring(args: argparse.Namespace) -> int:
@@ -680,10 +817,84 @@ def build_parser() -> argparse.ArgumentParser:
         help="attach RandomDelay(PROB, MS) to every service",
     )
 
+    resilience = argparse.ArgumentParser(add_help=False)
+    resilience.add_argument(
+        "--resilience",
+        action="store_true",
+        help="enable every resilience pattern at its defaults "
+        "(breakers, bulkheads, health checks, hedging, DLQ)",
+    )
+    resilience.add_argument(
+        "--breaker-threshold",
+        type=int,
+        default=None,
+        metavar="N",
+        help="consecutive failures tripping a provider's circuit "
+        "breaker (enables breakers)",
+    )
+    resilience.add_argument(
+        "--breaker-recovery",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="open-state duration before a half-open probe "
+        "(enables breakers)",
+    )
+    resilience.add_argument(
+        "--bulkhead-limit",
+        type=int,
+        default=None,
+        metavar="N",
+        help="in-flight sessions allowed per service class "
+        "(enables bulkheads)",
+    )
+    resilience.add_argument(
+        "--health-interval",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="heartbeat probe period (enables health-checked "
+        "matchmaking)",
+    )
+    resilience.add_argument(
+        "--health-unhealthy-after",
+        type=int,
+        default=None,
+        metavar="N",
+        help="failed probe sweeps before quarantine (enables health "
+        "checks)",
+    )
+    resilience.add_argument(
+        "--hedge-delay",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="fallback shadow-solve launch delay (enables hedging)",
+    )
+    resilience.add_argument(
+        "--hedge-percentile",
+        type=float,
+        default=None,
+        metavar="P",
+        help="latency percentile setting the adaptive hedge delay "
+        "(enables hedging)",
+    )
+    resilience.add_argument(
+        "--dlq",
+        action="store_true",
+        help="capture terminally failed sessions in a dead-letter queue",
+    )
+    resilience.add_argument(
+        "--dlq-out",
+        default=None,
+        metavar="PATH",
+        help="write captured dead letters as JSON lines (implies --dlq)",
+    )
+
     p_rt = sub.add_parser(
         "runtime",
         help="serve concurrent sessions of a JSON market",
-        parents=[observability, serving, solver_opts, broker_opts],
+        parents=[observability, serving, resilience, solver_opts, broker_opts],
     )
     p_rt.add_argument("market", help="path to a market JSON file")
     p_rt.add_argument(
@@ -738,14 +949,28 @@ def build_parser() -> argparse.ArgumentParser:
     p_lg = sub.add_parser(
         "loadgen",
         help="measure the runtime under synthetic load",
-        parents=[observability, serving, loadshape, solver_opts, broker_opts],
+        parents=[
+            observability,
+            serving,
+            resilience,
+            loadshape,
+            solver_opts,
+            broker_opts,
+        ],
     )
     p_lg.set_defaults(fn=cmd_loadgen)
 
     p_fleet = sub.add_parser(
         "fleet",
         help="measure a sharded broker fleet under synthetic load",
-        parents=[observability, serving, loadshape, solver_opts, broker_opts],
+        parents=[
+            observability,
+            serving,
+            resilience,
+            loadshape,
+            solver_opts,
+            broker_opts,
+        ],
     )
     p_fleet.add_argument(
         "--shards", type=int, default=2, help="broker shard count"
@@ -778,6 +1003,23 @@ def build_parser() -> argparse.ArgumentParser:
         "ownership",
     )
     p_fleet.set_defaults(fn=cmd_fleet)
+
+    p_dlq = sub.add_parser(
+        "dlq",
+        help="inspect or replay a dead-letter JSONL file",
+        parents=[observability, solver_opts, broker_opts],
+    )
+    p_dlq.add_argument(
+        "action", choices=("inspect", "replay"), help="what to do"
+    )
+    p_dlq.add_argument("file", help="path to a dead-letter JSONL file")
+    p_dlq.add_argument(
+        "--market",
+        default=None,
+        metavar="PATH",
+        help="market JSON to replay against (required for replay)",
+    )
+    p_dlq.set_defaults(fn=cmd_dlq)
 
     p_val = sub.add_parser(
         "validate-semiring",

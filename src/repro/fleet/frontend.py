@@ -42,9 +42,13 @@ from __future__ import annotations
 
 import asyncio
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Dict, Iterable, List, Optional
 
+from ..resilience.breaker import BreakerRegistry
+from ..resilience.dlq import DeadLetterQueue
+from ..resilience.health import HealthMonitor
+from ..resilience.policy import ResilienceConfig, build_resilience
 from ..runtime.retry import RetryPolicy
 from ..runtime.server import (
     Overloaded,
@@ -98,6 +102,11 @@ class FleetConfig:
     partition_registry: bool = False
     solver_backend: str = "auto"
     store_backend: Optional[str] = None
+    #: Resilience layer (breakers/bulkheads/health/hedge/DLQ); ``None``
+    #: serves exactly like the pre-resilience fleet.  Breakers, health
+    #: state and the DLQ are fleet-global (a down provider is down for
+    #: every shard); bulkheads and hedge latency tracking are per-shard.
+    resilience: Optional[ResilienceConfig] = None
 
     def __post_init__(self) -> None:
         if self.shards < 1:
@@ -116,6 +125,15 @@ class FleetConfig:
                 "partition_registry requires route_by='operation' "
                 "(session-routed fleets need the full registry on "
                 "every shard)"
+            )
+        if (
+            self.partition_registry
+            and self.resilience is not None
+            and self.resilience.health is not None
+        ):
+            raise FleetError(
+                "health-checked matchmaking requires a shared registry "
+                "(quarantine state cannot span registry partitions)"
             )
 
 
@@ -197,9 +215,44 @@ class FleetFrontend:
             if self.config.partition_registry
             else None
         )
+        # Fleet-global resilience state, shared by every shard policy
+        # (a provider that is down is down for the whole fleet).
+        res = self.config.resilience
+        self.breakers: Optional[BreakerRegistry] = (
+            BreakerRegistry(res.breaker, seed=self.config.seed)
+            if res is not None and res.breaker is not None
+            else None
+        )
+        self.dlq: Optional[DeadLetterQueue] = (
+            DeadLetterQueue(res.dlq)
+            if res is not None and res.dlq is not None
+            else None
+        )
+        self.health: Optional[HealthMonitor] = None
+        self._health_task: Optional["asyncio.Task[None]"] = None
         self.shards: Dict[str, _Shard] = {}
         for shard_id in self.ring.shards:
             self.shards[shard_id] = self._build_shard(shard_id)
+        if res is not None and res.health is not None:
+            # One probe loop for the whole fleet, ticking in the global
+            # ingress sequence so probes and sessions share the fault
+            # coordinate system.  Injected faults are identical across
+            # shards, so any shard's injector stands in for the market.
+            probe_injector = next(
+                (
+                    shard.server.injector
+                    for shard in self.shards.values()
+                    if shard.server.injector is not None
+                ),
+                None,
+            )
+            self.health = HealthMonitor(
+                registry,
+                injector=probe_injector,
+                config=res.health,
+                seed=self.config.seed,
+                tick_source=lambda: self._submitted,
+            )
         self.results: List[SessionResult] = []
         self.results_by_shard: Dict[str, List[SessionResult]] = {
             shard_id: [] for shard_id in self.shards
@@ -235,6 +288,26 @@ class FleetFrontend:
         # must be identical on whichever shard serves the session —
         # that is what makes a run shard-count independent.
         capacity = self.config.dispatch_depth + self.config.workers_per_shard
+        injector = (
+            self._injector_factory(shard_id)
+            if self._injector_factory is not None
+            else None
+        )
+        resilience = None
+        if self.config.resilience is not None:
+            # Per-shard policy over fleet-global breakers and DLQ; the
+            # bulkhead and hedge tracker guard per-shard resources and
+            # stay private.  Health is stripped here: the fleet itself
+            # owns the single monitor and probe loop (``self.health``).
+            resilience = build_resilience(
+                replace(self.config.resilience, health=None),
+                shard_registry,
+                injector=injector,
+                seed=self.config.seed,
+                shared_breakers=self.breakers,
+                shared_dlq=self.dlq,
+                owns_health_loop=False,
+            )
         server = RuntimeServer(
             broker,
             RuntimeConfig(
@@ -247,11 +320,8 @@ class FleetFrontend:
                 seed=self.config.seed,
                 probe_interval_s=0.0,  # one probe per fleet is plenty
             ),
-            injector=(
-                self._injector_factory(shard_id)
-                if self._injector_factory is not None
-                else None
-            ),
+            injector=injector,
+            resilience=resilience,
         )
         return _Shard(
             shard_id=shard_id,
@@ -277,6 +347,10 @@ class FleetFrontend:
         self._dispatcher = asyncio.create_task(
             self._dispatch(), name="fleet-dispatcher"
         )
+        if self.health is not None:
+            self._health_task = asyncio.create_task(
+                self.health.run(), name="fleet-health"
+            )
         get_events().emit(
             "fleet.started",
             shards=len(self.shards),
@@ -315,6 +389,13 @@ class FleetFrontend:
         except asyncio.CancelledError:
             pass
         self._dispatcher = None
+        if self._health_task is not None:
+            self._health_task.cancel()
+            try:
+                await self._health_task
+            except asyncio.CancelledError:
+                pass
+            self._health_task = None
         for shard in self.shards.values():
             await self._stop_shard(shard, drain=drain)
         self._ingress = None
@@ -609,6 +690,38 @@ class FleetFrontend:
             for result in self.results
             if result.session_key is not None
         }
+
+    def resilience_snapshot(self) -> Dict[str, Any]:
+        """Fleet-wide resilience state: the shared breaker/health/DLQ
+        view plus each shard's private bulkhead and hedge counters."""
+        out: Dict[str, Any] = {
+            "enabled": self.config.resilience is not None
+        }
+        if self.breakers is not None:
+            out["breakers"] = self.breakers.states()
+        if self.health is not None:
+            out["health_sweeps"] = self.health.sweeps
+            out["health_transitions"] = [
+                {"sweep": sweep, "provider": provider, "to": to}
+                for sweep, provider, to in self.health.transitions
+            ]
+            out["quarantined"] = sorted(self.registry.quarantined())
+        if self.dlq is not None:
+            out["dlq"] = self.dlq.stats()
+        per_shard: Dict[str, Any] = {}
+        for shard_id, shard in sorted(self.shards.items()):
+            policy = shard.server.resilience
+            private = {
+                key: value
+                for key, value in policy.snapshot().items()
+                # Shared state is reported once, fleet-level.
+                if key.startswith(("bulkhead", "hedge"))
+            }
+            if private:
+                per_shard[shard_id] = private
+        if per_shard:
+            out["per_shard"] = per_shard
+        return out
 
     def cache_stats(self) -> Dict[str, Any]:
         """Tiered-cache counters: per-shard L1s plus the shared L2."""

@@ -56,6 +56,12 @@ from typing import Any, Iterable, List, Optional
 from ..coalitions.engine import solve_engine
 from ..coalitions.exact import CoalitionSolution
 from ..coalitions.trust import CompositionOp, TrustNetwork
+from ..resilience.hedge import hedge_attempt_key
+from ..resilience.policy import (
+    ResilienceConfig,
+    ResiliencePolicy,
+    build_resilience,
+)
 from ..soa.broker import Broker, BrokerError, ClientRequest, NegotiationResult
 from ..soa.faults import FaultInjector
 from ..soa.sla import SLA
@@ -115,6 +121,7 @@ class SessionStatus(Enum):
     FAILED = "failed"  # retries exhausted, nothing to degrade to
     OVERLOADED = "overloaded"  # bounced at admission, queue full
     DEADLINE_EXCEEDED = "deadline-exceeded"
+    BULKHEAD_REJECTED = "bulkhead-rejected"  # class compartment full
 
 
 #: Preseeded so a metrics snapshot always shows the complete family.
@@ -232,6 +239,7 @@ class RuntimeServer:
         broker: Broker,
         config: Optional[RuntimeConfig] = None,
         injector: Optional[FaultInjector] = None,
+        resilience: "Optional[ResilienceConfig | ResiliencePolicy]" = None,
     ) -> None:
         self.broker = broker
         self.config = config or RuntimeConfig()
@@ -242,7 +250,21 @@ class RuntimeServer:
         self._executor: Optional[ThreadPoolExecutor] = None
         self._workers: List["asyncio.Task[None]"] = []
         self._probe: Optional["asyncio.Task[None]"] = None
+        self._health_task: Optional["asyncio.Task[None]"] = None
         self._sessions_submitted = 0
+        # The resilience layer: a prebuilt policy (the fleet shares
+        # breakers/health/DLQ across shards) or a config to build from.
+        if isinstance(resilience, ResiliencePolicy):
+            self.resilience = resilience
+            self.resilience.attach(broker.registry)
+        else:
+            self.resilience = build_resilience(
+                resilience,
+                broker.registry,
+                injector=injector,
+                seed=self.config.seed,
+                tick_source=lambda: self._sessions_submitted,
+            )
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -268,6 +290,13 @@ class RuntimeServer:
             self._probe = asyncio.create_task(
                 self._probe_loop(), name="runtime-loop-probe"
             )
+        if (
+            self.resilience.health is not None
+            and self.resilience.owns_health_loop
+        ):
+            self._health_task = asyncio.create_task(
+                self.resilience.health.run(), name="runtime-health"
+            )
 
     async def stop(self, drain: bool = False) -> None:
         """Cancel workers and release the executor.
@@ -282,9 +311,13 @@ class RuntimeServer:
             await self._queue.join()
         for task in self._workers:
             task.cancel()
-        if self._probe is not None:
-            self._probe.cancel()
-        pending = [*self._workers, *([self._probe] if self._probe else [])]
+        for aux in (self._probe, self._health_task):
+            if aux is not None:
+                aux.cancel()
+        pending = [
+            *self._workers,
+            *(task for task in (self._probe, self._health_task) if task),
+        ]
         for task in pending:
             try:
                 await task
@@ -292,6 +325,7 @@ class RuntimeServer:
                 pass
         self._workers = []
         self._probe = None
+        self._health_task = None
         if self._executor is not None:
             self._executor.shutdown(wait=True)
             self._executor = None
@@ -334,6 +368,22 @@ class RuntimeServer:
         future: "asyncio.Future[SessionResult]" = loop.create_future()
         index = self._sessions_submitted
         self._sessions_submitted += 1
+        bulkhead = self.resilience.bulkhead
+        if bulkhead is not None and not bulkhead.try_acquire(
+            request.operation
+        ):
+            result = SessionResult(
+                request=request,
+                status=SessionStatus.BULKHEAD_REJECTED,
+                detail=(
+                    f"bulkhead compartment for {request.operation!r} full"
+                ),
+                index=index,
+                session_key=session_key,
+            )
+            self._finish(result)
+            future.set_result(result)
+            return future
         if session_key is not None:
             # Keyed stream: identical whichever server gets the session.
             rng = random.Random(
@@ -359,6 +409,8 @@ class RuntimeServer:
         try:
             self._queue.put_nowait(session)
         except asyncio.QueueFull:
+            if bulkhead is not None:
+                bulkhead.release(request.operation)
             result = Overloaded(
                 request=request,
                 status=SessionStatus.OVERLOADED,
@@ -428,9 +480,13 @@ class RuntimeServer:
             finally:
                 inflight.dec()
                 self._queue.task_done()
+                if self.resilience.bulkhead is not None:
+                    self.resilience.bulkhead.release(
+                        session.request.operation
+                    )
             result.index = session.index
             result.session_key = session.key
-            self._finish(result)
+            self._finish(result, tick=session.tick)
             if not session.future.done():
                 session.future.set_result(result)
 
@@ -465,7 +521,7 @@ class RuntimeServer:
             else:
                 try:
                     result = await asyncio.wait_for(
-                        self._attempts(session), timeout=budget
+                        self._attempts_maybe_hedged(session), timeout=budget
                     )
                 except asyncio.TimeoutError:
                     result = SessionResult(
@@ -479,6 +535,8 @@ class RuntimeServer:
                     )
             result.queue_wait_s = queue_wait
             result.latency_s = time.perf_counter() - session.submitted_at
+            if self.resilience.hedge is not None:
+                self.resilience.hedge.observe_latency(result.latency_s)
             span.set_attribute("outcome", result.status.value)
             span.set_attribute("attempts", result.attempts)
         registry.histogram(
@@ -487,6 +545,104 @@ class RuntimeServer:
             buckets=LATENCY_BUCKETS,
         ).observe(result.latency_s)
         return result
+
+    async def _attempts_maybe_hedged(self, session: _Session) -> SessionResult:
+        """Dispatch to the hedged race when the policy applies."""
+        hedge = self.resilience.hedge
+        if hedge is None or not hedge.applies(session.deadline_s):
+            return await self._attempts(session)
+        return await self._hedged(session)
+
+    def _shadow_session(self, session: _Session, attempt: int) -> _Session:
+        """A copy of ``session`` with a keyed, independent RNG stream.
+
+        The shadow must never draw from the primary's stream (fault and
+        backoff decisions would then depend on scheduling), so its seed
+        derives from ``(master seed, session key, attempt)``.  Unkeyed
+        sessions fall back to their admission index, which is just as
+        stable for a single server.
+        """
+        base = session.key if session.key is not None else f"#{session.index}"
+        return _Session(
+            index=session.index,
+            request=session.request,
+            future=session.future,
+            rng=random.Random(
+                derive_session_seed(
+                    self.config.seed, hedge_attempt_key(base, attempt)
+                )
+            ),
+            submitted_at=session.submitted_at,
+            deadline_s=session.deadline_s,
+            key=session.key,
+            tick=session.tick,
+        )
+
+    async def _hedged(self, session: _Session) -> SessionResult:
+        """Race the primary attempt chain against late shadow attempts.
+
+        The primary runs alone until the hedge policy's launch delay (a
+        latency percentile once warmed up) elapses; finishing inside it
+        is the common case and is bit-identical to hedging disabled.
+        Past the delay, shadows launch and the first *usable* result
+        (``result.ok``) wins; with no usable result the primary's answer
+        stands, so failure reporting is unchanged too.
+        """
+        hedge = self.resilience.hedge
+        assert hedge is not None
+        primary = asyncio.ensure_future(self._attempts(session))
+        tasks: List["asyncio.Task[SessionResult]"] = [primary]
+        try:
+            done, _ = await asyncio.wait(
+                {primary}, timeout=hedge.launch_delay()
+            )
+            if primary in done:
+                return primary.result()
+            for attempt in range(1, hedge.config.max_hedges + 1):
+                hedge.record_launched()
+                tasks.append(
+                    asyncio.ensure_future(
+                        self._attempts(self._shadow_session(session, attempt))
+                    )
+                )
+            get_events().emit(
+                "runtime.hedge",
+                client=session.request.client,
+                operation=session.request.operation,
+                session=session.index,
+                shadows=hedge.config.max_hedges,
+            )
+            pending = set(tasks)
+            while pending:
+                done, pending = await asyncio.wait(
+                    pending, return_when=asyncio.FIRST_COMPLETED
+                )
+                # Deterministic preference order: primary, then shadows
+                # by launch order — not set-iteration order.
+                for task in tasks:
+                    if task not in done:
+                        continue
+                    if task.exception() is not None:
+                        continue
+                    result = task.result()
+                    if result.ok:
+                        if task is not primary:
+                            hedge.record_won()
+                        return result
+            # Nothing usable anywhere: the primary's verdict stands.
+            if primary.exception() is not None:
+                raise primary.exception()
+            return primary.result()
+        finally:
+            for task in tasks:
+                if not task.done():
+                    task.cancel()
+            for task in tasks:
+                if not task.done():
+                    try:
+                        await task
+                    except (asyncio.CancelledError, Exception):
+                        pass
 
     async def _attempts(self, session: _Session) -> SessionResult:
         """Drive the five-step lifecycle with retries and degradation."""
@@ -659,11 +815,19 @@ class RuntimeServer:
         self, session: _Session, negotiation: NegotiationResult
     ) -> None:
         """Consult the injector for the chosen provider; a ``fail``
-        fault sinks this attempt, a delay fault slows it down."""
+        fault sinks this attempt, a delay fault slows it down.
+
+        Doubles as the circuit breakers' feedback path: the provider
+        whose service faulted records a failure, and a clean pass
+        records a success for every provider bound by the SLA.
+        """
+        breakers = self.resilience.breakers
         if self.injector is None or negotiation.sla is None:
             return
+        sla = negotiation.sla
+        provider_of = dict(zip(sla.service_ids, sla.providers))
         tick = session.tick if session.tick is not None else session.index
-        for service_id in negotiation.sla.service_ids:
+        for service_id in sla.service_ids:
             fault = self.injector.decide(
                 service_id, tick=tick, rng=session.rng
             )
@@ -672,9 +836,16 @@ class RuntimeServer:
             if fault.extra_latency_ms:
                 await asyncio.sleep(fault.extra_latency_ms / 1000.0)
             if fault.fail:
+                if breakers is not None:
+                    breakers.record_failure(
+                        provider_of.get(service_id, service_id)
+                    )
                 raise TransientFault(
                     f"injected {fault.kind} on {service_id!r}"
                 )
+        if breakers is not None:
+            for provider in sla.providers:
+                breakers.record_success(provider)
 
     def _degrade(
         self, session: _Session, attempts: int, last_error: str
@@ -723,8 +894,13 @@ class RuntimeServer:
     # Accounting
     # ------------------------------------------------------------------
 
-    def _finish(self, result: SessionResult) -> None:
+    def _finish(
+        self, result: SessionResult, tick: Optional[int] = None
+    ) -> None:
         self.results.append(result)
+        dlq = self.resilience.dlq
+        if dlq is not None:
+            dlq.capture(result, master_seed=self.config.seed, tick=tick)
         registry = get_registry()
         registry.counter(
             "runtime_sessions_total",
@@ -738,6 +914,12 @@ class RuntimeServer:
             ).inc()
             get_events().emit(
                 "runtime.overloaded",
+                client=result.request.client,
+                operation=result.request.operation,
+            )
+        elif result.status is SessionStatus.BULKHEAD_REJECTED:
+            get_events().emit(
+                "runtime.bulkhead-rejected",
                 client=result.request.client,
                 operation=result.request.operation,
             )

@@ -38,6 +38,7 @@ class SLAMonitor:
         on_violation: Optional[Callable[[SLAViolation], None]] = None,
         threshold: Optional[float] = None,
         registry: Optional[Any] = None,
+        breakers: Optional[Any] = None,
     ) -> None:
         if window <= 0:
             raise ValueError("window must be positive")
@@ -45,6 +46,11 @@ class SLAMonitor:
         self.window = window
         self.min_samples = min(min_samples, window)
         self.on_violation = on_violation
+        #: A :class:`~repro.resilience.breaker.BreakerRegistry` (or any
+        #: object with ``record_violation``): every violation counts
+        #: against the SLA's providers, so sustained quality breaches
+        #: trip their breakers even when no hard fault ever fires.
+        self.breakers = breakers
         #: Metrics sink.  ``None`` defers to the process-wide session at
         #: observation time, so a monitor built before telemetry was
         #: enabled still reports.
@@ -118,6 +124,9 @@ class SLAMonitor:
                 observed=observed_level,
                 tick=report.tick,
             )
+        if self.breakers is not None:
+            for provider in self.sla.providers:
+                self.breakers.record_violation(provider)
         if self.on_violation is not None:
             self.on_violation(violation)
         return violation

@@ -1,0 +1,94 @@
+"""Shared resilience fixtures: the runtime's tiny market plus helpers
+for driving servers with injected faults and inspecting agreements."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.constraints import (
+    Polynomial,
+    integer_variable,
+    polynomial_constraint,
+)
+from repro.semirings import WeightedSemiring
+from repro.soa import (
+    Broker,
+    ClientRequest,
+    QoSDocument,
+    QoSPolicy,
+    ServiceDescription,
+    ServiceInterface,
+    ServiceRegistry,
+)
+
+
+def publish_cost_provider(registry, provider, base, slope=1.0):
+    registry.publish(
+        ServiceDescription(
+            service_id=f"filter-{provider}",
+            name="filter",
+            provider=provider,
+            interface=ServiceInterface(operation="filter"),
+            qos=QoSDocument(
+                service_name="filter",
+                provider=provider,
+                policies=[
+                    QoSPolicy(
+                        attribute="cost",
+                        variables={"x": range(0, 11)},
+                        polynomial=Polynomial.linear({"x": slope}, base),
+                    )
+                ],
+            ),
+        )
+    )
+
+
+@pytest.fixture
+def market():
+    registry = ServiceRegistry()
+    publish_cost_provider(registry, "P1", base=5.0)
+    publish_cost_provider(registry, "P2", base=3.0)
+    publish_cost_provider(registry, "P3", base=8.0)
+    return registry
+
+
+@pytest.fixture
+def broker(market):
+    return Broker(market)
+
+
+@pytest.fixture
+def make_request():
+    weighted = WeightedSemiring()
+    x = integer_variable("x", 10)
+    requirement = polynomial_constraint(
+        weighted, [x], Polynomial.linear({"x": 2})
+    )
+
+    def factory(client="C"):
+        return ClientRequest(
+            client=client,
+            operation="filter",
+            attribute="cost",
+            requirements=[requirement],
+        )
+
+    return factory
+
+
+def agreement_fingerprint(result):
+    """The reproducibility-relevant view of one session result.
+
+    SLA ids come from a process-global counter, so they are excluded;
+    what must match across equivalent runs is the level, the binding
+    and the resources.
+    """
+    if result.sla is None:
+        return (result.status.value, None)
+    return (
+        result.status.value,
+        str(result.sla.agreed_level),
+        tuple(result.sla.service_ids),
+        tuple(sorted(result.sla.resource_assignment.items())),
+    )

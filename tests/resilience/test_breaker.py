@@ -1,0 +1,182 @@
+"""Circuit breakers: the FSM, deterministic scheduling, the gate."""
+
+import random
+
+import pytest
+
+from repro.resilience import (
+    BreakerConfig,
+    BreakerError,
+    BreakerRegistry,
+    BreakerState,
+    CircuitBreaker,
+)
+from repro.soa import ServiceRegistry
+
+from .conftest import publish_cost_provider
+
+
+class FakeClock:
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, dt):
+        self.now += dt
+
+
+def make_breaker(**overrides):
+    clock = FakeClock()
+    defaults = dict(
+        failure_threshold=2, recovery_s=1.0, probe_jitter=0.0
+    )
+    defaults.update(overrides)
+    breaker = CircuitBreaker(
+        "P", BreakerConfig(**defaults), clock, random.Random(0)
+    )
+    return breaker, clock
+
+
+class TestConfig:
+    def test_rejects_bad_values(self):
+        with pytest.raises(BreakerError):
+            BreakerConfig(failure_threshold=0)
+        with pytest.raises(BreakerError):
+            BreakerConfig(recovery_s=-1.0)
+        with pytest.raises(BreakerError):
+            BreakerConfig(probe_jitter=1.5)
+        with pytest.raises(BreakerError):
+            BreakerConfig(half_open_probes=0)
+
+
+class TestStateMachine:
+    def test_trips_after_consecutive_failures(self):
+        breaker, _ = make_breaker()
+        breaker.record_failure()
+        assert breaker.state is BreakerState.CLOSED
+        breaker.record_failure()
+        assert breaker.state is BreakerState.OPEN
+        assert not breaker.allows()
+
+    def test_success_resets_the_failure_streak(self):
+        breaker, _ = make_breaker()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state is BreakerState.CLOSED
+
+    def test_half_open_after_recovery_then_close_on_probe_success(self):
+        breaker, clock = make_breaker()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert not breaker.allows()
+        clock.advance(1.0)
+        assert breaker.allows()  # the half-open probe slot
+        assert breaker.state is BreakerState.HALF_OPEN
+        breaker.record_success()
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.allows()
+
+    def test_half_open_hands_out_bounded_probe_slots(self):
+        breaker, clock = make_breaker(half_open_probes=2)
+        breaker.record_failure()
+        breaker.record_failure()
+        clock.advance(1.0)
+        assert breaker.allows()
+        assert breaker.allows()
+        assert not breaker.allows()  # both slots outstanding
+
+    def test_failed_probe_reopens_with_a_fresh_deadline(self):
+        breaker, clock = make_breaker()
+        breaker.record_failure()
+        breaker.record_failure()
+        clock.advance(1.0)
+        assert breaker.allows()
+        breaker.record_failure()
+        assert breaker.state is BreakerState.OPEN
+        assert not breaker.allows()
+        clock.advance(1.0)
+        assert breaker.allows()  # probing again after the new deadline
+
+    def test_transition_journal_records_the_path(self):
+        breaker, clock = make_breaker()
+        breaker.record_failure()
+        breaker.record_failure()
+        clock.advance(1.0)
+        breaker.allows()
+        breaker.record_success()
+        assert [(a, b) for _, a, b in breaker.transitions] == [
+            ("closed", "open"),
+            ("open", "half-open"),
+            ("half-open", "closed"),
+        ]
+
+    def test_jittered_recovery_is_seed_deterministic(self):
+        def deadlines(seed):
+            clock = FakeClock()
+            breaker = CircuitBreaker(
+                "P",
+                BreakerConfig(
+                    failure_threshold=1, recovery_s=1.0, probe_jitter=0.5
+                ),
+                clock,
+                random.Random(seed),
+            )
+            out = []
+            for _ in range(3):
+                breaker.record_failure()
+                out.append(breaker._reopen_at - clock.now)
+                clock.advance(2.0)
+                breaker.allows()
+            return out
+
+        assert deadlines(7) == deadlines(7)
+        assert deadlines(7) != deadlines(8)
+        assert all(0.5 <= d <= 1.5 for d in deadlines(7))
+
+
+class TestRegistryGate:
+    def test_open_breaker_hides_provider_from_find(self, market):
+        clock = FakeClock()
+        breakers = BreakerRegistry(
+            BreakerConfig(
+                failure_threshold=1, recovery_s=1.0, probe_jitter=0.0
+            ),
+            clock=clock,
+            seed=0,
+        )
+        market.add_gate(breakers.admit)
+        assert len(market.find(operation="filter")) == 3
+        breakers.record_failure("P2")
+        found = {d.provider for d in market.find(operation="filter")}
+        assert found == {"P1", "P3"}
+        # Recovery: the half-open probe slot readmits exactly P2.
+        clock.advance(1.0)
+        found = {d.provider for d in market.find(operation="filter")}
+        assert found == {"P1", "P2", "P3"}
+        breakers.record_success("P2")
+        assert breakers.state("P2") is BreakerState.CLOSED
+
+    def test_gate_dedupes_across_shared_policies(self, market):
+        breakers = BreakerRegistry(BreakerConfig(half_open_probes=1))
+        market.add_gate(breakers.admit)
+        market.add_gate(breakers.admit)  # second shard, same registry
+        assert len(market._gates) == 1
+
+    def test_violation_counts_like_a_failure(self):
+        breakers = BreakerRegistry(BreakerConfig(failure_threshold=2))
+        breakers.record_violation("P")
+        breakers.record_violation("P")
+        assert breakers.state("P") is BreakerState.OPEN
+        assert breakers.open_providers() == ["P"]
+
+    def test_include_unavailable_bypasses_the_gate(self):
+        registry = ServiceRegistry()
+        publish_cost_provider(registry, "P1", base=5.0)
+        breakers = BreakerRegistry(BreakerConfig(failure_threshold=1))
+        registry.add_gate(breakers.admit)
+        breakers.record_failure("P1")
+        assert registry.find(operation="filter") == []
+        assert len(registry.find(include_unavailable=True)) == 1

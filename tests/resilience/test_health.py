@@ -1,0 +1,111 @@
+"""Health-checked matchmaking: probes, quarantine, recovery."""
+
+import pytest
+
+from repro.resilience import HealthConfig, HealthError, HealthMonitor
+from repro.soa import BurstOutage, FaultInjector
+from repro.soa.registry import ServiceRegistry
+
+from .conftest import publish_cost_provider
+
+
+def outage_injector(service_id, start, length):
+    injector = FaultInjector(seed=0)
+    injector.attach(service_id, BurstOutage(start=start, length=length))
+    return injector
+
+
+class TestConfig:
+    def test_rejects_bad_values(self):
+        with pytest.raises(HealthError):
+            HealthConfig(interval_s=0)
+        with pytest.raises(HealthError):
+            HealthConfig(unhealthy_after=0)
+        with pytest.raises(HealthError):
+            HealthConfig(lease_s=-1.0)
+
+
+class TestProbing:
+    def test_outage_quarantines_then_recovery_reinstates(self, market):
+        injector = outage_injector("filter-P2", start=0, length=3)
+        monitor = HealthMonitor(
+            market,
+            injector=injector,
+            config=HealthConfig(unhealthy_after=2, healthy_after=2),
+            seed=7,
+        )
+        # Sweeps 0 and 1 fall inside the outage window.
+        monitor.probe_all(tick=0)
+        assert not market.is_quarantined("P2")  # one bad sweep is noise
+        monitor.probe_all(tick=1)
+        assert market.is_quarantined("P2")
+        found = {d.provider for d in market.find(operation="filter")}
+        assert found == {"P1", "P3"}
+        # The window ends; two clean sweeps reinstate the provider.
+        monitor.probe_all(tick=3)
+        assert market.is_quarantined("P2")
+        monitor.probe_all(tick=4)
+        assert not market.is_quarantined("P2")
+        assert [(p, to) for _, p, to in monitor.transitions] == [
+            ("P2", "unhealthy"),
+            ("P2", "healthy"),
+        ]
+
+    def test_quarantined_providers_keep_being_probed(self, market):
+        injector = outage_injector("filter-P1", start=0, length=100)
+        monitor = HealthMonitor(
+            market,
+            injector=injector,
+            config=HealthConfig(unhealthy_after=1, healthy_after=1),
+            seed=0,
+        )
+        monitor.probe_all(tick=0)
+        assert market.is_quarantined("P1")
+        # find() no longer returns P1, yet the monitor still sees it
+        # (include_unavailable) — that is how it earns its way back.
+        monitor.probe_all(tick=200)
+        assert not market.is_quarantined("P1")
+
+    def test_probes_never_pollute_injection_history(self, market):
+        injector = outage_injector("filter-P2", start=0, length=10)
+        monitor = HealthMonitor(
+            market, injector=injector, config=HealthConfig(), seed=1
+        )
+        for tick in range(5):
+            monitor.probe_all(tick=tick)
+        assert injector.injected == []
+
+    def test_probe_failures_are_seed_deterministic(self, market):
+        from repro.soa import BernoulliCrash
+
+        def verdicts(seed):
+            injector = FaultInjector(seed=0)
+            injector.attach("filter-P1", BernoulliCrash(0.5))
+            monitor = HealthMonitor(
+                market, injector=injector, config=HealthConfig(), seed=seed
+            )
+            return [
+                monitor.probe_all(tick=t)["P1"] for t in range(16)
+            ]
+
+        assert verdicts(3) == verdicts(3)
+        assert verdicts(3) != verdicts(4)  # keyed by the master seed
+
+    def test_clean_probes_renew_leases(self):
+        clock_now = [0.0]
+        registry = ServiceRegistry(clock=lambda: clock_now[0])
+        publish_cost_provider(registry, "P1", base=5.0)
+        registry.renew_lease("filter-P1", 1.0)
+        monitor = HealthMonitor(
+            registry, config=HealthConfig(lease_s=5.0), seed=0
+        )
+        monitor.probe_all(tick=0)
+        clock_now[0] = 2.0  # past the original lease, inside the renewal
+        assert len(registry.find(operation="filter")) == 1
+
+    def test_monitor_without_injector_sees_everything_healthy(self, market):
+        monitor = HealthMonitor(market, config=HealthConfig(), seed=0)
+        verdicts = monitor.probe_all()
+        assert verdicts == {"P1": True, "P2": True, "P3": True}
+        assert monitor.sweeps == 1
+        assert monitor.is_healthy("P2")

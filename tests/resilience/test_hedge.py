@@ -1,0 +1,196 @@
+"""Hedged solves: tracker, policy, and the bit-identity regression."""
+
+import asyncio
+import random
+
+import pytest
+
+from repro.resilience import (
+    HedgeConfig,
+    HedgeError,
+    HedgePolicy,
+    LatencyTracker,
+    ResilienceConfig,
+    hedge_attempt_key,
+)
+from repro.runtime import RuntimeConfig, RuntimeServer
+from repro.runtime.server import derive_session_seed
+from repro.soa import Broker, FaultInjector, RandomDelay, ServiceRegistry
+from repro.soa.faults import BernoulliCrash
+
+from .conftest import agreement_fingerprint, publish_cost_provider
+
+#: A hedge that qualifies every deadline session but whose launch delay
+#: is far beyond any solve time — applies() is True, shadows never run.
+IDLE_HEDGE = HedgeConfig(delay_s=30.0, min_samples=10**6)
+
+
+def make_broker():
+    registry = ServiceRegistry()
+    publish_cost_provider(registry, "P1", base=5.0)
+    publish_cost_provider(registry, "P2", base=3.0)
+    publish_cost_provider(registry, "P3", base=8.0)
+    return Broker(registry)
+
+
+class TestLatencyTracker:
+    def test_empty_tracker_has_no_quantile(self):
+        assert LatencyTracker().quantile(95.0) is None
+
+    def test_nearest_rank_quantiles(self):
+        tracker = LatencyTracker()
+        for value in (0.1, 0.2, 0.3, 0.4):
+            tracker.observe(value)
+        assert tracker.quantile(50.0) == 0.2
+        assert tracker.quantile(100.0) == 0.4
+        assert tracker.quantile(1.0) == 0.1
+
+    def test_window_overwrites_oldest(self):
+        tracker = LatencyTracker(window=2)
+        tracker.observe(1.0)
+        tracker.observe(2.0)
+        tracker.observe(9.0)  # evicts the 1.0 sample
+        assert len(tracker) == 2
+        assert tracker.quantile(100.0) == 9.0
+        assert tracker.quantile(1.0) == 2.0
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(HedgeError):
+            LatencyTracker(window=0)
+
+
+class TestPolicy:
+    def test_rejects_bad_config(self):
+        with pytest.raises(HedgeError):
+            HedgeConfig(delay_s=-1.0)
+        with pytest.raises(HedgeError):
+            HedgeConfig(percentile=0.0)
+        with pytest.raises(HedgeError):
+            HedgeConfig(min_samples=0)
+        with pytest.raises(HedgeError):
+            HedgeConfig(max_hedges=0)
+
+    def test_deadline_only_gating(self):
+        policy = HedgePolicy(HedgeConfig(deadline_only=True))
+        assert not policy.applies(None)
+        assert policy.applies(1.0)
+        hedge_all = HedgePolicy(HedgeConfig(deadline_only=False))
+        assert hedge_all.applies(None)
+
+    def test_launch_delay_warms_up_to_the_percentile(self):
+        policy = HedgePolicy(
+            HedgeConfig(delay_s=0.5, percentile=100.0, min_samples=3)
+        )
+        assert policy.launch_delay() == 0.5  # still warming up
+        for latency in (0.9, 1.1, 1.3):
+            policy.observe_latency(latency)
+        assert policy.launch_delay() == 1.3
+        # The fixed delay is a floor, never undercut by a fast window.
+        floor = HedgePolicy(
+            HedgeConfig(delay_s=0.5, percentile=100.0, min_samples=1)
+        )
+        floor.observe_latency(0.01)
+        assert floor.launch_delay() == 0.5
+
+    def test_attempt_keys_never_collide_with_session_keys(self):
+        assert hedge_attempt_key("s-1", 1) == "s-1|hedge|1"
+        assert hedge_attempt_key("s-1", 1) != hedge_attempt_key("s-1", 2)
+        assert hedge_attempt_key("s-1", 1) != hedge_attempt_key("s-2", 1)
+
+
+def run_keyed(server, requests):
+    """Drive keyed sessions (k0, k1, …) and fingerprint each result."""
+
+    async def drive():
+        async with server:
+            futures = [
+                server.submit(request, session_key=f"k{i}")
+                for i, request in enumerate(requests)
+            ]
+            return await asyncio.gather(*futures)
+
+    results = asyncio.run(drive())
+    return {r.session_key: agreement_fingerprint(r) for r in results}
+
+
+class TestBitIdentity:
+    def test_idle_hedging_is_bit_identical_to_disabled(self, make_request):
+        """ISSUE satellite 1: hedging on, no hedge winning ⇒ the exact
+        agreements of hedging off.  Faults and retries are active, so
+        every session consumes RNG — any stray draw would show up."""
+
+        def noisy_injector():
+            injector = FaultInjector(seed=0)
+            for provider in ("P1", "P2", "P3"):
+                injector.attach(f"filter-{provider}", BernoulliCrash(0.3))
+                injector.attach(
+                    f"filter-{provider}", RandomDelay(0.5, 2.0)
+                )
+            return injector
+
+        requests = [make_request(f"C{i}") for i in range(12)]
+        config = RuntimeConfig(
+            workers=3, seed=42, deadline_s=10.0, probe_interval_s=0.0
+        )
+        baseline = run_keyed(
+            RuntimeServer(make_broker(), config, injector=noisy_injector()),
+            requests,
+        )
+        hedged = run_keyed(
+            RuntimeServer(
+                make_broker(),
+                config,
+                injector=noisy_injector(),
+                resilience=ResilienceConfig(hedge=IDLE_HEDGE),
+            ),
+            requests,
+        )
+        assert hedged == baseline
+
+
+class TestHedgeRace:
+    def test_shadow_wins_past_a_slow_primary(self, make_request):
+        """Pin the master seed so the primary's keyed stream draws an
+        injected delay and the shadow's keyed stream does not — the
+        shadow must finish first and be recorded as the winner."""
+        session_key = "slow-one"
+        seed = next(
+            s
+            for s in range(1000)
+            if random.Random(
+                derive_session_seed(s, session_key)
+            ).random()
+            < 0.5
+            < random.Random(
+                derive_session_seed(s, hedge_attempt_key(session_key, 1))
+            ).random()
+        )
+        injector = FaultInjector(seed=0)
+        # Every provider stalls or not on its first session-stream draw.
+        for provider in ("P1", "P2", "P3"):
+            injector.attach(
+                f"filter-{provider}", RandomDelay(0.5, 1500.0)
+            )
+        server = RuntimeServer(
+            make_broker(),
+            RuntimeConfig(
+                workers=2, seed=seed, deadline_s=10.0, probe_interval_s=0.0
+            ),
+            injector=injector,
+            resilience=ResilienceConfig(
+                hedge=HedgeConfig(delay_s=0.05, min_samples=10**6)
+            ),
+        )
+
+        async def drive():
+            async with server:
+                return await server.submit(
+                    make_request("C"), session_key=session_key
+                )
+
+        result = asyncio.run(drive())
+        assert result.status.value == "completed"
+        hedge = server.resilience.hedge
+        assert hedge.launched == 1
+        assert hedge.won == 1
+        assert result.latency_s < 1.5  # did not sit out the full delay

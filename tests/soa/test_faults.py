@@ -1,0 +1,101 @@
+"""Fault-model edge cases: windows, delays, and RNG adoption."""
+
+import random
+
+import pytest
+
+from repro.soa import (
+    BernoulliCrash,
+    BurstOutage,
+    FaultInjector,
+    RandomDelay,
+)
+
+
+class TestBurstOutage:
+    def test_zero_length_burst_rejected(self):
+        with pytest.raises(ValueError, match="length"):
+            BurstOutage(start=5, length=0)
+        with pytest.raises(ValueError):
+            BurstOutage(start=-1, length=3)
+
+    def test_window_boundaries_are_half_open(self):
+        outage = BurstOutage(start=2, length=3)
+        rng = random.Random(0)
+        assert outage.apply(1, rng) is None
+        assert outage.apply(2, rng).fail  # first down tick
+        assert outage.apply(4, rng).fail  # last down tick
+        assert outage.apply(5, rng) is None  # start + length is up again
+
+    def test_overlapping_windows_fail_through_either(self):
+        injector = FaultInjector(seed=0)
+        injector.attach("svc", BurstOutage(start=0, length=4))
+        injector.attach("svc", BurstOutage(start=2, length=4))
+        down_ticks = [
+            tick
+            for tick in range(8)
+            if injector.decide("svc", tick) is not None
+        ]
+        # The union of [0, 4) and [2, 6): one failure per tick, never
+        # two — decide() stops at the first applicable model.
+        assert down_ticks == [0, 1, 2, 3, 4, 5]
+        assert len(injector.history_for("svc")) == 6
+
+
+class TestRandomDelay:
+    def test_probability_bounds_enforced(self):
+        with pytest.raises(ValueError):
+            RandomDelay(probability=1.5, extra_ms=10.0)
+        with pytest.raises(ValueError):
+            BernoulliCrash(probability=-0.1)
+
+    def test_zero_probability_never_delays(self):
+        delay = RandomDelay(probability=0.0, extra_ms=10.0)
+        rng = random.Random(0)
+        assert all(delay.apply(t, rng) is None for t in range(64))
+
+    def test_certain_delay_slows_but_never_fails(self):
+        delay = RandomDelay(probability=1.0, extra_ms=25.0)
+        fault = delay.apply(0, random.Random(0))
+        assert fault.extra_latency_ms == 25.0
+        assert not fault.fail
+
+
+class TestRngAdoption:
+    def test_unseeded_injector_adopts_the_caller_stream(self):
+        injector = FaultInjector()
+        shared = random.Random(123)
+        assert injector.adopt_rng_if_unseeded(shared)
+        injector.attach("svc", BernoulliCrash(0.5))
+        injector.decide("svc", 0)
+        # The decision consumed a draw from the *shared* stream.
+        assert shared.random() != random.Random(123).random()
+
+    def test_seeded_injector_refuses_adoption(self):
+        injector = FaultInjector(seed=9)
+        assert not injector.adopt_rng_if_unseeded(random.Random(0))
+
+    def test_adoption_is_one_shot(self):
+        injector = FaultInjector()
+        assert injector.adopt_rng_if_unseeded(random.Random(1))
+        # A second caller must not silently re-seat the stream.
+        assert not injector.adopt_rng_if_unseeded(random.Random(2))
+
+    def test_adopted_copies_decide_identically(self):
+        """Two injector copies adopting equal streams make identical
+        fault decisions — the determinism contract behind sharing one
+        master seed between engine and injector."""
+
+        def decisions():
+            injector = FaultInjector()
+            injector.adopt_rng_if_unseeded(random.Random(42))
+            injector.attach("svc", BernoulliCrash(0.4))
+            injector.attach("svc", RandomDelay(0.4, 5.0))
+            return [
+                (fault.kind if fault is not None else None)
+                for fault in (
+                    injector.decide("svc", tick) for tick in range(32)
+                )
+            ]
+
+        assert decisions() == decisions()

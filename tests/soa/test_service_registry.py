@@ -187,3 +187,139 @@ class TestRegistry:
         registry.publish(make_description("a", operation="x"))
         found = registry.find(operation="x")
         assert [d.service_id for d in found] == ["a", "z"]
+
+
+class ManualClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+class TestLeases:
+    def test_expired_lease_frees_the_id_for_re_registration(self):
+        clock = ManualClock()
+        registry = ServiceRegistry(clock=clock)
+        registry.publish(make_description(provider="Old"), lease_s=5.0)
+        clock.now = 6.0
+        # Same id, new incarnation: the stale publication aged out.
+        registry.publish(make_description(provider="New"))
+        assert registry.get("svc-1").provider == "New"
+
+    def test_lookup_after_expiry_raises(self):
+        clock = ManualClock()
+        registry = ServiceRegistry(clock=clock)
+        registry.publish(make_description(), lease_s=1.0)
+        assert "svc-1" in registry
+        clock.now = 1.0  # expiry is inclusive: deadline <= now
+        with pytest.raises(RegistryError, match="not published"):
+            registry.get("svc-1")
+        assert registry.find(operation="compress") == []
+        assert len(registry) == 0
+
+    def test_renewal_outlives_the_original_deadline(self):
+        clock = ManualClock()
+        registry = ServiceRegistry(clock=clock)
+        registry.publish(make_description(), lease_s=2.0)
+        clock.now = 1.5
+        registry.renew_lease("svc-1", 2.0)
+        clock.now = 3.0  # past the original deadline, inside the renewal
+        assert registry.get("svc-1") is not None
+        assert registry.lease_remaining("svc-1") == 0.5
+
+    def test_renewing_an_unleased_publication_attaches_a_lease(self):
+        clock = ManualClock()
+        registry = ServiceRegistry(clock=clock)
+        registry.publish(make_description())
+        assert registry.lease_remaining("svc-1") is None
+        registry.renew_lease("svc-1", 1.0)
+        clock.now = 2.0
+        assert "svc-1" not in registry
+
+    def test_explicit_sweep_reports_the_expired_ids(self):
+        clock = ManualClock()
+        registry = ServiceRegistry(clock=clock)
+        registry.publish(make_description("a", operation="x"), lease_s=1.0)
+        registry.publish(make_description("b", operation="x"), lease_s=9.0)
+        clock.now = 2.0
+        assert registry.expire_leases() == ["a"]
+        assert [d.service_id for d in registry.find(operation="x")] == ["b"]
+
+    def test_bad_lease_values_rejected(self):
+        registry = ServiceRegistry()
+        with pytest.raises(RegistryError):
+            registry.publish(make_description(), lease_s=0.0)
+        registry.publish(make_description())
+        with pytest.raises(RegistryError):
+            registry.renew_lease("svc-1", -1.0)
+        with pytest.raises(RegistryError, match="not published"):
+            registry.renew_lease("ghost", 1.0)
+
+
+class TestQuarantine:
+    def test_quarantine_hides_every_publication_of_the_provider(self):
+        registry = ServiceRegistry()
+        registry.publish(make_description("a", provider="ACME"))
+        registry.publish(
+            make_description("b", operation="archive", provider="ACME")
+        )
+        registry.publish(make_description("c", provider="Globex"))
+        registry.quarantine("ACME")
+        assert [d.service_id for d in registry.find()] == ["c"]
+        # Existing bindings still resolve; discovery alone is gated.
+        assert registry.get("a").provider == "ACME"
+        assert len(registry) == 3
+
+    def test_reinstate_restores_discovery(self):
+        registry = ServiceRegistry()
+        registry.publish(make_description())
+        registry.quarantine("ACME")
+        registry.reinstate("ACME")
+        assert [d.service_id for d in registry.find()] == ["svc-1"]
+        assert registry.quarantined() == frozenset()
+
+    def test_concurrent_health_flaps_are_idempotent(self):
+        # Two health monitors (or a monitor racing a manual operator)
+        # flapping the same provider must behave like set operations,
+        # not counters: one reinstate undoes any number of quarantines.
+        registry = ServiceRegistry()
+        registry.publish(make_description())
+        for _ in range(3):
+            registry.quarantine("ACME")
+        registry.reinstate("ACME")
+        assert not registry.is_quarantined("ACME")
+        assert [d.service_id for d in registry.find()] == ["svc-1"]
+        registry.reinstate("ACME")  # reinstating a healthy provider: no-op
+        assert not registry.is_quarantined("ACME")
+
+    def test_include_unavailable_sees_quarantined_services(self):
+        registry = ServiceRegistry()
+        registry.publish(make_description())
+        registry.quarantine("ACME")
+        assert registry.find() == []
+        found = registry.find(include_unavailable=True)
+        assert [d.service_id for d in found] == ["svc-1"]
+
+
+class TestGates:
+    def test_any_refusing_gate_hides_the_description(self):
+        registry = ServiceRegistry()
+        registry.publish(make_description("a"))
+        registry.publish(make_description("b", operation="archive"))
+        registry.add_gate(lambda d: d.service_id != "a")
+        assert [d.service_id for d in registry.find()] == ["b"]
+
+    def test_gates_deduplicate_and_detach(self):
+        registry = ServiceRegistry()
+        registry.publish(make_description())
+
+        def gate(description):
+            return False
+
+        registry.add_gate(gate)
+        registry.add_gate(gate)
+        assert registry.find() == []
+        registry.remove_gate(gate)
+        assert [d.service_id for d in registry.find()] == ["svc-1"]
+        registry.remove_gate(gate)  # removing twice is a no-op
