@@ -245,11 +245,23 @@ def cmd_negotiate(args: argparse.Namespace) -> int:
     return 0 if result.success else 1
 
 
+def _batch_config(args: argparse.Namespace) -> Optional["BatchConfig"]:
+    """A :class:`BatchConfig` from the ``--solver-batching`` flag family,
+    ``None`` when batching is off (or the command has no such flags)."""
+    if not getattr(args, "solver_batching", False):
+        return None
+    from .runtime.batching import BatchConfig
+
+    return BatchConfig(
+        window_ms=args.batch_window_ms, max_batch=args.batch_max
+    )
+
+
 def _broker(
     args: argparse.Namespace, registry: ServiceRegistry
 ) -> Broker:
     """A broker honouring the ``--solver-backend``/``--solve-cache``/
-    ``--store-backend`` flags."""
+    ``--store-backend``/``--solver-batching`` flags."""
     backend = getattr(args, "store_backend", None)
     if backend is not None:
         # Sessions the broker does not build itself (negotiate() internals,
@@ -260,6 +272,7 @@ def _broker(
         solve_cache=args.solve_cache,
         solver_backend=args.solver_backend,
         store_backend=backend,
+        batching=_batch_config(args),
     )
 
 
@@ -554,6 +567,7 @@ def cmd_fleet(args: argparse.Namespace) -> int:
         route_by=args.route_by,
         solver_backend=args.solver_backend,
         store_backend=args.store_backend,
+        batching=_batch_config(args),
         resilience=_resilience_config(args),
     )
     # Every shard gets its own injector built from the same flags, so
@@ -693,6 +707,29 @@ def build_parser() -> argparse.ArgumentParser:
         help="constraint-store representation: the eagerly-combined "
         "monolith, the structurally-shared factor set, or auto "
         "(factored)",
+    )
+    broker_opts.add_argument(
+        "--solver-batching",
+        action=argparse.BooleanOptionalAction,
+        default=False,
+        help="coalesce concurrent same-topology solves into stacked "
+        "batched sweeps (bit-identical to unbatched)",
+    )
+    broker_opts.add_argument(
+        "--batch-window-ms",
+        type=float,
+        default=2.0,
+        metavar="MS",
+        help="how long a batch leader waits for followers before "
+        "dispatching (with --solver-batching)",
+    )
+    broker_opts.add_argument(
+        "--batch-max",
+        type=int,
+        default=32,
+        metavar="N",
+        help="hard cap on sessions coalesced into one stacked solve "
+        "(with --solver-batching)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 

@@ -129,15 +129,19 @@ def store_query_cache_stats() -> dict:
 
 
 def clear_store_caches() -> None:
-    """Drop every store-level memo (entailment, query, solve results).
+    """Drop every store-level memo (entailment, query, solve results,
+    materialized eliminated buckets).
 
     Benchmarks call this between timed sections so warm-cache runs are a
     deliberate choice, not an accident of test ordering.
     """
+    from ..solver.elimination import clear_bucket_cache
+
     _entailment_cache.clear()
     _query_cache.clear()
     if _store_solve_cache is not None:
         _store_solve_cache.clear()
+    clear_bucket_cache()
 
 
 def _get_store_solve_cache():
@@ -685,11 +689,17 @@ class FactoredStore(ConstraintStore):
         keep: Sequence[Variable],
     ) -> TableConstraint:
         """``(⊗ factors) ⇓ keep`` via bucket elimination (dense kernels
-        whenever the semiring lowers)."""
-        from ..solver import SCSP, eliminate
+        whenever the semiring lowers).  Eliminations ride the shared
+        :class:`~repro.solver.elimination.BucketCache`: after a delta
+        (``tell``/``retract``/``update``) only buckets whose input-factor
+        digests changed are recomputed — untouched buckets are answered
+        from the materialized intermediates of earlier store versions."""
+        from ..solver import SCSP, eliminate, shared_bucket_cache
 
         problem = SCSP(list(factors), con=[var.name for var in keep])
-        table, _stats = eliminate(problem, backend="auto")
+        table, _stats = eliminate(
+            problem, backend="auto", bucket_cache=shared_bucket_cache()
+        )
         return table
 
     def _cached_query(self, label: str, extra, compute):
@@ -718,7 +728,7 @@ class FactoredStore(ConstraintStore):
         return self._consistency
 
     def _solve_consistency(self) -> Any:
-        from ..solver import SCSP, solve
+        from ..solver import SCSP, shared_bucket_cache, solve
 
         problem = SCSP(list(self.factors), con=())
         result = solve(
@@ -726,6 +736,7 @@ class FactoredStore(ConstraintStore):
             method="elimination",
             backend="auto",
             cache=_get_store_solve_cache(),
+            bucket_cache=shared_bucket_cache(),
         )
         return result.blevel
 

@@ -55,6 +55,31 @@ class TableConstraint(SoftConstraint):
             normalized[key] = semiring.check_element(raw_value)
         self.table = normalized
 
+    @classmethod
+    def _from_solver(
+        cls,
+        semiring: Semiring,
+        scope: Sequence[Variable],
+        table: "dict[Tuple[Any, ...], Any]",
+        default: Any = None,
+        name: str = "",
+    ) -> "TableConstraint":
+        """Internal fast constructor for solver-produced tables.
+
+        Skips the per-tuple key/value validation of ``__init__``: the
+        caller guarantees keys are enumerated from ``scope``'s own
+        domains and values are semiring elements by construction (e.g.
+        unlifted from a dense array whose dtype the semiring chose).
+        The serving hot path materializes one such table per session
+        per batch member, where re-validation is pure overhead.
+        """
+        self = cls.__new__(cls)
+        SoftConstraint.__init__(self, semiring, scope)
+        self.default = semiring.zero if default is None else default
+        self.name = name
+        self.table = table
+        return self
+
     def value(self, assignment: Mapping[str, Any]) -> Any:
         try:
             key = assignment_key(assignment, self.scope)

@@ -49,6 +49,7 @@ from ..resilience.breaker import BreakerRegistry
 from ..resilience.dlq import DeadLetterQueue
 from ..resilience.health import HealthMonitor
 from ..resilience.policy import ResilienceConfig, build_resilience
+from ..runtime.batching import BatchConfig
 from ..runtime.retry import RetryPolicy
 from ..runtime.server import (
     Overloaded,
@@ -107,6 +108,13 @@ class FleetConfig:
     #: state and the DLQ are fleet-global (a down provider is down for
     #: every shard); bulkheads and hedge latency tracking are per-shard.
     resilience: Optional[ResilienceConfig] = None
+    #: Solver batching (``--solver-batching``): each shard gets its own
+    #: :class:`~repro.runtime.batching.BatchScheduler` coalescing that
+    #: shard's concurrent same-topology candidate solves into stacked
+    #: sweeps, over the shared L2 solve cache (batched results are
+    #: written through the shard's ``TieredSolveCache``, so one shard's
+    #: sweep warms every shard).  ``None`` solves per session.
+    batching: Optional[BatchConfig] = None
 
     def __post_init__(self) -> None:
         if self.shards < 1:
@@ -280,6 +288,7 @@ class FleetFrontend:
             solve_cache=self.l2 is None,
             solver_backend=self.config.solver_backend,
             store_backend=self.config.store_backend,
+            batching=self.config.batching,
         )
         if self.l2 is not None:
             broker.solve_cache = TieredSolveCache(self.l2)
@@ -724,16 +733,24 @@ class FleetFrontend:
         return out
 
     def cache_stats(self) -> Dict[str, Any]:
-        """Tiered-cache counters: per-shard L1s plus the shared L2."""
+        """Tiered-cache counters: per-shard L1s plus the shared L2 (and
+        per-shard batch-scheduler dispatch counters when batching is
+        on)."""
         per_shard: Dict[str, Any] = {}
+        batching: Dict[str, Any] = {}
         for shard_id, shard in self.shards.items():
             cache = shard.broker.solve_cache
             if cache is not None:
                 per_shard[shard_id] = cache.stats()
-        return {
+            if shard.broker.batcher is not None:
+                batching[shard_id] = shard.broker.batcher.stats()
+        stats: Dict[str, Any] = {
             "per_shard": per_shard,
             "l2": self.l2.stats() if self.l2 is not None else None,
         }
+        if batching:
+            stats["batching"] = batching
+        return stats
 
 
 def drive_fleet(

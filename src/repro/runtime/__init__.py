@@ -10,6 +10,13 @@ to the last-known SLA, and a load generator with open/closed-loop client
 populations.  Everything reports through :mod:`repro.telemetry`.
 """
 
+from .batching import (
+    BATCH_SIZE_BUCKETS,
+    BatchConfig,
+    BatchScheduler,
+    BatchingError,
+    COALESCE_OUTCOMES,
+)
 from .loadgen import (
     LoadGenError,
     LoadGenerator,
@@ -39,6 +46,11 @@ from .server import (
 )
 
 __all__ = [
+    "BatchScheduler",
+    "BatchConfig",
+    "BatchingError",
+    "BATCH_SIZE_BUCKETS",
+    "COALESCE_OUTCOMES",
     "RuntimeServer",
     "RuntimeConfig",
     "SessionResult",

@@ -158,7 +158,13 @@ class Broker:
     ``store_backend`` selects the constraint-store representation for
     acceptance checks and nmsccp confirmation runs
     (``auto``/``monolith``/``factored``, see
-    :mod:`repro.constraints.store`).
+    :mod:`repro.constraints.store`); ``batching`` (a
+    :class:`~repro.runtime.batching.BatchConfig` or a prebuilt
+    :class:`~repro.runtime.batching.BatchScheduler`) coalesces
+    concurrent candidate solves sharing one constraint topology into
+    stacked batched sweeps — the ``--solver-batching`` serving-path
+    optimization; lowerable solves then route through batched bucket
+    elimination, bit-identical per session to solving alone.
     """
 
     ENDPOINT = "broker"
@@ -171,6 +177,7 @@ class Broker:
         solve_cache: bool = True,
         solver_backend: str = "auto",
         store_backend: Optional[str] = None,
+        batching: Optional[Any] = None,
     ) -> None:
         self.registry = registry
         self.bus = bus
@@ -181,6 +188,20 @@ class Broker:
         )
         self.solver_backend = solver_backend
         self.store_backend = store_backend
+        self.batcher = None
+        if batching is not None:
+            # Deferred import: repro.runtime imports this module.
+            from ..runtime.batching import BatchConfig, BatchScheduler
+
+            if isinstance(batching, BatchScheduler):
+                self.batcher = batching
+            elif isinstance(batching, BatchConfig):
+                self.batcher = BatchScheduler(batching)
+            else:
+                raise BrokerError(
+                    "batching must be a BatchConfig or BatchScheduler, "
+                    f"got {type(batching).__name__}"
+                )
         #: (qos-doc id, attribute, semiring, pool identities) → compiled
         #: offer constraints + the variables compiling added to the pool.
         self._offer_memo: Dict[tuple, tuple] = {}
@@ -189,7 +210,19 @@ class Broker:
             bus.register(self.ENDPOINT)
 
     def _solve(self, problem: SCSP, **options) -> Any:
-        """One SCSP solve through the broker's cache and backend."""
+        """One SCSP solve through the broker's cache and backend.
+
+        With batching enabled, plain candidate solves (no method
+        override) go through the :class:`BatchScheduler`, coalescing
+        with concurrent same-topology sessions; explicit-method callers
+        (composition paths) keep the direct route.
+        """
+        if self.batcher is not None and not options:
+            return self.batcher.solve(
+                problem,
+                backend=self.solver_backend,
+                cache=self.solve_cache,
+            )
         return solve(
             problem,
             backend=self.solver_backend,

@@ -19,15 +19,26 @@ from .cache import (
     DEFAULT_SOLVE_CACHE_SIZE,
     SolveCache,
     problem_fingerprint,
+    topology_fingerprint,
 )
 from .consistency import (
     PropagationStats,
     enforce_arc_consistency,
     prune_domains,
 )
-from .elimination import eliminate, solve_elimination
+from .elimination import (
+    DEFAULT_BUCKET_CACHE_SIZE,
+    BucketCache,
+    clear_bucket_cache,
+    eliminate,
+    eliminate_batch,
+    shared_bucket_cache,
+    solve_elimination,
+    solve_elimination_batch,
+)
 from .exhaustive import solve_exhaustive
 from .kernels import (
+    BatchDenseFactor,
     DenseFactor,
     KernelError,
     Lowering,
@@ -35,6 +46,8 @@ from .kernels import (
     combine_factors,
     lower_semiring,
     resolve_lowering,
+    split_results,
+    stack_factors,
 )
 from .minibucket import minibucket_bound, screening_test
 from .heuristics import (
@@ -63,6 +76,7 @@ def solve(
     method: str = "auto",
     backend: str = "auto",
     cache: "SolveCache | None" = None,
+    bucket_cache: "BucketCache | None" = None,
     **options,
 ) -> SolverResult:
     """Solve an SCSP with the requested backend.
@@ -72,7 +86,11 @@ def solve(
     representation for the methods that support it (``auto``/``dict``/
     ``dense``, see :mod:`repro.solver.kernels`).  When ``cache`` is given
     the solve is keyed by :func:`~repro.solver.cache.problem_fingerprint`
-    and answered from a warm entry when one exists.
+    and answered from a warm entry when one exists.  ``bucket_cache``
+    (elimination only) additionally memoizes per-bucket intermediates so
+    a near-miss — same topology, one factor changed — re-eliminates only
+    the affected buckets; it never changes results, so it is deliberately
+    excluded from the problem fingerprint.
     """
     if method == "auto":
         method = (
@@ -90,6 +108,8 @@ def solve(
     call_options = dict(options)
     if method in _BACKEND_AWARE:
         call_options["backend"] = backend
+    if bucket_cache is not None and method == "elimination":
+        call_options["bucket_cache"] = bucket_cache
     if cache is not None:
         key = problem_fingerprint(problem, method, backend, options)
         hit = cache.fetch(key, problem)
@@ -109,18 +129,28 @@ __all__ = [
     "SolveCache",
     "DEFAULT_SOLVE_CACHE_SIZE",
     "problem_fingerprint",
+    "topology_fingerprint",
+    "BucketCache",
+    "DEFAULT_BUCKET_CACHE_SIZE",
+    "shared_bucket_cache",
+    "clear_bucket_cache",
     "DenseFactor",
+    "BatchDenseFactor",
     "KernelError",
     "Lowering",
     "lower_semiring",
     "resolve_lowering",
     "combine_factors",
+    "stack_factors",
+    "split_results",
     "best_over_variable",
     "solve",
     "solve_exhaustive",
     "solve_branch_bound",
     "solve_elimination",
+    "solve_elimination_batch",
     "eliminate",
+    "eliminate_batch",
     "enforce_arc_consistency",
     "prune_domains",
     "PropagationStats",

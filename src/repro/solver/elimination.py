@@ -18,20 +18,26 @@ four lowered semirings); partial orders transparently keep the dict path.
 
 from __future__ import annotations
 
+import hashlib
 import time
-from typing import Any, Dict, List, Optional
+from dataclasses import replace
+from typing import Any, Dict, List, Optional, Sequence
 
+from ..caching import LRUCache
+from ..constraints.digest import constraint_digest
 from ..constraints.operations import combine
 from ..constraints.table import TableConstraint, to_table
 from ..constraints.variables import Variable, assignment_space_size
 from ..telemetry import get_tracer
 from .heuristics import OrderingFn, resolve_ordering
 from .kernels import (
+    BatchDenseFactor,
     DenseFactor,
     KernelError,
     Lowering,
     combine_factors,
     resolve_lowering,
+    stack_factors,
 )
 from .problem import (
     SCSP,
@@ -41,18 +47,104 @@ from .problem import (
     record_solve_metrics,
 )
 
+#: Default number of materialized eliminated buckets kept warm.
+DEFAULT_BUCKET_CACHE_SIZE = 4096
+
+
+class BucketCache:
+    """Digest-keyed memo of *materialized eliminated buckets*.
+
+    A bucket's output — ``(⊗ bucket) ⇓ (scope ∖ {var})`` — is a pure
+    function of the eliminated variable and the multiset of input
+    factors, so it is cached under a Merkle-style key: SHA-256 over the
+    backend, semiring, variable name and the *sorted multiset* of input
+    digests (initial factors contribute their extensional
+    :func:`~repro.constraints.digest.constraint_digest`; intermediates
+    contribute the key of the bucket that produced them).  A
+    :class:`~repro.constraints.store.FactoredStore` delta (``tell``/
+    ``retract``/``update``) then only re-eliminates the buckets whose
+    input digests actually changed — every untouched bucket is answered
+    from the memo, factor object identity notwithstanding.
+
+    Entries hold immutable factors (dense arrays or tuple tables that
+    are never written after construction), so sharing them across solves
+    and threads is safe; the LRU itself is the shared thread-safe
+    :class:`~repro.caching.LRUCache` under the name ``"buckets"``
+    (visible in :func:`repro.caching.cache_stats` and the
+    ``cache_*_total{cache="buckets"}`` telemetry counters).
+    """
+
+    def __init__(self, maxsize: int = DEFAULT_BUCKET_CACHE_SIZE) -> None:
+        self._lru = LRUCache(maxsize, name="buckets", threadsafe=True)
+
+    def get(self, key: str) -> Optional[tuple]:
+        return self._lru.get(key)
+
+    def put(self, key: str, value: tuple) -> None:
+        self._lru.put(key, value)
+
+    def clear(self) -> None:
+        self._lru.clear()
+
+    def stats(self) -> Dict[str, int]:
+        return self._lru.stats()
+
+    def __len__(self) -> int:
+        return len(self._lru)
+
+
+_shared_bucket_cache: Optional[BucketCache] = None
+
+
+def shared_bucket_cache() -> BucketCache:
+    """The process-wide bucket memo (created lazily) — the store's query
+    paths and the batch scheduler share it so a delta re-solve hits the
+    buckets a previous version of the same store materialized."""
+    global _shared_bucket_cache
+    if _shared_bucket_cache is None:
+        _shared_bucket_cache = BucketCache()
+    return _shared_bucket_cache
+
+
+def clear_bucket_cache() -> None:
+    """Drop every materialized bucket (tests and benchmarks)."""
+    if _shared_bucket_cache is not None:
+        _shared_bucket_cache.clear()
+
+
+def _bucket_key(
+    backend_label: str,
+    semiring: Any,
+    var_name: str,
+    input_digests: Sequence[str],
+) -> str:
+    """The Merkle key (and output digest) of one eliminated bucket."""
+    piece = hashlib.sha256()
+    piece.update(
+        f"bucket {backend_label};{semiring!r};{var_name};".encode()
+    )
+    for digest in sorted(input_digests):
+        piece.update(digest.encode())
+    return piece.hexdigest()
+
 
 def eliminate(
     problem: SCSP,
     ordering: str | OrderingFn = "min-degree",
     backend: str = "auto",
+    bucket_cache: Optional[BucketCache] = None,
 ) -> tuple[TableConstraint, SolverStats]:
     """Return ``Sol(P)`` as an explicit table plus work statistics.
 
     ``backend`` selects the bucket representation: ``"dict"`` forces the
     tuple-table path, ``"dense"`` requires the vectorized kernels (and
     raises :class:`ProblemError` when the semiring does not lower), and
-    ``"auto"`` uses dense whenever possible.
+    ``"auto"`` uses dense whenever possible.  ``bucket_cache`` enables
+    incremental re-solves: eliminated buckets are looked up (and
+    materialized into) the given :class:`BucketCache`, so only buckets
+    whose input-factor digests changed since a previous solve are
+    recomputed.  The cache never changes results — a key is a pure
+    function of a bucket's inputs — only which buckets are recomputed.
     """
     semiring = problem.semiring
     stats = SolverStats()
@@ -70,9 +162,11 @@ def eliminate(
         if var.name not in con_set
     ]
     if lowering is not None:
-        table = _eliminate_dense(problem, to_eliminate, lowering, stats)
+        table = _eliminate_dense(
+            problem, to_eliminate, lowering, stats, bucket_cache
+        )
     else:
-        table = _eliminate_dict(problem, to_eliminate, stats)
+        table = _eliminate_dict(problem, to_eliminate, stats, bucket_cache)
     stats.largest_intermediate = max(
         stats.largest_intermediate, assignment_space_size(table.scope)
     )
@@ -80,23 +174,53 @@ def eliminate(
 
 
 def _eliminate_dict(
-    problem: SCSP, to_eliminate: List[Variable], stats: SolverStats
+    problem: SCSP,
+    to_eliminate: List[Variable],
+    stats: SolverStats,
+    bucket_cache: Optional[BucketCache] = None,
 ) -> TableConstraint:
     """The reference dict-of-tuples bucket schedule."""
     semiring = problem.semiring
     pool: List[TableConstraint] = [to_table(c) for c in problem.constraints]
+    digests: Optional[Dict[int, str]] = None
+    if bucket_cache is not None:
+        digests = {
+            id(factor): constraint_digest(constraint)
+            for factor, constraint in zip(pool, problem.constraints)
+        }
     for var in to_eliminate:
         bucket = [c for c in pool if var.name in c.support]
         rest = [c for c in pool if var.name not in c.support]
         if not bucket:
             continue
         stats.buckets_processed += 1
-        combined = combine(bucket, semiring=semiring)
-        stats.largest_intermediate = max(
-            stats.largest_intermediate,
-            assignment_space_size(combined.scope),
-        )
-        eliminated = to_table(combined.hide(var.name))
+        eliminated = None
+        key = None
+        if digests is not None:
+            key = _bucket_key(
+                "dict",
+                semiring,
+                var.name,
+                [digests[id(c)] for c in bucket],
+            )
+            hit = bucket_cache.get(key)
+            if hit is not None:
+                eliminated, combined_size = hit
+                stats.buckets_reused += 1
+                stats.largest_intermediate = max(
+                    stats.largest_intermediate, combined_size
+                )
+        if eliminated is None:
+            combined = combine(bucket, semiring=semiring)
+            combined_size = assignment_space_size(combined.scope)
+            stats.largest_intermediate = max(
+                stats.largest_intermediate, combined_size
+            )
+            eliminated = to_table(combined.hide(var.name))
+            if key is not None:
+                bucket_cache.put(key, (eliminated, combined_size))
+        if digests is not None:
+            digests[id(eliminated)] = key
         pool = rest + [eliminated]
     solution = combine(pool, semiring=semiring).project(problem.con)
     return to_table(solution)
@@ -107,11 +231,125 @@ def _eliminate_dense(
     to_eliminate: List[Variable],
     lowering: Lowering,
     stats: SolverStats,
+    bucket_cache: Optional[BucketCache] = None,
 ) -> TableConstraint:
     """The same bucket schedule over broadcast ndarray factors."""
     pool: List[DenseFactor] = [
         DenseFactor.from_constraint(c, lowering)
         for c in problem.constraints
+    ]
+    digests: Optional[Dict[int, str]] = None
+    if bucket_cache is not None:
+        digests = {
+            id(factor): constraint_digest(constraint)
+            for factor, constraint in zip(pool, problem.constraints)
+        }
+    for var in to_eliminate:
+        bucket = [f for f in pool if var.name in f.support]
+        rest = [f for f in pool if var.name not in f.support]
+        if not bucket:
+            continue
+        stats.buckets_processed += 1
+        eliminated = None
+        key = None
+        if digests is not None:
+            key = _bucket_key(
+                "dense",
+                problem.semiring,
+                var.name,
+                [digests[id(f)] for f in bucket],
+            )
+            hit = bucket_cache.get(key)
+            if hit is not None:
+                eliminated, combined_size = hit
+                stats.buckets_reused += 1
+                stats.largest_intermediate = max(
+                    stats.largest_intermediate, combined_size
+                )
+        if eliminated is None:
+            combined = combine_factors(bucket)
+            combined_size = assignment_space_size(combined.scope)
+            stats.largest_intermediate = max(
+                stats.largest_intermediate, combined_size
+            )
+            eliminated = combined.hide(var.name)
+            if key is not None:
+                bucket_cache.put(key, (eliminated, combined_size))
+        if digests is not None:
+            digests[id(eliminated)] = key
+        pool = rest + [eliminated]
+    solution = combine_factors(pool).project(problem.con)
+    return solution.to_table()
+
+
+def eliminate_batch(
+    problems: Sequence[SCSP],
+    ordering: str | OrderingFn = "min-degree",
+    backend: str = "auto",
+) -> List[tuple[TableConstraint, SolverStats]]:
+    """Bucket-eliminate B topology-sharing problems in one stacked sweep.
+
+    Every problem must present the same constraint *topology*: equal
+    scope tuples per constraint position, equal ``con`` and one shared
+    semiring (see :func:`~repro.solver.cache.topology_fingerprint` —
+    the batch scheduler groups by it).  Tables may differ freely; each
+    constraint position is stacked into one
+    :class:`~repro.solver.kernels.BatchDenseFactor` (positions where
+    all B problems share one constraint object stay broadcast views)
+    and the ordinary bucket schedule runs once over the batch axis.
+    Because every batched operation is the per-instance operation
+    broadcast across axis 0, slice ``b`` of the sweep is bit-identical
+    to eliminating ``problems[b]`` alone — on either backend.
+    """
+    if not problems:
+        raise ProblemError("eliminate_batch needs at least one problem")
+    head = problems[0]
+    semiring = head.semiring
+    for position, problem in enumerate(problems[1:], start=1):
+        if repr(problem.semiring) != repr(semiring):
+            raise ProblemError(
+                "batched problems must share one semiring; problem "
+                f"{position} uses {problem.semiring.name}"
+            )
+        if len(problem.constraints) != len(head.constraints) or any(
+            theirs.scope != ours.scope
+            for theirs, ours in zip(problem.constraints, head.constraints)
+        ):
+            raise ProblemError(
+                f"problem {position} does not share the batch topology "
+                "(constraint scopes differ)"
+            )
+        if problem.con != head.con:
+            raise ProblemError(
+                f"problem {position} does not share the batch topology "
+                f"(con {problem.con!r} != {head.con!r})"
+            )
+    try:
+        lowering = resolve_lowering(semiring, backend)
+    except KernelError as exc:
+        raise ProblemError(str(exc)) from None
+    if lowering is None:
+        raise ProblemError(
+            f"batched elimination needs a lowerable semiring; "
+            f"{semiring.name} has no ufunc pair"
+        )
+
+    stats = SolverStats()
+    con_set = set(head.con)
+    order_fn = resolve_ordering(ordering)
+    to_eliminate = [
+        var
+        for var in order_fn(head.variables, head.constraints)
+        if var.name not in con_set
+    ]
+    pool: List[BatchDenseFactor] = [
+        stack_factors(
+            [
+                DenseFactor.from_constraint(p.constraints[j], lowering)
+                for p in problems
+            ]
+        )
+        for j in range(len(head.constraints))
     ]
     for var in to_eliminate:
         bucket = [f for f in pool if var.name in f.support]
@@ -125,30 +363,26 @@ def _eliminate_dense(
             assignment_space_size(combined.scope),
         )
         pool = rest + [combined.hide(var.name)]
-    solution = combine_factors(pool).project(problem.con)
-    return solution.to_table()
+    solution = combine_factors(pool).project(head.con)
+    if isinstance(solution, DenseFactor):  # pragma: no cover - 1-factor pool
+        solution = stack_factors([solution] * len(problems))
+    results: List[tuple[TableConstraint, SolverStats]] = []
+    for member in solution.split():
+        table = member.to_table()
+        member_stats = replace(stats)
+        member_stats.largest_intermediate = max(
+            member_stats.largest_intermediate,
+            assignment_space_size(table.scope),
+        )
+        results.append((table, member_stats))
+    return results
 
 
-def solve_elimination(
-    problem: SCSP,
-    ordering: str | OrderingFn = "min-degree",
-    backend: str = "auto",
+def _result_from_table(
+    problem: SCSP, table: TableConstraint, stats: SolverStats
 ) -> SolverResult:
-    """Solve via bucket elimination; exact for partial orders too."""
+    """Build the :class:`SolverResult` payload from ``Sol(P)``'s table."""
     semiring = problem.semiring
-    used_backend = _backend_label(semiring, backend)
-    started = time.perf_counter()
-    with get_tracer().span(
-        "solver.solve", method="elimination", problem=problem.name
-    ):
-        table, stats = eliminate(problem, ordering, backend=backend)
-    record_solve_metrics(
-        "elimination",
-        stats,
-        time.perf_counter() - started,
-        backend=used_backend,
-    )
-
     values: Dict[tuple, Any] = {}
     names = table.support
     # The solution table normally comes out of `to_table`/
@@ -181,6 +415,62 @@ def solve_elimination(
         method="elimination",
         stats=stats,
     )
+
+
+def solve_elimination(
+    problem: SCSP,
+    ordering: str | OrderingFn = "min-degree",
+    backend: str = "auto",
+    bucket_cache: Optional[BucketCache] = None,
+) -> SolverResult:
+    """Solve via bucket elimination; exact for partial orders too."""
+    semiring = problem.semiring
+    used_backend = _backend_label(semiring, backend)
+    started = time.perf_counter()
+    with get_tracer().span(
+        "solver.solve", method="elimination", problem=problem.name
+    ):
+        table, stats = eliminate(
+            problem, ordering, backend=backend, bucket_cache=bucket_cache
+        )
+    record_solve_metrics(
+        "elimination",
+        stats,
+        time.perf_counter() - started,
+        backend=used_backend,
+    )
+    return _result_from_table(problem, table, stats)
+
+
+def solve_elimination_batch(
+    problems: Sequence[SCSP],
+    ordering: str | OrderingFn = "min-degree",
+    backend: str = "auto",
+) -> List[SolverResult]:
+    """Solve B topology-sharing problems in one stacked bucket sweep.
+
+    Returns one :class:`SolverResult` per problem, in submission order,
+    each bit-identical to ``solve_elimination(problems[b])`` (the sweep
+    is the per-instance schedule broadcast over the batch axis).  Wall
+    time is reported to telemetry amortized — ``elapsed / B`` per member
+    — so ``solver_solve_seconds`` keeps meaning per-solve cost.
+    """
+    started = time.perf_counter()
+    with get_tracer().span(
+        "solver.solve-batch", method="elimination", size=len(problems)
+    ):
+        eliminated = eliminate_batch(problems, ordering, backend=backend)
+    elapsed = time.perf_counter() - started
+    results: List[SolverResult] = []
+    for problem, (table, stats) in zip(problems, eliminated):
+        record_solve_metrics(
+            "elimination",
+            stats,
+            elapsed / len(problems),
+            backend="dense",
+        )
+        results.append(_result_from_table(problem, table, stats))
+    return results
 
 
 def _backend_label(semiring: Any, backend: str) -> str:

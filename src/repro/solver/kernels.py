@@ -38,11 +38,11 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from functools import lru_cache
-from typing import Any, Callable, Iterable, Optional, Sequence, Tuple
+from typing import Any, Callable, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..caching import LRUCache
 from ..constraints.table import TableConstraint, to_table
 from ..constraints.constraint import SoftConstraint
 from ..constraints.variables import Variable, merge_scopes, scope_names
@@ -82,17 +82,39 @@ _LOWERING_TABLE = {
 }
 
 
-@lru_cache(maxsize=None)
+#: Bounded memo of per-semiring lowerings.  This used to be an unbounded
+#: ``functools.lru_cache``; a workload cycling through many distinct
+#: semiring *instances* (e.g. parametrized BoundedWeighted thresholds)
+#: would grow it without limit, and its traffic was invisible to
+#: :func:`repro.caching.cache_stats`.  A shared :class:`LRUCache` caps it
+#: and reports hits/misses alongside every other memo in the tree.
+_LOWERING_CACHE_SIZE = 256
+_lowering_cache = LRUCache(
+    _LOWERING_CACHE_SIZE, name="lowering", threadsafe=True
+)
+_LOWERING_MISSING = object()
+
+
 def lower_semiring(semiring: Semiring) -> Optional[Lowering]:
     """The :class:`Lowering` of ``semiring``, or ``None`` when it has no
     ufunc pair (Set-based, products, bounded-weighted saturation)."""
+    lowering = _lowering_cache.get(semiring, _LOWERING_MISSING)
+    if lowering is not _LOWERING_MISSING:
+        return lowering
     entry = _LOWERING_TABLE.get(type(semiring))
     if entry is None:
-        return None
-    dtype, plus, times, unlift = entry
-    return Lowering(
-        semiring=semiring, dtype=dtype, plus=plus, times=times, unlift=unlift
-    )
+        lowering = None
+    else:
+        dtype, plus, times, unlift = entry
+        lowering = Lowering(
+            semiring=semiring,
+            dtype=dtype,
+            plus=plus,
+            times=times,
+            unlift=unlift,
+        )
+    _lowering_cache.put(semiring, lowering)
+    return lowering
 
 
 def resolve_lowering(
@@ -192,12 +214,14 @@ class DenseFactor:
         the same order ``iter_assignments`` enumerates — so downstream
         consumers observe identical iteration order on both backends.
         """
-        unlift = self.lowering.unlift
-        flat = self.array.reshape(-1)
-        table: dict[Tuple[Any, ...], Any] = {}
-        for position, key in enumerate(_iter_keys(self.scope)):
-            table[key] = unlift(flat[position])
-        return TableConstraint(
+        # ``tolist`` bulk-converts to the carrier's native Python type in
+        # C — exactly what ``unlift`` (float/bool) does per element, and
+        # bit-exact for IEEE-754 doubles.
+        values = self.array.reshape(-1).tolist()
+        table: dict[Tuple[Any, ...], Any] = dict(
+            zip(_iter_keys(self.scope), values)
+        )
+        return TableConstraint._from_solver(
             self.semiring,
             self.scope,
             table,
@@ -299,17 +323,228 @@ class DenseFactor:
         )
 
 
-def combine_factors(factors: Sequence[DenseFactor]) -> DenseFactor:
-    """``⊗`` over a non-empty sequence, folded pairwise left-to-right —
-    the same association order as
+class BatchDenseFactor:
+    """B problem instances' factors over one shared scope, stacked on a
+    leading batch axis.
+
+    ``array.shape == (b, *dims)`` where ``dims`` follows the
+    :class:`DenseFactor` axis convention and ``b`` is either the logical
+    batch size ``batch`` or ``1`` — a length-1 leading axis marks a
+    factor *shared* by every instance (e.g. one provider's offer solved
+    against B different requirements) and broadcasts lazily, so stacking
+    B references to one table costs no copies.  ``combine``/``project``/
+    ``hide`` are the per-instance operations broadcast across the batch
+    axis: every slice ``array[b]`` evolves exactly as the corresponding
+    standalone :class:`DenseFactor` would, which is what makes batched
+    solves bit-identical to B independent ones.
+    """
+
+    __slots__ = ("semiring", "lowering", "scope", "array", "batch")
+
+    def __init__(
+        self,
+        lowering: Lowering,
+        scope: Sequence[Variable],
+        array: np.ndarray,
+        batch: Optional[int] = None,
+    ) -> None:
+        self.lowering = lowering
+        self.semiring = lowering.semiring
+        self.scope: Tuple[Variable, ...] = tuple(scope)
+        self.array = array
+        self.batch = array.shape[0] if batch is None else batch
+        if array.shape[0] not in (1, self.batch):
+            raise KernelError(
+                f"batch axis is {array.shape[0]}, expected 1 or "
+                f"{self.batch}"
+            )
+
+    @property
+    def support(self) -> Tuple[str, ...]:
+        return scope_names(self.scope)
+
+    def _aligned(self, scope: Tuple[Variable, ...]) -> np.ndarray:
+        """A view broadcastable over ``(batch, *scope dims)`` — the
+        :meth:`DenseFactor._aligned` permutation with the batch axis
+        pinned in front."""
+        position = {var.name: i for i, var in enumerate(scope)}
+        mine = set(self.support)
+        order = sorted(
+            range(len(self.scope)),
+            key=lambda axis: position[self.scope[axis].name],
+        )
+        array = self.array
+        if order != list(range(len(self.scope))):
+            array = array.transpose([0] + [axis + 1 for axis in order])
+        shape = (array.shape[0],) + tuple(
+            var.size if var.name in mine else 1 for var in scope
+        )
+        return array.reshape(shape)
+
+    def combine(self, other: "BatchDenseFactor") -> "BatchDenseFactor":
+        """``c1 ⊗ c2`` on every instance at once."""
+        if self.batch != other.batch and 1 not in (self.batch, other.batch):
+            raise KernelError(
+                f"cannot combine batches of size {self.batch} and "
+                f"{other.batch}"
+            )
+        scope = merge_scopes(self.scope, other.scope)
+        array = self.lowering.times(
+            self._aligned(scope), other._aligned(scope)
+        )
+        return BatchDenseFactor(
+            self.lowering, scope, array, batch=max(self.batch, other.batch)
+        )
+
+    def project(self, keep: Iterable[str | Variable]) -> "BatchDenseFactor":
+        """``c ⇓ keep`` on every instance — one axis-reduction per
+        eliminated variable, batch axis untouched.  The plus-ufuncs of
+        all four lowered semirings are selections (min/max/or), so the
+        reduction is exact regardless of traversal order."""
+        keep_names = {
+            item.name if isinstance(item, Variable) else item
+            for item in keep
+        }
+        axes = tuple(
+            i + 1
+            for i, var in enumerate(self.scope)
+            if var.name not in keep_names
+        )
+        if not axes:
+            return self
+        kept = tuple(
+            var for var in self.scope if var.name in keep_names
+        )
+        array = self.lowering.plus.reduce(self.array, axis=axes)
+        return BatchDenseFactor(self.lowering, kept, array, batch=self.batch)
+
+    def hide(self, *names: str | Variable) -> "BatchDenseFactor":
+        """``∃x.c`` — project the named variables *out* of every slice."""
+        hidden = {
+            item.name if isinstance(item, Variable) else item
+            for item in names
+        }
+        return self.project(
+            [var for var in self.scope if var.name not in hidden]
+        )
+
+    def consistency(self) -> List[Any]:
+        """``c ⇓∅`` per instance — one value per batch member."""
+        array = self.array
+        if array.ndim > 1:
+            array = self.lowering.plus.reduce(
+                array, axis=tuple(range(1, array.ndim))
+            )
+        if array.shape[0] != self.batch:
+            array = np.broadcast_to(array, (self.batch,))
+        unlift = self.lowering.unlift
+        return [unlift(value) for value in array]
+
+    def member(self, index: int) -> DenseFactor:
+        """Instance ``index`` as a standalone :class:`DenseFactor`."""
+        if not 0 <= index < self.batch:
+            raise KernelError(
+                f"batch index {index} out of range for batch {self.batch}"
+            )
+        slice_index = 0 if self.array.shape[0] == 1 else index
+        return DenseFactor(self.lowering, self.scope, self.array[slice_index])
+
+    def split(self) -> List[DenseFactor]:
+        """All instances, in batch order."""
+        return [self.member(index) for index in range(self.batch)]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"BatchDenseFactor(batch={self.batch}, scope={self.support!r}, "
+            f"shape={self.array.shape}, semiring={self.semiring.name})"
+        )
+
+
+def stack_factors(factors: Sequence[DenseFactor]) -> BatchDenseFactor:
+    """Stack B same-support factors into one :class:`BatchDenseFactor`.
+
+    Factors may list their scope variables in different orders; every
+    array is aligned to the first factor's axis order before stacking.
+    When the sequence is B references to one factor *object* the stack
+    is stored as a length-1 leading axis (a broadcast view, no copy).
+    """
+    if not factors:
+        raise KernelError("stack_factors needs at least one factor")
+    head = factors[0]
+    if all(factor is head for factor in factors[1:]):
+        return BatchDenseFactor(
+            head.lowering,
+            head.scope,
+            head.array[np.newaxis, ...],
+            batch=len(factors),
+        )
+    support = set(head.support)
+    for factor in factors[1:]:
+        if set(factor.support) != support:
+            raise KernelError(
+                f"cannot stack factors over different scopes: "
+                f"{sorted(support)} vs {sorted(factor.support)}"
+            )
+        if factor.lowering is not head.lowering:
+            raise KernelError(
+                "cannot stack factors lowered under different semirings"
+            )
+    array = np.stack([factor._aligned(head.scope) for factor in factors])
+    return BatchDenseFactor(head.lowering, head.scope, array)
+
+
+def split_results(batch: BatchDenseFactor) -> List[DenseFactor]:
+    """The inverse of :func:`stack_factors` (post-solve): one
+    :class:`DenseFactor` per batch member, in submission order."""
+    return batch.split()
+
+
+def combine_factors(
+    factors: "Sequence[DenseFactor | BatchDenseFactor]",
+) -> "DenseFactor | BatchDenseFactor":
+    """``⊗`` over a non-empty sequence in one ufunc chain.
+
+    The fold is left-to-right — the same association order as
     :func:`repro.constraints.operations.combine`, so non-idempotent
-    ``×`` (Weighted's float add) rounds identically on both backends."""
+    ``×`` (Weighted's float add) rounds identically on both backends —
+    but all scopes are merged *up front* and every step writes into one
+    preallocated full-scope array (``out=``) instead of materializing a
+    progressively wider broadcast intermediate per factor: peak memory
+    in a wide bucket is one full-scope array, not two.  Elementwise the
+    accumulator holds exactly the pairwise fold's values (earlier steps
+    are merely replicated across axes later factors introduce), so the
+    result is bit-identical to the old pairwise materialization.
+    """
     if not factors:
         raise KernelError("combine_factors needs at least one factor")
-    combined = factors[0]
-    for factor in factors[1:]:
-        combined = combined.combine(factor)
-    return combined
+    if len(factors) == 1:
+        return factors[0]
+    head = factors[0]
+    lowering = head.lowering
+    times = lowering.times
+    scope = merge_scopes(*(factor.scope for factor in factors))
+    dims = tuple(var.size for var in scope)
+    views = [factor._aligned(scope) for factor in factors]
+    batched = [
+        factor for factor in factors if isinstance(factor, BatchDenseFactor)
+    ]
+    if batched:
+        batch = max(factor.batch for factor in batched)
+        lead = max(
+            view.shape[0]
+            for factor, view in zip(factors, views)
+            if isinstance(factor, BatchDenseFactor)
+        )
+        out = np.empty((lead, *dims), dtype=lowering.dtype)
+        times(views[0], views[1], out=out)
+        for view in views[2:]:
+            times(out, view, out=out)
+        return BatchDenseFactor(lowering, scope, out, batch=batch)
+    out = np.empty(dims, dtype=lowering.dtype)
+    times(views[0], views[1], out=out)
+    for view in views[2:]:
+        times(out, view, out=out)
+    return DenseFactor(lowering, scope, out)
 
 
 def best_over_variable(

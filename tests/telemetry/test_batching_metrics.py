@@ -1,0 +1,124 @@
+"""Telemetry of the batching hot path.
+
+The batch scheduler must light up the coalesce-outcome counter family
+(preseeded, so every outcome class is visible at zero), the batch-size
+histogram, and the stacked-solve counter; bucket-memo reuse must flow
+into ``solver_buckets_reused_total``; and the bounded kernel caches
+("lowering", "buckets") must report through
+:func:`repro.caching.cache_stats`.
+"""
+
+from repro.caching import cache_stats
+from repro.constraints import TableConstraint, variable
+from repro.runtime import (
+    BatchConfig,
+    BatchScheduler,
+    COALESCE_OUTCOMES,
+)
+from repro.semirings import WeightedSemiring
+from repro.solver import (
+    SCSP,
+    BucketCache,
+    lower_semiring,
+    shared_bucket_cache,
+    solve_elimination,
+)
+from repro.telemetry import telemetry_session, to_prometheus
+
+from .test_instrumentation import counter_total
+
+
+def _problem(offset=0):
+    weighted = WeightedSemiring()
+    x = variable("x", (0, 1, 2))
+    y = variable("y", (0, 1))
+    return SCSP(
+        [
+            TableConstraint(
+                weighted,
+                [x, y],
+                {
+                    (i, j): float((i + j + offset) % 4)
+                    for i in range(3)
+                    for j in range(2)
+                },
+            )
+        ],
+        con=["x"],
+    )
+
+
+class TestSchedulerMetrics:
+    def test_solo_solve_counts_lead_and_batch_size(self):
+        scheduler = BatchScheduler(BatchConfig(window_ms=0.0, max_batch=8))
+        with telemetry_session() as session:
+            scheduler.solve(_problem())
+        registry = session.registry
+        assert counter_total(registry, "runtime_batches_total") == 1
+        outcomes = registry.get("runtime_batch_coalesce_total")
+        by_label = {
+            s["labels"]["outcome"]: s["value"] for s in outcomes.samples()
+        }
+        # Preseeding keeps the whole family visible at zero.
+        assert set(by_label) == set(COALESCE_OUTCOMES)
+        assert by_label["lead"] == 1
+        assert by_label["join"] == 0
+        histogram = registry.get("runtime_batch_size")
+        assert histogram.count == 1
+        # A 1-session batch lands in the first (<= 1.0) bucket.
+        assert histogram.cumulative_counts()[0] == 1
+
+    def test_cache_hit_outcome_skips_batch_counters(self):
+        from repro.solver import SolveCache
+
+        scheduler = BatchScheduler(BatchConfig(window_ms=0.0, max_batch=8))
+        cache = SolveCache()
+        with telemetry_session() as session:
+            scheduler.solve(_problem(), cache=cache)
+            scheduler.solve(_problem(), cache=cache)
+        registry = session.registry
+        by_label = {
+            s["labels"]["outcome"]: s["value"]
+            for s in registry.get("runtime_batch_coalesce_total").samples()
+        }
+        assert by_label["cache-hit"] == 1
+        assert counter_total(registry, "runtime_batches_total") == 1
+
+    def test_metrics_reach_prometheus_exposition(self):
+        scheduler = BatchScheduler(BatchConfig(window_ms=0.0, max_batch=4))
+        with telemetry_session() as session:
+            scheduler.solve(_problem())
+            text = to_prometheus(session.registry)
+        assert "runtime_batch_coalesce_total" in text
+        assert "runtime_batch_size_bucket" in text
+        assert "runtime_batches_total" in text
+
+
+class TestBucketReuseMetrics:
+    def test_reused_buckets_flow_into_solver_counter(self):
+        problem = _problem()
+        cache = BucketCache()
+        with telemetry_session() as session:
+            solve_elimination(problem, bucket_cache=cache)
+            solve_elimination(problem, bucket_cache=cache)
+        total = counter_total(
+            session.registry, "solver_buckets_reused_total"
+        )
+        assert total > 0
+        # Second solve answered every bucket from the memo.
+        warm = solve_elimination(problem, bucket_cache=cache)
+        assert warm.stats.buckets_reused == warm.stats.buckets_processed
+
+
+class TestBoundedCachesReport:
+    def test_cache_stats_list_lowering_and_buckets(self):
+        # Touch both caches so they exist and have traffic.
+        lower_semiring(WeightedSemiring())
+        cache = shared_bucket_cache()
+        solve_elimination(_problem(), bucket_cache=cache)
+        stats = cache_stats()
+        assert "lowering" in stats
+        assert "buckets" in stats
+        assert all(
+            row["maxsize"] > 0 for row in stats["lowering"] + stats["buckets"]
+        )
