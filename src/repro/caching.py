@@ -240,6 +240,19 @@ class LRUCache:
         )
 
 
+#: Extra stat rows merged into :func:`cache_stats` by name — for memo-adjacent
+#: counters that are not LRU caches (e.g. the solver's lowering-fallback
+#: tally).  Each provider returns the same row-list shape ``stats()`` does.
+_STATS_PROVIDERS: Dict[str, Callable[[], List[Dict[str, int]]]] = {}
+
+
+def register_stats_provider(
+    name: str, provider: Callable[[], List[Dict[str, int]]]
+) -> None:
+    """Publish non-LRU counter rows under ``name`` in :func:`cache_stats`."""
+    _STATS_PROVIDERS[name] = provider
+
+
 def cache_stats() -> Dict[str, List[Dict[str, int]]]:
     """Stats of every live cache, grouped by name — the single stats
     interface over the formerly-independent LRU implementations."""
@@ -247,5 +260,11 @@ def cache_stats() -> Dict[str, List[Dict[str, int]]]:
     for cache in list(_ALL_CACHES):
         grouped.setdefault(cache.name, []).append(cache.stats())
     for stats_list in grouped.values():
-        stats_list.sort(key=lambda s: (-s["size"], -s["hits"]))
+        stats_list.sort(
+            key=lambda s: (-s.get("size", 0), -s.get("hits", 0))
+        )
+    for name, provider in _STATS_PROVIDERS.items():
+        rows = provider()
+        if rows:
+            grouped[name] = rows
     return grouped

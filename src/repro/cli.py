@@ -267,12 +267,24 @@ def _broker(
         # Sessions the broker does not build itself (negotiate() internals,
         # nmsccp runs kicked off by handlers) follow the same choice.
         set_default_store_backend(backend)
+    allocation = getattr(args, "allocation_policy", None)
+    rounds = None
+    if allocation is not None:
+        # The --batch-window-ms/--batch-max knobs shape allocation
+        # rounds too, whether or not solver batching is on.
+        from .runtime.batching import BatchConfig
+
+        rounds = BatchConfig(
+            window_ms=args.batch_window_ms, max_batch=args.batch_max
+        )
     return Broker(
         registry,
         solve_cache=args.solve_cache,
         solver_backend=args.solver_backend,
         store_backend=backend,
         batching=_batch_config(args),
+        allocation_policy=allocation,
+        rounds=rounds,
     )
 
 
@@ -466,15 +478,30 @@ def cmd_runtime(args: argparse.Namespace) -> int:
     return 0 if served == len(results) else 1
 
 
-def cmd_loadgen(args: argparse.Namespace) -> int:
-    """Measure the runtime under a synthetic client population."""
+def _synthetic_market(args: argparse.Namespace):
+    """The synthetic market + request factory for loadgen/fleet runs:
+    the default polynomial-cost market, or (``--contention``) the
+    decreasing-quality contention market the fairness scenario uses."""
     from .runtime import (
-        LoadGenerator,
-        LoadProfile,
-        RuntimeServer,
+        contention_request_factory,
+        synthesize_contention_market,
         synthesize_market,
         synthetic_request_factory,
     )
+
+    if getattr(args, "contention", False):
+        return (
+            synthesize_contention_market(
+                providers=args.contention_providers
+            ),
+            contention_request_factory(),
+        )
+    return synthesize_market(seed=args.seed), synthetic_request_factory()
+
+
+def cmd_loadgen(args: argparse.Namespace) -> int:
+    """Measure the runtime under a synthetic client population."""
+    from .runtime import LoadGenerator, LoadProfile, RuntimeServer
 
     if args.market is not None:
         market = _load_market(args.market)
@@ -491,8 +518,7 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
             )
 
     else:
-        registry = synthesize_market(seed=args.seed)
-        factory = synthetic_request_factory()
+        registry, factory = _synthetic_market(args)
 
     injector = _build_injector(args, registry)
     server = RuntimeServer(
@@ -524,12 +550,7 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
 def cmd_fleet(args: argparse.Namespace) -> int:
     """Measure a sharded broker fleet under synthetic load."""
     from .fleet import FleetConfig, FleetFrontend, FleetLoadGenerator
-    from .runtime import (
-        LoadProfile,
-        RetryPolicy,
-        synthesize_market,
-        synthetic_request_factory,
-    )
+    from .runtime import LoadProfile, RetryPolicy
 
     if args.market is not None:
         market = _load_market(args.market)
@@ -546,11 +567,17 @@ def cmd_fleet(args: argparse.Namespace) -> int:
             )
 
     else:
-        registry = synthesize_market(seed=args.seed)
-        factory = synthetic_request_factory()
+        registry, factory = _synthetic_market(args)
 
     if args.store_backend is not None:
         set_default_store_backend(args.store_backend)
+    rounds = None
+    if args.allocation_policy is not None:
+        from .runtime.batching import BatchConfig
+
+        rounds = BatchConfig(
+            window_ms=args.batch_window_ms, max_batch=args.batch_max
+        )
     config = FleetConfig(
         shards=args.shards,
         vnodes=args.vnodes,
@@ -568,6 +595,8 @@ def cmd_fleet(args: argparse.Namespace) -> int:
         solver_backend=args.solver_backend,
         store_backend=args.store_backend,
         batching=_batch_config(args),
+        allocation_policy=args.allocation_policy,
+        rounds=rounds,
         resilience=_resilience_config(args),
     )
     # Every shard gets its own injector built from the same flags, so
@@ -730,6 +759,15 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="hard cap on sessions coalesced into one stacked solve "
         "(with --solver-batching)",
+    )
+    broker_opts.add_argument(
+        "--allocation-policy",
+        default=None,
+        choices=("greedy", "fair"),
+        help="serve sessions through coalesced allocation rounds: "
+        "greedy replays per-session agreements exactly, fair solves "
+        "one joint lexicographic ⟨min satisfaction, welfare⟩ SCSP "
+        "per round (default: legacy per-session path)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -981,6 +1019,20 @@ def build_parser() -> argparse.ArgumentParser:
         default=0.0,
         metavar="SECONDS",
         help="closed loop: pause between a client's requests",
+    )
+    loadshape.add_argument(
+        "--contention",
+        action="store_true",
+        help="use the synthetic contention market (decreasing-quality "
+        "providers for one operation) instead of the default synthetic "
+        "market — the fairness scenario for --allocation-policy",
+    )
+    loadshape.add_argument(
+        "--contention-providers",
+        type=int,
+        default=3,
+        metavar="N",
+        help="provider count of the contention market",
     )
 
     p_lg = sub.add_parser(

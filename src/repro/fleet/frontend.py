@@ -115,6 +115,17 @@ class FleetConfig:
     #: written through the shard's ``TieredSolveCache``, so one shard's
     #: sweep warms every shard).  ``None`` solves per session.
     batching: Optional[BatchConfig] = None
+    #: Multi-client allocation (``--allocation-policy``): each shard
+    #: broker routes sessions through coalesced allocation rounds under
+    #: this policy (``"greedy"`` reproduces per-session agreements
+    #: exactly; ``"fair"`` solves one joint lexicographic SCSP per
+    #: round — see :mod:`repro.soa.allocation`).  Rounds ride the same
+    #: window/batch knobs as ``batching``.  ``None`` keeps the legacy
+    #: per-session path.
+    allocation_policy: Optional[str] = None
+    #: Round-coalescing window override for ``allocation_policy``;
+    #: ``None`` inherits ``batching`` (or the default window).
+    rounds: Optional[BatchConfig] = None
 
     def __post_init__(self) -> None:
         if self.shards < 1:
@@ -289,6 +300,8 @@ class FleetFrontend:
             solver_backend=self.config.solver_backend,
             store_backend=self.config.store_backend,
             batching=self.config.batching,
+            allocation_policy=self.config.allocation_policy,
+            rounds=self.config.rounds,
         )
         if self.l2 is not None:
             broker.solve_cache = TieredSolveCache(self.l2)
@@ -738,18 +751,23 @@ class FleetFrontend:
         on)."""
         per_shard: Dict[str, Any] = {}
         batching: Dict[str, Any] = {}
+        rounds: Dict[str, Any] = {}
         for shard_id, shard in self.shards.items():
             cache = shard.broker.solve_cache
             if cache is not None:
                 per_shard[shard_id] = cache.stats()
             if shard.broker.batcher is not None:
                 batching[shard_id] = shard.broker.batcher.stats()
+            if shard.broker.rounds is not None:
+                rounds[shard_id] = shard.broker.rounds.stats()
         stats: Dict[str, Any] = {
             "per_shard": per_shard,
             "l2": self.l2.stats() if self.l2 is not None else None,
         }
         if batching:
             stats["batching"] = batching
+        if rounds:
+            stats["allocation_rounds"] = rounds
         return stats
 
 

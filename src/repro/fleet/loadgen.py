@@ -42,6 +42,12 @@ class FleetLoadReport:
     #: Tiered solve-cache counters (per-shard L1s + shared L2).
     cache: Dict[str, Any]
 
+    @property
+    def fairness(self) -> Optional[Dict[str, float]]:
+        """Fleet-wide allocation fairness digest (``None`` when no
+        session was served through an allocation policy)."""
+        return self.fleet.fairness
+
     def to_dict(self) -> Dict[str, Any]:
         """JSON-able summary (individual sessions omitted)."""
         return {

@@ -16,6 +16,7 @@ from .batching import (
     BatchScheduler,
     BatchingError,
     COALESCE_OUTCOMES,
+    RoundScheduler,
 )
 from .loadgen import (
     LoadGenError,
@@ -24,9 +25,13 @@ from .loadgen import (
     LoadReport,
     RequestFactory,
     build_report,
+    contention_request_factory,
+    fairness_summary,
+    jain_index,
     merge_reports,
     percentile,
     summarize,
+    synthesize_contention_market,
     synthesize_market,
     synthetic_request_factory,
 )
@@ -48,6 +53,7 @@ from .server import (
 __all__ = [
     "BatchScheduler",
     "BatchConfig",
+    "RoundScheduler",
     "BatchingError",
     "BATCH_SIZE_BUCKETS",
     "COALESCE_OUTCOMES",
@@ -67,6 +73,10 @@ __all__ = [
     "NO_RETRY",
     "build_report",
     "merge_reports",
+    "jain_index",
+    "fairness_summary",
+    "synthesize_contention_market",
+    "contention_request_factory",
     "LoadGenerator",
     "LoadProfile",
     "LoadReport",

@@ -107,6 +107,9 @@ class LoadReport:
     latency_s: Dict[str, float]
     queue_wait_s: Dict[str, float]
     results: List[SessionResult] = field(default_factory=list)
+    #: Per-client allocation fairness (:func:`fairness_summary`);
+    #: ``None`` when no session carried allocation-round metadata.
+    fairness: Optional[Dict[str, float]] = None
 
     @property
     def completed(self) -> int:
@@ -122,7 +125,7 @@ class LoadReport:
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON-able summary (individual sessions omitted)."""
-        return {
+        payload = {
             "offered": self.offered,
             "duration_s": self.duration_s,
             "throughput_rps": self.throughput_rps,
@@ -131,6 +134,9 @@ class LoadReport:
             "latency_s": dict(self.latency_s),
             "queue_wait_s": dict(self.queue_wait_s),
         }
+        if self.fairness is not None:
+            payload["fairness"] = dict(self.fairness)
+        return payload
 
 
 class LoadGenerator:
@@ -248,7 +254,60 @@ def build_report(
         latency_s=summarize([r.latency_s for r in served]),
         queue_wait_s=summarize([r.queue_wait_s for r in served]),
         results=results,
+        fairness=fairness_summary(results) or None,
     )
+
+
+def jain_index(values: Sequence[float]) -> float:
+    """Jain's fairness index ``(Σx)² / (n·Σx²)`` — 1.0 is perfectly
+    even, ``1/n`` is one client taking everything; 0.0 on empty/zero
+    input."""
+    if not values:
+        return 0.0
+    square_sum = sum(x * x for x in values)
+    if square_sum <= 0.0:
+        return 0.0
+    total = sum(values)
+    return (total * total) / (len(values) * square_sum)
+
+
+def fairness_summary(
+    results: Sequence[SessionResult],
+) -> Dict[str, float]:
+    """Per-client fairness digest over allocation-round metadata.
+
+    Each session served through an allocation policy carries an
+    :class:`~repro.soa.allocation.AllocationInfo` with its *realized*
+    satisfaction (agreed level mapped to ``[0, 1]``, discounted by the
+    session's queue rank on its provider within the round).  Clients
+    are scored by their mean realized satisfaction across sessions, and
+    the digest reports Jain's index, the worst-off client and the mean
+    over those per-client scores.  Empty (``{}``) when no session has
+    round metadata — plain (policy-less) runs stay unchanged.
+    """
+    per_client: Dict[str, List[float]] = {}
+    for result in results:
+        negotiation = getattr(result, "negotiation", None)
+        info = getattr(negotiation, "allocation", None)
+        if info is None or not negotiation.success:
+            continue
+        per_client.setdefault(result.request.client, []).append(
+            info.realized_satisfaction
+        )
+    if not per_client:
+        return {}
+    scores = sorted(
+        sum(values) / len(values) for values in per_client.values()
+    )
+    return {
+        "clients": float(len(scores)),
+        "sessions": float(
+            sum(len(values) for values in per_client.values())
+        ),
+        "jain_index": jain_index(scores),
+        "min_satisfaction": scores[0],
+        "mean_satisfaction": sum(scores) / len(scores),
+    }
 
 
 def merge_reports(reports: Sequence[LoadReport]) -> LoadReport:
@@ -338,6 +397,69 @@ def synthetic_request_factory(
             operation=operation,
             attribute=attribute,
             requirements=[requirement],
+        )
+
+    return factory
+
+
+def synthesize_contention_market(
+    providers: int = 3,
+    operation: str = "store",
+    attribute: str = "fuzzy-reliability",
+    top_quality: float = 0.9,
+    quality_step: float = 0.1,
+) -> ServiceRegistry:
+    """A market built to exhibit allocation contention.
+
+    ``providers`` services for one operation with strictly decreasing
+    constant quality levels (``0.9, 0.8, 0.7, …`` by default): every
+    client's individually-best choice is the *same* provider, so a
+    greedy market piles every session onto ``P0`` and the per-round
+    queue discount (``γ^rank``, see :mod:`repro.soa.allocation`)
+    punishes the pile-up — the scenario the fairness bench measures
+    greedy vs fair policies on.
+    """
+    if providers < 2:
+        raise LoadGenError(
+            "a contention market needs at least 2 providers"
+        )
+    registry = ServiceRegistry()
+    for index in range(providers):
+        quality = round(
+            max(0.05, top_quality - index * quality_step), 6
+        )
+        document = QoSDocument(
+            service_name=operation,
+            provider=f"P{index}",
+            policies=[
+                QoSPolicy(attribute=attribute, constant=quality)
+            ],
+        )
+        registry.publish(
+            ServiceDescription(
+                service_id=f"{operation}-P{index}",
+                name=operation,
+                provider=f"P{index}",
+                interface=ServiceInterface(operation=operation),
+                qos=document,
+            )
+        )
+    return registry
+
+
+def contention_request_factory(
+    operation: str = "store",
+    attribute: str = "fuzzy-reliability",
+) -> RequestFactory:
+    """Requests matching :func:`synthesize_contention_market`: bare
+    attribute demands, so candidate evaluation reduces to the offered
+    constant and all contention is in *who gets whom*."""
+
+    def factory(client: str, index: int) -> ClientRequest:
+        return ClientRequest(
+            client=client,
+            operation=operation,
+            attribute=attribute,
         )
 
     return factory

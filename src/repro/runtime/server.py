@@ -720,6 +720,10 @@ class RuntimeServer:
 
         The context is copied so broker spans opened in the worker
         thread nest under this session's ``runtime.session`` span.
+        Routed through ``Broker.serve_session``: without an allocation
+        policy that *is* ``negotiate``; with one, concurrent executor
+        threads coalesce into allocation rounds (the policy's round
+        window blocks the worker thread, not the event loop).
         """
         assert self._executor is not None
         loop = asyncio.get_running_loop()
@@ -727,7 +731,7 @@ class RuntimeServer:
         return await loop.run_in_executor(
             self._executor,
             lambda: ctx.run(
-                self.broker.negotiate,
+                self.broker.serve_session,
                 request,
                 self.config.verify_independence,
             ),

@@ -15,7 +15,7 @@ from .base import (
 from .boolean import BooleanSemiring
 from .fuzzy import FuzzySemiring
 from .probabilistic import ProbabilisticSemiring
-from .product import ProductSemiring
+from .product import LexicographicSemiring, ProductSemiring
 from .setbased import SetSemiring
 from .weighted import INFINITY, BoundedWeightedSemiring, WeightedSemiring
 from .properties import (
@@ -32,6 +32,7 @@ from .properties import (
 from .registry import (
     available_semirings,
     get_semiring,
+    lexicographic_of,
     product_of,
     register_semiring,
 )
@@ -44,6 +45,7 @@ __all__ = [
     "FuzzySemiring",
     "ProbabilisticSemiring",
     "ProductSemiring",
+    "LexicographicSemiring",
     "SetSemiring",
     "WeightedSemiring",
     "BoundedWeightedSemiring",
@@ -59,6 +61,7 @@ __all__ = [
     "check_invertibility",
     "available_semirings",
     "get_semiring",
+    "lexicographic_of",
     "product_of",
     "register_semiring",
 ]

@@ -10,13 +10,55 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Iterable
 
+from typing import List
+
 from .base import Semiring, SemiringError
 from .boolean import BooleanSemiring
 from .fuzzy import FuzzySemiring
 from .probabilistic import ProbabilisticSemiring
-from .product import ProductSemiring
+from .product import LexicographicSemiring, ProductSemiring
 from .setbased import SetSemiring
 from .weighted import BoundedWeightedSemiring, WeightedSemiring
+
+
+def _resolve_components(
+    kind: str, components: tuple, factory_kwargs: dict
+) -> List[Semiring]:
+    """Resolve composite-semiring components given as names or instances,
+    failing with the component (not just the unknown name) in the
+    message so a typo inside ``product[weighted, fuzyz]`` is findable."""
+    if not components:
+        raise SemiringError(
+            f"the {kind!r} semiring needs at least one component, e.g. "
+            f"get_semiring({kind!r}, 'weighted', 'probabilistic')"
+        )
+    resolved: List[Semiring] = []
+    for item in components:
+        if isinstance(item, Semiring):
+            resolved.append(item)
+            continue
+        try:
+            resolved.append(get_semiring(item, **factory_kwargs))
+        except SemiringError as exc:
+            raise SemiringError(
+                f"{kind} component {item!r}: {exc}"
+            ) from None
+    return resolved
+
+
+def _make_product(*components, **factory_kwargs) -> "ProductSemiring":
+    return ProductSemiring(
+        _resolve_components("product", components, factory_kwargs)
+    )
+
+
+def _make_lexicographic(
+    *components, **factory_kwargs
+) -> "LexicographicSemiring":
+    return LexicographicSemiring(
+        _resolve_components("lexicographic", components, factory_kwargs)
+    )
+
 
 _FACTORIES: Dict[str, Callable[..., Semiring]] = {
     "classical": BooleanSemiring,
@@ -26,6 +68,9 @@ _FACTORIES: Dict[str, Callable[..., Semiring]] = {
     "weighted": WeightedSemiring,
     "bounded-weighted": BoundedWeightedSemiring,
     "set": SetSemiring,
+    "product": _make_product,
+    "lexicographic": _make_lexicographic,
+    "lex": _make_lexicographic,
 }
 
 
@@ -70,10 +115,22 @@ def product_of(*names_or_instances, **factory_kwargs) -> ProductSemiring:
     Example: ``product_of("weighted", "probabilistic")`` models a joint
     (cost, reliability) optimization as in paper Sec. 4.
     """
-    components = []
-    for item in names_or_instances:
-        if isinstance(item, Semiring):
-            components.append(item)
-        else:
-            components.append(get_semiring(item, **factory_kwargs))
-    return ProductSemiring(components)
+    return ProductSemiring(
+        _resolve_components("product", names_or_instances, factory_kwargs)
+    )
+
+
+def lexicographic_of(
+    *names_or_instances, **factory_kwargs
+) -> LexicographicSemiring:
+    """Build a tie-broken lexicographic composite from names/instances.
+
+    Example: ``lexicographic_of("fuzzy", "probabilistic")`` models the
+    fairness objective ⟨min per-client satisfaction, total welfare⟩ —
+    maximize the worst-off client, break ties by overall welfare.
+    """
+    return LexicographicSemiring(
+        _resolve_components(
+            "lexicographic", names_or_instances, factory_kwargs
+        )
+    )

@@ -15,6 +15,16 @@ from .broker import (
     NegotiationResult,
     ParetoPoint,
 )
+from .allocation import (
+    DEFAULT_CONGESTION_GAMMA,
+    AllocationError,
+    AllocationInfo,
+    AllocationPolicy,
+    FairAllocation,
+    GreedyAllocation,
+    resolve_allocation_policy,
+    satisfaction_score,
+)
 from .composition import (
     AGGREGATION_RULES,
     AggregationRule,
@@ -148,6 +158,14 @@ __all__ = [
     "merged_policy",
     "Broker",
     "BrokerError",
+    "AllocationError",
+    "AllocationInfo",
+    "AllocationPolicy",
+    "FairAllocation",
+    "GreedyAllocation",
+    "DEFAULT_CONGESTION_GAMMA",
+    "resolve_allocation_policy",
+    "satisfaction_score",
     "ClientRequest",
     "CandidateEvaluation",
     "NegotiationResult",

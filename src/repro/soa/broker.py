@@ -98,6 +98,10 @@ class NegotiationResult:
     evaluations: List[CandidateEvaluation]
     outcome: Optional[NegotiationOutcome] = None
     detail: str = ""
+    #: Round metadata (:class:`~repro.soa.allocation.AllocationInfo`)
+    #: attached when the session was served through an allocation policy;
+    #: ``None`` on the legacy per-session path.  Never affects the SLA.
+    allocation: Any = None
 
     @property
     def chosen(self) -> Optional[CandidateEvaluation]:
@@ -164,7 +168,14 @@ class Broker:
     concurrent candidate solves sharing one constraint topology into
     stacked batched sweeps — the ``--solver-batching`` serving-path
     optimization; lowerable solves then route through batched bucket
-    elimination, bit-identical per session to solving alone.
+    elimination, bit-identical per session to solving alone;
+    ``allocation_policy`` (``"greedy"``/``"fair"`` or an
+    :class:`~repro.soa.allocation.AllocationPolicy`) routes
+    :meth:`serve_session` through coalesced allocation rounds —
+    ``greedy`` reproduces this method's per-session agreements exactly,
+    ``fair`` solves one joint SCSP per round over the lexicographic
+    ⟨min client satisfaction, total welfare⟩ objective.  ``None`` (the
+    default) keeps the legacy path with no policy objects touched.
     """
 
     ENDPOINT = "broker"
@@ -178,6 +189,8 @@ class Broker:
         solver_backend: str = "auto",
         store_backend: Optional[str] = None,
         batching: Optional[Any] = None,
+        allocation_policy: Optional[Any] = None,
+        rounds: Optional[Any] = None,
     ) -> None:
         self.registry = registry
         self.bus = bus
@@ -202,6 +215,40 @@ class Broker:
                     "batching must be a BatchConfig or BatchScheduler, "
                     f"got {type(batching).__name__}"
                 )
+        self.allocation_policy = None
+        self.rounds = None
+        if allocation_policy is not None:
+            # Deferred import: repro.soa.allocation imports this module.
+            from .allocation import resolve_allocation_policy
+
+            self.allocation_policy = resolve_allocation_policy(
+                allocation_policy
+            )
+            from ..runtime.batching import BatchConfig, RoundScheduler
+
+            if isinstance(rounds, RoundScheduler):
+                self.rounds = rounds
+            elif isinstance(rounds, BatchConfig):
+                self.rounds = RoundScheduler(rounds)
+            elif rounds is None:
+                # Allocation rounds ride the same coalescing windows the
+                # solver batcher uses, so one --batch-window flag tunes
+                # both; without a batcher, a default window applies.
+                config = (
+                    self.batcher.config
+                    if self.batcher is not None
+                    else BatchConfig()
+                )
+                self.rounds = RoundScheduler(config)
+            else:
+                raise BrokerError(
+                    "rounds must be a BatchConfig or RoundScheduler, "
+                    f"got {type(rounds).__name__}"
+                )
+        elif rounds is not None:
+            raise BrokerError(
+                "rounds requires an allocation_policy to dispatch to"
+            )
         #: (qos-doc id, attribute, semiring, pool identities) → compiled
         #: offer constraints + the variables compiling added to the pool.
         self._offer_memo: Dict[tuple, tuple] = {}
@@ -297,6 +344,62 @@ class Broker:
             )
         self._count_request(result)
         return result
+
+    # ------------------------------------------------------------------
+    # Allocation rounds (multi-client serving seam)
+    # ------------------------------------------------------------------
+
+    def serve_session(
+        self,
+        request: ClientRequest,
+        verify_scheduler_independence: bool = False,
+    ) -> NegotiationResult:
+        """Serve one client session through the allocation seam.
+
+        Without an ``allocation_policy`` this *is* :meth:`negotiate` —
+        the legacy per-session path, bit-identical agreements.  With a
+        policy, the session joins the broker's :class:`RoundScheduler`:
+        concurrent sessions for the same operation/attribute coalesce
+        into one allocation round and the policy assigns providers
+        jointly (see :mod:`repro.soa.allocation`).
+        """
+        if self.allocation_policy is None:
+            return self.negotiate(request, verify_scheduler_independence)
+        return self.rounds.negotiate(
+            self, request, verify=verify_scheduler_independence
+        )
+
+    def negotiate_round(
+        self,
+        requests: Sequence[ClientRequest],
+        verify_scheduler_independence: bool = False,
+        round_id: int = 0,
+    ) -> List[NegotiationResult]:
+        """Allocate one round of coalesced sessions via the policy.
+
+        Results come back in submission order.  Called by the
+        :class:`~repro.runtime.batching.RoundScheduler` leader; also
+        usable directly for synchronous round-based markets (tests, the
+        fairness bench).  Falls back to greedy (legacy semantics) when
+        no policy is configured.
+        """
+        policy = self.allocation_policy
+        if policy is None:
+            from .allocation import GreedyAllocation
+
+            policy = GreedyAllocation()
+        with get_tracer().span(
+            "broker.allocation-round",
+            policy=policy.name,
+            sessions=len(requests),
+            round_id=round_id,
+        ):
+            return policy.allocate(
+                self,
+                list(requests),
+                verify=verify_scheduler_independence,
+                round_id=round_id,
+            )
 
     def _negotiate_steps(
         self,

@@ -45,6 +45,7 @@ from .kernels import (
     best_over_variable,
     combine_factors,
     lower_semiring,
+    lowering_fallback_stats,
     resolve_lowering,
     split_results,
     stack_factors,
@@ -139,6 +140,7 @@ __all__ = [
     "KernelError",
     "Lowering",
     "lower_semiring",
+    "lowering_fallback_stats",
     "resolve_lowering",
     "combine_factors",
     "stack_factors",

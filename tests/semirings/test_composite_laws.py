@@ -1,0 +1,221 @@
+"""Composite semirings under the full law suite (PR 9, paper Sec. 4).
+
+Product composites are absorptive semirings outright: every pair and
+nested combination over the four lowered bases passes ``validate_semiring``
+on raw samples.  Lexicographic composites are subtler — the derived order
+is total and ``×`` stays absorptive (what branch & bound's pruning needs),
+but full distributivity and ``×``-monotonicity hold only up to
+*tie-collapse*: multiplying can flatten a strict first-component order
+into a tie, promoting a later component to decider on one side of the
+distributive law but not the other.  On comonotone carriers (every
+component ranks the sampled tuples the same way — the diagonal) all laws
+hold, and the counterexample that breaks the general case is pinned at
+the bottom so nobody "fixes" the docs back to the stronger claim.
+"""
+
+import itertools
+
+import pytest
+
+from repro.semirings import (
+    BooleanSemiring,
+    FuzzySemiring,
+    LexicographicSemiring,
+    ProbabilisticSemiring,
+    ProductSemiring,
+    WeightedSemiring,
+    check_division_laws,
+    check_lub_law,
+    check_order_laws,
+    check_plus_laws,
+    check_times_laws,
+    validate_semiring,
+)
+
+#: The four bases the dense kernels lower (tests/solver share this set).
+BASES = (
+    WeightedSemiring(),
+    FuzzySemiring(),
+    ProbabilisticSemiring(),
+    BooleanSemiring(),
+)
+
+PAIRS = list(itertools.product(BASES, repeat=2))
+
+
+def _pair_id(pair):
+    return f"{pair[0].name}x{pair[1].name}"
+
+
+# ----------------------------------------------------------------------
+# Product: a full absorptive semiring on raw samples, pairs and nested
+# ----------------------------------------------------------------------
+
+
+class TestProductLaws:
+    @pytest.mark.parametrize("pair", PAIRS, ids=_pair_id)
+    def test_every_pair_passes_all_laws(self, pair):
+        report = validate_semiring(ProductSemiring(list(pair)))
+        assert report.ok, str(report)
+
+    @pytest.mark.parametrize("base", BASES, ids=lambda s: s.name)
+    def test_nested_product_passes_all_laws(self, base):
+        nested = ProductSemiring(
+            [base, ProductSemiring([FuzzySemiring(), BooleanSemiring()])]
+        )
+        report = validate_semiring(nested)
+        assert report.ok, str(report)
+
+    def test_triple_product_passes_all_laws(self):
+        triple = ProductSemiring(
+            [WeightedSemiring(), FuzzySemiring(), ProbabilisticSemiring()]
+        )
+        report = validate_semiring(triple)
+        assert report.ok, str(report)
+
+
+# ----------------------------------------------------------------------
+# Lexicographic: total order, universal laws on raw samples
+# ----------------------------------------------------------------------
+
+
+def _diagonal(lex, values=(0.0, 0.25, 0.5, 1.0)):
+    """Comonotone samples: every component at the same relative rank.
+
+    Fuzzy/Probabilistic carriers take the value directly; Weighted maps
+    ``v ∈ [0,1]`` onto its bigger-is-worse carrier via ``(1-v)/v`` so the
+    derived orders still agree; Boolean thresholds at 1.  The resulting
+    tuples rank identically in every component, so no tie-collapse can
+    promote a later component on one side of a law but not the other.
+    """
+
+    def lift(component, v):
+        if isinstance(component, WeightedSemiring):
+            return float("inf") if v == 0.0 else round((1.0 - v) / v, 6)
+        if isinstance(component, BooleanSemiring):
+            return v >= 1.0
+        if isinstance(component, (LexicographicSemiring, ProductSemiring)):
+            return tuple(lift(c, v) for c in component.components)
+        return v
+
+    return [
+        tuple(lift(c, v) for c in lex.components)
+        for v in sorted(values)
+    ]
+
+
+class TestLexicographicLaws:
+    @pytest.mark.parametrize("pair", PAIRS, ids=_pair_id)
+    def test_total_order_on_raw_samples(self, pair):
+        lex = LexicographicSemiring(list(pair))
+        assert lex.is_total_order()
+        for a, b in itertools.product(lex.sample_elements(), repeat=2):
+            assert lex.leq(a, b) or lex.leq(b, a)
+
+    @pytest.mark.parametrize("pair", PAIRS, ids=_pair_id)
+    def test_plus_and_lub_laws_on_raw_samples(self, pair):
+        lex = LexicographicSemiring(list(pair))
+        assert check_plus_laws(lex) == []
+        assert check_lub_law(lex) == []
+
+    @pytest.mark.parametrize("pair", PAIRS, ids=_pair_id)
+    def test_times_absorptive_on_raw_samples(self, pair):
+        # a × b ≤lex a — the pruning bound branch & bound relies on.
+        lex = LexicographicSemiring(list(pair))
+        samples = lex.sample_elements()
+        for a, b in itertools.product(samples, repeat=2):
+            assert lex.leq(lex.times(a, b), a)
+
+    @pytest.mark.parametrize("pair", PAIRS, ids=_pair_id)
+    def test_division_feasible_on_raw_samples(self, pair):
+        # b × (a ÷ b) ≤lex a always; exact maximality needs comonotone
+        # samples (see the full-suite test below).
+        lex = LexicographicSemiring(list(pair))
+        for violation in check_division_laws(lex):
+            assert violation.law not in (
+                "division-feasibility",
+                "division-closure",
+            ), str(violation)
+
+    @pytest.mark.parametrize("pair", PAIRS, ids=_pair_id)
+    def test_all_laws_on_comonotone_samples(self, pair):
+        lex = LexicographicSemiring(list(pair))
+        report = validate_semiring(lex, elements=_diagonal(lex))
+        assert report.ok, str(report)
+
+    def test_nested_lex_all_laws_on_comonotone_samples(self):
+        nested = LexicographicSemiring(
+            [
+                FuzzySemiring(),
+                LexicographicSemiring(
+                    [ProbabilisticSemiring(), FuzzySemiring()]
+                ),
+            ]
+        )
+        assert nested.is_total_order()
+        report = validate_semiring(nested, elements=_diagonal(nested))
+        assert report.ok, str(report)
+
+    def test_rejects_partial_order_components(self):
+        from repro.semirings import SemiringError, SetSemiring
+
+        with pytest.raises(SemiringError, match="totally ordered"):
+            LexicographicSemiring(
+                [FuzzySemiring(), SetSemiring({"r", "w"})]
+            )
+
+
+# ----------------------------------------------------------------------
+# The pinned counterexample: why Lex is *not* distributive in general
+# ----------------------------------------------------------------------
+
+
+class TestLexTieCollapse:
+    """Tie-collapse is real — these pin the exact witnesses so the class
+    docstring's scoping ("absorptive yes, distributive only on
+    comonotone carriers") stays backed by executable evidence."""
+
+    LEX = LexicographicSemiring([FuzzySemiring(), FuzzySemiring()])
+
+    def test_distributivity_counterexample(self):
+        lex = self.LEX
+        a, b, c = (0.1, 1.0), (0.5, 0.2), (0.3, 0.9)
+        # b ⊕ c picks b on the first component, so the left side never
+        # sees c's strong tie-breaker...
+        left = lex.times(a, lex.plus(b, c))
+        assert left == (0.1, 0.2)
+        # ...but a× collapses both first components to 0.1, and the tie
+        # promotes the second component — where a×c wins.
+        right = lex.plus(lex.times(a, b), lex.times(a, c))
+        assert right == (0.1, 0.9)
+        assert left != right
+
+    def test_times_monotonicity_counterexample(self):
+        lex = self.LEX
+        a, b, c = (0.0, 0.25), (0.25, 0.0), (0.0, 0.25)
+        assert lex.leq(a, b)
+        # c zeroes b's first component: the products tie there and the
+        # second component reverses the order.
+        assert not lex.leq(lex.times(a, c), lex.times(b, c))
+
+    def test_raw_sample_validation_reports_only_collapse_laws(self):
+        # Everything that fails on raw samples is a tie-collapse law —
+        # no other axiom regresses.
+        report = validate_semiring(self.LEX)
+        assert not report.ok
+        assert {v.law for v in report.violations} <= {
+            "distributivity",
+            "times-monotonicity",
+            "division-maximality",
+            "invertibility (b × (a÷b) = a when a ≤ b)",
+        }
+
+    def test_times_laws_other_than_distributivity_hold(self):
+        violations = check_times_laws(self.LEX)
+        assert violations  # distributivity does fail on raw samples...
+        assert {v.law for v in violations} == {"distributivity"}
+
+    def test_order_laws_other_than_times_monotonicity_hold(self):
+        violations = check_order_laws(self.LEX)
+        assert violations
+        assert {v.law for v in violations} == {"times-monotonicity"}

@@ -166,8 +166,17 @@ class TestFallbackRouting:
         with pytest.raises(ProblemError, match="does not lower"):
             solve_elimination(self._setbased_problem(), backend="dense")
 
-    def test_product_semiring_does_not_lower(self, fuzzy, weighted):
+    def test_product_of_lowerables_lowers(self, fuzzy, weighted):
+        # PR 9: composites lower compositionally (structured dtypes).
         product = ProductSemiring([fuzzy, weighted])
+        lowering = lower_semiring(product)
+        assert lowering is not None
+        assert lowering.dtype.names == ("f0", "f1")
+
+    def test_product_with_unlowerable_component_does_not_lower(self, fuzzy):
+        product = ProductSemiring(
+            [fuzzy, SetSemiring(frozenset({"r", "w"}))]
+        )
         assert lower_semiring(product) is None
 
     def test_bounded_weighted_does_not_lower(self):
