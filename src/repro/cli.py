@@ -14,6 +14,9 @@ Exposes the library's main flows over JSON files (the wire format of
   multi-broker fleet (consistent-hash routing, two-tier solve cache);
 * ``dlq``                       — inspect or replay a dead-letter file
   captured by a resilient serving run;
+* ``slo MARKET.json``           — SLO analytics for a composition plan:
+  composite bound, unachievable-SLO verdict with remediation guidance,
+  per-stage error-budget breakdown, observation-discounted levels;
 * ``validate-semiring NAME``    — check the semiring laws on a sample.
 
 The serving commands (``runtime``/``loadgen``/``fleet``) accept the
@@ -47,8 +50,8 @@ from .constraints.store import STORE_BACKENDS, set_default_store_backend
 from .sccp.check import CheckSpec
 from .semirings.properties import validate_semiring
 from .semirings.registry import get_semiring
-from .soa.broker import Broker, ClientRequest
-from .soa.registry import ServiceRegistry
+from .soa.broker import Broker, BrokerError, ClientRequest
+from .soa.registry import RegistryError, ServiceRegistry
 from .soa.service import ServiceDescription, ServiceInterface
 from .solver import solve
 from .telemetry import (
@@ -627,6 +630,57 @@ def cmd_fleet(args: argparse.Namespace) -> int:
     return 0 if fleet.completed + fleet.degraded > 0 else 1
 
 
+def _slo_plan(args: argparse.Namespace, market: Dict[str, Any]):
+    """The plan to analyze: ``--plan PATH``, the market's ``plan`` entry,
+    or the ``--pipeline id,id,…`` shorthand."""
+    if getattr(args, "plan", None):
+        return serialization.plan_from_dict(_read_json(args.plan))
+    if getattr(args, "pipeline", None):
+        from .soa.composition import pipeline as make_pipeline
+
+        return make_pipeline(*args.pipeline.split(","))
+    if "plan" in market:
+        return serialization.plan_from_dict(market["plan"])
+    raise SystemExit(
+        "error: no plan to analyze — pass --plan PATH or "
+        "--pipeline IDS, or add a 'plan' entry to the market spec"
+    )
+
+
+def cmd_slo(args: argparse.Namespace) -> int:
+    from .slo import SLOError, render_text
+
+    market = _load_market(args.market)
+    registry = _market_registry(market)
+    plan = _slo_plan(args, market)
+    for service_id, window in market.get("observations", {}).items():
+        registry.record_observations(
+            service_id,
+            int(window.get("attempts", 0)),
+            int(window.get("failures", 0)),
+        )
+    broker = _broker(args, registry)
+    try:
+        report = broker.slo_report(
+            plan,
+            args.target,
+            attribute=args.attribute,
+            use_observations=not args.trust_published,
+            buffer=args.buffer,
+            min_attempts=args.min_attempts,
+            choose=args.choose,
+            flag_share=args.flag_share,
+        )
+    except (SLOError, BrokerError, RegistryError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.format == "text":
+        print(render_text(report))
+    else:
+        _emit(report.to_dict())
+    return 0 if report.achievable else 1
+
+
 def cmd_dlq(args: argparse.Namespace) -> int:
     """Inspect or replay a dead-letter JSONL file.
 
@@ -1109,6 +1163,80 @@ def build_parser() -> argparse.ArgumentParser:
         help="market JSON to replay against (required for replay)",
     )
     p_dlq.set_defaults(fn=cmd_dlq)
+
+    p_slo = sub.add_parser(
+        "slo",
+        help="SLO analytics for a composition plan over a market",
+        parents=[observability, solver_opts, broker_opts],
+    )
+    p_slo.add_argument("market", help="path to a market JSON file")
+    p_slo.add_argument(
+        "--target",
+        type=float,
+        required=True,
+        help="the SLO level to check reachability of",
+    )
+    p_slo.add_argument(
+        "--attribute",
+        default="availability",
+        help="QoS attribute to analyze (default: availability)",
+    )
+    p_slo.add_argument(
+        "--plan",
+        default=None,
+        metavar="PATH",
+        help="composition plan JSON (kind: plan); defaults to the "
+        "market's own 'plan' entry",
+    )
+    p_slo.add_argument(
+        "--pipeline",
+        default=None,
+        metavar="IDS",
+        help="comma-separated service ids as a pipeline plan shorthand",
+    )
+    p_slo.add_argument(
+        "--choose",
+        default="worst-case",
+        choices=("worst-case", "redundant"),
+        help="reading of Choose nodes: the guarantee holding whichever "
+        "branch runs, or failover replicas (1 − ∏(1 − Rᵢ))",
+    )
+    p_slo.add_argument(
+        "--buffer",
+        type=float,
+        default=0.9,
+        metavar="F",
+        help="planning safety margin applied to every provider level",
+    )
+    p_slo.add_argument(
+        "--min-attempts",
+        type=int,
+        default=5,
+        metavar="N",
+        help="observations required before delivered history discounts "
+        "a published level",
+    )
+    p_slo.add_argument(
+        "--flag-share",
+        type=float,
+        default=0.30,
+        metavar="F",
+        help="error-budget share above which a stage is flagged "
+        "high-risk",
+    )
+    p_slo.add_argument(
+        "--trust-published",
+        action="store_true",
+        help="skip observation discounting and the safety buffer; "
+        "analyze raw advertised levels",
+    )
+    p_slo.add_argument(
+        "--format",
+        default="json",
+        choices=("json", "text"),
+        help="output as JSON (default) or a terminal report",
+    )
+    p_slo.set_defaults(fn=cmd_slo)
 
     p_val = sub.add_parser(
         "validate-semiring",

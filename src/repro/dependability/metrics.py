@@ -89,7 +89,23 @@ def k_out_of_n_reliability(r: float, k: int, n: int) -> float:
 
 @dataclass(frozen=True)
 class ObservationWindow:
-    """Raw dependability observations over a monitoring window."""
+    """Raw dependability observations over a monitoring window.
+
+    **No-data convention.**  With zero observations the two estimators
+    in this module deliberately answer in opposite directions:
+
+    * :attr:`reliability` / :attr:`availability` return the
+      **optimistic** prior ``1.0`` — a monitor must not alarm before it
+      has evidence of failure;
+    * :func:`wilson_lower_bound` returns the **conservative** prior
+      ``0.0`` — a prudent advertisement must not claim what no evidence
+      supports.
+
+    Never mix the two priors in one formula: a consumer that needs
+    evidence-backed numbers should check :meth:`informative` (or an
+    explicit ``min_attempts`` guard, as
+    :func:`repro.slo.effective_level` does) before reading either.
+    """
 
     attempts: int
     failures: int
@@ -111,11 +127,41 @@ class ObservationWindow:
 
     @property
     def availability(self) -> float:
-        """Uptime fraction (1.0 when nothing was measured)."""
+        """Uptime fraction (optimistic 1.0 when nothing was measured —
+        see the class docstring's no-data convention)."""
         total = self.total_uptime_hours + self.total_repair_hours
         if total == 0:
             return 1.0
         return self.total_uptime_hours / total
+
+    @property
+    def successes(self) -> int:
+        return self.attempts - self.failures
+
+    def informative(self, min_attempts: int = 1) -> bool:
+        """Whether this window holds enough evidence to consume
+        (``attempts ≥ min_attempts``)."""
+        if min_attempts < 1:
+            raise MetricError("min_attempts must be at least 1")
+        return self.attempts >= min_attempts
+
+    def wilson_reliability(self, z: float = 1.96) -> float:
+        """Conservative (Wilson lower bound) reading of this window —
+        0.0 when empty, per the no-data convention."""
+        return wilson_lower_bound(self.successes, self.attempts, z)
+
+    def merged(self, other: "ObservationWindow") -> "ObservationWindow":
+        """Pool two windows' evidence."""
+        return ObservationWindow(
+            attempts=self.attempts + other.attempts,
+            failures=self.failures + other.failures,
+            total_repair_hours=(
+                self.total_repair_hours + other.total_repair_hours
+            ),
+            total_uptime_hours=(
+                self.total_uptime_hours + other.total_uptime_hours
+            ),
+        )
 
 
 def wilson_lower_bound(
@@ -124,7 +170,10 @@ def wilson_lower_bound(
     """Conservative reliability estimate: Wilson score lower bound.
 
     The level a *prudent* broker should advertise from finite
-    observations rather than the raw ratio.
+    observations rather than the raw ratio.  At zero attempts this
+    returns the conservative prior **0.0** — the opposite of
+    :attr:`ObservationWindow.reliability`'s optimistic 1.0; see that
+    class's no-data convention before mixing the two.
     """
     if attempts < 0 or successes < 0 or successes > attempts:
         raise MetricError("need 0 ≤ successes ≤ attempts")

@@ -35,6 +35,7 @@ from .semirings.product import ProductSemiring
 from .semirings.registry import get_semiring
 from .semirings.setbased import SetSemiring
 from .semirings.weighted import BoundedWeightedSemiring, WeightedSemiring
+from .soa.composition import Choose, Invoke, Pipeline, Plan, Split
 from .soa.qos import QoSDocument, QoSPolicy
 from .solver.problem import SCSP
 
@@ -328,6 +329,63 @@ def qos_document_from_dict(payload: Dict[str, Any]) -> QoSDocument:
 
 
 # ----------------------------------------------------------------------
+# Composition plans
+# ----------------------------------------------------------------------
+
+_PLAN_TYPES = {"pipeline": Pipeline, "split": Split, "choose": Choose}
+
+
+def _plan_node_to_dict(node: Plan) -> Dict[str, Any]:
+    if isinstance(node, Invoke):
+        return {"type": "invoke", "service_id": node.service_id}
+    for type_name, plan_type in _PLAN_TYPES.items():
+        if isinstance(node, plan_type):
+            return {
+                "type": type_name,
+                "children": [
+                    _plan_node_to_dict(child) for child in node.children
+                ],
+            }
+    raise SerializationError(
+        f"cannot serialize plan node {type(node).__name__}"
+    )
+
+
+def _plan_node_from_dict(payload: Dict[str, Any]) -> Plan:
+    node_type = payload.get("type")
+    if node_type == "invoke":
+        try:
+            return Invoke(payload["service_id"])
+        except KeyError:
+            raise SerializationError(
+                "invoke node needs a service_id"
+            ) from None
+    plan_type = _PLAN_TYPES.get(node_type)
+    if plan_type is None:
+        raise SerializationError(f"unknown plan node type {node_type!r}")
+    children = payload.get("children")
+    if not children:
+        raise SerializationError(
+            f"{node_type} node needs a non-empty children list"
+        )
+    return plan_type([_plan_node_from_dict(child) for child in children])
+
+
+def plan_to_dict(plan: Plan) -> Dict[str, Any]:
+    return {"kind": "plan", "root": _plan_node_to_dict(plan)}
+
+
+def plan_from_dict(payload: Dict[str, Any]) -> Plan:
+    if payload.get("kind") != "plan":
+        raise SerializationError("payload is not a composition plan")
+    try:
+        root = payload["root"]
+    except KeyError:
+        raise SerializationError("plan payload needs a root node") from None
+    return _plan_node_from_dict(root)
+
+
+# ----------------------------------------------------------------------
 # Trust networks
 # ----------------------------------------------------------------------
 
@@ -393,12 +451,14 @@ _DUMPERS = {
     QoSDocument: qos_document_to_dict,
     TrustNetwork: trust_network_to_dict,
     CoalitionSolution: coalition_solution_to_dict,
+    Plan: plan_to_dict,
 }
 
 _LOADERS = {
     "scsp": problem_from_dict,
     "qos-document": qos_document_from_dict,
     "trust-network": trust_network_from_dict,
+    "plan": plan_from_dict,
 }
 
 

@@ -1,0 +1,95 @@
+"""repro.slo — SLO analytics over service composition graphs.
+
+The quantitative layer on top of the paper's Sec. 5 refinement checks
+(ROADMAP item 3): Sec. 5 tells us whether an agreed store is dependably
+*safe*; this package tells SRE teams whether a numeric SLO target is
+*achievable at all* before any negotiation starts, and where the error
+budget goes once it is.
+
+Four concerns, one module each:
+
+* :mod:`~repro.slo.bounds` — fold per-service availability/reliability
+  levels through a :class:`~repro.soa.composition.Plan` (sequence
+  ``∏Rᵢ``, parallel join ``∏Rᵢ``, redundant choice ``1−∏(1−Rᵢ)``,
+  worst-case choice ``min``), reusing the same
+  :data:`~repro.soa.composition.AGGREGATION_RULES` the semiring ``×``
+  column is pinned against;
+* :mod:`~repro.slo.detector` — the unachievable-SLO detector: a target
+  above the composite bound yields a typed
+  :class:`~repro.slo.detector.SLOVerdict` rejection carrying actionable
+  remediation (which stage to replicate, what per-stage level would
+  suffice, k-out-of-n suggestions);
+* :mod:`~repro.slo.budget` — per-dependency error-budget breakdown of
+  ``1 − target`` with high-consumption flagging (the matchmaking
+  penalty's input);
+* :mod:`~repro.slo.buffers` — adaptive buffers for external providers:
+  ``min(observed Wilson lower bound, published) × buffer`` instead of
+  trusting advertised QoS, with an explicit ``min_attempts`` guard so
+  the optimistic no-data prior of
+  :class:`~repro.dependability.metrics.ObservationWindow` is never mixed
+  with the conservative no-data prior of ``wilson_lower_bound``.
+
+:mod:`~repro.slo.report` ties them together into one
+:class:`~repro.slo.report.SLOReport` (JSON + text rendering) — the
+payload behind ``Broker.slo_report`` and the ``repro slo`` CLI command.
+"""
+
+from .bounds import (
+    CHOOSE_MODES,
+    MULTIPLICATIVE_ATTRIBUTES,
+    SLOError,
+    analysis_rule,
+    composite_bound,
+    stage_bounds,
+    StageBound,
+)
+from .budget import (
+    DEFAULT_FLAG_SHARE,
+    BudgetShare,
+    ErrorBudget,
+    error_budget,
+    share_of,
+)
+from .buffers import (
+    DEFAULT_BUFFER,
+    DEFAULT_MIN_ATTEMPTS,
+    EffectiveLevel,
+    effective_level,
+    effective_levels,
+    window_from_reports,
+)
+from .detector import (
+    Remediation,
+    SLOVerdict,
+    UnachievableSLOError,
+    check_slo,
+)
+from .report import SLOReport, analyze, render_text
+
+__all__ = [
+    "SLOError",
+    "CHOOSE_MODES",
+    "MULTIPLICATIVE_ATTRIBUTES",
+    "analysis_rule",
+    "composite_bound",
+    "stage_bounds",
+    "StageBound",
+    "BudgetShare",
+    "ErrorBudget",
+    "error_budget",
+    "share_of",
+    "DEFAULT_FLAG_SHARE",
+    "EffectiveLevel",
+    "effective_level",
+    "effective_levels",
+    "window_from_reports",
+    "DEFAULT_BUFFER",
+    "DEFAULT_MIN_ATTEMPTS",
+    "Remediation",
+    "SLOVerdict",
+    "UnachievableSLOError",
+    "check_slo",
+    "SLOReport",
+    "analyze",
+    "render_text",
+]

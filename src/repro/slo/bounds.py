@@ -1,0 +1,146 @@
+"""Composite-bound propagation over composition plans.
+
+The analytics column and the semiring column must never disagree: a
+pipeline's availability bound here is the same ``∏Rᵢ`` the Probabilistic
+semiring's ``×`` computes during negotiation, because both fold through
+the *same* :data:`~repro.soa.composition.AGGREGATION_RULES` table.  This
+module only ever derives rules from that table — it never reimplements
+an operator — so the two columns stay pinned equal by construction (and
+the test suite cross-checks them against
+:func:`~repro.dependability.metrics.series_reliability` /
+:func:`~repro.dependability.metrics.compose_series_parallel`).
+
+``Choose`` nodes have two readings:
+
+* ``"worst-case"`` (default, the table's own ``choose`` column): the
+  guarantee that holds *whichever* branch runs — right for an exclusive
+  routing decision outside our control;
+* ``"redundant"``: branches are failover replicas, the composite
+  succeeds when *any* replica does — ``1 − ∏(1 − Rᵢ)`` via
+  :func:`~repro.dependability.metrics.parallel_reliability`.  Only
+  meaningful for multiplicative (probability-valued) attributes, so any
+  other attribute is refused unless the caller supplies an explicit
+  base rule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Optional, Tuple
+
+from ..dependability.metrics import parallel_reliability
+from ..soa.composition import (
+    AGGREGATION_RULES,
+    AggregationRule,
+    Invoke,
+    Plan,
+    aggregate,
+)
+
+
+class SLOError(Exception):
+    """Raised on malformed analytics inputs (unknown attribute, invalid
+    target, non-probabilistic redundancy, …)."""
+
+
+#: Valid ``Choose`` interpretations.
+CHOOSE_MODES: Tuple[str, ...] = ("worst-case", "redundant")
+
+#: Attributes whose levels are probabilities composed multiplicatively —
+#: the only ones the ``redundant`` choice reading applies to.
+MULTIPLICATIVE_ATTRIBUTES = frozenset({"availability", "reliability"})
+
+
+def analysis_rule(
+    attribute: str,
+    choose: str = "worst-case",
+    rule: Optional[AggregationRule] = None,
+) -> AggregationRule:
+    """The aggregation rule the analytics fold under.
+
+    Derived from :data:`AGGREGATION_RULES` (or an explicit ``rule``)
+    with only the ``choose`` column substituted in ``redundant`` mode —
+    the ``sequence``/``split`` columns are always the table's own, which
+    is what keeps the bound equal to the semiring ``×`` fold.
+    """
+    if choose not in CHOOSE_MODES:
+        raise SLOError(
+            f"unknown choose mode {choose!r}; valid: {', '.join(CHOOSE_MODES)}"
+        )
+    base = rule
+    if base is None:
+        try:
+            base = AGGREGATION_RULES[attribute]
+        except KeyError:
+            known = ", ".join(sorted(AGGREGATION_RULES))
+            raise SLOError(
+                f"no aggregation rule for attribute {attribute!r}; "
+                f"known: {known} (pass rule= explicitly)"
+            ) from None
+    if choose == "worst-case":
+        return base
+    if rule is None and attribute not in MULTIPLICATIVE_ATTRIBUTES:
+        raise SLOError(
+            f"redundant choice needs a probability-valued attribute "
+            f"(got {attribute!r}); pass rule= to opt in explicitly"
+        )
+    return AggregationRule(
+        sequence=base.sequence,
+        split=base.split,
+        choose=parallel_reliability,
+    )
+
+
+def composite_bound(
+    plan: Plan,
+    levels: Mapping[str, float],
+    attribute: str = "availability",
+    choose: str = "worst-case",
+    rule: Optional[AggregationRule] = None,
+) -> float:
+    """Best value ``plan`` can deliver given per-service ``levels``.
+
+    Because every column of every rule is monotone in each argument,
+    feeding each service's *best* achievable level yields the exact
+    reachable optimum — the soundness/completeness the E19 bench gates
+    against exhaustive enumeration.
+    """
+    return aggregate(
+        plan, levels, attribute, rule=analysis_rule(attribute, choose, rule)
+    )
+
+
+@dataclass(frozen=True)
+class StageBound:
+    """One top-level stage of a plan with its own composite bound."""
+
+    index: int
+    label: str
+    bound: float
+    services: Tuple[str, ...]
+
+
+def stage_bounds(
+    plan: Plan,
+    levels: Mapping[str, float],
+    attribute: str = "availability",
+    choose: str = "worst-case",
+    rule: Optional[AggregationRule] = None,
+) -> Tuple[StageBound, ...]:
+    """Per-stage bounds: one entry per direct child of a composite root
+    (the whole plan as a single stage when the root is a leaf).
+
+    The remediation and error-budget layers both reason at this
+    granularity — "stage 2 is the weak link" is actionable where a flat
+    number is not.
+    """
+    children = (plan,) if isinstance(plan, Invoke) else plan.children  # type: ignore[attr-defined]
+    return tuple(
+        StageBound(
+            index=index,
+            label=child.describe(),
+            bound=composite_bound(child, levels, attribute, choose, rule),
+            services=tuple(child.services()),
+        )
+        for index, child in enumerate(children)
+    )

@@ -1,0 +1,151 @@
+"""Adaptive buffers: stop trusting advertised QoS.
+
+External providers advertise the levels they would *like* to deliver.
+The analytics layer instead plans against
+
+    ``effective = min(observed Wilson lower bound, published) × buffer``
+
+once enough observations exist: the Wilson lower bound is what the
+delivered history *proves* at 95% confidence, ``min`` keeps a lucky
+streak from exceeding the advertised ceiling, and ``buffer`` (default
+0.9) is the planning safety margin.
+
+No-data convention (the satellite fix this module pins): the two
+estimators in :mod:`repro.dependability.metrics` answer "no data" in
+*opposite* directions —
+
+* :attr:`~repro.dependability.metrics.ObservationWindow.reliability`
+  returns the **optimistic** prior ``1.0`` (absence of evidence of
+  failure — right for monitors that must not alarm before data);
+* :func:`~repro.dependability.metrics.wilson_lower_bound` returns the
+  **conservative** prior ``0.0`` (absence of evidence of success —
+  right for a prudent advertisement).
+
+Mixing them in one formula silently flips a plan's verdict at the first
+observation, so this module never consumes either prior: below
+``min_attempts`` observations the history is declared uninformative and
+the effective level falls back to ``published × buffer``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, Mapping, Optional
+
+from ..dependability.metrics import ObservationWindow, wilson_lower_bound
+from .bounds import SLOError
+
+#: Default planning safety margin applied to every external level.
+DEFAULT_BUFFER = 0.9
+
+#: Observations required before a history is treated as informative.
+DEFAULT_MIN_ATTEMPTS = 5
+
+
+@dataclass(frozen=True)
+class EffectiveLevel:
+    """One provider level after observation discounting."""
+
+    service_id: str
+    published: float
+    effective: float
+    attempts: int
+    informative: bool
+    observed_lower: Optional[float] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "service_id": self.service_id,
+            "published": self.published,
+            "effective": self.effective,
+            "attempts": self.attempts,
+            "informative": self.informative,
+            "observed_lower": self.observed_lower,
+        }
+
+
+def effective_level(
+    service_id: str,
+    published: float,
+    observed: Optional[ObservationWindow] = None,
+    buffer: float = DEFAULT_BUFFER,
+    min_attempts: int = DEFAULT_MIN_ATTEMPTS,
+    z: float = 1.96,
+) -> EffectiveLevel:
+    """The level the analytics should plan with for one provider."""
+    if not 0.0 <= published <= 1.0:
+        raise SLOError(
+            f"published level {published!r} is not a probability"
+        )
+    if not 0.0 < buffer <= 1.0:
+        raise SLOError("buffer must be in (0, 1]")
+    if min_attempts < 1:
+        raise SLOError("min_attempts must be at least 1")
+    informative = (
+        observed is not None and observed.attempts >= min_attempts
+    )
+    if not informative:
+        # The explicit no-data guard: neither the optimistic 1.0 prior
+        # nor the conservative 0.0 prior enters the formula.
+        return EffectiveLevel(
+            service_id=service_id,
+            published=published,
+            effective=published * buffer,
+            attempts=0 if observed is None else observed.attempts,
+            informative=False,
+        )
+    lower = wilson_lower_bound(
+        observed.attempts - observed.failures, observed.attempts, z
+    )
+    return EffectiveLevel(
+        service_id=service_id,
+        published=published,
+        effective=min(lower, published) * buffer,
+        attempts=observed.attempts,
+        informative=True,
+        observed_lower=lower,
+    )
+
+
+def effective_levels(
+    published: Mapping[str, float],
+    observations: Optional[Mapping[str, ObservationWindow]] = None,
+    buffer: float = DEFAULT_BUFFER,
+    min_attempts: int = DEFAULT_MIN_ATTEMPTS,
+    z: float = 1.96,
+) -> Dict[str, EffectiveLevel]:
+    """Discount a whole market's published levels at once."""
+    observations = observations or {}
+    return {
+        service_id: effective_level(
+            service_id,
+            level,
+            observations.get(service_id),
+            buffer=buffer,
+            min_attempts=min_attempts,
+            z=z,
+        )
+        for service_id, level in published.items()
+    }
+
+
+def window_from_reports(
+    reports: Iterable[Any], service_id: Optional[str] = None
+) -> ObservationWindow:
+    """Fold execution reports into one :class:`ObservationWindow`.
+
+    With ``service_id`` the window counts that service's invocation
+    outcomes across the reports; without it, whole-plan runs (the shape
+    :class:`~repro.soa.monitor.SLAMonitor` windows hold).
+    """
+    attempts = failures = 0
+    for report in reports:
+        if service_id is None:
+            attempts += 1
+            failures += 0 if report.success else 1
+            continue
+        for outcome in report.outcomes:
+            if outcome.service_id == service_id:
+                attempts += 1
+                failures += 0 if outcome.success else 1
+    return ObservationWindow(attempts=attempts, failures=failures)

@@ -1,0 +1,350 @@
+"""The unachievable-SLO detector (reject before negotiating).
+
+A target the composition graph cannot reach *at advertised levels* will
+not become reachable by matchmaking harder — every aggregation operator
+is monotone, so the composite bound over per-service best levels is the
+exact reachable optimum.  The broker therefore consults
+:func:`check_slo` before matchmaking: a target semiring-above the bound
+comes back as a typed :class:`SLOVerdict` rejection whose
+``remediations`` say *what would make it reachable* — which stage to
+replicate (and how many replicas), what per-stage level would suffice,
+or a k-out-of-n quorum suggestion via
+:func:`~repro.dependability.metrics.k_out_of_n_reliability`.
+
+On plans of ≤6 services the verdict is certified sound and complete
+against exhaustive enumeration over per-service levels (E19).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+from ..dependability.metrics import (
+    k_out_of_n_reliability,
+    parallel_reliability,
+)
+from ..semirings.base import Semiring
+from ..soa.composition import AggregationRule, Plan
+from ..soa.qos import QoSError, resolve_attribute
+from ..telemetry import get_events, get_registry
+from .bounds import (
+    MULTIPLICATIVE_ATTRIBUTES,
+    SLOError,
+    StageBound,
+    composite_bound,
+    stage_bounds,
+)
+
+#: Search caps for remediation suggestions — small on purpose: a
+#: suggestion to run 40 replicas is not actionable advice.
+MAX_REPLICAS = 8
+MAX_QUORUM_GROUP = 5
+_BISECTION_STEPS = 60
+
+
+@dataclass(frozen=True)
+class Remediation:
+    """One concrete way to make the rejected target reachable.
+
+    ``action`` is one of ``raise-stage-level`` (bring one stage to
+    ``suggested_level``), ``uniform-stage-level`` (bring *every* stage
+    to ``suggested_level``), ``replicate-stage`` (run ``replicas``
+    failover copies of the stage), or ``k-out-of-n`` (a ``quorum`` out
+    of ``replicas`` redundancy group).
+    """
+
+    action: str
+    stage: str
+    detail: str
+    suggested_level: Optional[float] = None
+    replicas: Optional[int] = None
+    quorum: Optional[int] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {
+            "action": self.action,
+            "stage": self.stage,
+            "detail": self.detail,
+        }
+        if self.suggested_level is not None:
+            payload["suggested_level"] = self.suggested_level
+        if self.replicas is not None:
+            payload["replicas"] = self.replicas
+        if self.quorum is not None:
+            payload["quorum"] = self.quorum
+        return payload
+
+
+@dataclass(frozen=True)
+class SLOVerdict:
+    """The detector's typed answer — rejection or clearance.
+
+    ``achievable`` compares the composite ``bound`` against ``target``
+    in the attribute's semiring order (so a *cost* target below the
+    cheapest composite is just as unachievable as an availability target
+    above the most reliable one).  ``margin`` is the numeric headroom
+    ``bound − target`` (positive means slack under a higher-is-better
+    order).  Unachievable verdicts always carry at least one
+    remediation.
+    """
+
+    attribute: str
+    target: float
+    bound: float
+    achievable: bool
+    choose: str
+    margin: Optional[float]
+    stages: Tuple[StageBound, ...]
+    remediations: Tuple[Remediation, ...]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "attribute": self.attribute,
+            "target": self.target,
+            "bound": self.bound,
+            "achievable": self.achievable,
+            "choose": self.choose,
+            "margin": self.margin,
+            "stages": [
+                {
+                    "index": stage.index,
+                    "label": stage.label,
+                    "bound": stage.bound,
+                    "services": list(stage.services),
+                }
+                for stage in self.stages
+            ],
+            "remediations": [r.to_dict() for r in self.remediations],
+        }
+
+    def raise_if_unachievable(self) -> "SLOVerdict":
+        if not self.achievable:
+            raise UnachievableSLOError(self)
+        return self
+
+
+class UnachievableSLOError(SLOError):
+    """Typed rejection: the requested SLO exceeds the composite bound."""
+
+    def __init__(self, verdict: SLOVerdict) -> None:
+        self.verdict = verdict
+        hint = (
+            f"; try: {verdict.remediations[0].detail}"
+            if verdict.remediations
+            else ""
+        )
+        super().__init__(
+            f"{verdict.attribute} target {verdict.target!r} is unachievable"
+            f" — composite bound {verdict.bound!r}{hint}"
+        )
+
+
+def check_slo(
+    plan: Plan,
+    levels: Mapping[str, float],
+    target: float,
+    attribute: str = "availability",
+    choose: str = "worst-case",
+    rule: Optional[AggregationRule] = None,
+    semiring: Optional[Semiring] = None,
+) -> SLOVerdict:
+    """Decide whether ``target`` is reachable over ``plan`` at
+    per-service ``levels`` (each service's best achievable level).
+
+    ``semiring`` defaults to the attribute's natural cost model and
+    provides the comparison order; custom attributes need it (together
+    with ``rule``) passed explicitly.
+    """
+    if semiring is None:
+        try:
+            semiring = resolve_attribute(attribute).semiring()
+        except QoSError as exc:
+            raise SLOError(
+                f"unknown attribute {attribute!r} needs an explicit "
+                "semiring= for the target order"
+            ) from exc
+    if not semiring.is_element(target):
+        raise SLOError(
+            f"target {target!r} is not a {semiring.name} level"
+        )
+    bound = composite_bound(plan, levels, attribute, choose, rule)
+    achievable = semiring.geq(bound, target)
+    margin: Optional[float] = None
+    if isinstance(bound, (int, float)) and isinstance(target, (int, float)):
+        margin = float(bound) - float(target)
+    remediations: Tuple[Remediation, ...] = ()
+    if not achievable:
+        remediations = _remediations(
+            plan, levels, target, attribute, choose, rule, semiring
+        )
+    verdict = SLOVerdict(
+        attribute=attribute,
+        target=target,
+        bound=bound,
+        achievable=achievable,
+        choose=choose,
+        margin=margin,
+        stages=stage_bounds(plan, levels, attribute, choose, rule),
+        remediations=remediations,
+    )
+    registry = get_registry()
+    if registry.enabled:
+        registry.counter(
+            "slo_checks_total",
+            "Unachievable-SLO detector verdicts.",
+            labelnames=("attribute", "verdict"),
+        ).labels(
+            attribute, "achievable" if achievable else "unachievable"
+        ).inc()
+        if not achievable:
+            get_events().emit(
+                "slo.unachievable",
+                attribute=attribute,
+                target=target,
+                bound=bound,
+                remediations=len(remediations),
+            )
+    return verdict
+
+
+# ----------------------------------------------------------------------
+# Remediation search
+# ----------------------------------------------------------------------
+
+
+def _remediations(
+    plan: Plan,
+    levels: Mapping[str, float],
+    target: float,
+    attribute: str,
+    choose: str,
+    rule: Optional[AggregationRule],
+    semiring: Semiring,
+) -> Tuple[Remediation, ...]:
+    def achieves(overridden: Mapping[str, float]) -> bool:
+        return semiring.geq(
+            composite_bound(plan, overridden, attribute, choose, rule),
+            target,
+        )
+
+    def with_stage(service_id: str, value: float) -> Dict[str, float]:
+        patched = dict(levels)
+        patched[service_id] = value
+        return patched
+
+    services = sorted(set(plan.services()))
+    # Ties break lexicographically, so the suggestion is deterministic.
+    weakest = services[0]
+    for service_id in services[1:]:
+        if semiring.lt(levels[service_id], levels[weakest]):
+            weakest = service_id
+    current = float(levels[weakest])
+    ideal = float(semiring.one)
+
+    found = []
+
+    # (a) raise one stage's level: the minimal semiring-better level of
+    # the weakest stage that lifts the composite over the target.
+    if achieves(with_stage(weakest, ideal)):
+        low, high = current, ideal  # invariant: high achieves, low doesn't
+        for _ in range(_BISECTION_STEPS):
+            mid = (low + high) / 2.0
+            if achieves(with_stage(weakest, mid)):
+                high = mid
+            else:
+                low = mid
+        found.append(
+            Remediation(
+                action="raise-stage-level",
+                stage=weakest,
+                suggested_level=high,
+                detail=(
+                    f"bring stage {weakest!r} from {current:.6g} to "
+                    f"{attribute} level {high:.6g}"
+                ),
+            )
+        )
+    else:
+        # No single stage suffices: suggest the uniform per-stage level
+        # that does (always exists for the standard monotone rules,
+        # found by bisecting every stage toward the semiring unit).
+        low, high = current, ideal
+        if achieves({s: ideal for s in levels}):
+            for _ in range(_BISECTION_STEPS):
+                mid = (low + high) / 2.0
+                if achieves({s: mid for s in levels}):
+                    high = mid
+                else:
+                    low = mid
+            found.append(
+                Remediation(
+                    action="uniform-stage-level",
+                    stage=plan.describe(),
+                    suggested_level=high,
+                    detail=(
+                        f"bring every stage to {attribute} level "
+                        f"{high:.6g}"
+                    ),
+                )
+            )
+
+    # (b)/(c) redundancy suggestions only make sense for probabilities.
+    if attribute in MULTIPLICATIVE_ATTRIBUTES:
+        for replicas in range(2, MAX_REPLICAS + 1):
+            replicated = parallel_reliability([current] * replicas)
+            if achieves(with_stage(weakest, replicated)):
+                found.append(
+                    Remediation(
+                        action="replicate-stage",
+                        stage=weakest,
+                        replicas=replicas,
+                        suggested_level=replicated,
+                        detail=(
+                            f"run {replicas} failover replicas of stage "
+                            f"{weakest!r} (effective level "
+                            f"{replicated:.6g})"
+                        ),
+                    )
+                )
+                break
+        for group in range(2, MAX_QUORUM_GROUP + 1):
+            # Prefer the strongest quorum that still reaches the target
+            # (k = 1 degenerates to plain replication, reported above).
+            for quorum in range(group, 1, -1):
+                level = k_out_of_n_reliability(current, quorum, group)
+                if achieves(with_stage(weakest, level)):
+                    found.append(
+                        Remediation(
+                            action="k-out-of-n",
+                            stage=weakest,
+                            replicas=group,
+                            quorum=quorum,
+                            suggested_level=level,
+                            detail=(
+                                f"require {quorum} of {group} replicas "
+                                f"of stage {weakest!r} (effective level "
+                                f"{level:.6g})"
+                            ),
+                        )
+                    )
+                    break
+            else:
+                continue
+            break
+
+    if not found:
+        # Unreachable even at ideal levels — only possible under custom
+        # rules; the actionable advice is structural.
+        found.append(
+            Remediation(
+                action="restructure-plan",
+                stage=plan.describe(),
+                detail=(
+                    f"target {target!r} is unreachable even with every "
+                    f"stage at {semiring.name} level {ideal!r}; add "
+                    "redundant stages or relax the target"
+                ),
+            )
+        )
+    return tuple(found)

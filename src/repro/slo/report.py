@@ -1,0 +1,193 @@
+"""The full SLO analytics report: detector + budget + buffers.
+
+:func:`analyze` is the one-call entry point the broker query and the
+``repro slo`` CLI share: discount published levels by observed history
+(adaptive buffers), run the unachievable-SLO detector on the effective
+levels, and break the error budget down per stage.  Everything is
+serializable (:meth:`SLOReport.to_dict`) and human-renderable
+(:func:`render_text`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+from ..dependability.metrics import ObservationWindow
+from ..soa.composition import AggregationRule, Plan
+from ..telemetry import get_registry, get_tracer
+from .budget import DEFAULT_FLAG_SHARE, ErrorBudget, error_budget
+from .buffers import (
+    DEFAULT_BUFFER,
+    DEFAULT_MIN_ATTEMPTS,
+    EffectiveLevel,
+    effective_levels,
+)
+from .bounds import MULTIPLICATIVE_ATTRIBUTES
+from .detector import SLOVerdict, check_slo
+
+
+@dataclass(frozen=True)
+class SLOReport:
+    """One complete analysis of a plan against an SLO target."""
+
+    plan: str
+    attribute: str
+    target: float
+    verdict: SLOVerdict
+    budget: Optional[ErrorBudget]
+    levels: Tuple[EffectiveLevel, ...]
+    buffer: float
+    min_attempts: int
+
+    @property
+    def achievable(self) -> bool:
+        return self.verdict.achievable
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "plan": self.plan,
+            "attribute": self.attribute,
+            "target": self.target,
+            "achievable": self.achievable,
+            "buffer": self.buffer,
+            "min_attempts": self.min_attempts,
+            "levels": [level.to_dict() for level in self.levels],
+            "verdict": self.verdict.to_dict(),
+            "budget": None if self.budget is None else self.budget.to_dict(),
+        }
+
+
+def analyze(
+    plan: Plan,
+    published: Mapping[str, float],
+    target: float,
+    attribute: str = "availability",
+    observations: Optional[Mapping[str, ObservationWindow]] = None,
+    buffer: float = DEFAULT_BUFFER,
+    min_attempts: int = DEFAULT_MIN_ATTEMPTS,
+    choose: str = "worst-case",
+    flag_share: float = DEFAULT_FLAG_SHARE,
+    rule: Optional[AggregationRule] = None,
+    semiring: Any = None,
+    trust_published: bool = False,
+) -> SLOReport:
+    """Analyze ``plan`` against ``target``.
+
+    ``published`` maps each leaf service to its advertised best level;
+    ``observations`` (service id → :class:`ObservationWindow`) triggers
+    the adaptive buffer — pass ``trust_published=True`` to skip
+    discounting entirely (the raw-advertised baseline the buffered
+    verdict is compared against).  The error budget is attached for
+    probability-valued attributes only.
+    """
+    with get_tracer().span(
+        "slo.analyze",
+        attribute=attribute,
+        target=target,
+        services=len(published),
+    ):
+        if trust_published or attribute not in MULTIPLICATIVE_ATTRIBUTES:
+            effective = tuple(
+                EffectiveLevel(
+                    service_id=service_id,
+                    published=level,
+                    effective=level,
+                    attempts=0,
+                    informative=False,
+                )
+                for service_id, level in sorted(published.items())
+            )
+        else:
+            discounted = effective_levels(
+                published,
+                observations,
+                buffer=buffer,
+                min_attempts=min_attempts,
+            )
+            effective = tuple(
+                discounted[service_id]
+                for service_id in sorted(discounted)
+            )
+        levels = {
+            level.service_id: level.effective for level in effective
+        }
+        verdict = check_slo(
+            plan,
+            levels,
+            target,
+            attribute=attribute,
+            choose=choose,
+            rule=rule,
+            semiring=semiring,
+        )
+        budget: Optional[ErrorBudget] = None
+        if attribute in MULTIPLICATIVE_ATTRIBUTES and 0.0 < target < 1.0:
+            budget = error_budget(
+                plan,
+                levels,
+                target,
+                attribute=attribute,
+                choose=choose,
+                rule=rule,
+                flag_share=flag_share,
+            )
+        report = SLOReport(
+            plan=plan.describe(),
+            attribute=attribute,
+            target=target,
+            verdict=verdict,
+            budget=budget,
+            levels=effective,
+            buffer=buffer,
+            min_attempts=min_attempts,
+        )
+    registry = get_registry()
+    if registry.enabled:
+        registry.counter(
+            "slo_analyses_total",
+            "Full SLO analytics reports produced.",
+            labelnames=("attribute", "verdict"),
+        ).labels(
+            attribute, "achievable" if report.achievable else "unachievable"
+        ).inc()
+    return report
+
+
+def render_text(report: SLOReport) -> str:
+    """A terminal-friendly rendering of one report."""
+    lines = [
+        f"SLO report — {report.attribute} target {report.target:g} "
+        f"over {report.plan}",
+        f"  composite bound : {report.verdict.bound:g}  "
+        f"({'ACHIEVABLE' if report.achievable else 'UNACHIEVABLE'})",
+    ]
+    if report.verdict.margin is not None:
+        lines.append(f"  margin          : {report.verdict.margin:+g}")
+    lines.append("  levels (effective ← published):")
+    for level in report.levels:
+        history = (
+            f"wilson {level.observed_lower:.6g} over "
+            f"{level.attempts} obs"
+            if level.informative
+            else "no informative history"
+        )
+        lines.append(
+            f"    {level.service_id:<16} {level.effective:.6g} ← "
+            f"{level.published:.6g}  [{history}]"
+        )
+    if report.budget is not None:
+        lines.append(
+            f"  error budget    : {report.budget.budget:g} "
+            f"(first-order spend {report.budget.spent_share:.1%})"
+        )
+        for share in report.budget.shares:
+            flag = "  ⚠ HIGH-RISK" if share.flagged else ""
+            lines.append(
+                f"    {share.stage:<24} share {share.share:.1%}{flag}"
+            )
+    if not report.achievable:
+        lines.append("  remediation:")
+        for remedy in report.verdict.remediations:
+            lines.append(f"    - {remedy.detail}")
+    return "\n".join(lines)

@@ -176,6 +176,16 @@ class Broker:
     ``fair`` solves one joint SCSP per round over the lexicographic
     ⟨min client satisfaction, total welfare⟩ objective.  ``None`` (the
     default) keeps the legacy path with no policy objects touched.
+
+    ``slo_penalty`` (default ``None`` = off, matchmaking bit-identical
+    to before the SLO analytics existed) turns on error-budget-aware
+    selection: a flag share in ``(0, 1]``.  When the client's acceptance
+    interval states a probability lower bound, step 4 computes each
+    accepted candidate's share of the client's error budget
+    (:func:`repro.slo.share_of`) and prefers the semiring-best candidate
+    whose share stays within the flag share; only when every candidate
+    overspends does the unpenalized best win (availability over a
+    rejection).
     """
 
     ENDPOINT = "broker"
@@ -191,6 +201,7 @@ class Broker:
         batching: Optional[Any] = None,
         allocation_policy: Optional[Any] = None,
         rounds: Optional[Any] = None,
+        slo_penalty: Optional[float] = None,
     ) -> None:
         self.registry = registry
         self.bus = bus
@@ -249,6 +260,9 @@ class Broker:
             raise BrokerError(
                 "rounds requires an allocation_policy to dispatch to"
             )
+        if slo_penalty is not None and not 0.0 < slo_penalty <= 1.0:
+            raise BrokerError("slo_penalty must be in (0, 1] or None")
+        self.slo_penalty = slo_penalty
         #: (qos-doc id, attribute, semiring, pool identities) → compiled
         #: offer constraints + the variables compiling added to the pool.
         self._offer_memo: Dict[tuple, tuple] = {}
@@ -457,10 +471,7 @@ class Broker:
                     detail="no candidate satisfies the client's "
                     "acceptance interval",
                 )
-            best = accepted[0]
-            for evaluation in accepted[1:]:
-                if semiring.gt(evaluation.blevel, best.blevel):
-                    best = evaluation
+            best = self._select_best(accepted, request, semiring)
             outcome = self._confirm(best, request, semiring) if (
                 verify_scheduler_independence
             ) else None
@@ -495,6 +506,69 @@ class Broker:
             outcome=outcome,
             detail=f"bound to {best.description.service_id!r}",
         )
+
+    def _select_best(
+        self,
+        accepted: List[CandidateEvaluation],
+        request: ClientRequest,
+        semiring: Semiring,
+    ) -> CandidateEvaluation:
+        """Step 4's winner among the accepted candidates.
+
+        With ``slo_penalty`` off (the default) this is exactly the
+        semiring-best scan it always was.  With it on, candidates whose
+        error-budget share against the client's stated probability floor
+        exceeds the flag share are penalized: the semiring-best
+        *unflagged* candidate wins when one exists.
+        """
+        def semiring_best(
+            pool: List[CandidateEvaluation],
+        ) -> CandidateEvaluation:
+            best = pool[0]
+            for evaluation in pool[1:]:
+                if semiring.gt(evaluation.blevel, best.blevel):
+                    best = evaluation
+            return best
+
+        target = self._budget_target(request)
+        if self.slo_penalty is None or target is None:
+            return semiring_best(accepted)
+        from ..slo import share_of
+
+        unflagged = [
+            e
+            for e in accepted
+            if isinstance(e.blevel, (int, float))
+            and 0.0 <= e.blevel <= 1.0
+            and share_of(e.blevel, target) <= self.slo_penalty
+        ]
+        pool = unflagged or accepted
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter(
+                "broker_slo_penalized_total",
+                "Accepted candidates set aside for overspending the "
+                "client's error budget.",
+                labelnames=("attribute",),
+            ).labels(request.attribute).inc(len(accepted) - len(pool))
+        return semiring_best(pool)
+
+    def _budget_target(self, request: ClientRequest) -> Optional[float]:
+        """The probability floor the penalty budgets against, when the
+        request states one (a plain-level lower bound on a probability
+        attribute with room for an error budget)."""
+        if request.attribute not in ("availability", "reliability"):
+            return None
+        if request.acceptance is None:
+            return None
+        lower = request.acceptance.lower
+        if isinstance(lower, SoftConstraint) or lower is None:
+            return None
+        if not isinstance(lower, (int, float)):
+            return None
+        if not 0.0 < float(lower) < 1.0:
+            return None
+        return float(lower)
 
     def _count_request(self, result: NegotiationResult) -> None:
         registry = get_registry()
@@ -635,6 +709,8 @@ class Broker:
         pattern: str = "pipeline",
         minimum_level: Any = None,
         rule: Optional[AggregationRule] = None,
+        slo_target: Any = None,
+        slo_choose: str = "worst-case",
     ) -> Tuple[Optional[SLA], Optional[Plan], Dict[str, Any]]:
         """Choose one provider per operation slot, optimizing the
         aggregated QoS of the composite (paper: "look for complex services
@@ -642,6 +718,14 @@ class Broker:
 
         Returns ``(sla, plan, diagnostics)``; ``sla`` is ``None`` when no
         selection reaches ``minimum_level``.
+
+        ``slo_target`` arms the unachievable-SLO precheck: before the
+        selection SCSP is even built, the analytics fold the per-slot
+        *best* offers through the aggregation rule (the exact reachable
+        optimum, by monotonicity) and compare against the target.  An
+        unachievable target short-circuits to ``(None, None,
+        diagnostics)`` with the typed verdict — including remediation
+        guidance — under ``diagnostics["slo"]``, saving the doomed solve.
         """
         with get_tracer().span(
             "broker.composition",
@@ -651,7 +735,14 @@ class Broker:
             pattern=pattern,
         ):
             return self._negotiate_composition(
-                client, slots, attribute, pattern, minimum_level, rule
+                client,
+                slots,
+                attribute,
+                pattern,
+                minimum_level,
+                rule,
+                slo_target,
+                slo_choose,
             )
 
     def _negotiate_composition(
@@ -662,6 +753,8 @@ class Broker:
         pattern: str,
         minimum_level: Any,
         rule: Optional[AggregationRule],
+        slo_target: Any = None,
+        slo_choose: str = "worst-case",
     ) -> Tuple[Optional[SLA], Optional[Plan], Dict[str, Any]]:
         self._clock += 1
         semiring = resolve_attribute(attribute).semiring()
@@ -694,6 +787,29 @@ class Broker:
                     offer_level[description.service_id] = self._solve(
                         problem
                     ).blevel
+
+        # Unachievable-SLO precheck: fold the per-slot best offers (the
+        # reachable optimum) before spending a selection solve.
+        if slo_target is not None:
+            verdict = self._precheck_slo(
+                slot_candidates,
+                offer_level,
+                pattern,
+                attribute,
+                semiring,
+                rule,
+                slo_target,
+                slo_choose,
+            )
+            if verdict is not None and not verdict.achievable:
+                diagnostics = {
+                    "offer_levels": dict(offer_level),
+                    "blevel": None,
+                    "evaluations": 0,
+                    "slo": verdict.to_dict(),
+                }
+                self._post(self.name, "composition-slo-reject", client)
+                return None, None, diagnostics
 
         # One selection variable per slot, domain = candidate service ids.
         selection_vars = [
@@ -763,6 +879,110 @@ class Broker:
             service_ids=list(chosen_ids),
         )
         return sla, plan, diagnostics
+
+    def _precheck_slo(
+        self,
+        slot_candidates: List[List[ServiceDescription]],
+        offer_level: Dict[str, Any],
+        pattern: str,
+        attribute: str,
+        semiring: Semiring,
+        rule: Optional[AggregationRule],
+        slo_target: Any,
+        slo_choose: str,
+    ) -> Any:
+        """The detector over per-slot best offers (see
+        :func:`repro.slo.check_slo`)."""
+        from ..slo import SLOError, check_slo
+
+        best_ids: List[str] = []
+        for candidates in slot_candidates:
+            best = candidates[0].service_id
+            for description in candidates[1:]:
+                if semiring.gt(
+                    offer_level[description.service_id], offer_level[best]
+                ):
+                    best = description.service_id
+            best_ids.append(best)
+        plan_type = {
+            "pipeline": Pipeline,
+            "split": Split,
+            "choose": Choose,
+        }[pattern]
+        plan = plan_type([Invoke(sid) for sid in best_ids])
+        try:
+            return check_slo(
+                plan,
+                {sid: offer_level[sid] for sid in best_ids},
+                slo_target,
+                attribute=attribute,
+                choose=slo_choose,
+                rule=rule,
+                semiring=semiring,
+            )
+        except SLOError as exc:
+            raise BrokerError(f"SLO precheck failed: {exc}") from exc
+
+    # ------------------------------------------------------------------
+    # SLO analytics queries
+    # ------------------------------------------------------------------
+
+    def advertised_levels(
+        self, attribute: str, operation: Optional[str] = None
+    ) -> Dict[str, Any]:
+        """Each published service's best achievable level for
+        ``attribute`` (its scalar offer), via the broker's memoized
+        offer compiler and solve cache."""
+        semiring = resolve_attribute(attribute).semiring()
+        levels: Dict[str, Any] = {}
+        for description in self.registry.find(
+            operation=operation, requires_attribute=attribute
+        ):
+            constraints = self._compile_offer(
+                description, attribute, semiring, {}
+            )
+            problem = SCSP(constraints, name=description.service_id)
+            levels[description.service_id] = self._solve(problem).blevel
+        return levels
+
+    def slo_report(
+        self,
+        plan: Plan,
+        target: float,
+        attribute: str = "availability",
+        use_observations: bool = True,
+        **options: Any,
+    ) -> Any:
+        """Full SLO analytics (:func:`repro.slo.analyze`) for a plan over
+        this broker's market: published levels come from the registered
+        QoS offers, delivered-quality evidence from the registry's
+        observation ledger (``use_observations=False`` trusts the
+        advertisements).  Extra keyword ``options`` pass through to
+        ``analyze`` (``buffer``, ``min_attempts``, ``choose``, …)."""
+        from ..slo import analyze
+
+        semiring = resolve_attribute(attribute).semiring()
+        published: Dict[str, Any] = {}
+        for service_id in set(plan.services()):
+            description = self.registry.get(service_id)
+            constraints = self._compile_offer(
+                description, attribute, semiring, {}
+            )
+            problem = SCSP(constraints, name=service_id)
+            published[service_id] = self._solve(problem).blevel
+        observations = (
+            self.registry.observation_windows() if use_observations else None
+        )
+        if not use_observations:
+            options.setdefault("trust_published", True)
+        return analyze(
+            plan,
+            published,
+            target,
+            attribute=attribute,
+            observations=observations,
+            **options,
+        )
 
     # ------------------------------------------------------------------
     # Multi-criteria (Pareto) selection

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Any, List, Optional
+from typing import Any, Dict, List, Optional
 
 from .composition import Choose, CompositionError, Invoke, Pipeline, Plan, Split
 from .faults import FaultInjector
@@ -31,6 +31,15 @@ class ExecutionReport:
     @property
     def services_touched(self) -> List[str]:
         return [outcome.service_id for outcome in self.outcomes]
+
+    def charge(self, attribute: str) -> float:
+        """Total additive metric this run incurred, summed over the
+        invoked services' recorded charges (0.0 for services invoked
+        before charge recording existed, or never reached)."""
+        return sum(
+            outcome.charges.get(attribute, 0.0)
+            for outcome in self.outcomes
+        )
 
 
 class ExecutionEngine:
@@ -59,6 +68,7 @@ class ExecutionEngine:
             injector.adopt_rng_if_unseeded(self._rng)
         self._tick = 0
         self.reports: List[ExecutionReport] = []
+        self._charge_cache: Dict[str, Dict[str, float]] = {}
 
     def execute(self, plan: Plan, payload: Any = None) -> ExecutionReport:
         """One run of ``plan``; the logical clock advances per run."""
@@ -147,7 +157,11 @@ class ExecutionEngine:
                 latency_ms=0.0,
                 fault=fault.kind,
             )
-        outcome = self.pool.get(service_id).invoke(payload)
+        service = self.pool.get(service_id)
+        outcome = service.invoke(payload)
+        charges = self._charges_for(service)
+        if charges:
+            outcome.charges = dict(charges)
         if fault is not None and fault.extra_latency_ms:
             outcome = InvocationOutcome(
                 outcome.service_id,
@@ -155,8 +169,25 @@ class ExecutionEngine:
                 outcome.latency_ms + fault.extra_latency_ms,
                 outcome.output,
                 fault=fault.kind,
+                charges=outcome.charges,
             )
         return outcome
+
+    #: Additive metrics billed per invocation from the advertised QoS.
+    CHARGED_ATTRIBUTES = ("cost", "downtime")
+
+    def _charges_for(self, service) -> Dict[str, float]:
+        """Advertised per-invocation charges, memoized per service."""
+        cached = self._charge_cache.get(service.service_id)
+        if cached is not None:
+            return cached
+        charges: Dict[str, float] = {}
+        for attribute in self.CHARGED_ATTRIBUTES:
+            value = service.description.qos.advertised(attribute)
+            if isinstance(value, (int, float)):
+                charges[attribute] = float(value)
+        self._charge_cache[service.service_id] = charges
+        return charges
 
     # ------------------------------------------------------------------
     # Aggregate statistics

@@ -14,6 +14,7 @@ from collections import deque
 from typing import Any, Callable, Deque, List, Optional
 
 from ..constraints.constraint import SoftConstraint
+from ..dependability.metrics import ObservationWindow
 from ..telemetry import get_events, get_registry
 from .execution import ExecutionReport
 from .sla import SLA, SLAViolation
@@ -64,7 +65,8 @@ class SLAMonitor:
         )
         if not sla.semiring.is_element(self.threshold):
             raise ValueError(
-                f"threshold {threshold!r} is not a {sla.semiring.name} level"
+                f"threshold {self.threshold!r} is not a "
+                f"{sla.semiring.name} level"
             )
         self._samples: Deque[ExecutionReport] = deque(maxlen=window)
         self.violations: List[SLAViolation] = []
@@ -155,11 +157,22 @@ class SLAMonitor:
                 self._samples
             )
         if attribute in ("cost", "downtime"):
-            # Interpreted as per-run averages of the additive metric.
-            return sum(r.latency_ms for r in self._samples) / len(
-                self._samples
-            )
+            # Per-run average of the additive metric actually charged:
+            # each report sums its invoked services' advertised values
+            # (``ExecutionReport.charge``) — latency is NOT a proxy.
+            return sum(
+                r.charge(attribute) for r in self._samples
+            ) / len(self._samples)
         return None
+
+    def observation_window(self) -> ObservationWindow:
+        """The current window as an :class:`ObservationWindow` — the
+        shape the SLO analytics' adaptive buffers consume (see
+        :func:`repro.slo.effective_level`)."""
+        return ObservationWindow(
+            attempts=len(self._samples),
+            failures=sum(1 for r in self._samples if not r.success),
+        )
 
     @property
     def sample_count(self) -> int:

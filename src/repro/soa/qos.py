@@ -145,6 +145,27 @@ class QoSDocument:
     def attributes(self) -> List[str]:
         return [policy.attribute for policy in self.policies]
 
+    def advertised(self, attribute: str) -> Optional[Any]:
+        """The flat advertised value for ``attribute``, when the policy
+        states one directly.
+
+        Constants answer immediately; a table policy answers only when
+        every row agrees (a single-valued table is a constant in
+        disguise).  Polynomial/``fn`` policies depend on resource
+        variables chosen at negotiation time, so they have no flat
+        advertisement and answer ``None`` — as does a missing policy.
+        """
+        policy = self.policy_for(attribute)
+        if policy is None:
+            return None
+        if policy.constant is not None:
+            return policy.constant
+        if policy.table is not None:
+            values = set(policy.table.values())
+            if len(values) == 1:
+                return next(iter(values))
+        return None
+
 
 def resolve_attribute(name: str) -> QoSAttribute:
     """Look up a standard attribute (custom ones may be passed directly)."""

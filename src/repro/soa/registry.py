@@ -29,8 +29,9 @@ or gated service by id (an existing SLA keeps working), and
 from __future__ import annotations
 
 import time
-from typing import Callable, Dict, Iterable, List, Optional, Set
+from typing import Any, Callable, Dict, Iterable, List, Optional, Set
 
+from ..dependability.metrics import ObservationWindow
 from ..telemetry import get_events, get_registry
 from .service import ServiceDescription
 
@@ -61,6 +62,11 @@ class ServiceRegistry:
         self._lease_deadline: Dict[str, float] = {}
         self._quarantined: Set[str] = set()
         self._gates: List[AvailabilityGate] = []
+        #: service id → [attempts, failures]; delivered-quality evidence
+        #: the SLO analytics' adaptive buffers consume.  Survives
+        #: unpublication on purpose — a provider's history is about the
+        #: provider, not the publication.
+        self._observations: Dict[str, List[int]] = {}
 
     # ------------------------------------------------------------------
     # Publication
@@ -200,6 +206,56 @@ class ServiceRegistry:
         if description.provider in self._quarantined:
             return False
         return all(gate(description) for gate in self._gates)
+
+    # ------------------------------------------------------------------
+    # Delivered-quality observations (SLO analytics evidence)
+    # ------------------------------------------------------------------
+
+    def record_outcome(self, service_id: str, success: bool) -> None:
+        """Count one delivered invocation outcome for ``service_id``.
+
+        Unknown ids are accepted — execution may outlive publication.
+        """
+        counts = self._observations.setdefault(service_id, [0, 0])
+        counts[0] += 1
+        if not success:
+            counts[1] += 1
+
+    def record_observations(
+        self, service_id: str, attempts: int, failures: int
+    ) -> None:
+        """Fold a pre-counted window (e.g. imported history) into the
+        ledger."""
+        if attempts < 0 or failures < 0 or failures > attempts:
+            raise RegistryError("need 0 ≤ failures ≤ attempts")
+        counts = self._observations.setdefault(service_id, [0, 0])
+        counts[0] += attempts
+        counts[1] += failures
+
+    def ingest_report(self, report: Any) -> int:
+        """Fold an :class:`~repro.soa.execution.ExecutionReport`'s
+        per-service outcomes into the observation ledger; returns how
+        many outcomes were counted."""
+        counted = 0
+        for outcome in report.outcomes:
+            self.record_outcome(outcome.service_id, outcome.success)
+            counted += 1
+        return counted
+
+    def observation_window(self, service_id: str) -> ObservationWindow:
+        """Evidence for one service (empty window when none recorded —
+        see the :class:`ObservationWindow` no-data convention)."""
+        attempts, failures = self._observations.get(service_id, (0, 0))
+        return ObservationWindow(attempts=attempts, failures=failures)
+
+    def observation_windows(self) -> Dict[str, ObservationWindow]:
+        """All services with recorded evidence."""
+        return {
+            service_id: ObservationWindow(
+                attempts=counts[0], failures=counts[1]
+            )
+            for service_id, counts in self._observations.items()
+        }
 
     # ------------------------------------------------------------------
     # Discovery

@@ -12,7 +12,7 @@ compared against the advertised one.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional
 
 from .capabilities import CapabilityPolicy
@@ -65,13 +65,22 @@ class ServiceDescription:
 
 @dataclass
 class InvocationOutcome:
-    """Result of one simulated invocation."""
+    """Result of one simulated invocation.
+
+    ``charges`` records the additive metrics this invocation actually
+    incurred (``{"cost": …, "downtime": …}``), as billed from the
+    service's advertised QoS at invocation time.  Monitors derive
+    per-run cost from these — never from latency.  An outcome for a
+    service that was never reached (e.g. a fault-injector crash fired
+    before the call) carries no charges.
+    """
 
     service_id: str
     success: bool
     latency_ms: float
     output: Any = None
     fault: Optional[str] = None
+    charges: Dict[str, float] = field(default_factory=dict)
 
 
 class Service:

@@ -1,0 +1,145 @@
+"""Bound propagation: the analytics column stays pinned to the semiring
+column and to the classical block-diagram closed forms."""
+
+import pytest
+
+from repro.dependability.metrics import (
+    compose_series_parallel,
+    parallel_reliability,
+    series_reliability,
+)
+from repro.slo import (
+    CHOOSE_MODES,
+    SLOError,
+    analysis_rule,
+    composite_bound,
+    stage_bounds,
+)
+from repro.soa import (
+    AGGREGATION_RULES,
+    AggregationRule,
+    Choose,
+    Invoke,
+    Pipeline,
+    Split,
+    aggregate,
+)
+
+LEVELS = {"a": 0.99, "b": 0.95, "c": 0.9, "d": 0.8}
+
+
+class TestAnalysisRule:
+    def test_worst_case_is_the_table_rule_itself(self):
+        for attribute in AGGREGATION_RULES:
+            assert (
+                analysis_rule(attribute, "worst-case")
+                is AGGREGATION_RULES[attribute]
+            )
+
+    def test_redundant_substitutes_only_the_choose_column(self):
+        rule = analysis_rule("availability", "redundant")
+        base = AGGREGATION_RULES["availability"]
+        assert rule.sequence is base.sequence
+        assert rule.split is base.split
+        assert rule.choose is parallel_reliability
+
+    def test_redundant_refused_for_additive_attributes(self):
+        with pytest.raises(SLOError, match="probability-valued"):
+            analysis_rule("cost", "redundant")
+
+    def test_redundant_allowed_with_explicit_rule(self):
+        custom = AGGREGATION_RULES["availability"]
+        rule = analysis_rule("cost", "redundant", rule=custom)
+        assert rule.choose is parallel_reliability
+
+    def test_unknown_choose_mode(self):
+        with pytest.raises(SLOError, match="unknown choose mode"):
+            analysis_rule("availability", "majority")
+        assert "worst-case" in CHOOSE_MODES
+
+    def test_unknown_attribute_names_the_known_ones(self):
+        with pytest.raises(SLOError, match="rule="):
+            analysis_rule("carbon-footprint")
+
+
+class TestCompositeBound:
+    def test_pipeline_equals_series_reliability(self):
+        plan = Pipeline([Invoke("a"), Invoke("b"), Invoke("c")])
+        assert composite_bound(plan, LEVELS) == pytest.approx(
+            series_reliability([0.99, 0.95, 0.9])
+        )
+
+    def test_split_also_multiplies(self):
+        plan = Split([Invoke("a"), Invoke("b")])
+        assert composite_bound(plan, LEVELS) == pytest.approx(0.99 * 0.95)
+
+    def test_worst_case_choose_takes_the_min(self):
+        plan = Choose([Invoke("a"), Invoke("d")])
+        assert composite_bound(plan, LEVELS) == pytest.approx(0.8)
+
+    def test_redundant_choose_is_parallel_reliability(self):
+        plan = Choose([Invoke("a"), Invoke("d")])
+        assert composite_bound(
+            plan, LEVELS, choose="redundant"
+        ) == pytest.approx(parallel_reliability([0.99, 0.8]))
+
+    def test_redundant_pipeline_matches_compose_series_parallel(self):
+        plan = Pipeline(
+            [
+                Choose([Invoke("a"), Invoke("b")]),
+                Choose([Invoke("c"), Invoke("d")]),
+            ]
+        )
+        assert composite_bound(
+            plan, LEVELS, choose="redundant"
+        ) == pytest.approx(
+            compose_series_parallel([[0.99, 0.95], [0.9, 0.8]])
+        )
+
+    def test_pinned_to_aggregate_for_every_attribute(self):
+        plan = Pipeline(
+            [Invoke("a"), Split([Invoke("b"), Invoke("c")]), Invoke("d")]
+        )
+        for attribute in AGGREGATION_RULES:
+            assert composite_bound(
+                plan, LEVELS, attribute
+            ) == aggregate(plan, LEVELS, attribute)
+
+    def test_cost_bound_sums(self):
+        plan = Pipeline([Invoke("a"), Invoke("b")])
+        costs = {"a": 2.0, "b": 3.5}
+        assert composite_bound(plan, costs, "cost") == pytest.approx(5.5)
+
+    def test_custom_rule_passthrough(self):
+        rule = AggregationRule(sequence=max, split=max, choose=max)
+        plan = Pipeline([Invoke("a"), Invoke("d")])
+        assert composite_bound(
+            plan, LEVELS, "availability", rule=rule
+        ) == pytest.approx(0.99)
+
+
+class TestStageBounds:
+    def test_one_stage_per_direct_child(self):
+        plan = Pipeline(
+            [Invoke("a"), Split([Invoke("b"), Invoke("c")]), Invoke("d")]
+        )
+        stages = stage_bounds(plan, LEVELS)
+        assert [s.label for s in stages] == ["a", "(b ∥ c)", "d"]
+        assert stages[1].bound == pytest.approx(0.95 * 0.9)
+        assert stages[1].services == ("b", "c")
+        assert [s.index for s in stages] == [0, 1, 2]
+
+    def test_leaf_plan_is_its_own_stage(self):
+        stages = stage_bounds(Invoke("a"), LEVELS)
+        assert len(stages) == 1
+        assert stages[0].label == "a"
+        assert stages[0].bound == pytest.approx(0.99)
+
+    def test_stage_product_matches_composite_for_pipelines(self):
+        plan = Pipeline(
+            [Invoke("a"), Split([Invoke("b"), Invoke("c")]), Invoke("d")]
+        )
+        product = 1.0
+        for stage in stage_bounds(plan, LEVELS):
+            product *= stage.bound
+        assert product == pytest.approx(composite_bound(plan, LEVELS))

@@ -1,0 +1,237 @@
+"""Error-budget attribution, adaptive buffers and the full report."""
+
+import math
+
+import pytest
+
+from repro.dependability.metrics import (
+    ObservationWindow,
+    wilson_lower_bound,
+)
+from repro.slo import (
+    DEFAULT_BUFFER,
+    SLOError,
+    analyze,
+    effective_level,
+    effective_levels,
+    error_budget,
+    render_text,
+    share_of,
+    window_from_reports,
+)
+from repro.soa import ExecutionReport, Invoke, Pipeline, Split
+from repro.soa.service import InvocationOutcome
+
+
+class TestShareOf:
+    def test_share_is_unavailability_over_budget(self):
+        assert share_of(0.99, 0.95) == pytest.approx(0.01 / 0.05)
+
+    def test_perfect_level_spends_nothing(self):
+        assert share_of(1.0, 0.99) == 0.0
+
+    def test_zero_budget_with_failures_is_infinite(self):
+        assert math.isinf(share_of(0.99, 1.0))
+        assert share_of(1.0, 1.0) == 0.0
+
+    def test_rejects_non_probabilities(self):
+        with pytest.raises(SLOError):
+            share_of(1.5, 0.9)
+        with pytest.raises(SLOError):
+            share_of(0.9, -0.1)
+
+
+class TestErrorBudget:
+    PLAN = Pipeline(
+        [Invoke("a"), Split([Invoke("b"), Invoke("c")]), Invoke("d")]
+    )
+    LEVELS = {"a": 0.999, "b": 0.99, "c": 0.995, "d": 0.96}
+
+    def test_flags_stages_over_the_share(self):
+        budget = error_budget(self.PLAN, self.LEVELS, 0.9)
+        by_stage = {s.stage: s for s in budget.shares}
+        # budget = 0.1; d alone consumes 0.04/0.1 = 40% > 30%.
+        assert by_stage["d"].flagged
+        assert not by_stage["a"].flagged
+        assert budget.flagged() == (by_stage["d"],)
+
+    def test_shares_sum_to_spent_share(self):
+        budget = error_budget(self.PLAN, self.LEVELS, 0.9)
+        assert budget.spent_share == pytest.approx(
+            sum(s.share for s in budget.shares)
+        )
+        assert budget.composite == pytest.approx(
+            0.999 * 0.99 * 0.995 * 0.96
+        )
+
+    def test_custom_flag_share(self):
+        budget = error_budget(
+            self.PLAN, self.LEVELS, 0.9, flag_share=0.01
+        )
+        assert len(budget.flagged()) == len(budget.shares)
+
+    def test_additive_attributes_refused(self):
+        with pytest.raises(SLOError, match="probability-valued"):
+            error_budget(self.PLAN, self.LEVELS, 5.0, attribute="cost")
+
+    def test_degenerate_targets_refused(self):
+        with pytest.raises(SLOError, match="budget"):
+            error_budget(self.PLAN, self.LEVELS, 1.0)
+
+    def test_to_dict_is_json_shaped(self):
+        payload = error_budget(self.PLAN, self.LEVELS, 0.9).to_dict()
+        assert payload["budget"] == pytest.approx(0.1)
+        assert all("share" in s for s in payload["shares"])
+
+
+class TestAdaptiveBuffers:
+    def test_no_history_falls_back_to_buffered_published(self):
+        level = effective_level("s", 0.99)
+        assert level.effective == pytest.approx(0.99 * DEFAULT_BUFFER)
+        assert not level.informative
+        assert level.observed_lower is None
+
+    def test_below_min_attempts_is_uninformative(self):
+        window = ObservationWindow(attempts=3, failures=0)
+        level = effective_level("s", 0.99, window, min_attempts=5)
+        assert not level.informative
+        assert level.effective == pytest.approx(0.99 * DEFAULT_BUFFER)
+        # The optimistic window.reliability (1.0) must NOT leak in: an
+        # informative read of 3/3 successes would have *raised* the
+        # level toward min(1.0, 0.99) × buffer.
+        assert level.attempts == 3
+
+    def test_informative_history_uses_wilson_min_published(self):
+        window = ObservationWindow(attempts=100, failures=2)
+        level = effective_level("s", 0.99, window, buffer=0.9)
+        lower = wilson_lower_bound(98, 100)
+        assert level.informative
+        assert level.observed_lower == pytest.approx(lower)
+        assert level.effective == pytest.approx(min(lower, 0.99) * 0.9)
+
+    def test_lucky_streak_capped_by_published(self):
+        window = ObservationWindow(attempts=10_000, failures=0)
+        level = effective_level("s", 0.9, window, buffer=1.0)
+        assert wilson_lower_bound(10_000, 10_000) > 0.9
+        assert level.effective == pytest.approx(0.9)
+
+    def test_input_validation(self):
+        with pytest.raises(SLOError):
+            effective_level("s", 1.5)
+        with pytest.raises(SLOError):
+            effective_level("s", 0.9, buffer=0.0)
+        with pytest.raises(SLOError):
+            effective_level("s", 0.9, min_attempts=0)
+
+    def test_batch_helper_covers_every_service(self):
+        levels = effective_levels(
+            {"a": 0.99, "b": 0.9},
+            {"a": ObservationWindow(attempts=50, failures=1)},
+        )
+        assert set(levels) == {"a", "b"}
+        assert levels["a"].informative
+        assert not levels["b"].informative
+
+
+class TestWindowFromReports:
+    def make_report(self, tick, outcomes, success=True):
+        return ExecutionReport(
+            tick=tick,
+            success=success,
+            latency_ms=1.0,
+            outcomes=outcomes,
+        )
+
+    def test_per_service_counting(self):
+        reports = [
+            self.make_report(
+                0,
+                [
+                    InvocationOutcome("a", True, 1.0),
+                    InvocationOutcome("b", False, 1.0),
+                ],
+            ),
+            self.make_report(1, [InvocationOutcome("a", False, 1.0)]),
+        ]
+        window = window_from_reports(reports, "a")
+        assert (window.attempts, window.failures) == (2, 1)
+
+    def test_whole_plan_counting(self):
+        reports = [
+            self.make_report(0, [], success=True),
+            self.make_report(1, [], success=False),
+            self.make_report(2, [], success=False),
+        ]
+        window = window_from_reports(reports)
+        assert (window.attempts, window.failures) == (3, 2)
+
+
+class TestObservationWindowHelpers:
+    def test_conventions_disagree_on_purpose_at_zero(self):
+        empty = ObservationWindow(attempts=0, failures=0)
+        assert empty.reliability == 1.0  # optimistic (monitor prior)
+        assert empty.wilson_reliability() == 0.0  # conservative
+        assert not empty.informative()
+
+    def test_informative_guard(self):
+        window = ObservationWindow(attempts=4, failures=1)
+        assert window.informative()
+        assert not window.informative(min_attempts=5)
+        with pytest.raises(Exception):
+            window.informative(min_attempts=0)
+
+    def test_successes_and_merge(self):
+        merged = ObservationWindow(attempts=10, failures=2).merged(
+            ObservationWindow(attempts=5, failures=1)
+        )
+        assert merged.successes == 12
+        assert (merged.attempts, merged.failures) == (15, 3)
+
+
+class TestAnalyzeAndRender:
+    PLAN = Pipeline([Invoke("a"), Invoke("b")])
+
+    def test_trust_published_skips_discounting(self):
+        report = analyze(
+            self.PLAN, {"a": 0.99, "b": 0.98}, 0.9, trust_published=True
+        )
+        assert report.achievable
+        assert report.verdict.bound == pytest.approx(0.99 * 0.98)
+        assert all(
+            lv.effective == lv.published for lv in report.levels
+        )
+
+    def test_buffered_analysis_is_more_conservative(self):
+        trusted = analyze(
+            self.PLAN, {"a": 0.99, "b": 0.98}, 0.9, trust_published=True
+        )
+        buffered = analyze(self.PLAN, {"a": 0.99, "b": 0.98}, 0.9)
+        assert buffered.verdict.bound < trusted.verdict.bound
+
+    def test_budget_attached_for_probability_targets(self):
+        report = analyze(self.PLAN, {"a": 0.99, "b": 0.98}, 0.9)
+        assert report.budget is not None
+        assert report.budget.target == 0.9
+
+    def test_render_text_names_the_findings(self):
+        report = analyze(
+            self.PLAN,
+            {"a": 0.99, "b": 0.9},
+            0.98,
+            observations={
+                "a": ObservationWindow(attempts=100, failures=1)
+            },
+        )
+        text = render_text(report)
+        assert "UNACHIEVABLE" in text
+        assert "remediation" in text
+        assert "wilson" in text  # a's informative history is shown
+        assert "no informative history" in text  # b has none
+
+    def test_to_dict_serializes(self):
+        import json
+
+        payload = analyze(
+            self.PLAN, {"a": 0.99, "b": 0.98}, 0.9, trust_published=True
+        ).to_dict()
+        assert json.loads(json.dumps(payload))["achievable"] is True

@@ -1,0 +1,211 @@
+"""The unachievable-SLO detector: sound and complete against exhaustive
+enumeration on small plans, and every rejection actionable."""
+
+import itertools
+
+import pytest
+
+from repro.dependability.metrics import (
+    k_out_of_n_reliability,
+    parallel_reliability,
+)
+from repro.semirings.registry import get_semiring
+from repro.slo import (
+    SLOError,
+    UnachievableSLOError,
+    check_slo,
+    composite_bound,
+)
+from repro.soa import Choose, Invoke, Pipeline, Split
+
+PROB = get_semiring("probabilistic")
+
+
+def exhaustive_achievable(plan, level_sets, target, **kw):
+    """Ground truth: some per-service level choice reaches the target."""
+    names = sorted(level_sets)
+    for combo in itertools.product(*(level_sets[n] for n in names)):
+        bound = composite_bound(plan, dict(zip(names, combo)), **kw)
+        if PROB.geq(bound, target):
+            return True
+    return False
+
+
+class TestSoundAndComplete:
+    """The detector must agree with exhaustive enumeration when fed each
+    service's best level — on every plan shape ≤ 6 services."""
+
+    PLANS = [
+        Pipeline([Invoke("a"), Invoke("b")]),
+        Split([Invoke("a"), Invoke("b"), Invoke("c")]),
+        Choose([Invoke("a"), Invoke("b")]),
+        Pipeline(
+            [
+                Invoke("a"),
+                Split([Invoke("b"), Invoke("c")]),
+                Choose([Invoke("d"), Invoke("e")]),
+            ]
+        ),
+        Pipeline(
+            [
+                Choose([Invoke("a"), Invoke("b")]),
+                Split(
+                    [Invoke("c"), Pipeline([Invoke("d"), Invoke("e")])]
+                ),
+                Invoke("f"),
+            ]
+        ),
+    ]
+    LEVEL_SETS = {
+        name: levels
+        for name, levels in zip(
+            "abcdef",
+            (
+                [0.9, 0.95, 0.99],
+                [0.8, 0.9],
+                [0.97, 0.99],
+                [0.85, 0.95],
+                [0.9, 0.999],
+                [0.96, 0.98],
+            ),
+        )
+    }
+
+    @pytest.mark.parametrize("plan", PLANS, ids=lambda p: p.describe())
+    @pytest.mark.parametrize("choose", ["worst-case", "redundant"])
+    @pytest.mark.parametrize(
+        "target", [0.5, 0.8, 0.9, 0.95, 0.99, 0.999, 1.0]
+    )
+    def test_verdict_matches_enumeration(self, plan, choose, target):
+        sets = {
+            name: self.LEVEL_SETS[name] for name in plan.services()
+        }
+        best = {name: max(values) for name, values in sets.items()}
+        verdict = check_slo(plan, best, target, choose=choose)
+        truth = exhaustive_achievable(plan, sets, target, choose=choose)
+        assert verdict.achievable == truth
+
+    def test_every_rejection_carries_remediation(self):
+        for plan in self.PLANS:
+            best = {n: max(self.LEVEL_SETS[n]) for n in plan.services()}
+            verdict = check_slo(plan, best, 0.9999)
+            if not verdict.achievable:
+                assert verdict.remediations
+                for remedy in verdict.remediations:
+                    assert remedy.detail
+                    assert remedy.action in (
+                        "raise-stage-level",
+                        "uniform-stage-level",
+                        "replicate-stage",
+                        "k-out-of-n",
+                        "restructure-plan",
+                    )
+
+
+class TestVerdictShape:
+    def test_achievable_has_margin_and_no_remediations(self):
+        plan = Pipeline([Invoke("a"), Invoke("b")])
+        verdict = check_slo(plan, {"a": 0.99, "b": 0.99}, 0.97)
+        assert verdict.achievable
+        assert verdict.margin == pytest.approx(0.99 * 0.99 - 0.97)
+        assert verdict.remediations == ()
+        assert verdict.raise_if_unachievable() is verdict
+
+    def test_unachievable_raises_typed_error_with_hint(self):
+        plan = Pipeline([Invoke("a"), Invoke("b")])
+        verdict = check_slo(plan, {"a": 0.9, "b": 0.9}, 0.95)
+        assert not verdict.achievable
+        with pytest.raises(UnachievableSLOError, match="try:") as excinfo:
+            verdict.raise_if_unachievable()
+        assert excinfo.value.verdict is verdict
+
+    def test_to_dict_round_trips_the_essentials(self):
+        plan = Split([Invoke("a"), Invoke("b")])
+        payload = check_slo(plan, {"a": 0.9, "b": 0.9}, 0.99).to_dict()
+        assert payload["achievable"] is False
+        assert payload["stages"][0]["label"] == "a"
+        assert payload["remediations"][0]["detail"]
+
+    def test_invalid_target_rejected(self):
+        plan = Invoke("a")
+        with pytest.raises(SLOError, match="not a"):
+            check_slo(plan, {"a": 0.9}, 1.5)
+
+    def test_unknown_attribute_needs_semiring(self):
+        plan = Invoke("a")
+        with pytest.raises(SLOError, match="semiring"):
+            check_slo(plan, {"a": 0.9}, 0.5, attribute="carbon")
+
+    def test_cost_targets_use_the_weighted_order(self):
+        plan = Pipeline([Invoke("a"), Invoke("b")])
+        costs = {"a": 2.0, "b": 3.0}
+        assert check_slo(plan, costs, 6.0, attribute="cost").achievable
+        cheap = check_slo(plan, costs, 4.0, attribute="cost")
+        assert not cheap.achievable
+        assert cheap.remediations
+
+
+class TestRemediations:
+    def test_raise_stage_level_suggestion_achieves(self):
+        plan = Pipeline([Invoke("a"), Invoke("b")])
+        levels = {"a": 0.9, "b": 0.999}
+        verdict = check_slo(plan, levels, 0.95)
+        remedy = next(
+            r
+            for r in verdict.remediations
+            if r.action == "raise-stage-level"
+        )
+        assert remedy.stage == "a"  # the weakest stage
+        patched = dict(levels, a=remedy.suggested_level)
+        assert composite_bound(plan, patched) >= 0.95 - 1e-9
+
+    def test_replicate_stage_suggestion_achieves(self):
+        plan = Pipeline([Invoke("a"), Invoke("b")])
+        levels = {"a": 0.9, "b": 0.999}
+        verdict = check_slo(plan, levels, 0.95)
+        remedy = next(
+            r for r in verdict.remediations if r.action == "replicate-stage"
+        )
+        effective = parallel_reliability([0.9] * remedy.replicas)
+        assert effective == pytest.approx(remedy.suggested_level)
+        assert composite_bound(
+            plan, dict(levels, a=effective)
+        ) >= 0.95 - 1e-9
+
+    def test_k_out_of_n_suggestion_achieves(self):
+        plan = Pipeline([Invoke("a"), Invoke("b")])
+        levels = {"a": 0.9, "b": 0.999}
+        verdict = check_slo(plan, levels, 0.95)
+        remedy = next(
+            r for r in verdict.remediations if r.action == "k-out-of-n"
+        )
+        assert 2 <= remedy.quorum <= remedy.replicas
+        effective = k_out_of_n_reliability(
+            0.9, remedy.quorum, remedy.replicas
+        )
+        assert effective == pytest.approx(remedy.suggested_level)
+        assert composite_bound(
+            plan, dict(levels, a=effective)
+        ) >= 0.95 - 1e-9
+
+    def test_uniform_suggestion_when_no_single_stage_suffices(self):
+        plan = Pipeline([Invoke("a"), Invoke("b"), Invoke("c")])
+        levels = {"a": 0.9, "b": 0.9, "c": 0.9}
+        verdict = check_slo(plan, levels, 0.99)
+        remedy = next(
+            r
+            for r in verdict.remediations
+            if r.action == "uniform-stage-level"
+        )
+        uniform = {s: remedy.suggested_level for s in levels}
+        assert composite_bound(plan, uniform) >= 0.99 - 1e-9
+
+    def test_weakest_stage_ties_break_deterministically(self):
+        plan = Pipeline([Invoke("b"), Invoke("a")])
+        verdict = check_slo(plan, {"a": 0.9, "b": 0.9}, 0.88)
+        staged = [
+            r.stage
+            for r in verdict.remediations
+            if r.action in ("raise-stage-level", "replicate-stage")
+        ]
+        assert staged and all(stage == "a" for stage in staged)

@@ -1,0 +1,184 @@
+"""Property-based tests (hypothesis) for plan aggregation.
+
+Random series-parallel trees must agree with the closed-form
+:func:`compose_series_parallel`; unknown-attribute and custom-``rule=``
+paths behave as documented; ``aggregate_many`` is pointwise consistent
+with ``aggregate``.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dependability.metrics import compose_series_parallel
+from repro.soa import (
+    AGGREGATION_RULES,
+    AggregationRule,
+    Choose,
+    CompositionError,
+    Invoke,
+    Pipeline,
+    Split,
+    aggregate,
+    aggregate_many,
+)
+
+levels = st.floats(
+    min_value=0.5, max_value=1.0, allow_nan=False, allow_infinity=False
+)
+costs = st.floats(
+    min_value=0.0, max_value=50.0, allow_nan=False, allow_infinity=False
+)
+
+
+@st.composite
+def series_parallel(draw):
+    """A Pipeline of Choose groups plus the matching level table —
+    the exact shape ``compose_series_parallel`` computes in closed form
+    under the redundant reading (here expressed via per-group values)."""
+    n_groups = draw(st.integers(min_value=1, max_value=4))
+    groups = []
+    table = {}
+    counter = 0
+    for _ in range(n_groups):
+        size = draw(st.integers(min_value=1, max_value=3))
+        members = []
+        for _ in range(size):
+            name = f"s{counter}"
+            counter += 1
+            table[name] = draw(levels)
+            members.append(name)
+        groups.append(members)
+    plan = Pipeline(
+        [
+            Invoke(group[0])
+            if len(group) == 1
+            else Split([Invoke(name) for name in group])
+            for group in groups
+        ]
+    )
+    return plan, groups, table
+
+
+@st.composite
+def nested_plan(draw, depth=3):
+    """An arbitrary plan tree with unique leaves and a level table."""
+    counter = [0]
+
+    def build(remaining):
+        if remaining == 0 or draw(st.booleans()):
+            name = f"s{counter[0]}"
+            counter[0] += 1
+            return Invoke(name)
+        node_type = draw(st.sampled_from((Pipeline, Split, Choose)))
+        width = draw(st.integers(min_value=1, max_value=3))
+        return node_type([build(remaining - 1) for _ in range(width)])
+
+    plan = build(depth)
+    table = {
+        name: draw(levels)
+        for name in plan.services()
+    }
+    return plan, table
+
+
+class TestSeriesParallelAgreement:
+    @settings(max_examples=60)
+    @given(series_parallel())
+    def test_split_groups_multiply_like_series_of_series(self, case):
+        plan, groups, table = case
+        # availability: sequence=product, split=product — the whole tree
+        # is one big product regardless of grouping.
+        expected = 1.0
+        for group in groups:
+            for name in group:
+                expected *= table[name]
+        assert aggregate(plan, table, "availability") == pytest.approx(
+            expected
+        )
+
+    @settings(max_examples=60)
+    @given(series_parallel())
+    def test_redundant_groups_match_compose_series_parallel(self, case):
+        from repro.slo import composite_bound
+
+        plan, groups, table = case
+        redundant = Pipeline(
+            [
+                Invoke(group[0])
+                if len(group) == 1
+                else Choose([Invoke(name) for name in group])
+                for group in groups
+            ]
+        )
+        assert composite_bound(
+            redundant, table, "availability", choose="redundant"
+        ) == pytest.approx(
+            compose_series_parallel(
+                [[table[name] for name in group] for group in groups]
+            )
+        )
+
+
+class TestNestedTrees:
+    @settings(max_examples=60)
+    @given(nested_plan())
+    def test_reliability_bound_within_leaf_extremes(self, case):
+        plan, table = case
+        value = aggregate(plan, table, "reliability")
+        assert 0.0 <= value <= 1.0
+        # product/min folds can never exceed the best leaf.
+        assert value <= max(table.values()) + 1e-12
+
+    @settings(max_examples=60)
+    @given(nested_plan())
+    def test_monotone_in_every_leaf(self, case):
+        plan, table = case
+        base = aggregate(plan, table, "availability")
+        for name in table:
+            raised = dict(table)
+            raised[name] = min(1.0, raised[name] + 0.1)
+            assert (
+                aggregate(plan, raised, "availability") >= base - 1e-12
+            )
+
+    @settings(max_examples=40)
+    @given(nested_plan(), costs)
+    def test_custom_rule_overrides_the_table(self, case, fill):
+        plan, table = case
+        flat = {name: fill for name in table}
+        rule = AggregationRule(sequence=max, split=max, choose=max)
+        assert aggregate(
+            plan, flat, "anything-at-all", rule=rule
+        ) == pytest.approx(fill)
+
+
+class TestUnknownAttributeAndMany:
+    def test_unknown_attribute_mentions_rule_escape_hatch(self):
+        with pytest.raises(CompositionError, match="rule="):
+            aggregate(Invoke("a"), {"a": 1.0}, "carbon-footprint")
+
+    @settings(max_examples=40)
+    @given(nested_plan())
+    def test_aggregate_many_matches_pointwise_aggregate(self, case):
+        plan, table = case
+        tables = {
+            "availability": table,
+            "cost": {name: 2.0 for name in table},
+            "latency": {name: 7.0 for name in table},
+        }
+        combined = aggregate_many(plan, tables)
+        assert set(combined) == set(tables)
+        for attribute, values in tables.items():
+            assert combined[attribute] == pytest.approx(
+                aggregate(plan, values, attribute)
+            )
+
+    def test_aggregation_rules_cover_the_standard_attributes(self):
+        assert {
+            "availability",
+            "reliability",
+            "cost",
+            "latency",
+            "downtime",
+        } <= set(AGGREGATION_RULES)

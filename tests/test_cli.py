@@ -463,6 +463,145 @@ class TestFleet:
         assert "fleet_solve_cache_requests_total" in names
 
 
+@pytest.fixture
+def slo_market_file(tmp_path):
+    market = {
+        "kind": "market",
+        "services": [
+            {
+                "service_id": service_id,
+                "operation": operation,
+                "qos": {
+                    "kind": "qos-document",
+                    "service_name": operation,
+                    "provider": provider,
+                    "policies": [
+                        {
+                            "attribute": "reliability",
+                            "variables": {},
+                            "constant": level,
+                        }
+                    ],
+                },
+            }
+            for service_id, operation, provider, level in (
+                ("ocr-fast", "ocr", "P1", 0.99),
+                ("translate-hq", "translate", "P2", 0.98),
+            )
+        ],
+        "observations": {
+            "ocr-fast": {"attempts": 200, "failures": 2}
+        },
+    }
+    path = tmp_path / "slo-market.json"
+    path.write_text(json.dumps(market))
+    return path
+
+
+class TestSlo:
+    ARGS = [
+        "--attribute",
+        "reliability",
+        "--pipeline",
+        "ocr-fast,translate-hq",
+    ]
+
+    def test_achievable_json_exit_0(self, slo_market_file, capsys):
+        code = main(
+            ["slo", str(slo_market_file), "--target", "0.75"] + self.ARGS
+        )
+        out = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert out["achievable"] is True
+        assert out["attribute"] == "reliability"
+        levels = {lv["service_id"]: lv for lv in out["levels"]}
+        assert levels["ocr-fast"]["informative"] is True
+        assert levels["translate-hq"]["informative"] is False
+
+    def test_unachievable_text_exit_1(self, slo_market_file, capsys):
+        code = main(
+            [
+                "slo",
+                str(slo_market_file),
+                "--target",
+                "0.999",
+                "--format",
+                "text",
+            ]
+            + self.ARGS
+        )
+        text = capsys.readouterr().out
+        assert code == 1
+        assert "UNACHIEVABLE" in text
+        assert "remediation" in text
+
+    def test_trust_published_skips_evidence(self, slo_market_file, capsys):
+        code = main(
+            [
+                "slo",
+                str(slo_market_file),
+                "--target",
+                "0.97",
+                "--trust-published",
+            ]
+            + self.ARGS
+        )
+        out = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert out["verdict"]["bound"] == pytest.approx(0.99 * 0.98)
+
+    def test_unknown_service_exit_2(self, slo_market_file, capsys):
+        code = main(
+            [
+                "slo",
+                str(slo_market_file),
+                "--target",
+                "0.9",
+                "--attribute",
+                "reliability",
+                "--pipeline",
+                "ghost",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "error:" in captured.err
+
+    def test_plan_file_beats_market_plan(
+        self, slo_market_file, tmp_path, capsys
+    ):
+        from repro.soa import Choose, Invoke, Pipeline
+
+        plan = Pipeline(
+            [
+                Choose([Invoke("ocr-fast"), Invoke("translate-hq")]),
+            ]
+        )
+        plan_path = tmp_path / "plan.json"
+        plan_path.write_text(ser.dumps(plan))
+        code = main(
+            [
+                "slo",
+                str(slo_market_file),
+                "--target",
+                "0.5",
+                "--attribute",
+                "reliability",
+                "--plan",
+                str(plan_path),
+                "--choose",
+                "redundant",
+            ]
+        )
+        out = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert out["verdict"]["choose"] == "redundant"
+
+    def test_no_plan_anywhere_is_usage_error(self, slo_market_file):
+        with pytest.raises(SystemExit):
+            main(["slo", str(slo_market_file), "--target", "0.9"])
+
+
 class TestValidateSemiring:
     def test_builtin_ok(self, capsys):
         assert main(["validate-semiring", "fuzzy"]) == 0

@@ -184,6 +184,43 @@ class TestQoSRoundTrip:
             ser.qos_document_to_dict(document)
 
 
+class TestPlanRoundTrip:
+    def test_nested_plan(self):
+        from repro.soa import Choose, Invoke, Pipeline, Split
+
+        plan = Pipeline(
+            [
+                Invoke("a"),
+                Split([Invoke("b"), Invoke("c")]),
+                Choose([Invoke("d"), Pipeline([Invoke("e"), Invoke("f")])]),
+            ]
+        )
+        clone = ser.plan_from_dict(ser.plan_to_dict(plan))
+        assert clone.describe() == plan.describe()
+        assert clone.services() == plan.services()
+
+    def test_dumps_loads_dispatch(self):
+        import json
+
+        from repro.soa import Invoke, Split
+
+        plan = Split([Invoke("x"), Invoke("y")])
+        payload = json.loads(ser.dumps(plan))
+        assert payload["kind"] == "plan"
+        clone = ser.loads(ser.dumps(plan))
+        assert clone.describe() == plan.describe()
+
+    def test_unknown_node_type_rejected(self):
+        with pytest.raises(ser.SerializationError):
+            ser.plan_from_dict(
+                {"kind": "plan", "root": {"type": "loop", "children": []}}
+            )
+
+    def test_invoke_requires_service_id(self):
+        with pytest.raises(ser.SerializationError):
+            ser.plan_from_dict({"kind": "plan", "root": {"type": "invoke"}})
+
+
 class TestTrustNetworkRoundTrip:
     def test_figure9(self):
         network = figure9_network()
